@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 6/7 experiment: a reduced-scale DHT
+//! get/put workload per system. The figures themselves come from the
+//! `fig6_dht_latency` / `fig7_dht_bandwidth` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use verme_bench::fig67::{run_fig67, DhtSystem, Fig67Params};
+
+fn bench_params(seed: u64) -> Fig67Params {
+    Fig67Params { nodes: 128, sections: 8, block_size: 8192, operations: 10, seed }
+}
+
+fn fig67_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig67_dht_ops");
+    group.sample_size(10);
+    for sys in DhtSystem::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &sys, |b, &sys| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = run_fig67(sys, &bench_params(seed));
+                assert!(r.completed > 0, "{}: no ops completed", sys.label());
+                (r.get_latency_ms, r.put_latency_ms)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig67_systems);
+criterion_main!(benches);

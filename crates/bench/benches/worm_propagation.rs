@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure 8 experiment: one reduced-scale worm
+//! propagation run per scenario. The figure itself comes from the
+//! `fig8_worm_propagation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use verme_sim::SimDuration;
+use verme_worm::{run_scenario, Scenario, ScenarioConfig};
+
+fn bench_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 4000,
+        sections: 128,
+        duration: SimDuration::from_secs(2000),
+        seed,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn fig8_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_worm_propagation");
+    group.sample_size(10);
+    let scenarios = [
+        Scenario::ChordWorm,
+        Scenario::VermeWorm,
+        Scenario::SecureVerDiImpersonation,
+        Scenario::FastVerDiImpersonation { lookups_per_sec: 10.0 },
+        Scenario::CompromiseVerDi { node_lookup_rate_per_sec: 1.0 },
+    ];
+    for sc in scenarios {
+        group.bench_with_input(BenchmarkId::from_parameter(sc.label()), &sc, |b, sc| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = run_scenario(sc, &bench_config(seed));
+                assert!(r.infected > 0);
+                r.infected
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_scenarios);
+criterion_main!(benches);

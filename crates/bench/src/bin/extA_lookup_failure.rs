@@ -1,0 +1,73 @@
+//! Regenerates **Extension A**: lookup failure rates under churn for
+//! Chord vs Verme (the paper reports "failure rates do not differ
+//! significantly", citing the companion thesis).
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin extA_lookup_failure [-- --full]
+//! ```
+
+use crossbeam::channel;
+use verme_bench::fig5::{run_fig5, Fig5Params, Fig5System};
+use verme_bench::CliArgs;
+use verme_sim::SimDuration;
+
+fn main() {
+    let args = CliArgs::parse();
+    let reps = args.reps.unwrap_or(if args.full { 8 } else { 2 });
+    let lifetimes = [
+        ("15 min", SimDuration::from_mins(15)),
+        ("30 min", SimDuration::from_mins(30)),
+        ("1 h", SimDuration::from_hours(1)),
+        ("4 h", SimDuration::from_hours(4)),
+        ("8 h", SimDuration::from_hours(8)),
+    ];
+    println!("# Extension A — lookup failure rate (%) vs mean node lifetime");
+    println!(
+        "# mode: {} | reps: {reps} | seed: {}",
+        if args.full { "paper" } else { "quick" },
+        args.seed
+    );
+    println!("{:<10} {:>18} {:>18} {:>12}", "lifetime", "Chord recursive", "Verme", "difference");
+
+    let (tx, rx) = channel::unbounded();
+    std::thread::scope(|s| {
+        for (li, _) in lifetimes.iter().enumerate() {
+            for sys in [Fig5System::ChordRecursive, Fig5System::Verme] {
+                for rep in 0..reps {
+                    let tx = tx.clone();
+                    let full = args.full;
+                    let hours = args.hours;
+                    let seed = args.seed.wrapping_add(rep * 7919).wrapping_add(li as u64 * 104729);
+                    s.spawn(move || {
+                        let life = lifetimes[li].1;
+                        let mut params = if full {
+                            Fig5Params::paper(life, seed)
+                        } else {
+                            Fig5Params::quick(life, seed)
+                        };
+                        if let Some(h) = hours {
+                            params.sim_time = SimDuration::from_hours(h);
+                        }
+                        tx.send((li, sys, run_fig5(sys, &params))).unwrap();
+                    });
+                }
+            }
+        }
+        drop(tx);
+        let mut fails = vec![[0.0f64; 2]; lifetimes.len()];
+        let mut counts = vec![[0u64; 2]; lifetimes.len()];
+        for (li, sys, r) in rx.iter() {
+            let si = if sys == Fig5System::ChordRecursive { 0 } else { 1 };
+            fails[li][si] += r.failure_rate() * 100.0;
+            counts[li][si] += 1;
+        }
+        for (li, (name, _)) in lifetimes.iter().enumerate() {
+            let c = fails[li][0] / counts[li][0].max(1) as f64;
+            let v = fails[li][1] / counts[li][1].max(1) as f64;
+            println!("{:<10} {:>17.2}% {:>17.2}% {:>11.2}%", name, c, v, v - c);
+        }
+    });
+    println!(
+        "# expectation (paper/thesis): Chord and Verme failure rates do not differ significantly"
+    );
+}

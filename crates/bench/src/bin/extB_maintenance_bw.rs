@@ -1,0 +1,72 @@
+//! Regenerates **Extension B**: overlay maintenance bandwidth for Chord
+//! vs Verme (the paper reports "the bandwidth used for overlay
+//! maintenance and lookups does not differ significantly").
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin extB_maintenance_bw [-- --full]
+//! ```
+
+use crossbeam::channel;
+use verme_bench::fig5::{run_fig5, Fig5Params, Fig5System};
+use verme_bench::CliArgs;
+use verme_sim::SimDuration;
+
+fn main() {
+    let args = CliArgs::parse();
+    let reps = args.reps.unwrap_or(if args.full { 8 } else { 2 });
+    let lifetimes = [
+        ("15 min", SimDuration::from_mins(15)),
+        ("1 h", SimDuration::from_hours(1)),
+        ("8 h", SimDuration::from_hours(8)),
+    ];
+    println!("# Extension B — maintenance traffic (bytes/node/s) vs mean node lifetime");
+    println!(
+        "# mode: {} | reps: {reps} | seed: {}",
+        if args.full { "paper" } else { "quick" },
+        args.seed
+    );
+    println!("{:<10} {:>18} {:>18} {:>10}", "lifetime", "Chord recursive", "Verme", "ratio");
+
+    let (tx, rx) = channel::unbounded();
+    std::thread::scope(|s| {
+        for (li, _) in lifetimes.iter().enumerate() {
+            for sys in [Fig5System::ChordRecursive, Fig5System::Verme] {
+                for rep in 0..reps {
+                    let tx = tx.clone();
+                    let full = args.full;
+                    let hours = args.hours;
+                    let seed = args.seed.wrapping_add(rep * 7919).wrapping_add(li as u64 * 104729);
+                    s.spawn(move || {
+                        let life = lifetimes[li].1;
+                        let mut params = if full {
+                            Fig5Params::paper(life, seed)
+                        } else {
+                            Fig5Params::quick(life, seed)
+                        };
+                        if let Some(h) = hours {
+                            params.sim_time = SimDuration::from_hours(h);
+                        }
+                        tx.send((li, sys, run_fig5(sys, &params))).unwrap();
+                    });
+                }
+            }
+        }
+        drop(tx);
+        let mut bw = vec![[0.0f64; 2]; lifetimes.len()];
+        let mut counts = vec![[0u64; 2]; lifetimes.len()];
+        for (li, sys, r) in rx.iter() {
+            let si = if sys == Fig5System::ChordRecursive { 0 } else { 1 };
+            bw[li][si] += r.maint_bytes_per_node_s;
+            counts[li][si] += 1;
+        }
+        for (li, (name, _)) in lifetimes.iter().enumerate() {
+            let c = bw[li][0] / counts[li][0].max(1) as f64;
+            let v = bw[li][1] / counts[li][1].max(1) as f64;
+            println!("{:<10} {:>18.1} {:>18.1} {:>10.2}", name, c, v, v / c.max(1e-9));
+        }
+    });
+    println!(
+        "# expectation (paper/thesis): maintenance bandwidth comparable between Chord and Verme"
+    );
+    println!("# (Verme pays extra for predecessor-list upkeep; same order of magnitude)");
+}

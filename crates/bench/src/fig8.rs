@@ -1,0 +1,168 @@
+//! Figure 8 harness: worm propagation speed across the five scenarios.
+//!
+//! Wraps `verme-worm`'s scenario runner, averages several repetitions
+//! (the paper uses 10), and resamples the infection curves onto a
+//! logarithmic time grid matching the figure's log-scaled x-axis.
+
+use verme_sim::{SimDuration, SimTime};
+use verme_worm::{run_scenario, Scenario, ScenarioConfig, ScenarioResult};
+
+/// Parameters for a Figure 8 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig8Params {
+    /// Base configuration (population, sections, worm timing).
+    pub config: ScenarioConfig,
+    /// Repetitions to average (paper: 10).
+    pub repetitions: u64,
+}
+
+impl Fig8Params {
+    /// The paper's full-scale setup: 100 000 nodes, 4096 sections, 10
+    /// repetitions.
+    pub fn paper(seed: u64) -> Self {
+        Fig8Params { config: ScenarioConfig { seed, ..ScenarioConfig::default() }, repetitions: 10 }
+    }
+
+    /// Laptop-quick setup (structurally identical, smaller population).
+    pub fn quick(seed: u64) -> Self {
+        Fig8Params {
+            config: ScenarioConfig {
+                nodes: 10_000,
+                sections: 512,
+                duration: SimDuration::from_secs(10_000),
+                seed,
+                ..ScenarioConfig::default()
+            },
+            repetitions: 3,
+        }
+    }
+}
+
+/// One averaged Figure 8 series.
+#[derive(Clone, Debug)]
+pub struct Fig8Series {
+    /// Scenario label (the figure legend).
+    pub label: &'static str,
+    /// `(time_s, mean infected machines)` on the log grid.
+    pub points: Vec<(f64, f64)>,
+    /// Mean final infected count.
+    pub final_infected: f64,
+    /// Vulnerable population (identical across repetitions).
+    pub vulnerable: usize,
+    /// Mean time to infect half the vulnerable population, over the
+    /// repetitions that reached it.
+    pub t50_s: Option<f64>,
+    /// How many repetitions reached the 50% mark.
+    pub t50_reached: u64,
+    /// Total repetitions.
+    pub repetitions: u64,
+}
+
+/// The five scenarios of the figure, in its legend order.
+pub fn figure_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::ChordWorm,
+        Scenario::FastVerDiImpersonation { lookups_per_sec: 10.0 },
+        Scenario::CompromiseVerDi { node_lookup_rate_per_sec: 1.0 },
+        Scenario::SecureVerDiImpersonation,
+        Scenario::VermeWorm,
+    ]
+}
+
+/// The logarithmic sample grid (seconds) used for the printed table.
+pub fn log_grid(max_s: f64) -> Vec<f64> {
+    let mut grid = Vec::new();
+    let mut t = 1.0;
+    while t <= max_s {
+        for m in [1.0, 2.0, 5.0] {
+            let v = t * m;
+            if v <= max_s {
+                grid.push(v);
+            }
+        }
+        t *= 10.0;
+    }
+    grid
+}
+
+/// Infected count at time `t` (step function over the curve points).
+pub fn infected_at(result: &ScenarioResult, t_s: f64) -> f64 {
+    let t = SimTime::ZERO + SimDuration::from_secs_f64(t_s);
+    let mut last = 0.0;
+    for &(at, v) in result.curve.points() {
+        if at > t {
+            break;
+        }
+        last = v;
+    }
+    last
+}
+
+/// Runs one scenario `repetitions` times and averages onto the grid.
+pub fn run_series(scenario: &Scenario, params: &Fig8Params) -> Fig8Series {
+    let grid = log_grid(params.config.duration.as_secs_f64());
+    let mut sums = vec![0.0; grid.len()];
+    let mut final_sum = 0.0;
+    let mut t50_sum = 0.0;
+    let mut t50_count = 0u64;
+    let mut vulnerable = 0;
+    for rep in 0..params.repetitions {
+        let cfg = ScenarioConfig {
+            seed: params.config.seed.wrapping_add(rep * 7919),
+            ..params.config.clone()
+        };
+        let r = run_scenario(scenario, &cfg);
+        for (i, &t) in grid.iter().enumerate() {
+            sums[i] += infected_at(&r, t);
+        }
+        final_sum += r.infected as f64;
+        vulnerable = r.vulnerable;
+        if let Some(t) = r.time_to_vulnerable_fraction(0.5) {
+            t50_sum += t.as_secs_f64();
+            t50_count += 1;
+        }
+    }
+    let reps = params.repetitions as f64;
+    Fig8Series {
+        label: scenario.label(),
+        points: grid.iter().zip(&sums).map(|(&t, &s)| (t, s / reps)).collect(),
+        final_infected: final_sum / reps,
+        vulnerable,
+        t50_s: (t50_count > 0).then(|| t50_sum / t50_count as f64),
+        t50_reached: t50_count,
+        repetitions: params.repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_log_spaced() {
+        let g = log_grid(100.0);
+        assert_eq!(g, vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0]);
+    }
+
+    #[test]
+    fn series_average_is_sane() {
+        let params = Fig8Params {
+            config: ScenarioConfig {
+                nodes: 1000,
+                sections: 32,
+                duration: SimDuration::from_secs(200),
+                seed: 1,
+                ..ScenarioConfig::default()
+            },
+            repetitions: 2,
+        };
+        let s = run_series(&Scenario::ChordWorm, &params);
+        assert_eq!(s.label, "Chord");
+        assert!(s.final_infected > 0.9 * s.vulnerable as f64);
+        assert!(s.t50_s.is_some());
+        // Points are non-decreasing in time.
+        for w in s.points.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # verme-bench — experiment harnesses for every figure in the paper
+//!
+//! One module per experiment:
+//!
+//! * [`fig5`] — lookup latency under churn (Figure 5).
+//! * [`fig67`] — DHT get/put latency and bandwidth (Figures 6 and 7).
+//! * [`fig8`] — worm propagation speed (Figure 8).
+//! * [`ext`] — the extension experiments (failure rate, maintenance
+//!   bandwidth, uneven type split) the paper reports in summary form.
+//!
+//! The `src/bin/` binaries print each figure's table at paper scale
+//! (`--full`) or a laptop-quick scale (default); the `benches/` criterion
+//! targets exercise reduced versions under `cargo bench`.
+
+pub mod ext;
+pub mod fig5;
+pub mod fig67;
+pub mod fig8;
+pub mod plot;
+
+/// Parses the common `--full` / `--seed N` / `--reps N` binary arguments.
+#[derive(Copy, Clone, Debug)]
+pub struct CliArgs {
+    /// Run at the paper's full scale.
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Repetition override, if given.
+    pub reps: Option<u64>,
+    /// Simulated-hours override for the churn experiments, if given.
+    pub hours: Option<u64>,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> CliArgs {
+        let mut out = CliArgs { full: false, seed: 42, reps: None, hours: None };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--reps" => {
+                    out.reps = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--reps requires an integer"),
+                    );
+                }
+                "--hours" => {
+                    out.hours = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--hours requires an integer"),
+                    );
+                }
+                other => panic!(
+                    "unknown argument {other}; usage: [--full] [--seed N] [--reps N] [--hours H]"
+                ),
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal ASCII chart rendering for the figure binaries.
+//!
+//! Renders multiple series on a log-x / linear-y grid, like the paper's
+//! Figure 8. Purely cosmetic — the binaries also print the raw numbers —
+//! but it makes a terminal run of `fig8_worm_propagation` resemble the
+//! actual figure.
+
+/// Renders `series` (label, points sorted by x) into `rows`×`cols`
+/// characters with a log-scaled x axis. Each series draws with its own
+/// glyph; later series overwrite earlier ones where they collide.
+///
+/// Returns the rendered lines, including a y-axis scale and x-axis ticks.
+///
+/// # Panics
+///
+/// Panics if dimensions are degenerate (`rows < 3`, `cols < 16`) or no
+/// series has any point with `x > 0`.
+pub fn render_log_x(series: &[(&str, &[(f64, f64)])], rows: usize, cols: usize) -> Vec<String> {
+    assert!(rows >= 3 && cols >= 16, "chart too small");
+    const GLYPHS: [char; 6] = ['#', '*', '+', 'o', 'x', '~'];
+
+    let xs: Vec<f64> =
+        series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).filter(|&x| x > 0.0).collect();
+    let ymax =
+        series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.1)).fold(0.0f64, f64::max).max(1.0);
+    let (xmin, xmax) =
+        xs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    assert!(xmin.is_finite() && xmax > 0.0, "no positive x values to plot");
+    let (lx0, lx1) = (xmin.ln(), (xmax.max(xmin * 1.001)).ln());
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            if x <= 0.0 {
+                continue;
+            }
+            let cx = ((x.ln() - lx0) / (lx1 - lx0) * (cols - 1) as f64).round() as usize;
+            let cy = (y / ymax * (rows - 1) as f64).round() as usize;
+            let r = rows - 1 - cy.min(rows - 1);
+            grid[r][cx.min(cols - 1)] = glyph;
+        }
+    }
+
+    let mut out = Vec::with_capacity(rows + 2);
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:>9.0} |")
+        } else if r == rows - 1 {
+            format!("{:>9.0} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push(format!("{label}{}", row.iter().collect::<String>()));
+    }
+    out.push(format!("{:>9} +{}", "", "-".repeat(cols)));
+    out.push(format!(
+        "{:>9}  {:<width$}{:>10}",
+        "",
+        format!("{xmin:.0}s (log t)"),
+        format!("{xmax:.0}s"),
+        width = cols.saturating_sub(10)
+    ));
+    // Legend.
+    let legend = series
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| format!("{} {}", GLYPHS[si % GLYPHS.len()], label))
+        .collect::<Vec<_>>()
+        .join("   ");
+    out.push(format!("{:>11}{legend}", ""));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let a: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let b: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 50.0)).collect();
+        let lines = render_log_x(&[("grows", &a), ("flat", &b)], 10, 60);
+        assert_eq!(lines.len(), 10 + 3);
+        assert!(lines.iter().all(|l| l.len() <= 9 + 2 + 60 + 16));
+        // Both glyphs appear.
+        let body = lines.join("\n");
+        assert!(body.contains('#'));
+        assert!(body.contains('*'));
+        assert!(body.contains("grows"));
+    }
+
+    #[test]
+    fn max_value_sits_on_top_row() {
+        let a = [(1.0, 0.0), (10.0, 100.0)];
+        let lines = render_log_x(&[("s", &a)], 8, 30);
+        assert!(lines[0].contains('#'), "peak should render on the top row");
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn rejects_tiny_charts() {
+        let _ = render_log_x(&[("s", &[(1.0, 1.0)][..])], 2, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive x")]
+    fn rejects_empty_series() {
+        let _ = render_log_x(&[("s", &[][..])], 8, 30);
+    }
+}

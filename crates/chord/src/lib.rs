@@ -1,0 +1,31 @@
+//! # verme-chord — the Chord baseline overlay
+//!
+//! A from-scratch implementation of Chord (Stoica et al., SIGCOMM '01) on
+//! the `verme-sim` discrete-event runtime, matching the variant the paper
+//! benchmarks against (p2psim's Chord): 10-entry successor lists,
+//! periodic stabilization, finger tables, and lookups in three traversal
+//! modes — iterative, recursive, and transitive (recursive forward path,
+//! direct reply).
+//!
+//! The module layout separates pure data structures from the protocol:
+//!
+//! * [`id`] — circular identifier arithmetic ([`Id`]).
+//! * [`ring`] — successor/predecessor lists and finger tables.
+//! * [`proto`] — wire messages, modes, configuration.
+//! * [`node`] — the [`ChordNode`] state machine.
+//! * [`static_ring`] — instant construction of converged rings.
+//!
+//! The Verme overlay in `verme-core` reuses [`id`] and [`ring`] and mirrors
+//! the [`node`] structure with its type-aware modifications.
+
+pub mod id;
+pub mod node;
+pub mod proto;
+pub mod ring;
+pub mod static_ring;
+
+pub use id::Id;
+pub use node::{keys, ChordNode};
+pub use proto::{ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult};
+pub use ring::{closest_preceding_hop, FingerTable, NeighborList, NodeHandle};
+pub use static_ring::StaticRing;

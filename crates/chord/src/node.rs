@@ -1,0 +1,1080 @@
+//! The Chord node state machine.
+//!
+//! Implements joins, successor-list stabilization, predecessor liveness,
+//! finger maintenance, and lookups in all three traversal modes
+//! ([`LookupMode`]), with per-hop failure detection and rerouting ("every
+//! time a node tried to contact a node that had failed it chose another
+//! neighbor", paper §7.1.2).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime};
+
+use crate::id::Id;
+use crate::proto::{
+    ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult,
+};
+use crate::ring::{closest_preceding_hop, FingerTable, NeighborList, NodeHandle};
+
+/// Metric keys recorded by overlay nodes into the run's
+/// [`MetricsSink`](verme_sim::MetricsSink).
+pub mod keys {
+    /// Latency of each completed application lookup, in milliseconds.
+    pub const LOOKUP_LATENCY_MS: &str = "lookup.latency_ms";
+    /// Forward-path hop count of each completed application lookup.
+    pub const LOOKUP_HOPS: &str = "lookup.hops";
+    /// Application lookups issued.
+    pub const LOOKUP_ISSUED: &str = "lookup.issued";
+    /// Application lookups completed successfully.
+    pub const LOOKUP_COMPLETED: &str = "lookup.completed";
+    /// Application lookups that missed their deadline or ran out of routes.
+    pub const LOOKUP_FAILED: &str = "lookup.failed";
+    /// Bytes sent for lookup traffic (requests, acks, replies).
+    pub const BYTES_LOOKUP: &str = "bytes.lookup";
+    /// Bytes sent for overlay maintenance (stabilize, notify, pings,
+    /// finger-refresh lookups).
+    pub const BYTES_MAINT: &str = "bytes.maint";
+    /// Hop-level timeouts that triggered rerouting.
+    pub const HOP_REROUTES: &str = "lookup.hop_reroutes";
+}
+
+/// The observable outcome of an application lookup, retrieved with
+/// [`ChordNode::take_outcomes`]. Upper layers (the DHT) and test harnesses
+/// drive their logic off these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Sequence number returned by [`ChordNode::start_lookup`].
+    pub seq: u64,
+    /// The key that was looked up.
+    pub key: Id,
+    /// The result, or `None` if the lookup failed.
+    pub result: Option<LookupResult>,
+    /// Forward-path hops (0 when answered locally or failed).
+    pub hops: u32,
+    /// Time from initiation to completion or failure.
+    pub latency: SimDuration,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum LookupKind {
+    App,
+    Join,
+    FingerRefresh(usize),
+}
+
+impl LookupKind {
+    fn bytes_key(self) -> &'static str {
+        match self {
+            LookupKind::App => keys::BYTES_LOOKUP,
+            _ => keys::BYTES_MAINT,
+        }
+    }
+}
+
+struct PendingLookup {
+    key: Id,
+    kind: LookupKind,
+    started: SimTime,
+    // Iterative traversal state.
+    hops: u32,
+    attempt: u32,
+    current: Option<Addr>,
+    backups: Vec<NodeHandle>,
+    tried: Vec<Addr>,
+}
+
+struct ForwardState {
+    key: Id,
+    origin: NodeHandle,
+    mode: LookupMode,
+    hops: u32,
+    /// Upstream hop to relay the reply to (`None` at the initiator).
+    prev: Option<Addr>,
+    next: Addr,
+    attempts: u32,
+    acked: bool,
+    tried: Vec<Addr>,
+    kind_bytes: &'static str,
+}
+
+/// A Chord overlay node, to be driven by a
+/// [`Runtime`](verme_sim::Runtime).
+///
+/// Construct with [`ChordNode::first`] (ring creator),
+/// [`ChordNode::joining`] (joins via a bootstrap address), or
+/// [`ChordNode::with_state`] (pre-converged routing state for static
+/// experiments). Application lookups are injected with
+/// [`ChordNode::start_lookup`] via
+/// [`Runtime::invoke`](verme_sim::Runtime::invoke); results land in the
+/// run's metrics sink under the [`keys`] namespace.
+pub struct ChordNode {
+    cfg: ChordConfig,
+    id: Id,
+    me: NodeHandle,
+    predecessor: Option<NodeHandle>,
+    successors: NeighborList,
+    fingers: FingerTable,
+    bootstrap: Option<Addr>,
+    joined: bool,
+    next_seq: u64,
+    next_token: u64,
+    pending: HashMap<u64, PendingLookup>,
+    forwards: HashMap<LookupId, ForwardState>,
+    stab_waiting: Option<(u64, NodeHandle)>,
+    pred_waiting: Option<u64>,
+    outcomes: Vec<LookupOutcome>,
+}
+
+impl ChordNode {
+    /// Creates the first node of a new ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn first(id: Id, cfg: ChordConfig) -> Self {
+        cfg.validate();
+        let successors = NeighborList::successors(id, cfg.num_successors);
+        ChordNode {
+            fingers: FingerTable::new(id),
+            successors,
+            cfg,
+            id,
+            me: NodeHandle::new(id, Addr::NULL),
+            predecessor: None,
+            bootstrap: None,
+            joined: true,
+            next_seq: 0,
+            next_token: 0,
+            pending: HashMap::new(),
+            forwards: HashMap::new(),
+            stab_waiting: None,
+            pred_waiting: None,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Creates a node that joins an existing ring through `bootstrap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn joining(id: Id, cfg: ChordConfig, bootstrap: Addr) -> Self {
+        let mut node = ChordNode::first(id, cfg);
+        node.bootstrap = Some(bootstrap);
+        node.joined = false;
+        node
+    }
+
+    /// Creates a node with pre-converged routing state (static rings).
+    ///
+    /// `fingers` pairs each finger index with its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or a finger index is out of
+    /// range.
+    pub fn with_state(
+        id: Id,
+        cfg: ChordConfig,
+        predecessor: Option<NodeHandle>,
+        successors: &[NodeHandle],
+        fingers: &[(usize, NodeHandle)],
+    ) -> Self {
+        let mut node = ChordNode::first(id, cfg);
+        node.predecessor = predecessor;
+        node.successors.integrate_all(successors);
+        for &(i, h) in fingers {
+            node.fingers.set(i, Some(h));
+        }
+        node
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// This node's handle (address is populated once spawned).
+    pub fn handle(&self) -> NodeHandle {
+        self.me
+    }
+
+    /// True once the node has joined the ring.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// The node's current predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeHandle> {
+        self.predecessor
+    }
+
+    /// The node's successor list, nearest first.
+    pub fn successor_list(&self) -> &[NodeHandle] {
+        self.successors.as_slice()
+    }
+
+    /// The node's finger table.
+    pub fn finger_table(&self) -> &FingerTable {
+        &self.fingers
+    }
+
+    /// Every distinct peer this node's routing state names — exactly the
+    /// addresses a topological worm could harvest from the node's memory.
+    pub fn known_peers(&self) -> Vec<NodeHandle> {
+        let mut out: Vec<NodeHandle> = Vec::new();
+        let mut push = |h: NodeHandle| {
+            if h.addr != self.me.addr && !out.iter().any(|o| o.addr == h.addr) {
+                out.push(h);
+            }
+        };
+        for &h in self.successors.iter() {
+            push(h);
+        }
+        for h in self.fingers.distinct() {
+            push(h);
+        }
+        if let Some(p) = self.predecessor {
+            push(p);
+        }
+        out
+    }
+
+    /// Injects an application lookup for `key`. Returns the lookup's local
+    /// sequence number. Results are recorded in the metrics sink.
+    pub fn start_lookup(&mut self, key: Id, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) -> u64 {
+        ctx.metrics().count(keys::LOOKUP_ISSUED, 1);
+        self.begin_lookup(key, LookupKind::App, ctx)
+    }
+
+    /// Drains the outcomes of application lookups that finished since the
+    /// last call.
+    pub fn take_outcomes(&mut self) -> Vec<LookupOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup initiation and completion
+    // ------------------------------------------------------------------
+
+    fn begin_lookup(
+        &mut self,
+        key: Id,
+        kind: LookupKind,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            PendingLookup {
+                key,
+                kind,
+                started: ctx.now(),
+                hops: 0,
+                attempt: 0,
+                current: None,
+                backups: Vec::new(),
+                tried: Vec::new(),
+            },
+        );
+        ctx.set_timer(self.cfg.lookup_deadline, ChordTimer::LookupDeadline { seq });
+
+        // A joining node must route its first lookup through the bootstrap.
+        let first_hop = if !self.joined {
+            self.bootstrap
+        } else if let Some(result) = self.local_answer(key) {
+            self.complete_lookup(seq, result, 0, ctx);
+            return seq;
+        } else {
+            closest_preceding_hop(self.id, &self.fingers, &self.successors, key).map(|h| h.addr)
+        };
+        let Some(first_hop) = first_hop else {
+            // No route at all (pathological); fail on the spot.
+            self.fail_lookup(seq, ctx);
+            return seq;
+        };
+        self.dispatch_first_hop(seq, key, kind, first_hop, ctx);
+        seq
+    }
+
+    fn dispatch_first_hop(
+        &mut self,
+        seq: u64,
+        key: Id,
+        kind: LookupKind,
+        hop: Addr,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let lid = LookupId { origin: self.me.addr, seq };
+        match self.cfg.lookup_mode {
+            LookupMode::Iterative => {
+                let p = self.pending.get_mut(&seq).expect("pending exists");
+                p.current = Some(hop);
+                p.tried.push(hop);
+                p.attempt += 1;
+                let attempt = p.attempt;
+                let maint = kind != LookupKind::App;
+                self.send_counted(
+                    ctx,
+                    hop,
+                    ChordMsg::GetNextHop { lid, key, maint },
+                    kind.bytes_key(),
+                );
+                ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt });
+            }
+            mode @ (LookupMode::Recursive | LookupMode::Transitive) => {
+                self.forwards.insert(
+                    lid,
+                    ForwardState {
+                        key,
+                        origin: self.me,
+                        mode,
+                        hops: 1,
+                        prev: None,
+                        next: hop,
+                        attempts: 0,
+                        acked: false,
+                        tried: vec![hop],
+                        kind_bytes: kind.bytes_key(),
+                    },
+                );
+                self.send_counted(
+                    ctx,
+                    hop,
+                    ChordMsg::Lookup {
+                        lid,
+                        key,
+                        origin: self.me,
+                        mode,
+                        hops: 1,
+                        maint: kind != LookupKind::App,
+                    },
+                    kind.bytes_key(),
+                );
+                ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt: 0 });
+            }
+        }
+    }
+
+    /// If this node can answer the lookup locally, produce the result.
+    fn local_answer(&self, key: Id) -> Option<LookupResult> {
+        if !self.joined {
+            return None;
+        }
+        let Some(s1) = self.successors.first() else {
+            // Singleton ring: we own everything.
+            return Some(LookupResult { predecessor: self.me, successors: vec![self.me] });
+        };
+        if key.in_open_closed(self.id, s1.id) {
+            Some(LookupResult {
+                predecessor: self.me,
+                successors: self.successors.as_slice().to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn complete_lookup(
+        &mut self,
+        seq: u64,
+        result: LookupResult,
+        hops: u32,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let Some(p) = self.pending.remove(&seq) else {
+            return; // Late reply for an already-failed lookup.
+        };
+        self.forwards.remove(&LookupId { origin: self.me.addr, seq });
+        match p.kind {
+            LookupKind::App => {
+                let latency = ctx.now().saturating_since(p.started);
+                ctx.metrics().record(keys::LOOKUP_LATENCY_MS, latency.as_millis_f64());
+                ctx.metrics().record(keys::LOOKUP_HOPS, hops as f64);
+                ctx.metrics().count(keys::LOOKUP_COMPLETED, 1);
+                self.outcomes.push(LookupOutcome {
+                    seq,
+                    key: p.key,
+                    result: Some(result),
+                    hops,
+                    latency,
+                });
+            }
+            LookupKind::Join => {
+                // The lookup key was our own id, so the result's successor
+                // list is our successor list and its answerer our
+                // predecessor.
+                let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
+                fresh.integrate_all(&result.successors);
+                if fresh.is_empty() {
+                    // Degenerate: the only other node answered with itself.
+                    fresh.integrate(result.predecessor);
+                }
+                self.successors = fresh;
+                self.predecessor = Some(result.predecessor);
+                self.joined = true;
+                if let Some(s1) = self.successors.first() {
+                    self.send_counted(
+                        ctx,
+                        s1.addr,
+                        ChordMsg::Notify { node: self.me },
+                        keys::BYTES_MAINT,
+                    );
+                }
+            }
+            LookupKind::FingerRefresh(i) => {
+                self.fingers.set(i, Some(result.responsible()));
+            }
+        }
+    }
+
+    fn fail_lookup(&mut self, seq: u64, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        let Some(p) = self.pending.remove(&seq) else {
+            return;
+        };
+        self.forwards.remove(&LookupId { origin: self.me.addr, seq });
+        match p.kind {
+            LookupKind::App => {
+                ctx.metrics().count(keys::LOOKUP_FAILED, 1);
+                self.outcomes.push(LookupOutcome {
+                    seq,
+                    key: p.key,
+                    result: None,
+                    hops: 0,
+                    latency: ctx.now().saturating_since(p.started),
+                });
+            }
+            LookupKind::Join => {
+                ctx.set_timer(SimDuration::from_secs(2), ChordTimer::JoinRetry);
+            }
+            LookupKind::FingerRefresh(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup forwarding (recursive / transitive)
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_lookup(
+        &mut self,
+        from: Addr,
+        lid: LookupId,
+        key: Id,
+        origin: NodeHandle,
+        mode: LookupMode,
+        hops: u32,
+        maint: bool,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let bytes_key = if maint { keys::BYTES_MAINT } else { keys::BYTES_LOOKUP };
+        self.send_counted(ctx, from, ChordMsg::HopAck { lid }, bytes_key);
+        if self.forwards.contains_key(&lid) {
+            return; // Duplicate (a reroute re-entered us); already handled.
+        }
+        if let Some(result) = self.local_answer(key) {
+            let reply_to = match mode {
+                LookupMode::Transitive => origin.addr,
+                _ => from,
+            };
+            self.send_counted(
+                ctx,
+                reply_to,
+                ChordMsg::LookupReply { lid, result, hops },
+                bytes_key,
+            );
+            return;
+        }
+        let Some(next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+        else {
+            // Routing state too sparse to make progress; drop (the
+            // initiator's deadline will fire).
+            return;
+        };
+        self.forwards.insert(
+            lid,
+            ForwardState {
+                key,
+                origin,
+                mode,
+                hops: hops + 1,
+                prev: Some(from),
+                next: next.addr,
+                attempts: 0,
+                acked: false,
+                tried: vec![next.addr],
+                kind_bytes: bytes_key,
+            },
+        );
+        self.send_counted(
+            ctx,
+            next.addr,
+            ChordMsg::Lookup { lid, key, origin, mode, hops: hops + 1, maint },
+            bytes_key,
+        );
+        ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt: 0 });
+        ctx.set_timer(self.cfg.lookup_deadline * 2, ChordTimer::RelayGc { lid });
+    }
+
+    fn handle_hop_ack(&mut self, lid: LookupId) {
+        let Some(st) = self.forwards.get_mut(&lid) else {
+            return;
+        };
+        st.acked = true;
+        if st.mode == LookupMode::Transitive && st.prev.is_some() {
+            // Middle hop in transitive mode: the reply will not pass back
+            // through us, so the state can go now.
+            self.forwards.remove(&lid);
+        }
+    }
+
+    fn handle_lookup_reply(
+        &mut self,
+        lid: LookupId,
+        result: LookupResult,
+        hops: u32,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        if lid.origin == self.me.addr {
+            self.complete_lookup(lid.seq, result, hops, ctx);
+            return;
+        }
+        // Relay back along the reverse path.
+        if let Some(st) = self.forwards.remove(&lid) {
+            if let Some(prev) = st.prev {
+                self.send_counted(
+                    ctx,
+                    prev,
+                    ChordMsg::LookupReply { lid, result, hops },
+                    st.kind_bytes,
+                );
+            }
+        }
+    }
+
+    fn handle_hop_timeout(
+        &mut self,
+        lid: LookupId,
+        attempt: u32,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        // Recursive/transitive forwarding state?
+        if let Some(st) = self.forwards.get(&lid) {
+            if st.acked || st.attempts != attempt {
+                return; // Acked in time, or a stale timer.
+            }
+            let dead = st.next;
+            let (key, origin, mode, hops, prev, kind_bytes) =
+                (st.key, st.origin, st.mode, st.hops, st.prev, st.kind_bytes);
+            let tried = st.tried.clone();
+            self.mark_dead(dead);
+            ctx.metrics().count(keys::HOP_REROUTES, 1);
+
+            let replacement = self.route_excluding(key, &tried);
+            let st = self.forwards.get_mut(&lid).expect("state still present");
+            if st.attempts + 1 >= self.cfg.max_hop_attempts || replacement.is_none() {
+                self.forwards.remove(&lid);
+                if prev.is_none() {
+                    // We are the initiator: fail fast.
+                    self.fail_lookup(lid.seq, ctx);
+                }
+                return;
+            }
+            let next = replacement.expect("checked above");
+            st.attempts += 1;
+            st.next = next.addr;
+            st.tried.push(next.addr);
+            let new_attempt = st.attempts;
+            self.send_counted(
+                ctx,
+                next.addr,
+                ChordMsg::Lookup {
+                    lid,
+                    key,
+                    origin,
+                    mode,
+                    hops,
+                    maint: kind_bytes == keys::BYTES_MAINT,
+                },
+                kind_bytes,
+            );
+            ctx.set_timer(
+                self.cfg.hop_timeout,
+                ChordTimer::HopTimeout { lid, attempt: new_attempt },
+            );
+            return;
+        }
+        // Iterative lookup we initiated?
+        if lid.origin == self.me.addr {
+            self.iterative_timeout(lid, attempt, ctx);
+        }
+    }
+
+    fn route_excluding(&self, key: Id, exclude: &[Addr]) -> Option<NodeHandle> {
+        let mut best: Option<NodeHandle> = None;
+        let mut best_rank = 0u128;
+        let candidates = self.fingers.distinct().into_iter().chain(self.successors.iter().copied());
+        for h in candidates {
+            if exclude.contains(&h.addr) {
+                continue;
+            }
+            if h.id.in_open_open(self.id, key) {
+                let rank = self.id.distance_to(h.id);
+                if rank > best_rank {
+                    best_rank = rank;
+                    best = Some(h);
+                }
+            }
+        }
+        best
+    }
+
+    /// Purges a detected-dead address from all routing state.
+    fn mark_dead(&mut self, addr: Addr) {
+        self.successors.remove_addr(addr);
+        self.fingers.remove_addr(addr);
+        if self.predecessor.is_some_and(|p| p.addr == addr) {
+            self.predecessor = None;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iterative lookups
+    // ------------------------------------------------------------------
+
+    fn handle_get_next_hop(
+        &mut self,
+        from: Addr,
+        lid: LookupId,
+        key: Id,
+        maint: bool,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let step = if let Some(result) = self.local_answer(key) {
+            IterStep::Done(result)
+        } else {
+            let mut cands: Vec<NodeHandle> = self
+                .fingers
+                .distinct()
+                .into_iter()
+                .chain(self.successors.iter().copied())
+                .filter(|h| h.id.in_open_open(self.id, key))
+                .collect();
+            cands.sort_by_key(|h| std::cmp::Reverse(self.id.distance_to(h.id)));
+            cands.dedup_by_key(|h| h.addr);
+            cands.truncate(3);
+            IterStep::Forward(cands)
+        };
+        let bytes_key = if maint { keys::BYTES_MAINT } else { keys::BYTES_LOOKUP };
+        self.send_counted(ctx, from, ChordMsg::NextHop { lid, step }, bytes_key);
+    }
+
+    fn handle_next_hop(
+        &mut self,
+        lid: LookupId,
+        step: IterStep,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        if lid.origin != self.me.addr {
+            return;
+        }
+        let seq = lid.seq;
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return;
+        };
+        match step {
+            IterStep::Done(result) => {
+                let hops = p.hops + 1;
+                self.complete_lookup(seq, result, hops, ctx);
+            }
+            IterStep::Forward(cands) => {
+                p.hops += 1;
+                p.backups = cands;
+                let Some(next) = Self::pop_untried(&mut p.backups, &p.tried) else {
+                    self.fail_lookup(seq, ctx);
+                    return;
+                };
+                p.current = Some(next.addr);
+                p.tried.push(next.addr);
+                p.attempt += 1;
+                let attempt = p.attempt;
+                let key = p.key;
+                let bytes_key = p.kind.bytes_key();
+                let maint = bytes_key == keys::BYTES_MAINT;
+                self.send_counted(
+                    ctx,
+                    next.addr,
+                    ChordMsg::GetNextHop { lid, key, maint },
+                    bytes_key,
+                );
+                ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt });
+            }
+        }
+    }
+
+    fn pop_untried(backups: &mut Vec<NodeHandle>, tried: &[Addr]) -> Option<NodeHandle> {
+        while let Some(c) = backups.first().copied() {
+            backups.remove(0);
+            if !tried.contains(&c.addr) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn iterative_timeout(
+        &mut self,
+        lid: LookupId,
+        attempt: u32,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let seq = lid.seq;
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return;
+        };
+        if p.attempt != attempt {
+            return; // Progress was made; stale timer.
+        }
+        let dead = p.current.take();
+        let mut backups = std::mem::take(&mut p.backups);
+        let tried = p.tried.clone();
+        let key = p.key;
+        if let Some(d) = dead {
+            self.mark_dead(d);
+            ctx.metrics().count(keys::HOP_REROUTES, 1);
+        }
+        let next =
+            Self::pop_untried(&mut backups, &tried).or_else(|| self.route_excluding(key, &tried));
+        let p = self.pending.get_mut(&seq).expect("still pending");
+        p.backups = backups;
+        match next {
+            Some(n) => {
+                p.current = Some(n.addr);
+                p.tried.push(n.addr);
+                p.attempt += 1;
+                let attempt = p.attempt;
+                let bytes_key = p.kind.bytes_key();
+                let maint = bytes_key == keys::BYTES_MAINT;
+                self.send_counted(ctx, n.addr, ChordMsg::GetNextHop { lid, key, maint }, bytes_key);
+                ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt });
+            }
+            None => self.fail_lookup(seq, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stabilization
+    // ------------------------------------------------------------------
+
+    fn stabilize_once(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        // Probe the predecessor so a dead one gets cleared.
+        if let Some(p) = self.predecessor {
+            let token = self.fresh_token();
+            self.pred_waiting = Some(token);
+            self.send_counted(ctx, p.addr, ChordMsg::Ping { token }, keys::BYTES_MAINT);
+            ctx.set_timer(self.cfg.hop_timeout * 2, ChordTimer::PredTimeout { token });
+        }
+        let Some(s1) = self.successors.first() else {
+            return; // Singleton (or still joining).
+        };
+        let token = self.fresh_token();
+        self.stab_waiting = Some((token, s1));
+        self.send_counted(ctx, s1.addr, ChordMsg::GetNeighbors { token }, keys::BYTES_MAINT);
+        ctx.set_timer(self.cfg.hop_timeout * 2, ChordTimer::StabTimeout { token });
+    }
+
+    fn handle_neighbors(
+        &mut self,
+        token: u64,
+        predecessor: Option<NodeHandle>,
+        succs: Vec<NodeHandle>,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) {
+        let Some((expect, s1)) = self.stab_waiting else {
+            return;
+        };
+        if expect != token {
+            return;
+        }
+        self.stab_waiting = None;
+        // Rebuild the successor list from the live successor's view: this
+        // is Chord's `successor_list = s1 + s1.list` rule, and it flushes
+        // stale entries promptly.
+        let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
+        fresh.integrate(s1);
+        if let Some(p) = predecessor {
+            if p.id.in_open_open(self.id, s1.id) {
+                fresh.integrate(p);
+            }
+        }
+        fresh.integrate_all(&succs);
+        self.successors = fresh;
+        if let Some(new_s1) = self.successors.first() {
+            self.send_counted(
+                ctx,
+                new_s1.addr,
+                ChordMsg::Notify { node: self.me },
+                keys::BYTES_MAINT,
+            );
+        }
+    }
+
+    fn handle_stab_timeout(&mut self, token: u64, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        let Some((expect, s1)) = self.stab_waiting else {
+            return;
+        };
+        if expect != token {
+            return;
+        }
+        self.stab_waiting = None;
+        self.mark_dead(s1.addr);
+        // Repair immediately with the next live successor.
+        self.stabilize_once(ctx);
+    }
+
+    fn handle_notify(&mut self, node: NodeHandle) {
+        let adopt = match self.predecessor {
+            None => true,
+            Some(p) => node.id.in_open_open(p.id, self.id),
+        };
+        if adopt && node.id != self.id {
+            self.predecessor = Some(node);
+        }
+        // Bootstrap case: a singleton learns its first peer via notify.
+        if self.successors.is_empty() && node.id != self.id {
+            self.successors.integrate(node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finger maintenance
+    // ------------------------------------------------------------------
+
+    fn fix_fingers(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        if !self.joined {
+            return;
+        }
+        let succs = self.successors.as_slice().to_vec();
+        let Some(last) = succs.last().copied() else {
+            return; // Singleton: no fingers needed.
+        };
+        for i in 0..Id::BITS {
+            let target = self.id.finger_target(i);
+            if target.in_open_closed(self.id, last.id) {
+                // Covered by the successor list: resolve locally.
+                let owner = succs
+                    .iter()
+                    .find(|s| self.id.distance_to(s.id) >= self.id.distance_to(target))
+                    .copied();
+                self.fingers.set(i as usize, owner);
+            } else {
+                // Beyond local knowledge: refresh through a lookup.
+                self.begin_lookup(target, LookupKind::FingerRefresh(i as usize), ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    fn fresh_token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn send_counted(
+        &self,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+        to: Addr,
+        msg: ChordMsg,
+        bytes_key: &'static str,
+    ) {
+        use verme_sim::Wire as _;
+        ctx.metrics().count(bytes_key, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+}
+
+impl Node for ChordNode {
+    type Msg = ChordMsg;
+    type Timer = ChordTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        self.me = NodeHandle::new(self.id, ctx.self_addr());
+        // De-synchronize maintenance across nodes with a random phase.
+        let stab_ns = self.cfg.stabilize_interval.as_nanos();
+        let fing_ns = self.cfg.fix_fingers_interval.as_nanos();
+        let stab_phase = SimDuration::from_nanos(ctx.rng().gen_range(0..stab_ns.max(1)));
+        let fing_phase = SimDuration::from_nanos(ctx.rng().gen_range(0..fing_ns.max(1)));
+        ctx.set_timer(stab_phase, ChordTimer::Stabilize);
+        ctx.set_timer(fing_phase, ChordTimer::FixFingers);
+        if !self.joined {
+            self.begin_lookup(self.id, LookupKind::Join, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: Addr, msg: ChordMsg, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        match msg {
+            ChordMsg::Lookup { lid, key, origin, mode, hops, maint } => {
+                self.handle_lookup(from, lid, key, origin, mode, hops, maint, ctx);
+            }
+            ChordMsg::HopAck { lid } => self.handle_hop_ack(lid),
+            ChordMsg::LookupReply { lid, result, hops } => {
+                self.handle_lookup_reply(lid, result, hops, ctx);
+            }
+            ChordMsg::GetNextHop { lid, key, maint } => {
+                self.handle_get_next_hop(from, lid, key, maint, ctx)
+            }
+            ChordMsg::NextHop { lid, step } => self.handle_next_hop(lid, step, ctx),
+            ChordMsg::GetNeighbors { token } => {
+                let reply = ChordMsg::Neighbors {
+                    token,
+                    predecessor: self.predecessor,
+                    successors: self.successors.as_slice().to_vec(),
+                };
+                self.send_counted(ctx, from, reply, keys::BYTES_MAINT);
+            }
+            ChordMsg::Neighbors { token, predecessor, successors } => {
+                self.handle_neighbors(token, predecessor, successors, ctx);
+            }
+            ChordMsg::Notify { node } => self.handle_notify(node),
+            ChordMsg::Ping { token } => {
+                self.send_counted(ctx, from, ChordMsg::Pong { token }, keys::BYTES_MAINT);
+            }
+            ChordMsg::Pong { token } => {
+                if self.pred_waiting == Some(token) {
+                    self.pred_waiting = None;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: ChordTimer, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        match timer {
+            ChordTimer::Stabilize => {
+                if self.joined {
+                    self.stabilize_once(ctx);
+                }
+                ctx.set_timer(self.cfg.stabilize_interval, ChordTimer::Stabilize);
+            }
+            ChordTimer::FixFingers => {
+                self.fix_fingers(ctx);
+                ctx.set_timer(self.cfg.fix_fingers_interval, ChordTimer::FixFingers);
+            }
+            ChordTimer::StabTimeout { token } => self.handle_stab_timeout(token, ctx),
+            ChordTimer::PredTimeout { token } => {
+                if self.pred_waiting == Some(token) {
+                    self.pred_waiting = None;
+                    self.predecessor = None;
+                }
+            }
+            ChordTimer::HopTimeout { lid, attempt } => self.handle_hop_timeout(lid, attempt, ctx),
+            ChordTimer::LookupDeadline { seq } => self.fail_lookup(seq, ctx),
+            ChordTimer::RelayGc { lid } => {
+                self.forwards.remove(&lid);
+            }
+            ChordTimer::JoinRetry => {
+                if !self.joined {
+                    self.begin_lookup(self.id, LookupKind::Join, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(id: u128, addr: u64) -> NodeHandle {
+        NodeHandle::new(Id::new(id), Addr::from_raw(addr))
+    }
+
+    fn converged_node() -> ChordNode {
+        ChordNode::with_state(
+            Id::new(100),
+            ChordConfig::default(),
+            Some(h(50, 1)),
+            &[h(200, 2), h(300, 3), h(400, 4)],
+            &[(120, h(300, 3)), (125, h(900, 9))],
+        )
+    }
+
+    #[test]
+    fn local_answer_covers_own_arc_only() {
+        let n = converged_node();
+        // Key in (100, 200]: we are the predecessor.
+        let r = n.local_answer(Id::new(150)).expect("answerable");
+        assert_eq!(r.predecessor.id, Id::new(100));
+        assert_eq!(r.responsible().id, Id::new(200));
+        assert_eq!(r.successors.len(), 3);
+        // Key past the first successor: not ours.
+        assert!(n.local_answer(Id::new(250)).is_none());
+        // Exactly the successor id is ours; exactly our id is not.
+        assert!(n.local_answer(Id::new(200)).is_some());
+        assert!(n.local_answer(Id::new(100)).is_none());
+    }
+
+    #[test]
+    fn singleton_answers_everything() {
+        let n = ChordNode::first(Id::new(7), ChordConfig::default());
+        let r = n.local_answer(Id::new(123456)).expect("singleton owns all");
+        assert_eq!(r.responsible().id, Id::new(7));
+        assert!(n.is_joined());
+        assert!(n.predecessor().is_none());
+    }
+
+    #[test]
+    fn joining_node_answers_nothing() {
+        let n = ChordNode::joining(Id::new(7), ChordConfig::default(), Addr::from_raw(9));
+        assert!(!n.is_joined());
+        assert!(n.local_answer(Id::new(8)).is_none());
+    }
+
+    #[test]
+    fn route_excluding_skips_excluded_and_picks_closest_preceding() {
+        let n = converged_node();
+        // Toward key 950: the finger at 900 is best.
+        assert_eq!(n.route_excluding(Id::new(950), &[]).unwrap().id, Id::new(900));
+        // Excluding it falls back to 400 (successor list).
+        assert_eq!(n.route_excluding(Id::new(950), &[Addr::from_raw(9)]).unwrap().id, Id::new(400));
+        // Excluding everything preceding the key leaves nothing.
+        let all = [Addr::from_raw(2), Addr::from_raw(3), Addr::from_raw(4), Addr::from_raw(9)];
+        assert!(n.route_excluding(Id::new(950), &all).is_none());
+    }
+
+    #[test]
+    fn mark_dead_purges_all_state() {
+        let mut n = converged_node();
+        n.mark_dead(Addr::from_raw(3));
+        assert!(n.successor_list().iter().all(|s| s.addr != Addr::from_raw(3)));
+        assert!(n.finger_table().distinct().iter().all(|f| f.addr != Addr::from_raw(3)));
+        n.mark_dead(Addr::from_raw(1));
+        assert!(n.predecessor().is_none());
+    }
+
+    #[test]
+    fn known_peers_deduplicates() {
+        let n = converged_node();
+        let peers = n.known_peers();
+        // 3 successors + 1 pred + finger 900 (300 duplicates a successor).
+        assert_eq!(peers.len(), 5);
+        let mut addrs: Vec<u64> = peers.iter().map(|p| p.addr.raw()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 5);
+    }
+
+    #[test]
+    fn pop_untried_skips_already_tried() {
+        let mut backups = vec![h(1, 1), h(2, 2), h(3, 3)];
+        let tried = vec![Addr::from_raw(1), Addr::from_raw(2)];
+        let next = ChordNode::pop_untried(&mut backups, &tried).unwrap();
+        assert_eq!(next.addr, Addr::from_raw(3));
+        assert!(ChordNode::pop_untried(&mut backups, &tried).is_none());
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-node routing state: successor lists and finger tables.
+//!
+//! These are pure data structures — no I/O, no simulator coupling — so the
+//! maintenance logic can be unit-tested exhaustively and reused by the
+//! Verme overlay in `verme-core`.
+
+use verme_sim::Addr;
+
+use crate::id::Id;
+
+/// The `(identifier, network address)` pair Chord stores in all routing
+/// state. Knowing a `NodeHandle` is exactly what lets a node (or a worm on
+/// it) contact a peer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NodeHandle {
+    /// The peer's overlay identifier.
+    pub id: Id,
+    /// The peer's network address.
+    pub addr: Addr,
+}
+
+impl NodeHandle {
+    /// Creates a handle.
+    pub fn new(id: Id, addr: Addr) -> Self {
+        NodeHandle { id, addr }
+    }
+
+    /// Modelled wire size of a handle (16-byte id + address/port).
+    pub const WIRE_SIZE: usize = 22;
+}
+
+/// An ordered list of the nodes that follow an owner on the ring.
+///
+/// Entries are kept sorted by clockwise distance from the owner and
+/// truncated to a fixed capacity (the paper uses 10 successors). The same
+/// structure, ordered by *counter-clockwise* distance, serves as Verme's
+/// predecessor list.
+///
+/// # Example
+///
+/// ```
+/// use verme_chord::{Id, NeighborList, NodeHandle};
+/// use verme_sim::Addr;
+///
+/// let mut l = NeighborList::successors(Id::new(100), 3);
+/// # let addr = Addr::NULL;
+/// l.integrate(NodeHandle::new(Id::new(300), addr));
+/// l.integrate(NodeHandle::new(Id::new(150), addr));
+/// l.integrate(NodeHandle::new(Id::new(200), addr));
+/// l.integrate(NodeHandle::new(Id::new(400), addr)); // evicted: over capacity
+/// let ids: Vec<u128> = l.iter().map(|h| h.id.raw()).collect();
+/// assert_eq!(ids, vec![150, 200, 300]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborList {
+    owner: Id,
+    capacity: usize,
+    clockwise: bool,
+    entries: Vec<NodeHandle>,
+}
+
+impl NeighborList {
+    /// A successor list: neighbors ordered by clockwise distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn successors(owner: Id, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        NeighborList { owner, capacity, clockwise: true, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// A predecessor list: neighbors ordered by counter-clockwise distance
+    /// (used by Verme's replica-toward-predecessor corner case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn predecessors(owner: Id, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        NeighborList { owner, capacity, clockwise: false, entries: Vec::with_capacity(capacity) }
+    }
+
+    fn rank(&self, id: Id) -> u128 {
+        if self.clockwise {
+            self.owner.distance_to(id)
+        } else {
+            id.distance_to(self.owner)
+        }
+    }
+
+    /// Inserts `handle` in sorted position if it is not the owner, not a
+    /// duplicate, and ranks within capacity. Returns true if the list
+    /// changed.
+    pub fn integrate(&mut self, handle: NodeHandle) -> bool {
+        if handle.id == self.owner {
+            return false;
+        }
+        let rank = self.rank(handle.id);
+        debug_assert!(rank > 0);
+        match self.entries.binary_search_by_key(&rank, |h| self.rank(h.id)) {
+            Ok(pos) => {
+                // Same id: refresh the address (node incarnation changed).
+                if self.entries[pos].addr != handle.addr {
+                    self.entries[pos] = handle;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(pos) => {
+                if pos >= self.capacity {
+                    return false;
+                }
+                self.entries.insert(pos, handle);
+                self.entries.truncate(self.capacity);
+                true
+            }
+        }
+    }
+
+    /// Merges a peer's list into this one (e.g. adopting the successor's
+    /// successor list during stabilization).
+    pub fn integrate_all<'a>(&mut self, handles: impl IntoIterator<Item = &'a NodeHandle>) {
+        for h in handles {
+            self.integrate(*h);
+        }
+    }
+
+    /// Removes the entry with the given address (a detected failure).
+    /// Returns true if an entry was removed.
+    pub fn remove_addr(&mut self, addr: Addr) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|h| h.addr != addr);
+        self.entries.len() != before
+    }
+
+    /// The nearest neighbor (first successor, or first predecessor).
+    pub fn first(&self) -> Option<NodeHandle> {
+        self.entries.first().copied()
+    }
+
+    /// All entries in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeHandle> {
+        self.entries.iter()
+    }
+
+    /// All entries as a slice, in rank order.
+    pub fn as_slice(&self) -> &[NodeHandle] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The owner identifier this list is anchored at.
+    pub fn owner(&self) -> Id {
+        self.owner
+    }
+
+    /// True if the list is ordered clockwise (successors).
+    pub fn is_clockwise(&self) -> bool {
+        self.clockwise
+    }
+}
+
+/// A finger table: long-range routing pointers.
+///
+/// Entry `i`'s *target* is defined by the overlay (`owner + 2^i` in Chord;
+/// Verme shifts targets by a section so the pointed-at node has the
+/// opposite type). The table itself only stores and queries entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FingerTable {
+    owner: Id,
+    entries: Vec<Option<NodeHandle>>,
+}
+
+impl FingerTable {
+    /// Creates an empty table with one entry per bit of the id space.
+    pub fn new(owner: Id) -> Self {
+        FingerTable { owner, entries: vec![None; Id::BITS as usize] }
+    }
+
+    /// Number of finger slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no finger is set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Sets finger `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, handle: Option<NodeHandle>) {
+        self.entries[i] = handle;
+    }
+
+    /// Reads finger `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> Option<NodeHandle> {
+        self.entries[i]
+    }
+
+    /// Removes every finger pointing at `addr` (a detected failure).
+    /// Returns how many entries were cleared.
+    pub fn remove_addr(&mut self, addr: Addr) -> usize {
+        let mut cleared = 0;
+        for e in &mut self.entries {
+            if e.is_some_and(|h| h.addr == addr) {
+                *e = None;
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// All distinct populated fingers, de-duplicated by address.
+    pub fn distinct(&self) -> Vec<NodeHandle> {
+        let mut out: Vec<NodeHandle> = Vec::new();
+        for h in self.entries.iter().flatten() {
+            if !out.iter().any(|o| o.addr == h.addr) {
+                out.push(*h);
+            }
+        }
+        out
+    }
+
+    /// The populated finger whose id most closely *precedes* `key`
+    /// (strictly inside `(owner, key)`) — Chord's greedy routing step.
+    pub fn closest_preceding(&self, key: Id) -> Option<NodeHandle> {
+        let mut best: Option<NodeHandle> = None;
+        let mut best_rank = 0u128;
+        for h in self.entries.iter().flatten() {
+            if h.id.in_open_open(self.owner, key) {
+                let rank = self.owner.distance_to(h.id);
+                if rank > best_rank {
+                    best_rank = rank;
+                    best = Some(*h);
+                }
+            }
+        }
+        best
+    }
+
+    /// The owner identifier.
+    pub fn owner(&self) -> Id {
+        self.owner
+    }
+}
+
+/// Picks, among fingers and successors, the best next hop toward `key`:
+/// the known node whose id most closely precedes `key`. Returns `None`
+/// only when nothing precedes the key (i.e. our immediate neighborhood is
+/// the destination).
+pub fn closest_preceding_hop(
+    owner: Id,
+    fingers: &FingerTable,
+    successors: &NeighborList,
+    key: Id,
+) -> Option<NodeHandle> {
+    let mut best: Option<NodeHandle> = None;
+    let mut best_rank = 0u128;
+    let candidates = fingers.entries.iter().flatten().chain(successors.iter());
+    for h in candidates {
+        if h.id.in_open_open(owner, key) {
+            let rank = owner.distance_to(h.id);
+            if rank > best_rank {
+                best_rank = rank;
+                best = Some(*h);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(id: u128) -> NodeHandle {
+        // Encode the id in the address so address-based operations
+        // (removal, de-duplication) are meaningful in tests.
+        NodeHandle::new(Id::new(id), Addr::from_raw(id as u64 + 1))
+    }
+
+    #[test]
+    fn successor_list_orders_clockwise() {
+        let mut l = NeighborList::successors(Id::new(100), 4);
+        for id in [90u128, 300, 150, 200] {
+            l.integrate(h(id));
+        }
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        // 90 wraps: it is almost a full circle away, so it ranks last.
+        assert_eq!(ids, vec![150, 200, 300, 90]);
+        assert_eq!(l.first().unwrap().id, Id::new(150));
+    }
+
+    #[test]
+    fn predecessor_list_orders_counter_clockwise() {
+        let mut l = NeighborList::predecessors(Id::new(100), 3);
+        for id in [90u128, 80, 95, 70] {
+            l.integrate(h(id));
+        }
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        assert_eq!(ids, vec![95, 90, 80]);
+    }
+
+    #[test]
+    fn capacity_evicts_farthest() {
+        let mut l = NeighborList::successors(Id::new(0), 2);
+        assert!(l.integrate(h(10)));
+        assert!(l.integrate(h(20)));
+        assert!(!l.integrate(h(30)), "beyond capacity, rejected");
+        assert!(l.integrate(h(5)), "nearer node evicts the farthest");
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        assert_eq!(ids, vec![5, 10]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.capacity(), 2);
+    }
+
+    #[test]
+    fn owner_and_duplicates_are_ignored() {
+        let mut l = NeighborList::successors(Id::new(42), 4);
+        assert!(!l.integrate(h(42)), "own id rejected");
+        assert!(l.integrate(h(50)));
+        assert!(!l.integrate(h(50)), "exact duplicate rejected");
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn remove_addr_works() {
+        let mut l = NeighborList::successors(Id::new(0), 4);
+        l.integrate(h(10));
+        l.integrate(h(20));
+        assert!(l.remove_addr(h(10).addr));
+        assert!(!l.remove_addr(h(10).addr), "already gone");
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        assert_eq!(ids, vec![20]);
+
+        let mut t = FingerTable::new(Id::new(0));
+        t.set(3, Some(h(20)));
+        t.set(5, Some(h(20)));
+        t.set(7, Some(h(30)));
+        assert_eq!(t.remove_addr(h(20).addr), 2);
+        assert_eq!(t.distinct().len(), 1);
+    }
+
+    #[test]
+    fn same_id_new_incarnation_refreshes_address() {
+        let mut l = NeighborList::successors(Id::new(0), 4);
+        let old = NodeHandle::new(Id::new(10), Addr::from_raw(1));
+        let new = NodeHandle::new(Id::new(10), Addr::from_raw(2));
+        assert!(l.integrate(old));
+        assert!(l.integrate(new), "new incarnation replaces the stale address");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.first().unwrap().addr, Addr::from_raw(2));
+    }
+
+    #[test]
+    fn finger_table_basics() {
+        let owner = Id::new(1000);
+        let mut t = FingerTable::new(owner);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 128);
+        t.set(10, Some(h(5000)));
+        t.set(20, Some(h(90_000)));
+        assert_eq!(t.get(10).unwrap().id, Id::new(5000));
+        assert!(!t.is_empty());
+        assert_eq!(t.distinct().len(), 2);
+    }
+
+    #[test]
+    fn closest_preceding_prefers_farthest_before_key() {
+        let owner = Id::new(0);
+        let mut t = FingerTable::new(owner);
+        t.set(4, Some(h(16)));
+        t.set(6, Some(h(70)));
+        t.set(8, Some(h(300)));
+        // Key 100: finger 70 precedes it, 300 does not.
+        assert_eq!(t.closest_preceding(Id::new(100)).unwrap().id, Id::new(70));
+        // Key 17: only 16 precedes.
+        assert_eq!(t.closest_preceding(Id::new(17)).unwrap().id, Id::new(16));
+        // Key 5: nothing precedes.
+        assert!(t.closest_preceding(Id::new(5)).is_none());
+    }
+
+    #[test]
+    fn combined_hop_considers_successors() {
+        let owner = Id::new(0);
+        let t = FingerTable::new(owner);
+        let mut s = NeighborList::successors(owner, 4);
+        s.integrate(h(40));
+        s.integrate(h(80));
+        let hop = closest_preceding_hop(owner, &t, &s, Id::new(100)).unwrap();
+        assert_eq!(hop.id, Id::new(80));
+        assert!(closest_preceding_hop(owner, &t, &s, Id::new(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = NeighborList::successors(Id::ZERO, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Instant construction of fully-converged rings.
+//!
+//! Two experiment families need a ring whose routing state is already
+//! correct: the churn experiments of §7.1 (which start converged, then
+//! apply churn) and the worm experiments of §7.3 (which run on a 100 000
+//! node *static* overlay — far too large to bootstrap join-by-join). A
+//! [`StaticRing`] computes every node's successor list, predecessor, and
+//! finger table directly from the sorted membership.
+
+use crate::id::Id;
+use crate::node::ChordNode;
+use crate::proto::ChordConfig;
+use crate::ring::NodeHandle;
+
+/// A sorted ring membership with ground-truth routing queries.
+///
+/// # Example
+///
+/// ```
+/// use verme_chord::{Id, NodeHandle, StaticRing};
+/// use verme_sim::Addr;
+///
+/// let handles: Vec<NodeHandle> = (0..8)
+///     .map(|i| NodeHandle::new(Id::new(i * 1000), Addr::from_raw(i as u64 + 1)))
+///     .collect();
+/// let ring = StaticRing::new(handles);
+/// // The successor of key 2500 is the node with id 3000.
+/// let s = ring.node(ring.successor_index(Id::new(2500)));
+/// assert_eq!(s.id, Id::new(3000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct StaticRing {
+    sorted: Vec<NodeHandle>,
+}
+
+impl StaticRing {
+    /// Builds a ring from the given members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handles` is empty or contains duplicate identifiers.
+    pub fn new(mut handles: Vec<NodeHandle>) -> Self {
+        assert!(!handles.is_empty(), "a ring needs at least one node");
+        handles.sort_by_key(|h| h.id.raw());
+        for w in handles.windows(2) {
+            assert!(w[0].id != w[1].id, "duplicate node id {}", w[0].id);
+        }
+        StaticRing { sorted: handles }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the ring is empty (never true for a constructed ring).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The node at position `i` in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> NodeHandle {
+        self.sorted[i]
+    }
+
+    /// All members in id order.
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.sorted
+    }
+
+    /// Index of the node responsible for `key` (its successor on the ring).
+    pub fn successor_index(&self, key: Id) -> usize {
+        match self.sorted.binary_search_by_key(&key.raw(), |h| h.id.raw()) {
+            Ok(i) => i,
+            Err(i) => i % self.sorted.len(),
+        }
+    }
+
+    /// Index of the node preceding position `i`.
+    pub fn predecessor_index(&self, i: usize) -> usize {
+        (i + self.sorted.len() - 1) % self.sorted.len()
+    }
+
+    /// The `k` nodes following position `i` (exclusive), fewer if the ring
+    /// is smaller.
+    pub fn successors_of(&self, i: usize, k: usize) -> Vec<NodeHandle> {
+        let n = self.sorted.len();
+        (1..=k.min(n - 1)).map(|d| self.sorted[(i + d) % n]).collect()
+    }
+
+    /// Chord finger entries for the node at position `i`: for each bit `b`,
+    /// the successor of `id + 2^b`, excluding entries that resolve to the
+    /// node itself.
+    pub fn fingers_of(&self, i: usize) -> Vec<(usize, NodeHandle)> {
+        let id = self.sorted[i].id;
+        let mut out = Vec::new();
+        for b in 0..Id::BITS {
+            let j = self.successor_index(id.finger_target(b));
+            if j != i {
+                out.push((b as usize, self.sorted[j]));
+            }
+        }
+        out
+    }
+
+    /// Positions of the *distinct* nodes in `i`'s finger table (the compact
+    /// form the worm simulator stores).
+    pub fn distinct_finger_indices(&self, i: usize) -> Vec<usize> {
+        let id = self.sorted[i].id;
+        let mut out: Vec<usize> = Vec::new();
+        for b in 0..Id::BITS {
+            let j = self.successor_index(id.finger_target(b));
+            if j != i && !out.contains(&j) {
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    /// Builds a fully-converged [`ChordNode`] for position `i`.
+    pub fn build_node(&self, i: usize, cfg: ChordConfig) -> ChordNode {
+        let me = self.sorted[i];
+        let pred =
+            if self.sorted.len() > 1 { Some(self.sorted[self.predecessor_index(i)]) } else { None };
+        let succs = self.successors_of(i, cfg.num_successors);
+        let fingers = self.fingers_of(i);
+        ChordNode::with_state(me.id, cfg, pred, &succs, &fingers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::Addr;
+
+    fn ring(n: u128) -> StaticRing {
+        let handles = (0..n)
+            .map(|i| NodeHandle::new(Id::new(i * 100 + 5), Addr::from_raw(i as u64 + 1)))
+            .collect();
+        StaticRing::new(handles)
+    }
+
+    #[test]
+    fn successor_resolution_wraps() {
+        let r = ring(10);
+        assert_eq!(r.node(r.successor_index(Id::new(5))).id, Id::new(5));
+        assert_eq!(r.node(r.successor_index(Id::new(6))).id, Id::new(105));
+        assert_eq!(r.node(r.successor_index(Id::new(904))).id, Id::new(905));
+        // Beyond the last node wraps to the first.
+        assert_eq!(r.node(r.successor_index(Id::new(906))).id, Id::new(5));
+        assert_eq!(r.node(r.successor_index(Id::new(u128::MAX))).id, Id::new(5));
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_adjacent() {
+        let r = ring(10);
+        let s = r.successors_of(0, 3);
+        assert_eq!(s.iter().map(|h| h.id.raw()).collect::<Vec<_>>(), vec![105, 205, 305]);
+        assert_eq!(r.predecessor_index(0), 9);
+        assert_eq!(r.predecessor_index(5), 4);
+    }
+
+    #[test]
+    fn successor_list_capped_by_ring_size() {
+        let r = ring(3);
+        assert_eq!(r.successors_of(0, 10).len(), 2, "never includes self");
+    }
+
+    #[test]
+    fn fingers_point_at_true_successors() {
+        let r = ring(16);
+        for i in 0..16 {
+            let id = r.node(i).id;
+            for (b, h) in r.fingers_of(i) {
+                let target = id.finger_target(b as u32);
+                // h must be the first node at or after target.
+                let expect = r.node(r.successor_index(target));
+                assert_eq!(h, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_fingers_are_few_and_unique() {
+        let r = ring(64);
+        let d = r.distinct_finger_indices(0);
+        let mut dd = d.clone();
+        dd.sort_unstable();
+        dd.dedup();
+        assert_eq!(d.len(), dd.len(), "no duplicates");
+        // For a 64-node ring, O(log n) distinct fingers.
+        assert!(d.len() <= 10, "expected ≤10 distinct fingers, got {}", d.len());
+        assert!(!d.contains(&0), "never points at self");
+    }
+
+    #[test]
+    fn build_node_produces_converged_state() {
+        let r = ring(12);
+        let n = r.build_node(3, ChordConfig::default());
+        assert!(n.is_joined());
+        assert_eq!(n.predecessor().unwrap(), r.node(2));
+        assert_eq!(n.successor_list()[0], r.node(4));
+        assert_eq!(n.successor_list().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn rejects_duplicate_ids() {
+        let h = NodeHandle::new(Id::new(7), Addr::from_raw(1));
+        let h2 = NodeHandle::new(Id::new(7), Addr::from_raw(2));
+        let _ = StaticRing::new(vec![h, h2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty() {
+        let _ = StaticRing::new(Vec::new());
+    }
+
+    #[test]
+    fn singleton_ring() {
+        let r = ring(1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.successor_index(Id::new(12345)), 0);
+        assert!(r.successors_of(0, 10).is_empty());
+        assert!(r.fingers_of(0).is_empty());
+    }
+}

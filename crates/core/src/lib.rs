@@ -1,0 +1,35 @@
+//! # verme-core — the Verme worm-containing overlay
+//!
+//! The paper's primary contribution: a Chord extension whose routing state
+//! is reorganized so that a topological worm reading an infected node's
+//! memory finds only (a) nodes of its own small *section* and (b) nodes of
+//! the *opposite platform type* — which it cannot infect. The pieces:
+//!
+//! * [`SectionLayout`] (§4.3) — identifiers are `[random | type | random]`,
+//!   dividing the ring into sections that alternate types.
+//! * [`VermeNode`] (§4.4–4.5) — successor lists as in Chord; finger
+//!   targets shifted by a section length so long-range pointers always
+//!   name opposite-type nodes; recursive-only certified lookups with
+//!   sealed replies; predecessor lists for the §5.2 replica corner case.
+//! * [`VermeStaticRing`] — instant converged rings plus the ground-truth
+//!   queries (responsible node, replica sets, section membership) the
+//!   experiments and the worm simulator build on.
+//!
+//! The VerDi DHT variants that ride on this overlay live in `verme-dht`.
+
+pub mod audit;
+pub mod layout;
+pub mod node;
+pub mod proto;
+pub mod static_ring;
+pub mod tracker;
+
+pub use audit::{audit_node, audit_static_ring, merge_reports, AuditReport, Violation};
+pub use layout::SectionLayout;
+pub use node::{AnswerRequest, VermeNode, VermeOutcome};
+pub use proto::{
+    answer_body_size, AnswerBody, LookupPurpose, Payload, VermeAnswer, VermeConfig, VermeLookupId,
+    VermeMsg, VermeTimer,
+};
+pub use static_ring::VermeStaticRing;
+pub use tracker::{assign_random, assign_type_aware, SwarmAssignment, TrackerConfig};

@@ -1,0 +1,1198 @@
+//! The Verme node state machine (paper §4).
+//!
+//! Structurally a sibling of `verme_chord::node::ChordNode`, with the
+//! type-aware modifications:
+//!
+//! * identifiers come from a [`SectionLayout`] and embed the node's type;
+//! * finger targets are shifted by a section length so every long-range
+//!   pointer names an **opposite-type** node (§4.4);
+//! * the §4.4 corner rule assigns ids that fall after a section's last
+//!   node to that node (the *predecessor*) instead of the next section's
+//!   first same-type node;
+//! * lookups are recursive only, carry the initiator's certificate and
+//!   purpose, are verified by the answering node, and are answered with a
+//!   reply **sealed** to the initiator's key (§4.5);
+//! * a predecessor list is maintained alongside the successor list (§5.2).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use verme_chord::node::keys;
+use verme_chord::{closest_preceding_hop, FingerTable, Id, NeighborList, NodeHandle};
+use verme_crypto::{CaVerifier, Certificate, KeyPair, NodeType, Sealed};
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+
+use crate::layout::SectionLayout;
+use crate::proto::{
+    answer_body_size, AnswerBody, LookupPurpose, Payload, VermeAnswer, VermeConfig, VermeLookupId,
+    VermeMsg, VermeTimer,
+};
+
+/// The observable outcome of a lookup initiated on this node, drained with
+/// [`VermeNode::take_outcomes`].
+#[derive(Clone, Debug)]
+pub struct VermeOutcome<P> {
+    /// Nonce returned by the `start_*` call.
+    pub lid: VermeLookupId,
+    /// The key that was looked up.
+    pub key: Id,
+    /// Why the lookup was issued.
+    pub purpose: LookupPurpose,
+    /// The routing answer, or `None` on failure (timeout, verification
+    /// denial, or no route).
+    pub answer: Option<VermeAnswer>,
+    /// Piggybacked application payload from the replier, if any.
+    pub app: Option<P>,
+    /// Forward-path hops.
+    pub hops: u32,
+    /// Time from initiation to completion or failure.
+    pub latency: SimDuration,
+}
+
+/// A piggybacked lookup that reached its responsible node and awaits the
+/// embedding layer's answer (Secure-VerDi executes the DHT operation, then
+/// calls [`VermeNode::send_answer`]).
+#[derive(Clone, Debug)]
+pub struct AnswerRequest<P> {
+    /// The lookup nonce; pass back to [`VermeNode::send_answer`].
+    pub lid: VermeLookupId,
+    /// The key that was looked up.
+    pub key: Id,
+    /// The initiator's certificate (already verified).
+    pub cert: Certificate,
+    /// The piggybacked operation.
+    pub payload: P,
+    /// Forward-path hops so far.
+    pub hops: u32,
+}
+
+struct PendingLookup {
+    key: Id,
+    purpose: LookupPurpose,
+    started: SimTime,
+}
+
+struct ForwardState {
+    key: Id,
+    cert: Certificate,
+    purpose: LookupPurpose,
+    piggyback_size: usize,
+    hops: u32,
+    /// Upstream hop to relay the reply to (`None` at the initiator).
+    prev: Option<Addr>,
+    next: Addr,
+    attempts: u32,
+    acked: bool,
+    tried: Vec<Addr>,
+    bytes_key: &'static str,
+}
+
+/// A pending piggybacked answer: the responsible node has handed the
+/// operation up and remembers where the reply must travel.
+struct AnswerState {
+    cert: Certificate,
+    prev: Option<Addr>,
+    hops: u32,
+}
+
+/// A Verme overlay node.
+///
+/// Like [`ChordNode`](verme_chord::ChordNode), it is driven by a
+/// [`Runtime`](verme_sim::Runtime); construct it with [`VermeNode::first`],
+/// [`VermeNode::joining`], or [`VermeNode::with_state`]. The node owns its
+/// [`Certificate`] and [`KeyPair`] and verifies peers against the
+/// [`CaVerifier`].
+pub struct VermeNode<P: Payload = ()> {
+    cfg: VermeConfig,
+    id: Id,
+    node_type: NodeType,
+    cert: Certificate,
+    crypto_keys: KeyPair,
+    verifier: CaVerifier,
+    me: NodeHandle,
+    successors: NeighborList,
+    predecessors: NeighborList,
+    fingers: FingerTable,
+    bootstrap: Option<Addr>,
+    joined: bool,
+    next_token: u64,
+    pending: HashMap<VermeLookupId, PendingLookup>,
+    forwards: HashMap<VermeLookupId, ForwardState>,
+    answers: HashMap<VermeLookupId, AnswerState>,
+    answer_requests: Vec<AnswerRequest<P>>,
+    outcomes: Vec<VermeOutcome<P>>,
+    stab_waiting: Option<(u64, NodeHandle)>,
+    pred_stab_waiting: Option<(u64, NodeHandle)>,
+    denied: u64,
+}
+
+impl<P: Payload> VermeNode<P> {
+    /// Creates the first node of a new Verme ring.
+    ///
+    /// The certificate must bind this node's id (as produced by
+    /// [`SectionLayout::assign_id`]) and its type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the certificate does not
+    /// match `id`, or the id's embedded type disagrees with the
+    /// certificate.
+    pub fn first(
+        cfg: VermeConfig,
+        cert: Certificate,
+        crypto_keys: KeyPair,
+        verifier: CaVerifier,
+    ) -> Self {
+        cfg.validate();
+        let id = Id::new(cert.id());
+        let node_type = cfg.layout.type_of(id);
+        assert_eq!(
+            node_type,
+            cert.node_type(),
+            "certificate type does not match the id's embedded type"
+        );
+        assert_eq!(cert.public_key(), crypto_keys.public(), "key pair does not match certificate");
+        VermeNode {
+            successors: NeighborList::successors(id, cfg.num_successors),
+            predecessors: NeighborList::predecessors(id, cfg.num_predecessors),
+            fingers: FingerTable::new(id),
+            cfg,
+            id,
+            node_type,
+            cert,
+            crypto_keys,
+            verifier,
+            me: NodeHandle::new(id, Addr::NULL),
+            bootstrap: None,
+            joined: true,
+            next_token: 0,
+            pending: HashMap::new(),
+            forwards: HashMap::new(),
+            answers: HashMap::new(),
+            answer_requests: Vec::new(),
+            outcomes: Vec::new(),
+            stab_waiting: None,
+            pred_stab_waiting: None,
+            denied: 0,
+        }
+    }
+
+    /// Creates a node that joins an existing ring through `bootstrap`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`VermeNode::first`].
+    pub fn joining(
+        cfg: VermeConfig,
+        cert: Certificate,
+        crypto_keys: KeyPair,
+        verifier: CaVerifier,
+        bootstrap: Addr,
+    ) -> Self {
+        let mut node = VermeNode::first(cfg, cert, crypto_keys, verifier);
+        node.bootstrap = Some(bootstrap);
+        node.joined = false;
+        node
+    }
+
+    /// Creates a node with pre-converged routing state.
+    ///
+    /// # Panics
+    ///
+    /// As for [`VermeNode::first`], or if a finger index is out of range.
+    pub fn with_state(
+        cfg: VermeConfig,
+        cert: Certificate,
+        crypto_keys: KeyPair,
+        verifier: CaVerifier,
+        predecessors: &[NodeHandle],
+        successors: &[NodeHandle],
+        fingers: &[(usize, NodeHandle)],
+    ) -> Self {
+        let mut node = VermeNode::first(cfg, cert, crypto_keys, verifier);
+        node.successors.integrate_all(successors);
+        node.predecessors.integrate_all(predecessors);
+        for &(i, h) in fingers {
+            node.fingers.set(i, Some(h));
+        }
+        node
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// This node's platform type.
+    pub fn node_type(&self) -> NodeType {
+        self.node_type
+    }
+
+    /// This node's certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// This node's handle (address populated once spawned).
+    pub fn handle(&self) -> NodeHandle {
+        self.me
+    }
+
+    /// True once the node has joined the ring.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// The node's successor list, nearest first.
+    pub fn successor_list(&self) -> &[NodeHandle] {
+        self.successors.as_slice()
+    }
+
+    /// The node's predecessor list, nearest first.
+    pub fn predecessor_list(&self) -> &[NodeHandle] {
+        self.predecessors.as_slice()
+    }
+
+    /// The node's finger table.
+    pub fn finger_table(&self) -> &FingerTable {
+        &self.fingers
+    }
+
+    /// The section layout this node runs under.
+    pub fn layout(&self) -> &SectionLayout {
+        &self.cfg.layout
+    }
+
+    /// Lookups this node denied for failing verification.
+    pub fn denied_lookups(&self) -> u64 {
+        self.denied
+    }
+
+    /// The CA verifier this node checks peers against.
+    pub fn verifier(&self) -> &CaVerifier {
+        &self.verifier
+    }
+
+    /// The first hop this node would route a lookup for `key` through —
+    /// Compromise-VerDi's "appropriate finger table entry" (§5.3.3).
+    pub fn route_first_hop(&self, key: Id) -> Option<NodeHandle> {
+        closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+    }
+
+    /// Signs a statement with this node's key (Compromise-VerDi's
+    /// operation vouching, §5.3.3).
+    pub fn sign_statement<T: verme_crypto::StatementDigest>(
+        &self,
+        statement: T,
+    ) -> verme_crypto::SignedStatement<T> {
+        verme_crypto::SignedStatement::sign(&self.crypto_keys, statement)
+    }
+
+    /// Every distinct peer in this node's routing state — what a worm on
+    /// this node could harvest.
+    pub fn known_peers(&self) -> Vec<NodeHandle> {
+        let mut out: Vec<NodeHandle> = Vec::new();
+        let mut push = |h: NodeHandle| {
+            if h.addr != self.me.addr && !out.iter().any(|o| o.addr == h.addr) {
+                out.push(h);
+            }
+        };
+        for &h in self.successors.iter() {
+            push(h);
+        }
+        for &h in self.predecessors.iter() {
+            push(h);
+        }
+        for h in self.fingers.distinct() {
+            push(h);
+        }
+        out
+    }
+
+    /// Drains outcomes of lookups this node initiated.
+    pub fn take_outcomes(&mut self) -> Vec<VermeOutcome<P>> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Drains piggybacked operations awaiting an application-layer answer.
+    pub fn take_answer_requests(&mut self) -> Vec<AnswerRequest<P>> {
+        std::mem::take(&mut self.answer_requests)
+    }
+
+    /// Starts a replica lookup (the VerDi `Replicas` purpose), optionally
+    /// piggybacking an application operation (Secure-VerDi). Returns the
+    /// lookup nonce; the outcome appears in [`take_outcomes`].
+    ///
+    /// The caller is responsible for choosing the replica point (e.g.
+    /// [`SectionLayout::replica_point_avoiding`]).
+    ///
+    /// [`take_outcomes`]: VermeNode::take_outcomes
+    pub fn start_replica_lookup(
+        &mut self,
+        key: Id,
+        piggyback: Option<P>,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> VermeLookupId {
+        ctx.metrics().count(keys::LOOKUP_ISSUED, 1);
+        self.begin_lookup(key, LookupPurpose::Replicas, piggyback, keys::BYTES_LOOKUP, ctx)
+    }
+
+    /// Starts a random-key measurement lookup (the Figure 5 workload).
+    ///
+    /// The key is first adjusted to the opposite-type replica point, as a
+    /// data-bearing application would do, and the lookup is issued with
+    /// the `Replicas` purpose.
+    pub fn start_measured_lookup(
+        &mut self,
+        key: Id,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> VermeLookupId {
+        let adjusted = self.cfg.layout.replica_point_avoiding(key, self.node_type);
+        self.start_replica_lookup(adjusted, None, ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup initiation / completion
+    // ------------------------------------------------------------------
+
+    fn begin_lookup(
+        &mut self,
+        key: Id,
+        purpose: LookupPurpose,
+        piggyback: Option<P>,
+        bytes_key: &'static str,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> VermeLookupId {
+        let lid: VermeLookupId = ctx.rng().gen();
+        self.pending.insert(lid, PendingLookup { key, purpose, started: ctx.now() });
+        ctx.set_timer(self.cfg.lookup_deadline, VermeTimer::LookupDeadline { lid });
+
+        let first_hop = if !self.joined {
+            self.bootstrap
+        } else if self.is_keys_predecessor(key) {
+            // We can answer ourselves (no network round trip).
+            if let Some(pb) = piggyback {
+                self.answers.insert(lid, AnswerState { cert: self.cert, prev: None, hops: 0 });
+                self.answer_requests.push(AnswerRequest {
+                    lid,
+                    key,
+                    cert: self.cert,
+                    payload: pb,
+                    hops: 0,
+                });
+                return lid;
+            }
+            let answer = self.make_answer(key, purpose);
+            self.complete_lookup(lid, Some(answer), None, 0, ctx);
+            return lid;
+        } else {
+            closest_preceding_hop(self.id, &self.fingers, &self.successors, key).map(|h| h.addr)
+        };
+        let Some(hop) = first_hop else {
+            self.fail_lookup(lid, ctx);
+            return lid;
+        };
+        let piggyback_size = piggyback.as_ref().map_or(0, |p| p.wire_size());
+        self.forwards.insert(
+            lid,
+            ForwardState {
+                key,
+                cert: self.cert,
+                purpose,
+                piggyback_size,
+                hops: 1,
+                prev: None,
+                next: hop,
+                attempts: 0,
+                acked: false,
+                tried: vec![hop],
+                bytes_key,
+            },
+        );
+        self.send_counted(
+            ctx,
+            hop,
+            VermeMsg::Lookup { lid, key, cert: self.cert, purpose, piggyback, hops: 1 },
+            bytes_key,
+        );
+        ctx.set_timer(self.cfg.hop_timeout, VermeTimer::HopTimeout { lid, attempt: 0 });
+        lid
+    }
+
+    fn complete_lookup(
+        &mut self,
+        lid: VermeLookupId,
+        answer: Option<VermeAnswer>,
+        app: Option<P>,
+        hops: u32,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        let Some(p) = self.pending.remove(&lid) else {
+            return;
+        };
+        self.forwards.remove(&lid);
+        let latency = ctx.now().saturating_since(p.started);
+        match (&answer, p.purpose) {
+            (Some(VermeAnswer::Join { predecessor, successors }), LookupPurpose::Join) => {
+                let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
+                fresh.integrate_all(successors);
+                if fresh.is_empty() {
+                    fresh.integrate(*predecessor);
+                }
+                self.successors = fresh;
+                self.predecessors.integrate(*predecessor);
+                self.joined = true;
+                if let Some(s1) = self.successors.first() {
+                    self.send_counted(
+                        ctx,
+                        s1.addr,
+                        VermeMsg::Notify { node: self.me },
+                        keys::BYTES_MAINT,
+                    );
+                }
+            }
+            (Some(VermeAnswer::Finger { .. }), LookupPurpose::Finger) => {
+                // Finger refreshes are keyed by target; the caller stored
+                // the index mapping — see fix_fingers, which re-derives it.
+            }
+            _ => {}
+        }
+        if p.purpose == LookupPurpose::Replicas {
+            ctx.metrics().record(keys::LOOKUP_LATENCY_MS, latency.as_millis_f64());
+            ctx.metrics().record(keys::LOOKUP_HOPS, hops as f64);
+            ctx.metrics().count(keys::LOOKUP_COMPLETED, 1);
+        }
+        if let (Some(VermeAnswer::Finger { node }), LookupPurpose::Finger) = (&answer, p.purpose) {
+            // Re-derive which finger indexes this target serves, refusing
+            // any same-type entry outside our own section (§3).
+            let safe = self.cfg.layout.type_of(node.id) != self.node_type
+                || self.cfg.layout.same_section(node.id, self.id);
+            if safe {
+                for i in 0..Id::BITS {
+                    if self.cfg.layout.finger_target(self.id, i) == p.key {
+                        self.fingers.set(i as usize, Some(*node));
+                    }
+                }
+            }
+        }
+        if p.purpose == LookupPurpose::Replicas {
+            self.outcomes.push(VermeOutcome {
+                lid,
+                key: p.key,
+                purpose: p.purpose,
+                answer,
+                app,
+                hops,
+                latency,
+            });
+        }
+    }
+
+    fn fail_lookup(&mut self, lid: VermeLookupId, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        let Some(p) = self.pending.remove(&lid) else {
+            return;
+        };
+        self.forwards.remove(&lid);
+        if p.purpose == LookupPurpose::Replicas {
+            ctx.metrics().count(keys::LOOKUP_FAILED, 1);
+        }
+        if p.purpose == LookupPurpose::Join {
+            ctx.set_timer(SimDuration::from_secs(2), VermeTimer::JoinRetry);
+        }
+        if p.purpose == LookupPurpose::Replicas {
+            self.outcomes.push(VermeOutcome {
+                lid,
+                key: p.key,
+                purpose: p.purpose,
+                answer: None,
+                app: None,
+                hops: 0,
+                latency: ctx.now().saturating_since(p.started),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Answering
+    // ------------------------------------------------------------------
+
+    /// True if this node is the key's predecessor (the answering node).
+    fn is_keys_predecessor(&self, key: Id) -> bool {
+        if !self.joined {
+            return false;
+        }
+        match self.successors.first() {
+            None => true, // Singleton ring.
+            Some(s1) => key.in_open_closed(self.id, s1.id),
+        }
+    }
+
+    /// Verifies an initiator's entitlement to look up `key` (§4.5).
+    ///
+    /// Piggybacked lookups (Secure-VerDi operations) are exempt from the
+    /// §5.3.1 opposite-type rule: their replies carry data, never
+    /// addresses, so any certified node may issue them (§5.3.2).
+    fn verify_lookup(
+        &self,
+        key: Id,
+        cert: &Certificate,
+        purpose: LookupPurpose,
+        piggybacked: bool,
+    ) -> bool {
+        if !cert.verify(&self.verifier) {
+            return false;
+        }
+        let cert_id = Id::new(cert.id());
+        // The id's embedded type must match the certified type.
+        if self.cfg.layout.type_of(cert_id) != cert.node_type() {
+            return false;
+        }
+        match purpose {
+            LookupPurpose::Join => key == cert_id,
+            LookupPurpose::Finger => self.cfg.layout.is_finger_target(cert_id, key),
+            LookupPurpose::Replicas => {
+                // §5.3.1: the initiator's type must differ from the type
+                // of the section the replicas live in — unless the reply
+                // will be opaque (piggybacked operation).
+                piggybacked || cert.node_type() != self.cfg.layout.type_of(key)
+            }
+        }
+    }
+
+    /// Builds the answer for `key` under Verme's responsibility rules.
+    fn make_answer(&self, key: Id, purpose: LookupPurpose) -> VermeAnswer {
+        match purpose {
+            LookupPurpose::Join => VermeAnswer::Join {
+                predecessor: self.me,
+                successors: self.successors.as_slice().to_vec(),
+            },
+            LookupPurpose::Finger => VermeAnswer::Finger { node: self.corner_responsible(key) },
+            LookupPurpose::Replicas => VermeAnswer::Replicas { replicas: self.replicas_for(key) },
+        }
+    }
+
+    /// §4.4 corner rule: the responsible node for `key` is its successor,
+    /// unless that successor lies outside `key`'s section — then it is the
+    /// predecessor (this node).
+    fn corner_responsible(&self, key: Id) -> NodeHandle {
+        match self.successors.first() {
+            Some(s1) if self.cfg.layout.same_section(s1.id, key) => s1,
+            _ => self.me,
+        }
+    }
+
+    /// §5.2 replica placement: the `n/2` nodes at-or-after `key` within
+    /// its section; if the section end intervenes, replicate toward the
+    /// predecessors instead.
+    fn replicas_for(&self, key: Id) -> Vec<NodeHandle> {
+        let r = self.cfg.replicas_per_section;
+        let layout = &self.cfg.layout;
+        let fwd: Vec<NodeHandle> = self
+            .successors
+            .iter()
+            .copied()
+            .filter(|h| layout.same_section(h.id, key))
+            .take(r)
+            .collect();
+        if !fwd.is_empty() {
+            return fwd;
+        }
+        // Corner: no in-section successor — replicate toward predecessors.
+        let mut back: Vec<NodeHandle> = Vec::with_capacity(r);
+        if layout.same_section(self.id, key) {
+            back.push(self.me);
+        }
+        for h in self.predecessors.iter() {
+            if back.len() >= r {
+                break;
+            }
+            if layout.same_section(h.id, key) {
+                back.push(*h);
+            }
+        }
+        back
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_lookup(
+        &mut self,
+        from: Addr,
+        lid: VermeLookupId,
+        key: Id,
+        cert: Certificate,
+        purpose: LookupPurpose,
+        piggyback: Option<P>,
+        hops: u32,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        let bytes_key = match purpose {
+            LookupPurpose::Replicas => keys::BYTES_LOOKUP,
+            LookupPurpose::Join | LookupPurpose::Finger => keys::BYTES_MAINT,
+        };
+        self.send_counted(ctx, from, VermeMsg::HopAck { lid }, bytes_key);
+        if self.forwards.contains_key(&lid) || self.answers.contains_key(&lid) {
+            return; // Duplicate delivery via a reroute.
+        }
+        if self.is_keys_predecessor(key) {
+            if !self.verify_lookup(key, &cert, purpose, piggyback.is_some()) {
+                // §4.5: drop illegitimate lookups. The initiator's
+                // deadline will fire.
+                self.denied += 1;
+                ctx.metrics().count("lookup.denied", 1);
+                return;
+            }
+            if let Some(pb) = piggyback {
+                // Hand the operation to the embedding layer; the reply
+                // leaves in send_answer.
+                self.answers.insert(lid, AnswerState { cert, prev: Some(from), hops });
+                self.answer_requests.push(AnswerRequest { lid, key, cert, payload: pb, hops });
+                ctx.set_timer(self.cfg.lookup_deadline * 2, VermeTimer::RelayGc { lid });
+                return;
+            }
+            let answer = self.make_answer(key, purpose);
+            self.send_reply(lid, answer, None, &cert, from, hops, bytes_key, ctx);
+            return;
+        }
+        let Some(next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+        else {
+            return;
+        };
+        let piggyback_size = piggyback.as_ref().map_or(0, |p| p.wire_size());
+        self.forwards.insert(
+            lid,
+            ForwardState {
+                key,
+                cert,
+                purpose,
+                piggyback_size,
+                hops: hops + 1,
+                prev: Some(from),
+                next: next.addr,
+                attempts: 0,
+                acked: false,
+                tried: vec![next.addr],
+                bytes_key,
+            },
+        );
+        self.send_counted(
+            ctx,
+            next.addr,
+            VermeMsg::Lookup { lid, key, cert, purpose, piggyback, hops: hops + 1 },
+            bytes_key,
+        );
+        ctx.set_timer(self.cfg.hop_timeout, VermeTimer::HopTimeout { lid, attempt: 0 });
+        ctx.set_timer(self.cfg.lookup_deadline * 2, VermeTimer::RelayGc { lid });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_reply(
+        &mut self,
+        lid: VermeLookupId,
+        answer: VermeAnswer,
+        app: Option<P>,
+        cert: &Certificate,
+        to: Addr,
+        hops: u32,
+        bytes_key: &'static str,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        let body_size = answer_body_size(&answer, &app);
+        let body = Sealed::seal(cert.public_key(), AnswerBody { answer, app });
+        self.send_counted(ctx, to, VermeMsg::Reply { lid, body, body_size, hops }, bytes_key);
+    }
+
+    /// Answers a piggybacked operation previously surfaced through
+    /// [`VermeNode::take_answer_requests`]. `app` is the application-level
+    /// reply (e.g. the data block for a get, or a store acknowledgment).
+    ///
+    /// Returns false if the request expired (relay state already gone).
+    pub fn send_answer(
+        &mut self,
+        lid: VermeLookupId,
+        app: Option<P>,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> bool {
+        let Some(st) = self.answers.remove(&lid) else {
+            return false;
+        };
+        // Piggybacked replies never disclose handles (§5.3.2).
+        let answer = VermeAnswer::Opaque;
+        match st.prev {
+            Some(prev) => {
+                self.send_reply(lid, answer, app, &st.cert, prev, st.hops, keys::BYTES_LOOKUP, ctx);
+            }
+            None => {
+                // We were both initiator and responsible node.
+                self.complete_lookup(lid, Some(answer), app, st.hops, ctx);
+            }
+        }
+        true
+    }
+
+    fn handle_reply(
+        &mut self,
+        lid: VermeLookupId,
+        body: Sealed<AnswerBody<P>>,
+        body_size: usize,
+        hops: u32,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        if self.pending.contains_key(&lid) {
+            // Ours: open the envelope.
+            match body.open(&self.crypto_keys) {
+                Ok(AnswerBody { answer, app }) => {
+                    self.complete_lookup(lid, Some(answer), app, hops, ctx);
+                }
+                Err(_) => {
+                    // Sealed to someone else — a misrouted or forged
+                    // reply. Treat as failure.
+                    self.fail_lookup(lid, ctx);
+                }
+            }
+            return;
+        }
+        // Relay toward the initiator. A relay cannot open the envelope —
+        // it only forwards it.
+        if let Some(st) = self.forwards.remove(&lid) {
+            if let Some(prev) = st.prev {
+                self.send_counted(
+                    ctx,
+                    prev,
+                    VermeMsg::Reply { lid, body, body_size, hops },
+                    st.bytes_key,
+                );
+            }
+        }
+    }
+
+    fn handle_hop_timeout(
+        &mut self,
+        lid: VermeLookupId,
+        attempt: u32,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        let Some(st) = self.forwards.get(&lid) else {
+            return;
+        };
+        if st.acked || st.attempts != attempt {
+            return;
+        }
+        let dead = st.next;
+        let (key, cert, purpose, hops, prev, bytes_key) =
+            (st.key, st.cert, st.purpose, st.hops, st.prev, st.bytes_key);
+        let tried = st.tried.clone();
+        self.mark_dead(dead);
+        ctx.metrics().count(keys::HOP_REROUTES, 1);
+
+        let replacement = self.route_excluding(key, &tried);
+        let st = self.forwards.get_mut(&lid).expect("state still present");
+        if st.attempts + 1 >= self.cfg.max_hop_attempts || replacement.is_none() {
+            self.forwards.remove(&lid);
+            if prev.is_none() {
+                self.fail_lookup(lid, ctx);
+            }
+            return;
+        }
+        let next = replacement.expect("checked above");
+        st.attempts += 1;
+        st.next = next.addr;
+        st.tried.push(next.addr);
+        let new_attempt = st.attempts;
+        // Piggybacked payloads cannot be replayed from forward state (we
+        // do not store them to avoid double-counting large data); the
+        // initiator's deadline covers that rare case.
+        let resend_piggyback = None;
+        if st.piggyback_size > 0 {
+            // Forward state without the payload can't reroute a
+            // piggybacked lookup; drop and let the deadline fire.
+            self.forwards.remove(&lid);
+            if prev.is_none() {
+                self.fail_lookup(lid, ctx);
+            }
+            return;
+        }
+        self.send_counted(
+            ctx,
+            next.addr,
+            VermeMsg::Lookup { lid, key, cert, purpose, piggyback: resend_piggyback, hops },
+            bytes_key,
+        );
+        ctx.set_timer(self.cfg.hop_timeout, VermeTimer::HopTimeout { lid, attempt: new_attempt });
+    }
+
+    fn route_excluding(&self, key: Id, exclude: &[Addr]) -> Option<NodeHandle> {
+        let mut best: Option<NodeHandle> = None;
+        let mut best_rank = 0u128;
+        let candidates = self.fingers.distinct().into_iter().chain(self.successors.iter().copied());
+        for h in candidates {
+            if exclude.contains(&h.addr) {
+                continue;
+            }
+            if h.id.in_open_open(self.id, key) {
+                let rank = self.id.distance_to(h.id);
+                if rank > best_rank {
+                    best_rank = rank;
+                    best = Some(h);
+                }
+            }
+        }
+        best
+    }
+
+    fn mark_dead(&mut self, addr: Addr) {
+        self.successors.remove_addr(addr);
+        self.predecessors.remove_addr(addr);
+        self.fingers.remove_addr(addr);
+    }
+
+    // ------------------------------------------------------------------
+    // Stabilization (both directions)
+    // ------------------------------------------------------------------
+
+    fn stabilize_once(&mut self, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        if let Some(s1) = self.successors.first() {
+            let token = self.fresh_token();
+            self.stab_waiting = Some((token, s1));
+            self.send_counted(ctx, s1.addr, VermeMsg::GetNeighbors { token }, keys::BYTES_MAINT);
+            ctx.set_timer(self.cfg.hop_timeout * 2, VermeTimer::StabTimeout { token });
+        }
+        if let Some(p1) = self.predecessors.first() {
+            let token = self.fresh_token();
+            self.pred_stab_waiting = Some((token, p1));
+            self.send_counted(ctx, p1.addr, VermeMsg::GetNeighbors { token }, keys::BYTES_MAINT);
+            ctx.set_timer(self.cfg.hop_timeout * 2, VermeTimer::PredStabTimeout { token });
+        }
+    }
+
+    fn handle_neighbors(
+        &mut self,
+        token: u64,
+        succs: Vec<NodeHandle>,
+        preds: Vec<NodeHandle>,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        if let Some((expect, s1)) = self.stab_waiting {
+            if expect == token {
+                self.stab_waiting = None;
+                let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
+                fresh.integrate(s1);
+                // s1's best predecessor might sit between us and s1.
+                if let Some(p) = preds.first() {
+                    if p.id.in_open_open(self.id, s1.id) {
+                        fresh.integrate(*p);
+                    }
+                }
+                fresh.integrate_all(&succs);
+                self.successors = fresh;
+                if let Some(new_s1) = self.successors.first() {
+                    self.send_counted(
+                        ctx,
+                        new_s1.addr,
+                        VermeMsg::Notify { node: self.me },
+                        keys::BYTES_MAINT,
+                    );
+                }
+                return;
+            }
+        }
+        if let Some((expect, p1)) = self.pred_stab_waiting {
+            if expect == token {
+                self.pred_stab_waiting = None;
+                let mut fresh = NeighborList::predecessors(self.id, self.cfg.num_predecessors);
+                fresh.integrate(p1);
+                fresh.integrate_all(&preds);
+                self.predecessors = fresh;
+            }
+        }
+    }
+
+    fn handle_notify(&mut self, node: NodeHandle) {
+        if node.id != self.id {
+            self.predecessors.integrate(node);
+            if self.successors.is_empty() {
+                self.successors.integrate(node);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fingers
+    // ------------------------------------------------------------------
+
+    fn fix_fingers(&mut self, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        if !self.joined {
+            return;
+        }
+        let succs = self.successors.as_slice().to_vec();
+        let Some(last) = succs.last().copied() else {
+            return;
+        };
+        let mut looked_up: Vec<Id> = Vec::new();
+        for i in 0..Id::BITS {
+            let target = self.cfg.layout.finger_target(self.id, i);
+            if target.in_open_closed(self.id, last.id) {
+                let owner = succs
+                    .iter()
+                    .find(|s| self.id.distance_to(s.id) >= self.id.distance_to(target))
+                    .copied()
+                    // §3 safety net: never install a same-type entry from
+                    // outside our own section, even if a thin or stale
+                    // successor list would suggest one.
+                    .filter(|h| {
+                        self.cfg.layout.type_of(h.id) != self.node_type
+                            || self.cfg.layout.same_section(h.id, self.id)
+                    });
+                self.fingers.set(i as usize, owner);
+            } else if !looked_up.contains(&target) {
+                looked_up.push(target);
+                self.begin_lookup(target, LookupPurpose::Finger, None, keys::BYTES_MAINT, ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing
+    // ------------------------------------------------------------------
+
+    fn fresh_token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn send_counted(
+        &self,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+        to: Addr,
+        msg: VermeMsg<P>,
+        bytes_key: &'static str,
+    ) {
+        ctx.metrics().count(bytes_key, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+}
+
+impl<P: Payload> Node for VermeNode<P> {
+    type Msg = VermeMsg<P>;
+    type Timer = VermeTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        self.me = NodeHandle::new(self.id, ctx.self_addr());
+        let stab_ns = self.cfg.stabilize_interval.as_nanos();
+        let fing_ns = self.cfg.fix_fingers_interval.as_nanos();
+        let stab_phase = SimDuration::from_nanos(ctx.rng().gen_range(0..stab_ns.max(1)));
+        let fing_phase = SimDuration::from_nanos(ctx.rng().gen_range(0..fing_ns.max(1)));
+        ctx.set_timer(stab_phase, VermeTimer::Stabilize);
+        ctx.set_timer(fing_phase, VermeTimer::FixFingers);
+        if !self.joined {
+            self.begin_lookup(self.id, LookupPurpose::Join, None, keys::BYTES_MAINT, ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: Addr,
+        msg: VermeMsg<P>,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) {
+        match msg {
+            VermeMsg::Lookup { lid, key, cert, purpose, piggyback, hops } => {
+                self.handle_lookup(from, lid, key, cert, purpose, piggyback, hops, ctx);
+            }
+            VermeMsg::HopAck { lid } => {
+                if let Some(st) = self.forwards.get_mut(&lid) {
+                    st.acked = true;
+                }
+            }
+            VermeMsg::Reply { lid, body, body_size, hops } => {
+                self.handle_reply(lid, body, body_size, hops, ctx);
+            }
+            VermeMsg::GetNeighbors { token } => {
+                let reply = VermeMsg::Neighbors {
+                    token,
+                    successors: self.successors.as_slice().to_vec(),
+                    predecessors: self.predecessors.as_slice().to_vec(),
+                };
+                self.send_counted(ctx, from, reply, keys::BYTES_MAINT);
+            }
+            VermeMsg::Neighbors { token, successors, predecessors } => {
+                self.handle_neighbors(token, successors, predecessors, ctx);
+            }
+            VermeMsg::Notify { node } => self.handle_notify(node),
+            VermeMsg::Ping { token } => {
+                self.send_counted(ctx, from, VermeMsg::Pong { token }, keys::BYTES_MAINT);
+            }
+            VermeMsg::Pong { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: VermeTimer, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        match timer {
+            VermeTimer::Stabilize => {
+                if self.joined {
+                    self.stabilize_once(ctx);
+                }
+                ctx.set_timer(self.cfg.stabilize_interval, VermeTimer::Stabilize);
+            }
+            VermeTimer::FixFingers => {
+                self.fix_fingers(ctx);
+                ctx.set_timer(self.cfg.fix_fingers_interval, VermeTimer::FixFingers);
+            }
+            VermeTimer::StabTimeout { token } => {
+                if let Some((expect, s1)) = self.stab_waiting {
+                    if expect == token {
+                        self.stab_waiting = None;
+                        self.mark_dead(s1.addr);
+                        self.stabilize_once(ctx);
+                    }
+                }
+            }
+            VermeTimer::PredStabTimeout { token } => {
+                if let Some((expect, p1)) = self.pred_stab_waiting {
+                    if expect == token {
+                        self.pred_stab_waiting = None;
+                        self.mark_dead(p1.addr);
+                    }
+                }
+            }
+            VermeTimer::HopTimeout { lid, attempt } => self.handle_hop_timeout(lid, attempt, ctx),
+            VermeTimer::LookupDeadline { lid } => self.fail_lookup(lid, ctx),
+            VermeTimer::RelayGc { lid } => {
+                self.forwards.remove(&lid);
+                self.answers.remove(&lid);
+            }
+            VermeTimer::JoinRetry => {
+                if !self.joined {
+                    self.begin_lookup(self.id, LookupPurpose::Join, None, keys::BYTES_MAINT, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_crypto::CertificateAuthority;
+
+    fn setup() -> (VermeConfig, CertificateAuthority) {
+        (VermeConfig::new(SectionLayout::with_sections(16, 2)), CertificateAuthority::new(1))
+    }
+
+    fn node_of_type(ty: NodeType) -> (VermeNode<()>, CertificateAuthority) {
+        let (cfg, mut ca) = setup();
+        let mut rng = verme_sim::SeedSource::new(5).stream("t");
+        let id = cfg.layout.assign_id(&mut rng, ty);
+        let (cert, keys) = ca.issue(id.raw(), ty);
+        (VermeNode::first(cfg, cert, keys, ca.verifier()), ca)
+    }
+
+    #[test]
+    fn construction_checks_type_consistency() {
+        let (node, _ca) = node_of_type(NodeType::A);
+        assert_eq!(node.node_type(), NodeType::A);
+        assert!(node.is_joined());
+        assert_eq!(node.layout().type_of(node.id()), NodeType::A);
+    }
+
+    #[test]
+    #[should_panic(expected = "certificate type does not match")]
+    fn construction_rejects_mismatched_type_bits() {
+        let (cfg, mut ca) = setup();
+        let mut rng = verme_sim::SeedSource::new(5).stream("t");
+        // Id embeds type A but the certificate claims B.
+        let id = cfg.layout.assign_id(&mut rng, NodeType::A);
+        let (cert, keys) = ca.issue(id.raw(), NodeType::B);
+        let _: VermeNode<()> = VermeNode::first(cfg, cert, keys, ca.verifier());
+    }
+
+    #[test]
+    fn verify_lookup_enforces_each_purpose() {
+        let (node, mut ca) = node_of_type(NodeType::A);
+        let layout = *node.layout();
+        let mut rng = verme_sim::SeedSource::new(9).stream("peer");
+
+        // A legitimate type-B peer.
+        let peer_id = layout.assign_id(&mut rng, NodeType::B);
+        let (peer_cert, _peer_keys) = ca.issue(peer_id.raw(), NodeType::B);
+
+        // Join: only its own id.
+        assert!(node.verify_lookup(peer_id, &peer_cert, LookupPurpose::Join, false));
+        assert!(!node.verify_lookup(
+            peer_id.wrapping_add(1),
+            &peer_cert,
+            LookupPurpose::Join,
+            false
+        ));
+
+        // Finger: only legal finger targets.
+        let ft = layout.finger_target(peer_id, 126);
+        assert!(node.verify_lookup(ft, &peer_cert, LookupPurpose::Finger, false));
+        assert!(!node.verify_lookup(ft.wrapping_add(1), &peer_cert, LookupPurpose::Finger, false));
+
+        // Replicas: only keys in sections of the *other* type...
+        let key_a = layout.embed_type(Id::new(12345), NodeType::A);
+        let key_b = layout.embed_type(Id::new(12345), NodeType::B);
+        assert!(node.verify_lookup(key_a, &peer_cert, LookupPurpose::Replicas, false));
+        assert!(!node.verify_lookup(key_b, &peer_cert, LookupPurpose::Replicas, false));
+        // ...unless the lookup is piggybacked (reply carries no handles).
+        assert!(node.verify_lookup(key_b, &peer_cert, LookupPurpose::Replicas, true));
+    }
+
+    #[test]
+    fn verify_lookup_rejects_foreign_and_inconsistent_certs() {
+        let (node, _ca) = node_of_type(NodeType::A);
+        let layout = *node.layout();
+        let mut other_ca = CertificateAuthority::new(999);
+        let mut rng = verme_sim::SeedSource::new(9).stream("peer");
+        let id = layout.assign_id(&mut rng, NodeType::B);
+        // Valid shape, wrong CA.
+        let (foreign, _) = other_ca.issue(id.raw(), NodeType::B);
+        assert!(!node.verify_lookup(id, &foreign, LookupPurpose::Join, false));
+    }
+
+    #[test]
+    fn corner_responsible_prefers_in_section_successor() {
+        let (cfg, mut ca) = setup();
+        let layout = cfg.layout;
+        let mut rng = verme_sim::SeedSource::new(7).stream("ids");
+        let id = layout.assign_id(&mut rng, NodeType::A);
+        let (cert, keys) = ca.issue(id.raw(), NodeType::A);
+        // Successor in the same section as the key -> successor answers.
+        let in_sec = Id::new(id.raw().wrapping_add(5));
+        let succ = NodeHandle::new(in_sec, Addr::from_raw(77));
+        let node: VermeNode<()> =
+            VermeNode::with_state(cfg, cert, keys, ca.verifier(), &[], &[succ], &[]);
+        let key = Id::new(id.raw().wrapping_add(2)); // same section, before succ
+        assert_eq!(node.corner_responsible(key), succ);
+        // Key in a section the successor is not in -> predecessor (self).
+        let far_key = layout.paired_replica_point(id);
+        if !layout.same_section(succ.id, far_key) {
+            assert_eq!(node.corner_responsible(far_key).id, node.id());
+        }
+    }
+
+    #[test]
+    fn replicas_for_falls_back_to_predecessor_side() {
+        let (cfg, mut ca) = setup();
+        let layout = cfg.layout;
+        let mut rng = verme_sim::SeedSource::new(13).stream("ids");
+        let id = layout.assign_id(&mut rng, NodeType::A);
+        let (cert, keys) = ca.issue(id.raw(), NodeType::A);
+        // Predecessors in our section; successors all in the next section.
+        let pred = NodeHandle::new(Id::new(id.raw().wrapping_sub(3)), Addr::from_raw(5));
+        let next_sec = layout.paired_replica_point(id);
+        let succ = NodeHandle::new(next_sec, Addr::from_raw(6));
+        let node: VermeNode<()> =
+            VermeNode::with_state(cfg, cert, keys, ca.verifier(), &[pred], &[succ], &[]);
+        // A key just after us, still in our section, with no in-section
+        // successor: replicate toward predecessors (self first).
+        let key = Id::new(id.raw().wrapping_add(1));
+        if layout.same_section(key, id) && !layout.same_section(succ.id, key) {
+            let reps = node.replicas_for(key);
+            assert!(!reps.is_empty());
+            assert_eq!(reps[0].id, node.id());
+            assert!(reps.iter().any(|r| r.id == pred.id));
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Instant construction of fully-converged Verme rings.
+//!
+//! The Verme analogue of [`verme_chord::StaticRing`]: computes each node's
+//! successor list, predecessor list, and *type-aware* finger table
+//! directly, including the §4.4 corner rule, and provides the ground-truth
+//! queries the experiments need (responsible node, replica sets, section
+//! membership).
+
+use rand::Rng;
+
+use verme_chord::{Id, NodeHandle};
+use verme_crypto::{CertificateAuthority, NodeType};
+use verme_sim::{Addr, SeedSource};
+
+use crate::layout::SectionLayout;
+use crate::node::VermeNode;
+use crate::proto::{Payload, VermeConfig};
+
+/// A sorted Verme ring membership with ground-truth routing queries.
+///
+/// # Example
+///
+/// ```
+/// use verme_core::{SectionLayout, VermeStaticRing};
+///
+/// let layout = SectionLayout::with_sections(64, 2);
+/// let ring = VermeStaticRing::generate(layout, 256, 42);
+/// assert_eq!(ring.len(), 256);
+/// // Every long finger points at an opposite-type node.
+/// ring.assert_type_safety();
+/// ```
+#[derive(Clone, Debug)]
+pub struct VermeStaticRing {
+    layout: SectionLayout,
+    sorted: Vec<NodeHandle>,
+}
+
+impl VermeStaticRing {
+    /// Generates `n` members with an even split across the layout's types,
+    /// ids drawn deterministically from `seed`, and addresses
+    /// `1..=n` **in id order** (spawn members in id order to reproduce
+    /// them under a [`Runtime`](verme_sim::Runtime)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(layout: SectionLayout, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a ring needs at least one node");
+        let types = layout.type_count() as usize;
+        Self::generate_by(layout, n, seed, |i| NodeType::new((i % types) as u8))
+    }
+
+    /// Like [`generate`](VermeStaticRing::generate), but with an uneven
+    /// two-type split: a fraction `frac_a` of members get type A (the
+    /// §7.1.1 "uneven distribution of node types" experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `frac_a` is outside `(0, 1)`.
+    pub fn generate_with_split(layout: SectionLayout, n: usize, frac_a: f64, seed: u64) -> Self {
+        assert!(frac_a > 0.0 && frac_a < 1.0, "split fraction must be in (0,1)");
+        let cut = (n as f64 * frac_a).round() as usize;
+        Self::generate_by(layout, n, seed, move |i| if i < cut { NodeType::A } else { NodeType::B })
+    }
+
+    fn generate_by(
+        layout: SectionLayout,
+        n: usize,
+        seed: u64,
+        type_of: impl Fn(usize) -> NodeType,
+    ) -> Self {
+        assert!(n > 0, "a ring needs at least one node");
+        let mut rng = SeedSource::new(seed).stream("verme-ring-ids");
+        let mut ids: Vec<Id> = Vec::with_capacity(n);
+        while ids.len() < n {
+            let ty = type_of(ids.len());
+            let id = layout.assign_id(&mut rng, ty);
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        ids.sort_by_key(|id| id.raw());
+        let sorted = ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| NodeHandle::new(id, Addr::from_raw(i as u64 + 1)))
+            .collect();
+        VermeStaticRing { layout, sorted }
+    }
+
+    /// Builds a ring from pre-assigned handles (ids must embed their types
+    /// under `layout`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handles` is empty or contains duplicate ids.
+    pub fn from_handles(layout: SectionLayout, mut handles: Vec<NodeHandle>) -> Self {
+        assert!(!handles.is_empty(), "a ring needs at least one node");
+        handles.sort_by_key(|h| h.id.raw());
+        for w in handles.windows(2) {
+            assert!(w[0].id != w[1].id, "duplicate node id {}", w[0].id);
+        }
+        VermeStaticRing { layout, sorted: handles }
+    }
+
+    /// The layout this ring was built under.
+    pub fn layout(&self) -> &SectionLayout {
+        &self.layout
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the ring is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The member at position `i` in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> NodeHandle {
+        self.sorted[i]
+    }
+
+    /// All members in id order.
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.sorted
+    }
+
+    /// The platform type of member `i`.
+    pub fn type_of_index(&self, i: usize) -> NodeType {
+        self.layout.type_of(self.sorted[i].id)
+    }
+
+    /// The section number of member `i`.
+    pub fn section_of_index(&self, i: usize) -> u128 {
+        self.layout.section_of(self.sorted[i].id)
+    }
+
+    /// Index of the plain ring successor of `key`.
+    pub fn successor_index(&self, key: Id) -> usize {
+        match self.sorted.binary_search_by_key(&key.raw(), |h| h.id.raw()) {
+            Ok(i) => i,
+            Err(i) => i % self.sorted.len(),
+        }
+    }
+
+    /// Index of the node preceding position `i`.
+    pub fn predecessor_index(&self, i: usize) -> usize {
+        (i + self.sorted.len() - 1) % self.sorted.len()
+    }
+
+    /// §4.4 responsibility: the successor of `key` if it lies in `key`'s
+    /// section; otherwise the predecessor. Returns `None` when neither
+    /// lies in `key`'s section (an unpopulated section).
+    pub fn corner_responsible_index(&self, key: Id) -> Option<usize> {
+        let s = self.successor_index(key);
+        if self.layout.same_section(self.sorted[s].id, key) {
+            return Some(s);
+        }
+        let p = self.predecessor_index(s);
+        if self.layout.same_section(self.sorted[p].id, key) {
+            return Some(p);
+        }
+        None
+    }
+
+    /// §5.2 replica placement for `key`: up to `r` member indices, within
+    /// `key`'s section, successors-first with the predecessor corner rule.
+    pub fn replica_indices(&self, key: Id, r: usize) -> Vec<usize> {
+        let n = self.sorted.len();
+        let start = self.successor_index(key);
+        let mut fwd = Vec::with_capacity(r);
+        let mut i = start;
+        while fwd.len() < r {
+            if !self.layout.same_section(self.sorted[i].id, key) {
+                break;
+            }
+            fwd.push(i);
+            i = (i + 1) % n;
+            if i == start {
+                break;
+            }
+        }
+        if !fwd.is_empty() {
+            return fwd;
+        }
+        // Corner: replicate toward predecessors.
+        let mut back = Vec::with_capacity(r);
+        let mut i = self.predecessor_index(start);
+        while back.len() < r {
+            if !self.layout.same_section(self.sorted[i].id, key) {
+                break;
+            }
+            back.push(i);
+            let prev = self.predecessor_index(i);
+            if prev == i {
+                break;
+            }
+            i = prev;
+        }
+        back
+    }
+
+    /// The `k` members following position `i`.
+    pub fn successors_of(&self, i: usize, k: usize) -> Vec<NodeHandle> {
+        let n = self.sorted.len();
+        (1..=k.min(n - 1)).map(|d| self.sorted[(i + d) % n]).collect()
+    }
+
+    /// The `k` members preceding position `i`, nearest first.
+    pub fn predecessors_of(&self, i: usize, k: usize) -> Vec<NodeHandle> {
+        let n = self.sorted.len();
+        (1..=k.min(n - 1)).map(|d| self.sorted[(i + n - d) % n]).collect()
+    }
+
+    /// Verme finger entries for member `i` under the §4.3/§4.4 rules.
+    /// Targets whose section is unpopulated are omitted (leaving them out
+    /// keeps the table type-safe).
+    pub fn fingers_of(&self, i: usize) -> Vec<(usize, NodeHandle)> {
+        let id = self.sorted[i].id;
+        let mut out = Vec::new();
+        for b in 0..Id::BITS {
+            let target = self.layout.finger_target(id, b);
+            if let Some(j) = self.finger_entry_index(i, target, b) {
+                out.push((b as usize, self.sorted[j]));
+            }
+        }
+        out
+    }
+
+    fn finger_entry_index(&self, i: usize, target: Id, bit: u32) -> Option<usize> {
+        // The §4.4 corner rule applies to every finger, not only the long
+        // ones: if the target's successor lies beyond the target's
+        // section, the plain rule would name the first node of the *next
+        // same-type* section — exactly the edge Verme must not create —
+        // so responsibility falls back to the target's predecessor. For a
+        // short finger whose own section is empty past the target, this
+        // correctly leaves the entry unset.
+        let _ = bit;
+        let j = self.corner_responsible_index(target)?;
+        (j != i).then_some(j)
+    }
+
+    /// Positions of the distinct finger entries of member `i` (compact
+    /// form for the worm simulator).
+    pub fn distinct_finger_indices(&self, i: usize) -> Vec<usize> {
+        let id = self.sorted[i].id;
+        let mut out: Vec<usize> = Vec::new();
+        for b in 0..Id::BITS {
+            let target = self.layout.finger_target(id, b);
+            if let Some(j) = self.finger_entry_index(i, target, b) {
+                if !out.contains(&j) {
+                    out.push(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Member indices belonging to `section`, in id order.
+    pub fn section_members(&self, section: u128) -> Vec<usize> {
+        let start = self.layout.section_start(section);
+        let mut i = self.successor_index(start);
+        let mut out = Vec::new();
+        let n = self.sorted.len();
+        let first = i;
+        loop {
+            if self.layout.section_of(self.sorted[i].id) != section {
+                break;
+            }
+            out.push(i);
+            i = (i + 1) % n;
+            if i == first {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Builds a fully-converged [`VermeNode`] for position `i`, issuing
+    /// its certificate from `ca`.
+    pub fn build_node<P: Payload>(
+        &self,
+        i: usize,
+        cfg: VermeConfig,
+        ca: &mut CertificateAuthority,
+    ) -> VermeNode<P> {
+        let me = self.sorted[i];
+        let ty = self.layout.type_of(me.id);
+        let (cert, keys) = ca.issue(me.id.raw(), ty);
+        let succs = self.successors_of(i, cfg.num_successors);
+        let preds = self.predecessors_of(i, cfg.num_predecessors);
+        let fingers = self.fingers_of(i);
+        VermeNode::with_state(cfg, cert, keys, ca.verifier(), &preds, &succs, &fingers)
+    }
+
+    /// Asserts the containment invariant on every member's routing state:
+    /// long fingers only name opposite-type nodes, and no routing entry
+    /// names a same-type node outside the member's own or an adjacent
+    /// section-pair reachable by successor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diagnostic) if any entry violates the invariant.
+    pub fn assert_type_safety(&self) {
+        for i in 0..self.sorted.len() {
+            let my_ty = self.type_of_index(i);
+            let id = self.sorted[i].id;
+            for b in (self.layout.section_bits() + 1)..Id::BITS {
+                let target = self.layout.finger_target(id, b);
+                if let Some(j) = self.finger_entry_index(i, target, b) {
+                    assert_ne!(
+                        self.type_of_index(j),
+                        my_ty,
+                        "node {i} finger bit {b} points at a same-type node {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A uniformly random member index of the given type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member has that type.
+    pub fn random_index_of_type(&self, ty: NodeType, rng: &mut impl Rng) -> usize {
+        for _ in 0..10_000 {
+            let i = rng.gen_range(0..self.sorted.len());
+            if self.type_of_index(i) == ty {
+                return i;
+            }
+        }
+        panic!("no member of type {ty} found");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VermeStaticRing {
+        VermeStaticRing::generate(SectionLayout::with_sections(32, 2), 256, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_balanced() {
+        let a = VermeStaticRing::generate(SectionLayout::with_sections(32, 2), 100, 3);
+        let b = VermeStaticRing::generate(SectionLayout::with_sections(32, 2), 100, 3);
+        assert_eq!(a.nodes(), b.nodes());
+        let type_a = (0..100).filter(|&i| a.type_of_index(i) == NodeType::A).count();
+        assert_eq!(type_a, 50);
+    }
+
+    #[test]
+    fn long_fingers_are_type_safe() {
+        small().assert_type_safety();
+    }
+
+    #[test]
+    fn successor_lists_span_at_most_two_sections() {
+        // §4.3: with properly sized sections (the paper provisions 13–24
+        // nodes per section against 10-entry successor lists), successor
+        // lists never span more than two sections — so a worm reading
+        // them learns only its own section plus opposite-type nodes.
+        let ring = VermeStaticRing::generate(SectionLayout::with_sections(16, 2), 256, 7);
+        for i in 0..ring.len() {
+            let succs = ring.successors_of(i, 10);
+            let mut sections: Vec<u128> =
+                succs.iter().map(|h| ring.layout().section_of(h.id)).collect();
+            sections.push(ring.section_of_index(i));
+            sections.sort_unstable();
+            sections.dedup();
+            assert!(
+                sections.len() <= 3,
+                "node {i}'s successor list spans {} sections",
+                sections.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corner_rule_keeps_responsibility_in_section() {
+        let ring = small();
+        let mut rng = SeedSource::new(5).stream("keys");
+        for _ in 0..200 {
+            let key = Id::random(&mut rng);
+            if let Some(r) = ring.corner_responsible_index(key) {
+                assert!(
+                    ring.layout().same_section(ring.node(r).id, key),
+                    "responsible node is outside the key's section"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_section_and_prefer_successors() {
+        let ring = small();
+        let mut rng = SeedSource::new(9).stream("keys");
+        for _ in 0..200 {
+            let key = Id::random(&mut rng);
+            let reps = ring.replica_indices(key, 3);
+            for &r in &reps {
+                assert!(ring.layout().same_section(ring.node(r).id, key));
+            }
+            // All replicas share the key's section type.
+            for &r in &reps {
+                assert_eq!(ring.type_of_index(r), ring.layout().type_of(key));
+            }
+        }
+    }
+
+    #[test]
+    fn section_members_partition_the_ring() {
+        let ring = small();
+        let mut total = 0;
+        for s in 0..ring.layout().num_sections() {
+            let members = ring.section_members(s);
+            for &m in &members {
+                assert_eq!(ring.section_of_index(m), s);
+            }
+            total += members.len();
+        }
+        assert_eq!(total, ring.len());
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let ring = small();
+        let p = ring.predecessors_of(10, 3);
+        assert_eq!(p[0], ring.node(9));
+        assert_eq!(p[1], ring.node(8));
+        assert_eq!(p[2], ring.node(7));
+    }
+
+    #[test]
+    fn distinct_fingers_are_opposite_type_mostly() {
+        let ring = small();
+        for i in (0..ring.len()).step_by(17) {
+            let my_ty = ring.type_of_index(i);
+            let d = ring.distinct_finger_indices(i);
+            assert!(!d.is_empty());
+            // Long fingers (the overwhelming majority) must be opposite
+            // type; short fingers may reach the next (opposite) section
+            // or stay in-section. Count violations of "same type AND
+            // different section" — there must be none.
+            for &j in &d {
+                if ring.type_of_index(j) == my_ty {
+                    assert_eq!(
+                        ring.section_of_index(j),
+                        ring.section_of_index(i),
+                        "same-type finger outside own section"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_node_is_converged_and_type_checked() {
+        let ring = small();
+        let mut ca = CertificateAuthority::new(1);
+        let node: VermeNode = ring.build_node(5, VermeConfig::new(*ring.layout()), &mut ca);
+        assert!(node.is_joined());
+        assert_eq!(node.id(), ring.node(5).id);
+        assert_eq!(node.node_type(), ring.type_of_index(5));
+        assert_eq!(node.successor_list()[0], ring.node(6));
+        assert_eq!(node.predecessor_list()[0], ring.node(4));
+    }
+
+    #[test]
+    fn uneven_split_produces_requested_fractions() {
+        let ring =
+            VermeStaticRing::generate_with_split(SectionLayout::with_sections(16, 2), 200, 0.3, 5);
+        let a = (0..200).filter(|&i| ring.type_of_index(i) == NodeType::A).count();
+        assert_eq!(a, 60);
+        ring.assert_type_safety();
+    }
+
+    #[test]
+    fn random_index_of_type_returns_that_type() {
+        let ring = small();
+        let mut rng = SeedSource::new(11).stream("pick");
+        for _ in 0..20 {
+            let i = ring.random_index_of_type(NodeType::B, &mut rng);
+            assert_eq!(ring.type_of_index(i), NodeType::B);
+        }
+    }
+}

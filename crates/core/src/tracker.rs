@@ -1,0 +1,233 @@
+//! Worm containment for *unstructured* overlays (paper §6.2).
+//!
+//! The paper argues the §3 design principles are not DHT-specific: in the
+//! original tracker-based BitTorrent design, a (hardened, non-vulnerable)
+//! tracker assigns each peer its neighbor set, and can therefore assign
+//! neighbors "in a way that forms an overlay graph with the generic
+//! structure of Figure 1". This module implements both that type-aware
+//! assignment and the classic uniform-random assignment it replaces, so
+//! the worm experiments can compare them.
+//!
+//! The type-aware tracker partitions same-type peers into *islands* of a
+//! bounded size; every same-type edge stays within one island, and the
+//! remaining degree budget is filled with opposite-type edges chosen
+//! uniformly. The containment invariant is the same as Verme's: an
+//! infected peer's neighbor list names only its own island and machines
+//! of the other platform.
+
+use rand::Rng;
+
+use verme_crypto::NodeType;
+use verme_sim::SeedSource;
+
+/// Parameters for tracker-based neighbor assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackerConfig {
+    /// Target island size (same-type peers per island).
+    pub island_size: usize,
+    /// Same-type neighbors each peer receives (within its island).
+    pub same_type_neighbors: usize,
+    /// Opposite-type neighbors each peer receives.
+    pub cross_type_neighbors: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { island_size: 24, same_type_neighbors: 8, cross_type_neighbors: 8 }
+    }
+}
+
+impl TrackerConfig {
+    fn validate(&self) {
+        assert!(self.island_size >= 2, "islands need at least two members");
+        assert!(
+            self.same_type_neighbors < self.island_size,
+            "cannot have more same-type neighbors than island peers"
+        );
+    }
+}
+
+/// The neighbor assignment produced by a tracker.
+#[derive(Clone, Debug)]
+pub struct SwarmAssignment {
+    /// Per-peer neighbor lists (symmetric edges are not required; a worm
+    /// reads its own list).
+    pub neighbors: Vec<Vec<u32>>,
+    /// Island index of every peer (its own-type partition cell).
+    pub island_of: Vec<u32>,
+}
+
+impl SwarmAssignment {
+    /// Checks the §3 invariant: every same-type neighbor shares the
+    /// peer's island. Returns the offending `(peer, neighbor)` pairs.
+    pub fn invariant_violations(&self, types: &[NodeType]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, list) in self.neighbors.iter().enumerate() {
+            for &j in list {
+                if types[i] == types[j as usize] && self.island_of[i] != self.island_of[j as usize]
+                {
+                    out.push((i as u32, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Type-aware neighbor assignment (§6.2): same-type edges confined to
+/// islands, cross-type edges unrestricted.
+///
+/// # Panics
+///
+/// Panics if `types` is empty, the configuration is invalid, or some
+/// type has no peers while cross-type links were requested.
+pub fn assign_type_aware(types: &[NodeType], cfg: &TrackerConfig, seed: u64) -> SwarmAssignment {
+    cfg.validate();
+    assert!(!types.is_empty(), "empty swarm");
+    let n = types.len();
+    let mut rng = SeedSource::new(seed).stream("tracker-aware");
+
+    // Partition each type's peers into islands of ~island_size.
+    let mut island_of = vec![0u32; n];
+    let mut islands: Vec<Vec<u32>> = Vec::new();
+    let mut distinct_types: Vec<NodeType> = types.to_vec();
+    distinct_types.sort_unstable();
+    distinct_types.dedup();
+    for &ty in &distinct_types {
+        let mut members: Vec<u32> = (0..n as u32).filter(|&i| types[i as usize] == ty).collect();
+        // Shuffle so islands are not id-correlated.
+        for i in (1..members.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            members.swap(i, j);
+        }
+        for chunk in members.chunks(cfg.island_size) {
+            let id = islands.len() as u32;
+            for &m in chunk {
+                island_of[m as usize] = id;
+            }
+            islands.push(chunk.to_vec());
+        }
+    }
+
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n as u32 {
+        let my_island = &islands[island_of[i as usize] as usize];
+        // Same-type neighbors from the own island.
+        let want_same = cfg.same_type_neighbors.min(my_island.len().saturating_sub(1));
+        let mut picked = 0;
+        let mut guard = 0;
+        while picked < want_same && guard < 10_000 {
+            guard += 1;
+            let cand = my_island[rng.gen_range(0..my_island.len())];
+            if cand != i && !neighbors[i as usize].contains(&cand) {
+                neighbors[i as usize].push(cand);
+                picked += 1;
+            }
+        }
+        // Cross-type neighbors from anywhere.
+        let others: Vec<u32> =
+            (0..n as u32).filter(|&j| types[j as usize] != types[i as usize]).collect();
+        if cfg.cross_type_neighbors > 0 {
+            assert!(!others.is_empty(), "cross-type links requested but only one type present");
+            let want_cross = cfg.cross_type_neighbors.min(others.len());
+            let mut picked = 0;
+            let mut guard = 0;
+            while picked < want_cross && guard < 10_000 {
+                guard += 1;
+                let cand = others[rng.gen_range(0..others.len())];
+                if !neighbors[i as usize].contains(&cand) {
+                    neighbors[i as usize].push(cand);
+                    picked += 1;
+                }
+            }
+        }
+    }
+    SwarmAssignment { neighbors, island_of }
+}
+
+/// The classic tracker: neighbors drawn uniformly from the whole swarm,
+/// type-blind (the baseline the §6.2 redesign replaces).
+///
+/// # Panics
+///
+/// Panics if `types` is empty or fewer than two peers exist.
+pub fn assign_random(types: &[NodeType], degree: usize, seed: u64) -> SwarmAssignment {
+    let n = types.len();
+    assert!(n >= 2, "need at least two peers");
+    let mut rng = SeedSource::new(seed).stream("tracker-random");
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, list) in neighbors.iter_mut().enumerate() {
+        let want = degree.min(n - 1);
+        let mut guard = 0;
+        while list.len() < want && guard < 10_000 {
+            guard += 1;
+            let cand = rng.gen_range(0..n as u32);
+            if cand as usize != i && !list.contains(&cand) {
+                list.push(cand);
+            }
+        }
+    }
+    // A random tracker has no islands; give every peer its own.
+    SwarmAssignment { neighbors, island_of: (0..n as u32).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn types(n: usize) -> Vec<NodeType> {
+        (0..n).map(|i| if i % 2 == 0 { NodeType::A } else { NodeType::B }).collect()
+    }
+
+    #[test]
+    fn type_aware_assignment_satisfies_the_invariant() {
+        let t = types(500);
+        let a = assign_type_aware(&t, &TrackerConfig::default(), 7);
+        assert!(a.invariant_violations(&t).is_empty());
+        // Degrees roughly as configured.
+        let mean_deg: f64 = a.neighbors.iter().map(|l| l.len() as f64).sum::<f64>() / 500.0;
+        assert!(mean_deg >= 14.0, "mean degree {mean_deg} too low");
+    }
+
+    #[test]
+    fn islands_have_bounded_size_and_single_type() {
+        let t = types(500);
+        let cfg = TrackerConfig::default();
+        let a = assign_type_aware(&t, &cfg, 9);
+        let max_island = a.island_of.iter().max().unwrap() + 1;
+        let mut sizes = vec![0usize; max_island as usize];
+        let mut island_ty: Vec<Option<NodeType>> = vec![None; max_island as usize];
+        for (i, &isl) in a.island_of.iter().enumerate() {
+            sizes[isl as usize] += 1;
+            match island_ty[isl as usize] {
+                None => island_ty[isl as usize] = Some(t[i]),
+                Some(ty) => assert_eq!(ty, t[i], "island {isl} mixes types"),
+            }
+        }
+        assert!(sizes.iter().all(|&s| s <= cfg.island_size));
+    }
+
+    #[test]
+    fn random_assignment_violates_the_invariant() {
+        // The baseline should (with overwhelming probability) connect
+        // same-type peers across islands — that is exactly the exposure.
+        let t = types(200);
+        let a = assign_random(&t, 10, 3);
+        assert!(!a.invariant_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = types(100);
+        let a = assign_type_aware(&t, &TrackerConfig::default(), 5);
+        let b = assign_type_aware(&t, &TrackerConfig::default(), 5);
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have more same-type neighbors")]
+    fn config_is_validated() {
+        let cfg = TrackerConfig { island_size: 4, same_type_neighbors: 4, ..Default::default() };
+        let _ = assign_type_aware(&types(20), &cfg, 0);
+    }
+}

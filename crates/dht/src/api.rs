@@ -1,0 +1,146 @@
+//! The common DHT driver interface shared by DHash and the VerDi variants.
+//!
+//! All four systems expose the same two operations (paper §5.1):
+//!
+//! ```text
+//! key   = put(value)
+//! value = get(key)
+//! ```
+//!
+//! Harnesses drive them generically through [`DhtNode`], which extends the
+//! simulator's [`Node`] trait with operation injection and outcome
+//! retrieval.
+
+use bytes::Bytes;
+use verme_chord::Id;
+use verme_sim::{Ctx, Node, SimDuration};
+
+/// Metric keys recorded by DHT nodes.
+pub mod keys {
+    /// Latency of each completed `get`, milliseconds.
+    pub const GET_LATENCY_MS: &str = "dht.get.latency_ms";
+    /// Latency of each completed `put`, milliseconds.
+    pub const PUT_LATENCY_MS: &str = "dht.put.latency_ms";
+    /// `get` operations completed successfully.
+    pub const GET_COMPLETED: &str = "dht.get.completed";
+    /// `put` operations completed successfully.
+    pub const PUT_COMPLETED: &str = "dht.put.completed";
+    /// Operations that failed (timeout, missing data, bad hash).
+    pub const OP_FAILED: &str = "dht.op.failed";
+    /// Bytes sent for foreground data transfer (fetch/store/relay).
+    pub const BYTES_DATA: &str = "bytes.data";
+    /// Bytes sent for background replication (excluded from Figure 7,
+    /// matching the paper's accounting).
+    pub const BYTES_REPLICATION: &str = "bytes.replication";
+}
+
+/// The kind of a DHT operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `get(key)`.
+    Get,
+    /// A `put(value)`.
+    Put,
+}
+
+/// The observable outcome of a DHT operation, drained with
+/// [`DhtNode::take_op_outcomes`].
+#[derive(Clone, Debug)]
+pub struct OpOutcome {
+    /// Operation id returned by `start_get`/`start_put`.
+    pub op: u64,
+    /// Get or put.
+    pub kind: OpKind,
+    /// The block key.
+    pub key: Id,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// The retrieved value (gets only; hash-verified).
+    pub value: Option<Bytes>,
+    /// Time from initiation to completion or failure.
+    pub latency: SimDuration,
+}
+
+/// A DHT node drivable by the generic experiment harness.
+///
+/// All four systems in this crate implement it: [`DhashNode`], and the
+/// Fast / Secure / Compromise VerDi variants.
+///
+/// [`DhashNode`]: crate::DhashNode
+pub trait DhtNode: Node {
+    /// Starts a `put(value)`. Returns the operation id; the outcome (and
+    /// the block key) appears in [`take_op_outcomes`].
+    ///
+    /// [`take_op_outcomes`]: DhtNode::take_op_outcomes
+    fn start_put(&mut self, value: Bytes, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) -> u64;
+
+    /// Starts a `get(key)`. Returns the operation id.
+    fn start_get(&mut self, key: Id, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) -> u64;
+
+    /// Drains outcomes of operations that finished since the last call.
+    fn take_op_outcomes(&mut self) -> Vec<OpOutcome>;
+
+    /// Number of blocks stored locally (replica inspection for tests).
+    fn stored_blocks(&self) -> usize;
+}
+
+/// Configuration shared by all DHT implementations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DhtConfig {
+    /// Replication factor `n` (DHash replicates on the `n` successors;
+    /// VerDi splits `n/2` + `n/2` across the two typed replica points).
+    pub replicas: usize,
+    /// Deadline after which an operation is failed.
+    pub op_deadline: SimDuration,
+    /// Interval between background data-stabilization rounds.
+    pub data_stabilize_interval: SimDuration,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            replicas: 6,
+            op_deadline: SimDuration::from_secs(30),
+            data_stabilize_interval: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl DhtConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or odd (VerDi needs `n/2` per
+    /// section), or an interval is zero.
+    pub fn validate(&self) {
+        assert!(self.replicas > 0, "need at least one replica");
+        assert!(
+            self.replicas.is_multiple_of(2),
+            "replication factor must be even (n/2 per section)"
+        );
+        assert!(!self.op_deadline.is_zero(), "op deadline must be positive");
+        assert!(
+            !self.data_stabilize_interval.is_zero(),
+            "data stabilize interval must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = DhtConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.replicas, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_replication_rejected() {
+        DhtConfig { replicas: 5, ..Default::default() }.validate();
+    }
+}

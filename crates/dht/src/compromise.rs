@@ -1,0 +1,641 @@
+//! Compromise-VerDi (paper §5.3.3): one level of indirection between
+//! performance and security.
+//!
+//! The initiator never performs the lookup itself: it signs a statement
+//! vouching for the operation and hands it — with its certificate — to an
+//! *opposite-type* finger-table entry, which relays the operation using
+//! the Fast-VerDi flow and forwards the result back. A compromised node
+//! therefore cannot harvest addresses by issuing operations (the sealed
+//! replica answers go to the relay, not to it); it can only *passively*
+//! observe the initiators that happen to use it as a relay, at the rate
+//! those neighbors issue requests — the Figure 8 Compromise curve.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use verme_chord::Id;
+use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
+use verme_crypto::{Certificate, SignedStatement};
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::block::{block_key, verify_block, BlockStore};
+
+/// Compromise-VerDi wire messages.
+#[derive(Clone, Debug)]
+pub enum CompMsg {
+    /// Encapsulated Verme message.
+    Overlay(VermeMsg<()>),
+    /// The signed, relayed operation request (initiator → relay).
+    RelayRequest {
+        /// Initiator's operation id (echoed in the relay's reply).
+        rop: u64,
+        /// The initiator's certificate.
+        cert: Certificate,
+        /// Signed statement vouching for the operation on `(key, rop)`.
+        statement: SignedStatement<(u128, u64)>,
+        /// Get or put.
+        kind: OpKind,
+        /// Block key.
+        key: Id,
+        /// Block contents (puts only).
+        value: Option<Bytes>,
+    },
+    /// Relay → initiator: the fetched block.
+    RelayGetReply {
+        /// Operation id from the request.
+        rop: u64,
+        /// The block, if found.
+        value: Option<Bytes>,
+    },
+    /// Relay → initiator: put acknowledgment.
+    RelayPutReply {
+        /// Operation id from the request.
+        rop: u64,
+        /// Whether the store succeeded.
+        ok: bool,
+    },
+    /// Direct block fetch (relay → replica).
+    Fetch {
+        /// Relay-job id.
+        op: u64,
+        /// Block key.
+        key: Id,
+    },
+    /// Fetch response.
+    FetchReply {
+        /// Relay-job id from the request.
+        op: u64,
+        /// The block, if stored.
+        value: Option<Bytes>,
+    },
+    /// Direct block store (relay → responsible node).
+    Store {
+        /// Relay-job id.
+        op: u64,
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+    /// Store acknowledgment (after the cross-section copy).
+    StoreAck {
+        /// Relay-job id from the request.
+        op: u64,
+        /// Whether the store succeeded.
+        ok: bool,
+    },
+    /// Cross-section copy (responsible → paired responsible).
+    CrossCopy {
+        /// Copy transaction id.
+        xid: u64,
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+    /// Cross-copy acknowledgment.
+    CrossCopyAck {
+        /// Transaction id from the request.
+        xid: u64,
+        /// Whether the copy was stored.
+        ok: bool,
+    },
+    /// Background in-section replication.
+    Replicate {
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+}
+
+const HDR: usize = verme_chord::proto::HEADER_BYTES;
+/// Modelled size of a signed statement (digest + signature + signer key).
+const STATEMENT_BYTES: usize = 80;
+
+impl Wire for CompMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            CompMsg::Overlay(m) => m.wire_size(),
+            CompMsg::RelayRequest { value, .. } => {
+                HDR + 8
+                    + Certificate::WIRE_SIZE
+                    + STATEMENT_BYTES
+                    + 1
+                    + 16
+                    + value.as_ref().map_or(0, |v| v.len())
+            }
+            CompMsg::RelayGetReply { value, .. } => {
+                HDR + 8 + 1 + value.as_ref().map_or(0, |v| v.len())
+            }
+            CompMsg::RelayPutReply { .. } => HDR + 9,
+            CompMsg::Fetch { .. } => HDR + 8 + 16,
+            CompMsg::FetchReply { value, .. } => {
+                HDR + 8 + 1 + value.as_ref().map_or(0, |v| v.len())
+            }
+            CompMsg::Store { value, .. } => HDR + 8 + 16 + value.len(),
+            CompMsg::StoreAck { .. } => HDR + 9,
+            CompMsg::CrossCopy { value, .. } => HDR + 8 + 16 + value.len(),
+            CompMsg::CrossCopyAck { .. } => HDR + 9,
+            CompMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+        }
+    }
+}
+
+/// Compromise-VerDi timers.
+#[derive(Clone, Debug)]
+pub enum CompTimer {
+    /// Encapsulated Verme timer.
+    Overlay(VermeTimer),
+    /// Operation deadline (initiator side).
+    OpDeadline {
+        /// The guarded operation.
+        op: u64,
+    },
+    /// Periodic background data stabilization.
+    DataStabilize,
+}
+
+struct PendingOp {
+    kind: OpKind,
+    key: Id,
+    started: SimTime,
+}
+
+/// A relayed operation this node is executing on a client's behalf.
+struct RelayJob {
+    client: Addr,
+    rop: u64,
+    kind: OpKind,
+    key: Id,
+    value: Option<Bytes>,
+}
+
+struct CrossState {
+    store_op: u64,
+    store_client: Addr,
+    key: Id,
+    value: Bytes,
+}
+
+/// A record of a client observed by this node while acting as a relay —
+/// exactly the information an impersonating relay can passively harvest
+/// (address plus certified type). Exposed for the worm experiments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ObservedClient {
+    /// The client's network address.
+    pub addr: Addr,
+    /// The client's certified type.
+    pub node_type: verme_crypto::NodeType,
+}
+
+/// A Compromise-VerDi node.
+pub struct CompromiseVerDiNode {
+    overlay: VermeNode<()>,
+    cfg: DhtConfig,
+    store: BlockStore,
+    next_op: u64,
+    next_job: u64,
+    next_xid: u64,
+    pending: HashMap<u64, PendingOp>,
+    jobs: HashMap<u64, RelayJob>,
+    lookup_to_job: HashMap<u64, u64>,
+    cross_lookups: HashMap<u64, CrossState>,
+    cross_waiting: HashMap<u64, (u64, Addr)>,
+    observed: Vec<ObservedClient>,
+    outcomes: Vec<OpOutcome>,
+}
+
+type CCtx<'a> = Ctx<'a, CompMsg, CompTimer>;
+
+impl CompromiseVerDiNode {
+    /// Wraps a Verme overlay node with the Compromise-VerDi layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(overlay: VermeNode<()>, cfg: DhtConfig) -> Self {
+        cfg.validate();
+        CompromiseVerDiNode {
+            overlay,
+            cfg,
+            store: BlockStore::new(),
+            next_op: 0,
+            next_job: 0,
+            next_xid: 0,
+            pending: HashMap::new(),
+            jobs: HashMap::new(),
+            lookup_to_job: HashMap::new(),
+            cross_lookups: HashMap::new(),
+            cross_waiting: HashMap::new(),
+            observed: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The underlying Verme overlay node.
+    pub fn overlay(&self) -> &VermeNode<()> {
+        &self.overlay
+    }
+
+    /// The local block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Clients this node has observed while acting as a relay (the
+    /// passive-harvest channel of §5.3.3).
+    pub fn observed_clients(&self) -> &[ObservedClient] {
+        &self.observed
+    }
+
+    fn with_overlay<R>(
+        &mut self,
+        ctx: &mut CCtx<'_>,
+        f: impl FnOnce(&mut VermeNode<()>, &mut Ctx<'_, VermeMsg<()>, VermeTimer>) -> R,
+    ) -> R {
+        let overlay = &mut self.overlay;
+        ctx.nested(|ictx| f(overlay, ictx), CompMsg::Overlay, CompTimer::Overlay)
+    }
+
+    fn drain_overlay(&mut self, ctx: &mut CCtx<'_>) {
+        for o in self.overlay.take_outcomes() {
+            if let Some(job_id) = self.lookup_to_job.remove(&o.lid) {
+                self.continue_job(job_id, o.answer, ctx);
+            } else if let Some(cross) = self.cross_lookups.remove(&o.lid) {
+                self.continue_cross(cross, o.answer, ctx);
+            }
+        }
+        debug_assert!(self.overlay.take_answer_requests().is_empty());
+    }
+
+    /// A relay's lookup finished: move the job to the data phase.
+    fn continue_job(&mut self, job_id: u64, answer: Option<VermeAnswer>, ctx: &mut CCtx<'_>) {
+        let Some(job) = self.jobs.get(&job_id) else {
+            return;
+        };
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                self.fail_job(job_id, ctx);
+                return;
+            }
+        };
+        let target = replicas[0];
+        match job.kind {
+            OpKind::Get => {
+                let key = job.key;
+                self.send_data(ctx, target.addr, CompMsg::Fetch { op: job_id, key });
+            }
+            OpKind::Put => {
+                let key = job.key;
+                let value = job.value.clone().expect("put jobs carry a value");
+                self.send_data(ctx, target.addr, CompMsg::Store { op: job_id, key, value });
+            }
+        }
+    }
+
+    fn fail_job(&mut self, job_id: u64, ctx: &mut CCtx<'_>) {
+        let Some(job) = self.jobs.remove(&job_id) else {
+            return;
+        };
+        let reply = match job.kind {
+            OpKind::Get => CompMsg::RelayGetReply { rop: job.rop, value: None },
+            OpKind::Put => CompMsg::RelayPutReply { rop: job.rop, ok: false },
+        };
+        self.send_data(ctx, job.client, reply);
+    }
+
+    fn continue_cross(
+        &mut self,
+        cross: CrossState,
+        answer: Option<VermeAnswer>,
+        ctx: &mut CCtx<'_>,
+    ) {
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                self.send_data(
+                    ctx,
+                    cross.store_client,
+                    CompMsg::StoreAck { op: cross.store_op, ok: false },
+                );
+                return;
+            }
+        };
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.cross_waiting.insert(xid, (cross.store_op, cross.store_client));
+        self.send_data(
+            ctx,
+            replicas[0].addr,
+            CompMsg::CrossCopy { xid, key: cross.key, value: cross.value },
+        );
+    }
+
+    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut CCtx<'_>) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(p.started);
+        if ok {
+            match p.kind {
+                OpKind::Get => {
+                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::GET_COMPLETED, 1);
+                }
+                OpKind::Put => {
+                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
+                }
+            }
+        } else {
+            ctx.metrics().count(keys::OP_FAILED, 1);
+        }
+        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+    }
+
+    fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut CCtx<'_>) {
+        let layout = *self.overlay.layout();
+        let me = self.overlay.id();
+        let peers: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        for addr in peers {
+            let msg = CompMsg::Replicate { key, value: value.clone() };
+            ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+            ctx.send(addr, msg);
+        }
+    }
+
+    /// True if this node anchors the replica set for `point` (it is the
+    /// first in-section node at or after the point, or — in the §5.2
+    /// corner — the last one before it). Only the anchor re-replicates a
+    /// block during data stabilization; without this check every holder
+    /// would push copies to *its own* successors and the block would
+    /// creep across the whole section over time.
+    fn is_replica_anchor(&self, point: verme_chord::Id) -> bool {
+        let layout = self.overlay.layout();
+        let me = self.overlay.id();
+        if !layout.same_section(point, me) {
+            return false;
+        }
+        if point.distance_to(me) < layout.section_len() {
+            // Forward side: anchor iff no in-section node in [point, me).
+            !self
+                .overlay
+                .predecessor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_closed_open(point, me))
+        } else {
+            // Corner side: anchor iff no in-section node in (me, point].
+            !self
+                .overlay
+                .successor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_open_closed(me, point))
+        }
+    }
+
+    fn send_data(&mut self, ctx: &mut CCtx<'_>, to: Addr, msg: CompMsg) {
+        ctx.metrics().count(keys::BYTES_DATA, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    fn paired_point(&self, key: Id) -> Id {
+        let layout = self.overlay.layout();
+        if layout.same_section(key, self.overlay.id()) {
+            layout.paired_replica_point(key)
+        } else {
+            key
+        }
+    }
+
+    fn start_op(&mut self, kind: OpKind, key: Id, value: Option<Bytes>, ctx: &mut CCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(op, PendingOp { kind, key, started: ctx.now() });
+        ctx.set_timer(self.cfg.op_deadline, CompTimer::OpDeadline { op });
+        let Some(relay) = self.overlay.route_first_hop(key) else {
+            self.finish(op, false, None, ctx);
+            return op;
+        };
+        let statement = self.overlay.sign_statement((key.raw(), op));
+        let msg = CompMsg::RelayRequest {
+            rop: op,
+            cert: *self.overlay.certificate(),
+            statement,
+            kind,
+            key,
+            value,
+        };
+        self.send_data(ctx, relay.addr, msg);
+        op
+    }
+}
+
+impl DhtNode for CompromiseVerDiNode {
+    fn start_put(&mut self, value: Bytes, ctx: &mut CCtx<'_>) -> u64 {
+        let key = block_key(&value);
+        self.start_op(OpKind::Put, key, Some(value), ctx)
+    }
+
+    fn start_get(&mut self, key: Id, ctx: &mut CCtx<'_>) -> u64 {
+        self.start_op(OpKind::Get, key, None, ctx)
+    }
+
+    fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Node for CompromiseVerDiNode {
+    type Msg = CompMsg;
+    type Timer = CompTimer;
+
+    fn on_start(&mut self, ctx: &mut CCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_start(ictx));
+        let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
+        let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
+        ctx.set_timer(phase, CompTimer::DataStabilize);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: CompMsg, ctx: &mut CCtx<'_>) {
+        match msg {
+            CompMsg::Overlay(m) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
+                self.drain_overlay(ctx);
+            }
+            CompMsg::RelayRequest { rop, cert, statement, kind, key, value } => {
+                // Verify the certificate and the vouching statement; an
+                // unverifiable request is dropped (§5.3.3).
+                if !cert.verify(self.overlay.verifier()) {
+                    return;
+                }
+                let Ok(&(stmt_key, stmt_rop)) = statement.verify(&cert) else {
+                    return;
+                };
+                if stmt_key != key.raw() || stmt_rop != rop {
+                    return;
+                }
+                // Passive observation channel: relays see their clients.
+                self.observed.push(ObservedClient { addr: from, node_type: cert.node_type() });
+
+                let job_id = self.next_job;
+                self.next_job += 1;
+                self.jobs.insert(job_id, RelayJob { client: from, rop, kind, key, value });
+                // Fast-VerDi flow on the client's behalf, from *our* type
+                // vantage point.
+                let my_type = self.overlay.node_type();
+                let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
+                let lid = self.with_overlay(ctx, |overlay, ictx| {
+                    overlay.start_replica_lookup(adjusted, None, ictx)
+                });
+                self.lookup_to_job.insert(lid, job_id);
+                self.drain_overlay(ctx);
+            }
+            CompMsg::RelayGetReply { rop, value } => {
+                let Some(p) = self.pending.get(&rop) else {
+                    return;
+                };
+                let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
+                let value = if ok { value } else { None };
+                self.finish(rop, ok, value, ctx);
+            }
+            CompMsg::RelayPutReply { rop, ok } => {
+                self.finish(rop, ok, None, ctx);
+            }
+            CompMsg::Fetch { op, key } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, from, CompMsg::FetchReply { op, value });
+            }
+            CompMsg::FetchReply { op, value } => {
+                // `op` is one of our relay-job ids.
+                let Some(job) = self.jobs.remove(&op) else {
+                    return;
+                };
+                let ok = value.as_ref().is_some_and(|v| verify_block(job.key, v));
+                let value = if ok { value } else { None };
+                self.send_data(ctx, job.client, CompMsg::RelayGetReply { rop: job.rop, value });
+            }
+            CompMsg::Store { op, key, value } => {
+                if !verify_block(key, &value) {
+                    self.send_data(ctx, from, CompMsg::StoreAck { op, ok: false });
+                    return;
+                }
+                self.store.put(key, value.clone());
+                self.replicate_in_section(key, &value, ctx);
+                let pair = self.paired_point(key);
+                let lid = self.with_overlay(ctx, |overlay, ictx| {
+                    overlay.start_replica_lookup(pair, None, ictx)
+                });
+                self.cross_lookups
+                    .insert(lid, CrossState { store_op: op, store_client: from, key, value });
+                self.drain_overlay(ctx);
+            }
+            CompMsg::StoreAck { op, ok } => {
+                // `op` is one of our relay-job ids: forward the result.
+                let Some(job) = self.jobs.remove(&op) else {
+                    return;
+                };
+                self.send_data(ctx, job.client, CompMsg::RelayPutReply { rop: job.rop, ok });
+            }
+            CompMsg::CrossCopy { xid, key, value } => {
+                let ok = verify_block(key, &value);
+                if ok {
+                    self.store.put(key, value.clone());
+                    self.replicate_in_section(key, &value, ctx);
+                }
+                self.send_data(ctx, from, CompMsg::CrossCopyAck { xid, ok });
+            }
+            CompMsg::CrossCopyAck { xid, ok } => {
+                if let Some((op, client)) = self.cross_waiting.remove(&xid) {
+                    self.send_data(ctx, client, CompMsg::StoreAck { op, ok });
+                }
+            }
+            CompMsg::Replicate { key, value } => {
+                if verify_block(key, &value) {
+                    self.store.put(key, value);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: CompTimer, ctx: &mut CCtx<'_>) {
+        match timer {
+            CompTimer::Overlay(t) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
+                self.drain_overlay(ctx);
+            }
+            CompTimer::OpDeadline { op } => {
+                self.finish(op, false, None, ctx);
+            }
+            CompTimer::DataStabilize => {
+                let layout = *self.overlay.layout();
+                let mine: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| {
+                        self.is_replica_anchor(**k)
+                            || self.is_replica_anchor(layout.paired_replica_point(**k))
+                    })
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in mine {
+                    self.replicate_in_section(k, &v, ctx);
+                }
+                ctx.set_timer(self.cfg.data_stabilize_interval, CompTimer::DataStabilize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_crypto::{CertificateAuthority, NodeType};
+
+    #[test]
+    fn relay_request_includes_certificate_and_statement() {
+        let mut ca = CertificateAuthority::new(1);
+        let (cert, keys) = ca.issue(7, NodeType::A);
+        let statement = verme_crypto::SignedStatement::sign(&keys, (9u128, 3u64));
+        let get = CompMsg::RelayRequest {
+            rop: 3,
+            cert,
+            statement: statement.clone(),
+            kind: OpKind::Get,
+            key: Id::new(9),
+            value: None,
+        };
+        let put = CompMsg::RelayRequest {
+            rop: 3,
+            cert,
+            statement,
+            kind: OpKind::Put,
+            key: Id::new(9),
+            value: Some(Bytes::from(vec![0u8; 8192])),
+        };
+        assert!(get.wire_size() >= Certificate::WIRE_SIZE + STATEMENT_BYTES);
+        assert!(put.wire_size() > get.wire_size() + 8000);
+    }
+
+    #[test]
+    fn observed_clients_start_empty() {
+        // Structural check that the passive-harvest channel is exposed.
+        let o = ObservedClient { addr: Addr::from_raw(1), node_type: NodeType::A };
+        assert_eq!(o.node_type, NodeType::A);
+    }
+}

@@ -1,0 +1,350 @@
+//! DHash: Chord's DHT layer (paper §5.1), the baseline VerDi is compared
+//! against.
+//!
+//! `get` = lookup + direct fetch from the responsible node;
+//! `put` = lookup + direct store on the responsible node, which acks the
+//! client immediately and replicates to its successors in the background.
+//! Background replication bytes are accounted separately
+//! ([`keys::BYTES_REPLICATION`]), matching the paper's Figure 7 footnote.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use verme_chord::{ChordMsg, ChordNode, ChordTimer, Id};
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::block::{block_key, verify_block, BlockStore};
+
+/// DHash wire messages: the overlay's own messages plus the data plane.
+#[derive(Clone, Debug)]
+pub enum DhashMsg {
+    /// Encapsulated Chord message.
+    Overlay(ChordMsg),
+    /// Direct block fetch from a replica.
+    Fetch {
+        /// Requester's operation id (opaque to the replica).
+        op: u64,
+        /// Block key.
+        key: Id,
+    },
+    /// Fetch response.
+    FetchReply {
+        /// Operation id from the request.
+        op: u64,
+        /// The block, if stored.
+        value: Option<Bytes>,
+    },
+    /// Direct block store on the responsible node.
+    Store {
+        /// Requester's operation id.
+        op: u64,
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+    /// Store acknowledgment.
+    StoreAck {
+        /// Operation id from the request.
+        op: u64,
+        /// Whether the store was accepted.
+        ok: bool,
+    },
+    /// Background replication of a block to a successor.
+    Replicate {
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+}
+
+const HDR: usize = verme_chord::proto::HEADER_BYTES;
+
+impl Wire for DhashMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            DhashMsg::Overlay(m) => m.wire_size(),
+            DhashMsg::Fetch { .. } => HDR + 8 + 16,
+            DhashMsg::FetchReply { value, .. } => {
+                HDR + 8 + 1 + value.as_ref().map_or(0, |v| v.len())
+            }
+            DhashMsg::Store { value, .. } => HDR + 8 + 16 + value.len(),
+            DhashMsg::StoreAck { .. } => HDR + 9,
+            DhashMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+        }
+    }
+}
+
+/// DHash timers.
+#[derive(Clone, Debug)]
+pub enum DhashTimer {
+    /// Encapsulated Chord timer.
+    Overlay(ChordTimer),
+    /// Operation deadline.
+    OpDeadline {
+        /// The guarded operation.
+        op: u64,
+    },
+    /// Periodic background data stabilization.
+    DataStabilize,
+}
+
+struct PendingOp {
+    kind: OpKind,
+    key: Id,
+    value: Option<Bytes>,
+    started: SimTime,
+}
+
+/// A DHash node: a [`ChordNode`] plus the block store and data plane.
+///
+/// Drive operations with [`DhtNode::start_get`]/[`DhtNode::start_put`] via
+/// [`Runtime::invoke`](verme_sim::Runtime::invoke).
+pub struct DhashNode {
+    overlay: ChordNode,
+    cfg: DhtConfig,
+    store: BlockStore,
+    next_op: u64,
+    pending: HashMap<u64, PendingOp>,
+    lookup_to_op: HashMap<u64, u64>,
+    outcomes: Vec<OpOutcome>,
+}
+
+type DCtx<'a> = Ctx<'a, DhashMsg, DhashTimer>;
+
+impl DhashNode {
+    /// Wraps a Chord node (converged or joining) with the DHash layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(overlay: ChordNode, cfg: DhtConfig) -> Self {
+        cfg.validate();
+        DhashNode {
+            overlay,
+            cfg,
+            store: BlockStore::new(),
+            next_op: 0,
+            pending: HashMap::new(),
+            lookup_to_op: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The underlying Chord overlay node.
+    pub fn overlay(&self) -> &ChordNode {
+        &self.overlay
+    }
+
+    /// The local block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn with_overlay<R>(
+        &mut self,
+        ctx: &mut DCtx<'_>,
+        f: impl FnOnce(&mut ChordNode, &mut Ctx<'_, ChordMsg, ChordTimer>) -> R,
+    ) -> R {
+        let overlay = &mut self.overlay;
+
+        ctx.nested(|ictx| f(overlay, ictx), DhashMsg::Overlay, DhashTimer::Overlay)
+    }
+
+    /// Processes overlay lookup completions into DHT data-plane actions.
+    fn drain_overlay_outcomes(&mut self, ctx: &mut DCtx<'_>) {
+        let outcomes = self.overlay.take_outcomes();
+        for o in outcomes {
+            let Some(op) = self.lookup_to_op.remove(&o.seq) else {
+                continue;
+            };
+            let Some(p) = self.pending.get(&op) else {
+                continue;
+            };
+            let Some(result) = o.result else {
+                self.finish(op, false, None, ctx);
+                continue;
+            };
+            let responsible = result.responsible();
+            match p.kind {
+                OpKind::Get => {
+                    let key = p.key;
+                    self.send_data(ctx, responsible.addr, DhashMsg::Fetch { op, key });
+                }
+                OpKind::Put => {
+                    let key = p.key;
+                    let value = p.value.clone().expect("puts carry a value");
+                    self.send_data(ctx, responsible.addr, DhashMsg::Store { op, key, value });
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut DCtx<'_>) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(p.started);
+        if ok {
+            match p.kind {
+                OpKind::Get => {
+                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::GET_COMPLETED, 1);
+                }
+                OpKind::Put => {
+                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
+                }
+            }
+        } else {
+            ctx.metrics().count(keys::OP_FAILED, 1);
+        }
+        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+    }
+
+    /// Replicates `key` to this node's first `replicas - 1` successors
+    /// (background traffic).
+    fn replicate_out(&mut self, key: Id, value: &Bytes, ctx: &mut DCtx<'_>) {
+        let succs: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .take(self.cfg.replicas.saturating_sub(1))
+            .map(|h| h.addr)
+            .collect();
+        for addr in succs {
+            let msg = DhashMsg::Replicate { key, value: value.clone() };
+            ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+            ctx.send(addr, msg);
+        }
+    }
+
+    fn send_data(&mut self, ctx: &mut DCtx<'_>, to: Addr, msg: DhashMsg) {
+        ctx.metrics().count(keys::BYTES_DATA, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// True if this node believes it is responsible for `key`.
+    fn responsible_for(&self, key: Id) -> bool {
+        match self.overlay.predecessor() {
+            Some(p) => key.in_open_closed(p.id, self.overlay.id()),
+            None => true,
+        }
+    }
+}
+
+impl DhtNode for DhashNode {
+    fn start_put(&mut self, value: Bytes, ctx: &mut DCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        let key = block_key(&value);
+        self.pending.insert(
+            op,
+            PendingOp { kind: OpKind::Put, key, value: Some(value), started: ctx.now() },
+        );
+        ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
+        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
+        self.lookup_to_op.insert(seq, op);
+        self.drain_overlay_outcomes(ctx);
+        op
+    }
+
+    fn start_get(&mut self, key: Id, ctx: &mut DCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending
+            .insert(op, PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now() });
+        ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
+        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
+        self.lookup_to_op.insert(seq, op);
+        self.drain_overlay_outcomes(ctx);
+        op
+    }
+
+    fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Node for DhashNode {
+    type Msg = DhashMsg;
+    type Timer = DhashTimer;
+
+    fn on_start(&mut self, ctx: &mut DCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_start(ictx));
+        let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
+        let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
+        ctx.set_timer(phase, DhashTimer::DataStabilize);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: DhashMsg, ctx: &mut DCtx<'_>) {
+        match msg {
+            DhashMsg::Overlay(m) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
+                self.drain_overlay_outcomes(ctx);
+            }
+            DhashMsg::Fetch { op, key } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, from, DhashMsg::FetchReply { op, value });
+            }
+            DhashMsg::FetchReply { op, value } => {
+                let Some(p) = self.pending.get(&op) else {
+                    return;
+                };
+                let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
+                let value = if ok { value } else { None };
+                self.finish(op, ok, value, ctx);
+            }
+            DhashMsg::Store { op, key, value } => {
+                let ok = verify_block(key, &value);
+                if ok {
+                    self.store.put(key, value.clone());
+                    self.replicate_out(key, &value, ctx);
+                }
+                self.send_data(ctx, from, DhashMsg::StoreAck { op, ok });
+            }
+            DhashMsg::StoreAck { op, ok } => {
+                self.finish(op, ok, None, ctx);
+            }
+            DhashMsg::Replicate { key, value } => {
+                if verify_block(key, &value) {
+                    self.store.put(key, value);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: DhashTimer, ctx: &mut DCtx<'_>) {
+        match timer {
+            DhashTimer::Overlay(t) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
+                self.drain_overlay_outcomes(ctx);
+            }
+            DhashTimer::OpDeadline { op } => {
+                self.finish(op, false, None, ctx);
+            }
+            DhashTimer::DataStabilize => {
+                // Re-replicate blocks we are responsible for, so churn
+                // does not erode the replication level.
+                let mine: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.responsible_for(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in mine {
+                    self.replicate_out(k, &v, ctx);
+                }
+                ctx.set_timer(self.cfg.data_stabilize_interval, DhashTimer::DataStabilize);
+            }
+        }
+    }
+}

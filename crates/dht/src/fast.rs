@@ -1,0 +1,510 @@
+//! Fast-VerDi (paper §5.3.1): the performance end of the VerDi spectrum.
+//!
+//! `get` = type-adjusted replica lookup (the overlay returns opposite-type
+//! replica addresses, sealed) + direct fetch.
+//! `put` = type-adjusted lookup + direct store on the responsible node,
+//! which first copies the block to the *other* replica point (the
+//! opposite-type section) and only then acknowledges the client — the
+//! extra copy visible in Figures 6 and 7.
+//!
+//! Fast-VerDi's known weakness — an impersonating node can harvest
+//! replica addresses by issuing lookups — is exactly what the Figure 8
+//! worm experiment exploits.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use verme_chord::Id;
+use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::block::{block_key, verify_block, BlockStore};
+
+/// Fast-VerDi wire messages.
+#[derive(Clone, Debug)]
+pub enum FastMsg {
+    /// Encapsulated Verme message (no piggyback: Fast-VerDi keeps data off
+    /// the lookup path).
+    Overlay(VermeMsg<()>),
+    /// Direct block fetch from a replica.
+    Fetch {
+        /// Requester's operation id.
+        op: u64,
+        /// Block key.
+        key: Id,
+    },
+    /// Fetch response.
+    FetchReply {
+        /// Operation id from the request.
+        op: u64,
+        /// The block, if stored.
+        value: Option<Bytes>,
+    },
+    /// Direct block store on the responsible node.
+    Store {
+        /// Requester's operation id.
+        op: u64,
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+    /// Store acknowledgment (sent only after the cross-section copy).
+    StoreAck {
+        /// Operation id from the request.
+        op: u64,
+        /// Whether the store (and cross copy) succeeded.
+        ok: bool,
+    },
+    /// Copy of a block to the responsible node of the *other* replica
+    /// point (opposite type).
+    CrossCopy {
+        /// Copy transaction id.
+        xid: u64,
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+    /// Cross-copy acknowledgment.
+    CrossCopyAck {
+        /// Transaction id from the request.
+        xid: u64,
+        /// Whether the copy was stored.
+        ok: bool,
+    },
+    /// Background in-section replication.
+    Replicate {
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+}
+
+const HDR: usize = verme_chord::proto::HEADER_BYTES;
+
+impl Wire for FastMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            FastMsg::Overlay(m) => m.wire_size(),
+            FastMsg::Fetch { .. } => HDR + 8 + 16,
+            FastMsg::FetchReply { value, .. } => {
+                HDR + 8 + 1 + value.as_ref().map_or(0, |v| v.len())
+            }
+            FastMsg::Store { value, .. } => HDR + 8 + 16 + value.len(),
+            FastMsg::StoreAck { .. } => HDR + 9,
+            FastMsg::CrossCopy { value, .. } => HDR + 8 + 16 + value.len(),
+            FastMsg::CrossCopyAck { .. } => HDR + 9,
+            FastMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+        }
+    }
+}
+
+/// Fast-VerDi timers.
+#[derive(Clone, Debug)]
+pub enum FastTimer {
+    /// Encapsulated Verme timer.
+    Overlay(VermeTimer),
+    /// Operation deadline.
+    OpDeadline {
+        /// The guarded operation.
+        op: u64,
+    },
+    /// Periodic background data stabilization.
+    DataStabilize,
+}
+
+struct PendingOp {
+    kind: OpKind,
+    key: Id,
+    value: Option<Bytes>,
+    started: SimTime,
+}
+
+/// The responsible node's state while it cross-copies a freshly stored
+/// block to the opposite-type replica point.
+struct CrossState {
+    client_op: u64,
+    client: Addr,
+    key: Id,
+    value: Bytes,
+}
+
+/// A Fast-VerDi node: a bare [`VermeNode`] plus the direct data plane with
+/// cross-section copies.
+pub struct FastVerDiNode {
+    overlay: VermeNode<()>,
+    cfg: DhtConfig,
+    store: BlockStore,
+    next_op: u64,
+    next_xid: u64,
+    pending: HashMap<u64, PendingOp>,
+    lookup_to_op: HashMap<u64, u64>,
+    /// Cross-copy lookups this node (as responsible) has in flight.
+    lookup_to_cross: HashMap<u64, CrossState>,
+    /// Cross copies awaiting acknowledgment, by xid.
+    cross_waiting: HashMap<u64, (u64, Addr)>,
+    outcomes: Vec<OpOutcome>,
+}
+
+type FCtx<'a> = Ctx<'a, FastMsg, FastTimer>;
+
+impl FastVerDiNode {
+    /// Wraps a Verme overlay node with the Fast-VerDi data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(overlay: VermeNode<()>, cfg: DhtConfig) -> Self {
+        cfg.validate();
+        FastVerDiNode {
+            overlay,
+            cfg,
+            store: BlockStore::new(),
+            next_op: 0,
+            next_xid: 0,
+            pending: HashMap::new(),
+            lookup_to_op: HashMap::new(),
+            lookup_to_cross: HashMap::new(),
+            cross_waiting: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The underlying Verme overlay node.
+    pub fn overlay(&self) -> &VermeNode<()> {
+        &self.overlay
+    }
+
+    /// The local block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn with_overlay<R>(
+        &mut self,
+        ctx: &mut FCtx<'_>,
+        f: impl FnOnce(&mut VermeNode<()>, &mut Ctx<'_, VermeMsg<()>, VermeTimer>) -> R,
+    ) -> R {
+        let overlay = &mut self.overlay;
+        ctx.nested(|ictx| f(overlay, ictx), FastMsg::Overlay, FastTimer::Overlay)
+    }
+
+    fn drain_overlay(&mut self, ctx: &mut FCtx<'_>) {
+        for o in self.overlay.take_outcomes() {
+            if let Some(op) = self.lookup_to_op.remove(&o.lid) {
+                self.continue_op(op, o.answer, ctx);
+            } else if let Some(cross) = self.lookup_to_cross.remove(&o.lid) {
+                self.continue_cross(cross, o.answer, ctx);
+            }
+        }
+        // Fast-VerDi never piggybacks, so answer requests cannot appear;
+        // drain defensively anyway.
+        debug_assert!(self.overlay.take_answer_requests().is_empty());
+    }
+
+    fn continue_op(&mut self, op: u64, answer: Option<VermeAnswer>, ctx: &mut FCtx<'_>) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                self.finish(op, false, None, ctx);
+                return;
+            }
+        };
+        let target = replicas[0];
+        match p.kind {
+            OpKind::Get => {
+                let key = p.key;
+                self.send_data(ctx, target.addr, FastMsg::Fetch { op, key });
+            }
+            OpKind::Put => {
+                let key = p.key;
+                let value = p.value.clone().expect("puts carry a value");
+                self.send_data(ctx, target.addr, FastMsg::Store { op, key, value });
+            }
+        }
+    }
+
+    fn continue_cross(
+        &mut self,
+        cross: CrossState,
+        answer: Option<VermeAnswer>,
+        ctx: &mut FCtx<'_>,
+    ) {
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                // Cannot reach the paired section: the put fails honestly.
+                self.send_data(
+                    ctx,
+                    cross.client,
+                    FastMsg::StoreAck { op: cross.client_op, ok: false },
+                );
+                return;
+            }
+        };
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.cross_waiting.insert(xid, (cross.client_op, cross.client));
+        self.send_data(
+            ctx,
+            replicas[0].addr,
+            FastMsg::CrossCopy { xid, key: cross.key, value: cross.value },
+        );
+    }
+
+    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut FCtx<'_>) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(p.started);
+        if ok {
+            match p.kind {
+                OpKind::Get => {
+                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::GET_COMPLETED, 1);
+                }
+                OpKind::Put => {
+                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
+                }
+            }
+        } else {
+            ctx.metrics().count(keys::OP_FAILED, 1);
+        }
+        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+    }
+
+    fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut FCtx<'_>) {
+        let layout = *self.overlay.layout();
+        let me = self.overlay.id();
+        let peers: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        for addr in peers {
+            let msg = FastMsg::Replicate { key, value: value.clone() };
+            ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+            ctx.send(addr, msg);
+        }
+    }
+
+    /// True if this node anchors the replica set for `point` (it is the
+    /// first in-section node at or after the point, or — in the §5.2
+    /// corner — the last one before it). Only the anchor re-replicates a
+    /// block during data stabilization; without this check every holder
+    /// would push copies to *its own* successors and the block would
+    /// creep across the whole section over time.
+    fn is_replica_anchor(&self, point: verme_chord::Id) -> bool {
+        let layout = self.overlay.layout();
+        let me = self.overlay.id();
+        if !layout.same_section(point, me) {
+            return false;
+        }
+        if point.distance_to(me) < layout.section_len() {
+            // Forward side: anchor iff no in-section node in [point, me).
+            !self
+                .overlay
+                .predecessor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_closed_open(point, me))
+        } else {
+            // Corner side: anchor iff no in-section node in (me, point].
+            !self
+                .overlay
+                .successor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_open_closed(me, point))
+        }
+    }
+
+    fn send_data(&mut self, ctx: &mut FCtx<'_>, to: Addr, msg: FastMsg) {
+        ctx.metrics().count(keys::BYTES_DATA, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// The other replica point for a key this node just stored: if we sit
+    /// in the key's own section, the pair is one section forward; if the
+    /// client stored at the shifted point (we sit in `key + section_len`'s
+    /// section), the pair is the key's natural point. Either way the
+    /// pair's section has the opposite type of ours, so the §5.3.1 check
+    /// permits our lookup.
+    fn paired_point(&self, key: Id) -> Id {
+        let layout = self.overlay.layout();
+        if layout.same_section(key, self.overlay.id()) {
+            layout.paired_replica_point(key)
+        } else {
+            key
+        }
+    }
+}
+
+impl DhtNode for FastVerDiNode {
+    fn start_put(&mut self, value: Bytes, ctx: &mut FCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        let key = block_key(&value);
+        self.pending.insert(
+            op,
+            PendingOp { kind: OpKind::Put, key, value: Some(value), started: ctx.now() },
+        );
+        ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
+        let my_type = self.overlay.node_type();
+        let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
+        let lid = self
+            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
+        self.lookup_to_op.insert(lid, op);
+        self.drain_overlay(ctx);
+        op
+    }
+
+    fn start_get(&mut self, key: Id, ctx: &mut FCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending
+            .insert(op, PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now() });
+        ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
+        let my_type = self.overlay.node_type();
+        let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
+        let lid = self
+            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
+        self.lookup_to_op.insert(lid, op);
+        self.drain_overlay(ctx);
+        op
+    }
+
+    fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Node for FastVerDiNode {
+    type Msg = FastMsg;
+    type Timer = FastTimer;
+
+    fn on_start(&mut self, ctx: &mut FCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_start(ictx));
+        let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
+        let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
+        ctx.set_timer(phase, FastTimer::DataStabilize);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: FastMsg, ctx: &mut FCtx<'_>) {
+        match msg {
+            FastMsg::Overlay(m) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
+                self.drain_overlay(ctx);
+            }
+            FastMsg::Fetch { op, key } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, from, FastMsg::FetchReply { op, value });
+            }
+            FastMsg::FetchReply { op, value } => {
+                let Some(p) = self.pending.get(&op) else {
+                    return;
+                };
+                let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
+                let value = if ok { value } else { None };
+                self.finish(op, ok, value, ctx);
+            }
+            FastMsg::Store { op, key, value } => {
+                if !verify_block(key, &value) {
+                    self.send_data(ctx, from, FastMsg::StoreAck { op, ok: false });
+                    return;
+                }
+                self.store.put(key, value.clone());
+                self.replicate_in_section(key, &value, ctx);
+                // §5.3.1: before acking the client, copy the block to the
+                // responsible node of the opposite-type replica point.
+                let pair = self.paired_point(key);
+                let lid = self.with_overlay(ctx, |overlay, ictx| {
+                    overlay.start_replica_lookup(pair, None, ictx)
+                });
+                self.lookup_to_cross
+                    .insert(lid, CrossState { client_op: op, client: from, key, value });
+                self.drain_overlay(ctx);
+            }
+            FastMsg::StoreAck { op, ok } => {
+                self.finish(op, ok, None, ctx);
+            }
+            FastMsg::CrossCopy { xid, key, value } => {
+                let ok = verify_block(key, &value);
+                if ok {
+                    self.store.put(key, value.clone());
+                    self.replicate_in_section(key, &value, ctx);
+                }
+                self.send_data(ctx, from, FastMsg::CrossCopyAck { xid, ok });
+            }
+            FastMsg::CrossCopyAck { xid, ok } => {
+                if let Some((client_op, client)) = self.cross_waiting.remove(&xid) {
+                    self.send_data(ctx, client, FastMsg::StoreAck { op: client_op, ok });
+                }
+            }
+            FastMsg::Replicate { key, value } => {
+                if verify_block(key, &value) {
+                    self.store.put(key, value);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: FastTimer, ctx: &mut FCtx<'_>) {
+        match timer {
+            FastTimer::Overlay(t) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
+                self.drain_overlay(ctx);
+            }
+            FastTimer::OpDeadline { op } => {
+                self.finish(op, false, None, ctx);
+            }
+            FastTimer::DataStabilize => {
+                let layout = *self.overlay.layout();
+                let mine: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| {
+                        self.is_replica_anchor(**k)
+                            || self.is_replica_anchor(layout.paired_replica_point(**k))
+                    })
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in mine {
+                    self.replicate_in_section(k, &v, ctx);
+                }
+                ctx.set_timer(self.cfg.data_stabilize_interval, FastTimer::DataStabilize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_block_size() {
+        let big = Bytes::from(vec![0u8; 8192]);
+        let small = Bytes::from(vec![0u8; 16]);
+        let sb = FastMsg::Store { op: 1, key: Id::new(1), value: big.clone() };
+        let ss = FastMsg::Store { op: 1, key: Id::new(1), value: small };
+        assert!(sb.wire_size() > ss.wire_size() + 8000);
+        assert!(FastMsg::StoreAck { op: 1, ok: true }.wire_size() < 64);
+        let cc = FastMsg::CrossCopy { xid: 1, key: Id::new(1), value: big };
+        assert!(cc.wire_size() > 8192);
+    }
+}

@@ -1,0 +1,34 @@
+//! # verme-dht — DHash and the three VerDi variants
+//!
+//! The DHT layer of the reproduction (paper §5): the DHash baseline on
+//! Chord, and the three VerDi designs on the Verme overlay, spanning the
+//! performance/security trade-off of §5.3:
+//!
+//! | System | Lookup | Data path | Impersonation exposure |
+//! |---|---|---|---|
+//! | [`DhashNode`] | Chord | direct fetch/store | n/a (no defenses) |
+//! | [`FastVerDiNode`] | Verme, type-adjusted | direct + cross-section copy | active harvesting via lookups |
+//! | [`SecureVerDiNode`] | Verme, piggybacked | data rides the lookup | O(log n) neighbor sections only |
+//! | [`CompromiseVerDiNode`] | via an opposite-type relay | relay runs the Fast flow | passive observation at relays |
+//!
+//! All four implement [`DhtNode`], so experiment harnesses drive them
+//! generically.
+
+pub mod api;
+pub mod block;
+pub mod compromise;
+pub mod dhash;
+pub mod fast;
+pub mod fragments;
+pub mod secure;
+
+pub use api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+pub use block::{block_key, verify_block, BlockStore};
+pub use compromise::{CompMsg, CompTimer, CompromiseVerDiNode, ObservedClient};
+pub use dhash::{DhashMsg, DhashNode, DhashTimer};
+pub use fast::{FastMsg, FastTimer, FastVerDiNode};
+pub use fragments::{
+    decode as decode_fragments, encode as encode_fragments, prepare_fragmented, reassemble,
+    Fragment, Manifest,
+};
+pub use secure::{SecureMsg, SecurePayload, SecureTimer, SecureVerDiNode};

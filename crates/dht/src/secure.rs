@@ -1,0 +1,401 @@
+//! Secure-VerDi (paper §5.3.2): the security end of the VerDi spectrum.
+//!
+//! The DHT operation is piggybacked inside the recursive lookup itself:
+//! a `get`'s data rides back along the reverse lookup path (sealed to the
+//! initiator), and a `put`'s data rides the forward path. No node ever
+//! learns a non-neighbor's address — an impersonating node can at most
+//! infect the sections of its own O(log n) overlay neighbors — at the
+//! price of a data transfer on *every* hop, which is what Figures 6 and 7
+//! charge it for.
+//!
+//! Because replies never carry addresses, Secure-VerDi does not need
+//! dual-section replication: data is stored only at the key's natural
+//! replica point (§5.3.2, "data does not need to be replicated in two
+//! sections").
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use verme_chord::Id;
+use verme_core::{Payload, VermeMsg, VermeNode, VermeTimer};
+use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::block::{verify_block, BlockStore};
+
+/// The operation payload piggybacked inside Secure-VerDi lookups and
+/// their sealed replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SecurePayload {
+    /// Forward path: retrieve the block stored under `key`.
+    GetReq {
+        /// Block key.
+        key: Id,
+    },
+    /// Forward path: store `value` under `key`.
+    PutReq {
+        /// Block key.
+        key: Id,
+        /// Block contents (travels the whole lookup path).
+        value: Bytes,
+    },
+    /// Reverse path: the block (travels the whole reverse path, sealed).
+    GetResp {
+        /// The block, if stored.
+        value: Option<Bytes>,
+    },
+    /// Reverse path: store acknowledgment.
+    PutResp {
+        /// Whether the block was stored.
+        ok: bool,
+    },
+}
+
+impl Payload for SecurePayload {
+    fn wire_size(&self) -> usize {
+        match self {
+            SecurePayload::GetReq { .. } => 17,
+            SecurePayload::PutReq { value, .. } => 17 + value.len(),
+            SecurePayload::GetResp { value } => 1 + value.as_ref().map_or(0, |v| v.len()),
+            SecurePayload::PutResp { .. } => 2,
+        }
+    }
+}
+
+/// Secure-VerDi wire messages: the overlay (with piggyback) plus
+/// background replication.
+#[derive(Clone, Debug)]
+pub enum SecureMsg {
+    /// Encapsulated Verme message carrying [`SecurePayload`] piggybacks.
+    Overlay(VermeMsg<SecurePayload>),
+    /// Background in-section replication.
+    Replicate {
+        /// Block key.
+        key: Id,
+        /// Block contents.
+        value: Bytes,
+    },
+}
+
+const HDR: usize = verme_chord::proto::HEADER_BYTES;
+
+impl Wire for SecureMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            SecureMsg::Overlay(m) => m.wire_size(),
+            SecureMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+        }
+    }
+}
+
+/// Secure-VerDi timers.
+#[derive(Clone, Debug)]
+pub enum SecureTimer {
+    /// Encapsulated Verme timer.
+    Overlay(VermeTimer),
+    /// Operation deadline.
+    OpDeadline {
+        /// The guarded operation.
+        op: u64,
+    },
+    /// Periodic background data stabilization.
+    DataStabilize,
+}
+
+struct PendingOp {
+    kind: OpKind,
+    key: Id,
+    started: SimTime,
+}
+
+/// A Secure-VerDi node: a payload-carrying [`VermeNode`] plus the block
+/// store. There is no separate data plane — data rides the lookups.
+pub struct SecureVerDiNode {
+    overlay: VermeNode<SecurePayload>,
+    cfg: DhtConfig,
+    store: BlockStore,
+    next_op: u64,
+    pending: HashMap<u64, PendingOp>,
+    lookup_to_op: HashMap<u64, u64>,
+    outcomes: Vec<OpOutcome>,
+}
+
+type SCtx<'a> = Ctx<'a, SecureMsg, SecureTimer>;
+
+impl SecureVerDiNode {
+    /// Wraps a Verme overlay node with the Secure-VerDi layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(overlay: VermeNode<SecurePayload>, cfg: DhtConfig) -> Self {
+        cfg.validate();
+        SecureVerDiNode {
+            overlay,
+            cfg,
+            store: BlockStore::new(),
+            next_op: 0,
+            pending: HashMap::new(),
+            lookup_to_op: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The underlying Verme overlay node.
+    pub fn overlay(&self) -> &VermeNode<SecurePayload> {
+        &self.overlay
+    }
+
+    /// The local block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn with_overlay<R>(
+        &mut self,
+        ctx: &mut SCtx<'_>,
+        f: impl FnOnce(
+            &mut VermeNode<SecurePayload>,
+            &mut Ctx<'_, VermeMsg<SecurePayload>, VermeTimer>,
+        ) -> R,
+    ) -> R {
+        let overlay = &mut self.overlay;
+        ctx.nested(|ictx| f(overlay, ictx), SecureMsg::Overlay, SecureTimer::Overlay)
+    }
+
+    /// Handles both directions of the piggyback protocol after any
+    /// delegated overlay call.
+    fn drain_overlay(&mut self, ctx: &mut SCtx<'_>) {
+        // 1. Operations that reached us as the responsible node.
+        let requests = self.overlay.take_answer_requests();
+        for req in requests {
+            let resp = match req.payload {
+                SecurePayload::GetReq { key } => {
+                    SecurePayload::GetResp { value: self.store.get(key).cloned() }
+                }
+                SecurePayload::PutReq { key, value } => {
+                    let ok = verify_block(key, &value);
+                    if ok {
+                        self.store.put(key, value.clone());
+                        self.replicate_in_section(key, &value, ctx);
+                    }
+                    SecurePayload::PutResp { ok }
+                }
+                // Response payloads never appear on the forward path.
+                other @ (SecurePayload::GetResp { .. } | SecurePayload::PutResp { .. }) => {
+                    debug_assert!(false, "response payload on forward path: {other:?}");
+                    continue;
+                }
+            };
+            let lid = req.lid;
+            self.with_overlay(ctx, |overlay, ictx| overlay.send_answer(lid, Some(resp), ictx));
+        }
+        // 2. Completions of operations we initiated.
+        for o in self.overlay.take_outcomes() {
+            let Some(op) = self.lookup_to_op.remove(&o.lid) else {
+                continue;
+            };
+            match o.app {
+                Some(SecurePayload::GetResp { value }) => {
+                    let key = self.pending.get(&op).map(|p| p.key);
+                    let ok = match (&value, key) {
+                        (Some(v), Some(k)) => verify_block(k, v),
+                        _ => false,
+                    };
+                    self.finish(op, ok, if ok { value } else { None }, ctx);
+                }
+                Some(SecurePayload::PutResp { ok }) => {
+                    self.finish(op, ok, None, ctx);
+                }
+                _ => self.finish(op, false, None, ctx),
+            }
+        }
+    }
+
+    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(p.started);
+        if ok {
+            match p.kind {
+                OpKind::Get => {
+                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::GET_COMPLETED, 1);
+                }
+                OpKind::Put => {
+                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
+                }
+            }
+        } else {
+            ctx.metrics().count(keys::OP_FAILED, 1);
+        }
+        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+    }
+
+    /// True if this node anchors the replica set for `point` (it is the
+    /// first in-section node at or after the point, or — in the §5.2
+    /// corner — the last one before it). Only the anchor re-replicates a
+    /// block during data stabilization; without this check every holder
+    /// would push copies to *its own* successors and the block would
+    /// creep across the whole section over time.
+    fn is_replica_anchor(&self, point: verme_chord::Id) -> bool {
+        let layout = self.overlay.layout();
+        let me = self.overlay.id();
+        if !layout.same_section(point, me) {
+            return false;
+        }
+        if point.distance_to(me) < layout.section_len() {
+            // Forward side: anchor iff no in-section node in [point, me).
+            !self
+                .overlay
+                .predecessor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_closed_open(point, me))
+        } else {
+            // Corner side: anchor iff no in-section node in (me, point].
+            !self
+                .overlay
+                .successor_list()
+                .iter()
+                .any(|h| layout.same_section(h.id, point) && h.id.in_open_closed(me, point))
+        }
+    }
+
+    fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut SCtx<'_>) {
+        let layout = *self.overlay.layout();
+        let me = self.overlay.id();
+        let peers: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        for addr in peers {
+            let msg = SecureMsg::Replicate { key, value: value.clone() };
+            ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+            ctx.send(addr, msg);
+        }
+    }
+}
+
+impl DhtNode for SecureVerDiNode {
+    fn start_put(&mut self, value: Bytes, ctx: &mut SCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        let key = crate::block::block_key(&value);
+        self.pending.insert(op, PendingOp { kind: OpKind::Put, key, started: ctx.now() });
+        ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
+        let payload = SecurePayload::PutReq { key, value };
+        let lid = self.with_overlay(ctx, |overlay, ictx| {
+            overlay.start_replica_lookup(key, Some(payload), ictx)
+        });
+        self.lookup_to_op.insert(lid, op);
+        self.drain_overlay(ctx);
+        op
+    }
+
+    fn start_get(&mut self, key: Id, ctx: &mut SCtx<'_>) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(op, PendingOp { kind: OpKind::Get, key, started: ctx.now() });
+        ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
+        let payload = SecurePayload::GetReq { key };
+        let lid = self.with_overlay(ctx, |overlay, ictx| {
+            overlay.start_replica_lookup(key, Some(payload), ictx)
+        });
+        self.lookup_to_op.insert(lid, op);
+        self.drain_overlay(ctx);
+        op
+    }
+
+    fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Node for SecureVerDiNode {
+    type Msg = SecureMsg;
+    type Timer = SecureTimer;
+
+    fn on_start(&mut self, ctx: &mut SCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_start(ictx));
+        let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
+        let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
+        ctx.set_timer(phase, SecureTimer::DataStabilize);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: SecureMsg, ctx: &mut SCtx<'_>) {
+        match msg {
+            SecureMsg::Overlay(m) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
+                self.drain_overlay(ctx);
+            }
+            SecureMsg::Replicate { key, value } => {
+                if verify_block(key, &value) {
+                    self.store.put(key, value);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: SecureTimer, ctx: &mut SCtx<'_>) {
+        match timer {
+            SecureTimer::Overlay(t) => {
+                self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
+                self.drain_overlay(ctx);
+            }
+            SecureTimer::OpDeadline { op } => {
+                self.finish(op, false, None, ctx);
+            }
+            SecureTimer::DataStabilize => {
+                let mine: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.is_replica_anchor(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in mine {
+                    self.replicate_in_section(k, &v, ctx);
+                }
+                ctx.set_timer(self.cfg.data_stabilize_interval, SecureTimer::DataStabilize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_track_data() {
+        let key = Id::new(1);
+        let small = SecurePayload::GetReq { key };
+        let data = Bytes::from(vec![0u8; 8192]);
+        let put = SecurePayload::PutReq { key, value: data.clone() };
+        let resp = SecurePayload::GetResp { value: Some(data) };
+        let empty_resp = SecurePayload::GetResp { value: None };
+        assert!(small.wire_size() < 32);
+        assert!(put.wire_size() >= 8192);
+        assert!(resp.wire_size() >= 8192);
+        assert!(empty_resp.wire_size() < 8);
+        assert_eq!(SecurePayload::PutResp { ok: true }.wire_size(), 2);
+    }
+
+    #[test]
+    fn overlay_messages_carry_payload_bytes() {
+        use verme_sim::Wire as _;
+        let r = SecureMsg::Replicate { key: Id::new(1), value: Bytes::from(vec![0u8; 100]) };
+        assert!(r.wire_size() > 100);
+    }
+}

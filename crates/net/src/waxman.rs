@@ -1,0 +1,239 @@
+//! The Waxman random-graph topology — the second structural model from
+//! the paper's internetwork-modelling citation (Zegura, Calvert,
+//! Bhattacharjee, "How to model an internetwork", which compares flat
+//! random, Waxman, and transit-stub generators).
+//!
+//! Used here as a robustness check for the §7.2 experiments: swapping the
+//! transit-stub network for a Waxman graph must not change which DHT
+//! wins, only the absolute numbers. Hosts are placed uniformly in a unit
+//! square; each pair is connected with the classic Waxman probability
+//! `P(u, v) = α · exp(−d(u,v) / (β · L))`, link latency is proportional
+//! to Euclidean distance, and a spanning tree guarantees connectivity.
+
+use rand::Rng;
+
+use verme_sim::{HostId, LatencyModel, SeedSource, SimDuration};
+
+/// Parameters of a [`Waxman`] topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaxmanConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Waxman α: overall edge density (0, 1].
+    pub alpha: f64,
+    /// Waxman β: how sharply edge probability decays with distance (0, 1].
+    pub beta: f64,
+    /// Latency of a link spanning the full unit-square diagonal, in
+    /// milliseconds (links scale linearly with distance).
+    pub diagonal_ms: f64,
+    /// Bandwidth of every link, bits per second (Waxman graphs are flat;
+    /// one access class).
+    pub link_bw_bps: f64,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        WaxmanConfig {
+            hosts: 1024,
+            alpha: 0.15,
+            beta: 0.25,
+            diagonal_ms: 120.0,
+            link_bw_bps: 256e3,
+        }
+    }
+}
+
+/// A Waxman random topology with shortest-path routing.
+///
+/// # Example
+///
+/// ```
+/// use verme_net::waxman::{Waxman, WaxmanConfig};
+/// use verme_sim::{HostId, LatencyModel};
+///
+/// let cfg = WaxmanConfig { hosts: 64, ..WaxmanConfig::default() };
+/// let mut net = Waxman::generate(cfg, 3);
+/// assert!(net.delay(HostId(0), HostId(63), 100).as_millis_f64() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Waxman {
+    hosts: usize,
+    /// All-pairs shortest-path latency (ms), row-major.
+    dist_ms: Vec<f32>,
+    link_bw_bps: f64,
+}
+
+impl Waxman {
+    /// Generates a topology deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0`, α/β are outside `(0, 1]`, or the latency /
+    /// bandwidth parameters are not positive.
+    pub fn generate(config: WaxmanConfig, seed: u64) -> Self {
+        assert!(config.hosts > 0, "need at least one host");
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(config.beta > 0.0 && config.beta <= 1.0, "beta must be in (0,1]");
+        assert!(
+            config.diagonal_ms.is_finite() && config.diagonal_ms > 0.0,
+            "diagonal latency must be positive"
+        );
+        assert!(
+            config.link_bw_bps.is_finite() && config.link_bw_bps > 0.0,
+            "bandwidth must be positive"
+        );
+        let n = config.hosts;
+        let mut rng = SeedSource::new(seed).stream("waxman");
+        let points: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let diag = 2f64.sqrt();
+        let dist =
+            |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+
+        const INF: f32 = f32::INFINITY;
+        let mut d = vec![INF; n * n];
+        let add_edge = |d: &mut Vec<f32>, i: usize, j: usize| {
+            let ms = (dist(points[i], points[j]) / diag * config.diagonal_ms).max(0.1) as f32;
+            let (a, b) = (i * n + j, j * n + i);
+            if ms < d[a] {
+                d[a] = ms;
+                d[b] = ms;
+            }
+        };
+        // Waxman edges.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let p = config.alpha * (-dist(points[i], points[j]) / (config.beta * diag)).exp();
+                if rng.gen::<f64>() < p {
+                    add_edge(&mut d, i, j);
+                }
+            }
+        }
+        // Connectivity guarantee: chain each host to a random earlier one
+        // (a random spanning tree), as generators conventionally do.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            add_edge(&mut d, i, j);
+        }
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+        }
+        // Floyd–Warshall.
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let t = dik + d[k * n + j];
+                    if t < d[i * n + j] {
+                        d[i * n + j] = t;
+                    }
+                }
+            }
+        }
+        debug_assert!(d.iter().all(|v| v.is_finite()), "spanning tree guarantees connectivity");
+        Waxman { hosts: n, dist_ms: d, link_bw_bps: config.link_bw_bps }
+    }
+
+    /// One-way propagation latency between two hosts, milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host is out of range.
+    pub fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        assert!(a.0 < self.hosts && b.0 < self.hosts, "host out of range");
+        self.dist_ms[a.0 * self.hosts + b.0].max(0.05) as f64
+    }
+}
+
+impl LatencyModel for Waxman {
+    fn delay(&mut self, from: HostId, to: HostId, bytes: usize) -> SimDuration {
+        let ser_s = if from == to { 0.0 } else { bytes as f64 * 8.0 / self.link_bw_bps };
+        SimDuration::from_secs_f64(self.latency_ms(from, to) / 1e3 + ser_s)
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Waxman {
+        Waxman::generate(WaxmanConfig { hosts: 48, ..WaxmanConfig::default() }, 9)
+    }
+
+    #[test]
+    fn connected_and_symmetric() {
+        let net = small();
+        for a in 0..48 {
+            for b in 0..48 {
+                let l = net.latency_ms(HostId(a), HostId(b));
+                assert!(l.is_finite() && l > 0.0);
+                assert_eq!(l, net.latency_ms(HostId(b), HostId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let net = small();
+        let n = 48;
+        for i in (0..n).step_by(5) {
+            for j in (0..n).step_by(7) {
+                for k in (0..n).step_by(11) {
+                    let dij = net.latency_ms(HostId(i), HostId(j));
+                    let dik = net.latency_ms(HostId(i), HostId(k));
+                    let dkj = net.latency_ms(HostId(k), HostId(j));
+                    assert!(dij <= dik + dkj + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = Waxman::generate(WaxmanConfig { hosts: 24, ..Default::default() }, 1);
+        let b = Waxman::generate(WaxmanConfig { hosts: 24, ..Default::default() }, 1);
+        let c = Waxman::generate(WaxmanConfig { hosts: 24, ..Default::default() }, 2);
+        assert_eq!(a.dist_ms, b.dist_ms);
+        assert_ne!(a.dist_ms, c.dist_ms);
+    }
+
+    #[test]
+    fn denser_alpha_means_shorter_paths() {
+        let sparse =
+            Waxman::generate(WaxmanConfig { hosts: 96, alpha: 0.05, ..Default::default() }, 4);
+        let dense =
+            Waxman::generate(WaxmanConfig { hosts: 96, alpha: 0.9, ..Default::default() }, 4);
+        let mean = |w: &Waxman| {
+            let mut s = 0.0;
+            for i in 0..96 {
+                for j in 0..96 {
+                    s += w.latency_ms(HostId(i), HostId(j));
+                }
+            }
+            s / (96.0 * 96.0)
+        };
+        assert!(mean(&dense) < mean(&sparse), "more edges should shorten paths");
+    }
+
+    #[test]
+    fn serialization_cost_applies() {
+        let mut net = small();
+        let a = net.delay(HostId(0), HostId(1), 0);
+        let b = net.delay(HostId(0), HostId(1), 8192);
+        assert!(b.as_millis_f64() > a.as_millis_f64() + 200.0);
+        assert!(net.delay(HostId(2), HostId(2), 1 << 20).as_millis_f64() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn validates_alpha() {
+        let _ = Waxman::generate(WaxmanConfig { alpha: 0.0, ..Default::default() }, 0);
+    }
+}

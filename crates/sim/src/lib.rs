@@ -1,0 +1,52 @@
+//! # verme-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate on which every protocol in the Verme
+//! reproduction runs. It plays the role that [p2psim] played in the original
+//! paper: a single-threaded, fully deterministic discrete-event simulator
+//! with a virtual clock, an event queue, timers, and message delivery with
+//! configurable per-pair latency.
+//!
+//! The engine is split into small, independently testable layers:
+//!
+//! * [`time`] — the virtual clock types [`SimTime`] and [`SimDuration`].
+//! * [`event`] — a generic ordered event queue, [`EventQueue`].
+//! * [`rng`] — reproducible random-number streams derived from one seed.
+//! * [`metrics`] — counters, histograms and time series used by every
+//!   experiment harness.
+//! * [`runtime`] — the node runtime: protocol state machines implementing
+//!   [`Node`] exchange messages through a [`LatencyModel`], with churn
+//!   (spawn/kill), timers, and byte accounting.
+//!
+//! Determinism is a hard requirement: given the same seed, a simulation
+//! produces the same event trace, which makes every experiment in the
+//! repository exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use verme_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "world");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "hello");
+//! let (t1, e1) = q.pop().unwrap();
+//! let (t2, e2) = q.pop().unwrap();
+//! assert_eq!((e1, e2), ("hello", "world"));
+//! assert!(t1 < t2);
+//! ```
+//!
+//! [p2psim]: https://pdos.csail.mit.edu/p2psim/
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod runtime;
+pub mod time;
+
+pub use event::EventQueue;
+pub use metrics::{Counter, Histogram, MetricsSink, Summary, TimeSeries};
+pub use rng::SeedSource;
+pub use runtime::{
+    Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, TraceEvent, Tracer, Wire,
+};
+pub use time::{SimDuration, SimTime};

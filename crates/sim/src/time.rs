@@ -1,0 +1,324 @@
+//! Virtual-clock types.
+//!
+//! The simulator measures time in whole nanoseconds since the start of the
+//! run. A `u64` nanosecond counter covers more than 584 simulated years,
+//! far beyond the 12-hour runs the paper's evaluation uses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in nanoseconds since the run started.
+///
+/// `SimTime` is an absolute point in virtual time; [`SimDuration`] is the
+/// distance between two such points. The two types cannot be mixed up:
+/// adding a duration to a time yields a time, and subtracting two times
+/// yields a duration.
+///
+/// # Example
+///
+/// ```
+/// use verme_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(3);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(3));
+/// ```
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// Construct durations with the `from_*` constructors; read them back with
+/// the `as_*` accessors. All arithmetic saturates rather than wrapping so
+/// that a mis-specified experiment fails loudly (via assertions in debug
+/// builds) instead of silently travelling back in time.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as an "infinitely far" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the origin.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (useful for plotting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the origin, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * 1_000_000_000)
+    }
+
+    /// Creates a duration of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600 * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0 && secs <= u64::MAX as f64 / 1e9,
+            "invalid duration: {secs} s"
+        );
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Duration in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating duration subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a non-negative float (e.g. a jitter factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction would underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self >= rhs, "SimDuration subtraction would underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = SimTime::ZERO + SimDuration::from_millis(250);
+        let t1 = t0 + SimDuration::from_secs(2);
+        assert_eq!(t1 - t0, SimDuration::from_secs(2));
+        assert_eq!(t1 - SimDuration::from_secs(2), t0);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_secs_f64(0.198);
+        assert_eq!(d, SimDuration::from_millis(198));
+        assert!((d.as_secs_f64() - 0.198).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 198.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_nanos(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(10)),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn mul_div() {
+        let d = SimDuration::from_millis(30);
+        assert_eq!(d * 2, SimDuration::from_millis(60));
+        assert_eq!(d / 3, SimDuration::from_millis(10));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(7)), "7ns");
+        assert_eq!(format!("{}", SimDuration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(7)), "7.000s");
+        assert!(!format!("{}", SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

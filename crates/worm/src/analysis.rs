@@ -1,0 +1,149 @@
+//! Epidemic-curve analytics.
+//!
+//! The worm-propagation literature the paper builds on (Staniford et al.,
+//! Zou et al.) characterizes outbreaks by their early exponential growth
+//! rate and the classic logistic ("S-curve") shape. This module extracts
+//! those quantities from simulated infection curves so runs can be
+//! compared quantitatively — between scenarios, against the paper, or
+//! against the analytical epidemic model.
+
+use verme_sim::{SimTime, TimeSeries};
+
+/// Summary statistics of one infection curve.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CurveStats {
+    /// Early-phase exponential growth rate (1/s), fit on the log of the
+    /// infected count while it grows from ~1% to ~25% of its final value.
+    pub growth_rate_per_s: f64,
+    /// Doubling time implied by the growth rate, seconds.
+    pub doubling_time_s: f64,
+    /// Time to reach 10% of the final infected count, seconds.
+    pub t10_s: Option<f64>,
+    /// Time to reach 50% of the final infected count, seconds.
+    pub t50_s: Option<f64>,
+    /// Time to reach 90% of the final infected count, seconds.
+    pub t90_s: Option<f64>,
+    /// Final infected count.
+    pub final_infected: f64,
+}
+
+/// Extracts [`CurveStats`] from an infection curve.
+///
+/// Returns a zeroed default for empty or single-point curves.
+pub fn analyze(curve: &TimeSeries) -> CurveStats {
+    let pts = curve.points();
+    let Some(&(_, final_infected)) = pts.last() else {
+        return CurveStats::default();
+    };
+    let frac_time = |frac: f64| -> Option<f64> {
+        curve.time_to_reach(final_infected * frac).map(|t: SimTime| t.as_secs_f64())
+    };
+
+    // Log-linear least squares over the early growth window.
+    let lo = final_infected * 0.01;
+    let hi = final_infected * 0.25;
+    let window: Vec<(f64, f64)> = pts
+        .iter()
+        .filter(|&&(_, v)| v >= lo.max(2.0) && v <= hi)
+        .map(|&(t, v)| (t.as_secs_f64(), v.ln()))
+        .collect();
+    let growth = if window.len() >= 2 {
+        let n = window.len() as f64;
+        let sx: f64 = window.iter().map(|p| p.0).sum();
+        let sy: f64 = window.iter().map(|p| p.1).sum();
+        let sxx: f64 = window.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = window.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            ((n * sxy - sx * sy) / denom).max(0.0)
+        }
+    } else {
+        0.0
+    };
+
+    CurveStats {
+        growth_rate_per_s: growth,
+        doubling_time_s: if growth > 0.0 { std::f64::consts::LN_2 / growth } else { f64::INFINITY },
+        t10_s: frac_time(0.1),
+        t50_s: frac_time(0.5),
+        t90_s: frac_time(0.9),
+        final_infected,
+    }
+}
+
+/// The analytical logistic epidemic model the simulated curves should
+/// approximate while the worm is unconstrained: starting from `i0`
+/// infected among `n` susceptible with pairwise contact rate `beta`,
+/// `I(t) = n / (1 + (n/i0 - 1) · exp(-beta·n·t))`.
+///
+/// Used as a cross-check: the Chord worm (which faces no containment)
+/// should track this S-curve; Verme's contained curves must *undershoot*
+/// it enormously.
+pub fn logistic(n: f64, i0: f64, beta_n: f64, t_s: f64) -> f64 {
+    n / (1.0 + (n / i0 - 1.0) * (-beta_n * t_s).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SimDuration;
+
+    fn series(points: &[(f64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for &(t, v) in points {
+            ts.push(SimTime::ZERO + SimDuration::from_secs_f64(t), v);
+        }
+        ts
+    }
+
+    #[test]
+    fn empty_curve_yields_default() {
+        assert_eq!(analyze(&TimeSeries::new()), CurveStats::default());
+    }
+
+    #[test]
+    fn exponential_growth_rate_is_recovered() {
+        // I(t) = 2 * e^{0.5 t}, final 10_000: growth window points lie on
+        // an exact line in log space.
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let v: f64 = 2.0 * (0.5f64 * t).exp();
+            pts.push((t, v.min(10_000.0)));
+            if v >= 10_000.0 {
+                break;
+            }
+            t += 0.25;
+        }
+        let s = analyze(&series(&pts));
+        assert!(
+            (s.growth_rate_per_s - 0.5).abs() < 0.02,
+            "estimated growth {} ≠ 0.5",
+            s.growth_rate_per_s
+        );
+        assert!((s.doubling_time_s - std::f64::consts::LN_2 / 0.5).abs() < 0.1);
+        assert!(s.t10_s.unwrap() < s.t50_s.unwrap());
+        assert!(s.t50_s.unwrap() < s.t90_s.unwrap());
+        assert_eq!(s.final_infected, 10_000.0);
+    }
+
+    #[test]
+    fn logistic_model_has_sane_shape() {
+        let n = 1000.0;
+        assert!((logistic(n, 1.0, 0.1, 0.0) - 1.0).abs() < 1e-9);
+        assert!(logistic(n, 1.0, 0.1, 200.0) > 0.99 * n);
+        // Monotone increasing.
+        let a = logistic(n, 1.0, 0.05, 50.0);
+        let b = logistic(n, 1.0, 0.05, 60.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn flat_curve_reports_zero_growth() {
+        let s = analyze(&series(&[(0.0, 5.0), (10.0, 5.0)]));
+        assert_eq!(s.growth_rate_per_s, 0.0);
+        assert!(s.doubling_time_s.is_infinite());
+    }
+}

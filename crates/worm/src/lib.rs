@@ -1,0 +1,21 @@
+//! # verme-worm — topological worm propagation (paper §7.3)
+//!
+//! The four-state worm model of Staniford et al. as used by the paper,
+//! plus the five Figure-8 propagation scenarios. The worm only ever sees
+//! what a real worm could read from an infected machine: the addresses in
+//! the node's actual routing state (built from the `verme-chord` /
+//! `verme-core` static rings), extended at runtime by whatever harvesting
+//! channel the attacked VerDi variant leaves open. Containment on Verme is
+//! therefore an *emergent* property of the overlay structure, not an
+//! assumption of the model.
+//!
+//! * [`WormSim`] — the propagation engine.
+//! * [`Scenario`] / [`run_scenario`] — the five experiment configurations.
+
+pub mod analysis;
+pub mod model;
+pub mod scenarios;
+
+pub use analysis::{analyze, logistic, CurveStats};
+pub use model::{WormParams, WormSim, WormState};
+pub use scenarios::{run_scenario, Scenario, ScenarioConfig, ScenarioResult};

@@ -1,0 +1,669 @@
+//! The four-state worm propagation engine (paper §7.3).
+//!
+//! The model follows Staniford et al.'s parameterization as adopted by the
+//! paper: a machine in the *scanning* state probes known addresses at a
+//! fixed rate; hitting a vulnerable, not-yet-infected node moves it to
+//! *infecting* for the infection time, after which the victim becomes
+//! *inactive* (infected, worm dormant) and, after the activation delay,
+//! starts *scanning* itself.
+//!
+//! The engine is topology-agnostic: each node has a *target list* — the
+//! addresses its routing state would expose to a worm — and attack
+//! scenarios may append targets at runtime ([`WormSim::add_targets`], used
+//! by the impersonation-harvest scenarios).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use verme_sim::{EventQueue, SeedSource, SimDuration, SimTime, TimeSeries};
+
+/// Worm timing parameters. Defaults are the paper's (§7.3, after Staniford et al.):
+/// 100 scans/machine/second, 100 ms infection time, 1 s activation delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WormParams {
+    /// Probes per second a scanning machine performs.
+    pub scan_rate_per_sec: f64,
+    /// Time to complete one infection.
+    pub infect_time: SimDuration,
+    /// Delay between a node's infection and its worm activating.
+    pub activation_delay: SimDuration,
+}
+
+impl Default for WormParams {
+    fn default() -> Self {
+        WormParams {
+            scan_rate_per_sec: 100.0,
+            infect_time: SimDuration::from_millis(100),
+            activation_delay: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl WormParams {
+    /// Interval between two scans of one machine.
+    pub fn scan_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.scan_rate_per_sec)
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scan rate is not positive or a duration is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.scan_rate_per_sec.is_finite() && self.scan_rate_per_sec > 0.0,
+            "scan rate must be positive"
+        );
+        assert!(!self.infect_time.is_zero(), "infect time must be positive");
+        assert!(!self.activation_delay.is_zero(), "activation delay must be positive");
+    }
+}
+
+/// The per-node worm state (paper §7.3, plus the guardian extension's
+/// `Immune` state).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WormState {
+    /// Healthy (possibly vulnerable).
+    NotInfected,
+    /// Infected, actively probing targets.
+    Scanning,
+    /// Infected, currently delivering the worm to one victim.
+    Infecting,
+    /// Infected, worm not yet activated.
+    Inactive,
+    /// Infected, but its whole target list has been probed; it idles until
+    /// [`WormSim::add_targets`] gives it fresh addresses.
+    Exhausted,
+    /// Immunized by a guardian alert before the worm arrived (the
+    /// guardian-node defense of Zhou et al., implemented as an extension
+    /// for comparison with Verme's structural containment).
+    Immune,
+}
+
+impl WormState {
+    /// True for every state in which the node carries the worm.
+    pub fn is_infected(self) -> bool {
+        !matches!(self, WormState::NotInfected | WormState::Immune)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Scan { node: u32 },
+    InfectDone { attacker: u32, victim: u32 },
+    Activate { node: u32 },
+    Alert { node: u32 },
+}
+
+/// The worm propagation simulator over a static overlay.
+///
+/// # Example
+///
+/// ```
+/// use verme_sim::SimTime;
+/// use verme_worm::{WormParams, WormSim};
+///
+/// // A 3-node chain: 0 knows 1, 1 knows 2.
+/// let targets = vec![vec![1], vec![2], vec![]];
+/// let vulnerable = vec![true, true, true];
+/// let mut sim = WormSim::new(targets, vulnerable, WormParams::default(), 1);
+/// sim.seed_infection(0);
+/// sim.run_to_quiescence();
+/// assert_eq!(sim.infected(), 3);
+/// ```
+pub struct WormSim {
+    params: WormParams,
+    states: Vec<WormState>,
+    vulnerable: Vec<bool>,
+    targets: Vec<Vec<u32>>,
+    scan_pos: Vec<u32>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    infected: usize,
+    curve: TimeSeries,
+    rng: StdRng,
+    scans_performed: u64,
+    collisions: u64,
+    guardians: Vec<bool>,
+    alerted: Vec<bool>,
+    alert_hop_delay: SimDuration,
+    immunized: usize,
+}
+
+impl WormSim {
+    /// Creates a simulator over `targets` (per-node harvestable address
+    /// lists) and the vulnerability map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length, a target index is out of
+    /// range, or the parameters are invalid.
+    pub fn new(
+        targets: Vec<Vec<u32>>,
+        vulnerable: Vec<bool>,
+        params: WormParams,
+        seed: u64,
+    ) -> Self {
+        params.validate();
+        let n = targets.len();
+        assert_eq!(n, vulnerable.len(), "targets and vulnerable maps must align");
+        for (i, list) in targets.iter().enumerate() {
+            for &t in list {
+                assert!((t as usize) < n, "node {i} targets out-of-range node {t}");
+            }
+        }
+        WormSim {
+            params,
+            states: vec![WormState::NotInfected; n],
+            vulnerable,
+            targets,
+            scan_pos: vec![0; n],
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            infected: 0,
+            curve: TimeSeries::new(),
+            rng: SeedSource::new(seed).stream("worm"),
+            scans_performed: 0,
+            collisions: 0,
+            guardians: vec![false; n],
+            alerted: vec![false; n],
+            alert_hop_delay: SimDuration::from_millis(50),
+            immunized: 0,
+        }
+    }
+
+    /// Enables the guardian-node defense (Zhou et al.): when a scanning
+    /// worm probes a guardian, the guardian detects it and floods an
+    /// alert along the overlay's edges at `hop_delay` per hop; alerted
+    /// healthy nodes become [`WormState::Immune`]. Guardians themselves
+    /// are never infected (they run the detection sandbox).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guardians` has the wrong length or the delay is zero.
+    pub fn set_guardians(&mut self, guardians: Vec<bool>, hop_delay: SimDuration) {
+        assert_eq!(guardians.len(), self.states.len(), "guardian map must cover the population");
+        assert!(!hop_delay.is_zero(), "alert hop delay must be positive");
+        // Guardians are hardened machines: not part of the vulnerable set.
+        for (v, &g) in self.vulnerable.iter_mut().zip(&guardians) {
+            if g {
+                *v = false;
+            }
+        }
+        self.guardians = guardians;
+        self.alert_hop_delay = hop_delay;
+    }
+
+    /// Nodes immunized by guardian alerts so far.
+    pub fn immunized(&self) -> usize {
+        self.immunized
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of infected nodes (any infected state).
+    pub fn infected(&self) -> usize {
+        self.infected
+    }
+
+    /// The infection curve: one point per infection event.
+    pub fn curve(&self) -> &TimeSeries {
+        &self.curve
+    }
+
+    /// Total scans performed so far.
+    pub fn scans_performed(&self) -> u64 {
+        self.scans_performed
+    }
+
+    /// Infection attempts that found an already-infected victim.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// A node's current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn state(&self, node: u32) -> WormState {
+        self.states[node as usize]
+    }
+
+    /// Infects `node` at the current time and activates it immediately
+    /// (the outbreak's patient zero). No-op if already infected.
+    pub fn seed_infection(&mut self, node: u32) {
+        if self.states[node as usize].is_infected() {
+            return;
+        }
+        self.mark_infected(node);
+        self.begin_scanning(node);
+    }
+
+    /// Appends fresh targets to `node`'s list (harvested addresses),
+    /// waking it if its scanner had run dry. Duplicates already probed
+    /// will simply be probed once more.
+    pub fn add_targets(&mut self, node: u32, fresh: &[u32]) {
+        let n = self.states.len();
+        for &t in fresh {
+            assert!((t as usize) < n, "target {t} out of range");
+        }
+        self.targets[node as usize].extend_from_slice(fresh);
+        if self.states[node as usize] == WormState::Exhausted {
+            self.states[node as usize] = WormState::Scanning;
+            let at = self.now + self.params.scan_interval();
+            self.queue.schedule(at, Ev::Scan { node });
+        }
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until no events remain (the outbreak has burnt out).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = t;
+        match ev {
+            Ev::Scan { node } => self.do_scan(node),
+            Ev::InfectDone { attacker, victim } => {
+                if self.states[victim as usize] == WormState::NotInfected {
+                    self.mark_infected(victim);
+                    self.states[victim as usize] = WormState::Inactive;
+                    self.queue.schedule(
+                        self.now + self.params.activation_delay,
+                        Ev::Activate { node: victim },
+                    );
+                } else {
+                    self.collisions += 1;
+                }
+                // The attacker resumes scanning either way.
+                self.states[attacker as usize] = WormState::Scanning;
+                self.queue
+                    .schedule(self.now + self.params.scan_interval(), Ev::Scan { node: attacker });
+            }
+            Ev::Activate { node } => {
+                if self.states[node as usize] == WormState::Inactive {
+                    self.begin_scanning(node);
+                }
+            }
+            Ev::Alert { node } => self.do_alert(node),
+        }
+        true
+    }
+
+    fn do_alert(&mut self, node: u32) {
+        let i = node as usize;
+        if self.alerted[i] {
+            return;
+        }
+        self.alerted[i] = true;
+        if self.states[i] == WormState::NotInfected {
+            self.states[i] = WormState::Immune;
+            self.immunized += 1;
+        }
+        // Flood the alert along the node's own overlay edges.
+        for t in self.targets[i].clone() {
+            if !self.alerted[t as usize] {
+                self.queue.schedule(self.now + self.alert_hop_delay, Ev::Alert { node: t });
+            }
+        }
+    }
+
+    fn do_scan(&mut self, node: u32) {
+        if self.states[node as usize] != WormState::Scanning {
+            return; // Stale event (e.g. state changed by an infection).
+        }
+        let pos = self.scan_pos[node as usize] as usize;
+        let list = &self.targets[node as usize];
+        if pos >= list.len() {
+            self.states[node as usize] = WormState::Exhausted;
+            return;
+        }
+        let victim = list[pos];
+        self.scan_pos[node as usize] += 1;
+        self.scans_performed += 1;
+        let v = victim as usize;
+        // A probed guardian detects the worm and raises the alarm.
+        if self.guardians[v] && !self.alerted[v] {
+            self.queue.schedule(self.now, Ev::Alert { node: victim });
+        }
+        if self.vulnerable[v] && self.states[v] == WormState::NotInfected {
+            self.states[node as usize] = WormState::Infecting;
+            self.queue.schedule(
+                self.now + self.params.infect_time,
+                Ev::InfectDone { attacker: node, victim },
+            );
+        } else {
+            self.queue.schedule(self.now + self.params.scan_interval(), Ev::Scan { node });
+        }
+    }
+
+    fn begin_scanning(&mut self, node: u32) {
+        self.states[node as usize] = WormState::Scanning;
+        // De-synchronize scanners slightly, as real infections would be.
+        let jitter = self.rng.gen_range(0..self.params.scan_interval().as_nanos().max(1));
+        self.queue.schedule(self.now + SimDuration::from_nanos(jitter), Ev::Scan { node });
+    }
+
+    fn mark_infected(&mut self, node: u32) {
+        debug_assert!(!self.states[node as usize].is_infected());
+        self.states[node as usize] = WormState::Inactive;
+        self.infected += 1;
+        self.curve.push(self.now, self.infected as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WormParams {
+        WormParams::default()
+    }
+
+    #[test]
+    fn chain_infection_propagates_fully() {
+        let targets = vec![vec![1], vec![2], vec![3], vec![]];
+        let mut sim = WormSim::new(targets, vec![true; 4], params(), 1);
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 4);
+        for i in 0..4 {
+            assert!(sim.state(i).is_infected());
+        }
+        // Each link costs ≥ infect_time + activation_delay.
+        assert!(sim.now() >= SimTime::ZERO + SimDuration::from_millis(3 * 1100));
+    }
+
+    #[test]
+    fn invulnerable_nodes_block_propagation() {
+        // 0 → 1 (invulnerable) → 2: the worm cannot cross node 1.
+        let targets = vec![vec![1], vec![2], vec![]];
+        let mut sim = WormSim::new(targets, vec![true, false, true], params(), 1);
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 1);
+        assert_eq!(sim.state(1), WormState::NotInfected);
+        assert_eq!(sim.state(2), WormState::NotInfected);
+    }
+
+    #[test]
+    fn scan_rate_paces_the_outbreak() {
+        // One attacker with 50 invulnerable targets followed by a victim:
+        // it takes ~51 scan intervals to reach the victim.
+        let mut targets = vec![vec![]; 52];
+        targets[0] = (1..=51).collect();
+        let mut vulnerable = vec![false; 52];
+        vulnerable[0] = true;
+        vulnerable[51] = true;
+        let mut sim = WormSim::new(targets, vulnerable, params(), 2);
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 2);
+        let t = sim.curve().points()[1].0;
+        // 50 misses at 10 ms plus the infection: at least 500 ms.
+        assert!(t >= SimTime::ZERO + SimDuration::from_millis(500), "too fast: {t}");
+        assert_eq!(sim.scans_performed(), 51);
+    }
+
+    #[test]
+    fn collisions_are_counted_not_double_infected() {
+        // Two attackers race for the same victim.
+        let targets = vec![vec![2], vec![2], vec![]];
+        let mut sim = WormSim::new(targets, vec![true; 3], params(), 3);
+        sim.seed_infection(0);
+        sim.seed_infection(1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 3);
+        // Whether a collision happens depends on scan jitter; the count
+        // must be consistent with exactly one successful infection of 2.
+        assert!(sim.collisions() <= 1);
+    }
+
+    #[test]
+    fn exhausted_scanner_wakes_on_new_targets() {
+        let targets = vec![vec![], vec![]];
+        let mut sim = WormSim::new(targets, vec![true, true], params(), 4);
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.state(0), WormState::Exhausted);
+        assert_eq!(sim.infected(), 1);
+        sim.add_targets(0, &[1]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 2, "harvested target must be attacked");
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let targets: Vec<Vec<u32>> = (0..20).map(|i| vec![(i + 1) % 20]).collect();
+        let mut sim = WormSim::new(targets, vec![true; 20], params(), 5);
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        let pts = sim.curve().points();
+        assert_eq!(pts.last().unwrap().1, 20.0);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn seeding_twice_is_idempotent() {
+        let mut sim = WormSim::new(vec![vec![]], vec![true], params(), 6);
+        sim.seed_infection(0);
+        sim.seed_infection(0);
+        assert_eq!(sim.infected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_dangling_targets() {
+        let _ = WormSim::new(vec![vec![5]], vec![true], params(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random small directed graph as target lists, plus a
+    /// vulnerability map.
+    fn population(max_n: usize) -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<bool>)> {
+        (2..max_n).prop_flat_map(|n| {
+            let targets = prop::collection::vec(prop::collection::vec(0..n as u32, 0..6), n..=n);
+            let vulnerable = prop::collection::vec(any::<bool>(), n..=n);
+            (targets, vulnerable)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn invulnerable_nodes_are_never_infected(
+            (targets, vulnerable) in population(24),
+            seed_pick: u8,
+            rng_seed: u64,
+        ) {
+            let n = targets.len();
+            let seed_node = (seed_pick as usize % n) as u32;
+            let vuln = vulnerable.clone();
+            let mut sim = WormSim::new(targets, vulnerable, WormParams::default(), rng_seed);
+            sim.seed_infection(seed_node);
+            sim.run_to_quiescence();
+            for i in 0..n as u32 {
+                if i != seed_node && !vuln[i as usize] {
+                    prop_assert_eq!(sim.state(i), WormState::NotInfected);
+                }
+            }
+        }
+
+        #[test]
+        fn infection_count_matches_states_and_curve(
+            (targets, vulnerable) in population(24),
+            rng_seed: u64,
+        ) {
+            let n = targets.len();
+            let mut sim = WormSim::new(targets, vulnerable, WormParams::default(), rng_seed);
+            sim.seed_infection(0);
+            sim.run_to_quiescence();
+            let by_state = (0..n as u32).filter(|&i| sim.state(i).is_infected()).count();
+            prop_assert_eq!(by_state, sim.infected());
+            prop_assert_eq!(sim.curve().last_value(), Some(sim.infected() as f64));
+            // Curve is strictly increasing in value.
+            for w in sim.curve().points().windows(2) {
+                prop_assert!(w[0].1 < w[1].1);
+                prop_assert!(w[0].0 <= w[1].0);
+            }
+        }
+
+        #[test]
+        fn infected_set_is_reachable_from_seed(
+            (targets, vulnerable) in population(20),
+            rng_seed: u64,
+        ) {
+            // Soundness: the worm never infects a node that is not
+            // graph-reachable from the seed through vulnerable hops.
+            let n = targets.len();
+            let mut vulnerable = vulnerable;
+            vulnerable[0] = true;
+            // Compute reachability: seed + BFS over targets restricted to
+            // vulnerable intermediate nodes.
+            let mut reach = vec![false; n];
+            reach[0] = true;
+            let mut queue = vec![0usize];
+            while let Some(u) = queue.pop() {
+                for &v in &targets[u] {
+                    let v = v as usize;
+                    if !reach[v] && vulnerable[v] {
+                        reach[v] = true;
+                        queue.push(v);
+                    }
+                }
+            }
+            let mut sim = WormSim::new(targets, vulnerable, WormParams::default(), rng_seed);
+            sim.seed_infection(0);
+            sim.run_to_quiescence();
+            for i in 0..n as u32 {
+                if sim.state(i).is_infected() {
+                    prop_assert!(reach[i as usize], "node {} infected but unreachable", i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod guardian_tests {
+    use super::*;
+
+    /// A ring of n nodes where each knows the next `deg` nodes.
+    fn ring_targets(n: usize, deg: usize) -> Vec<Vec<u32>> {
+        (0..n).map(|i| (1..=deg).map(|d| ((i + d) % n) as u32).collect()).collect()
+    }
+
+    #[test]
+    fn guardians_raise_alerts_that_immunize() {
+        let n = 100;
+        let targets = ring_targets(n, 3);
+        let mut sim = WormSim::new(targets, vec![true; n], WormParams::default(), 1);
+        // Every 10th node is a guardian.
+        let guardians: Vec<bool> = (0..n).map(|i| i % 10 == 5).collect();
+        sim.set_guardians(guardians, SimDuration::from_millis(50));
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert!(sim.immunized() > 0, "alerts should immunize someone");
+        assert!(
+            sim.infected() < n - 10,
+            "guardians should save part of the population: {} infected",
+            sim.infected()
+        );
+        // Guardians themselves never get infected.
+        for i in 0..n as u32 {
+            if i % 10 == 5 {
+                assert!(!sim.state(i).is_infected());
+            }
+        }
+    }
+
+    #[test]
+    fn without_guardians_behavior_is_unchanged() {
+        let n = 60;
+        let run = |with: bool| {
+            let mut sim = WormSim::new(ring_targets(n, 2), vec![true; n], WormParams::default(), 2);
+            if with {
+                sim.set_guardians(vec![false; n], SimDuration::from_millis(50));
+            }
+            sim.seed_infection(0);
+            sim.run_to_quiescence();
+            sim.infected()
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(false), n);
+    }
+
+    #[test]
+    fn denser_guardian_coverage_contains_more() {
+        // The worm spreads from node 0; guardians sit every `every` nodes
+        // (offset so the seed's first probes do not hit one). Once any
+        // guardian is probed its alert outruns the worm, so the infected
+        // count is roughly the distance to the nearest guardian — denser
+        // coverage means earlier detection and smaller outbreaks.
+        let n = 200;
+        let infected_with = |every: usize| {
+            let mut sim = WormSim::new(ring_targets(n, 4), vec![true; n], WormParams::default(), 3);
+            let guardians: Vec<bool> = (0..n).map(|i| i > 0 && i % every == every - 1).collect();
+            sim.set_guardians(guardians, SimDuration::from_millis(500));
+            sim.seed_infection(0);
+            sim.run_to_quiescence();
+            sim.infected()
+        };
+        let sparse = infected_with(64);
+        let dense = infected_with(8);
+        assert!(
+            dense < sparse,
+            "denser guardians should contain more (dense {dense} vs sparse {sparse})"
+        );
+        assert!(sparse < n, "even sparse guardians eventually contain the ring worm");
+    }
+
+    #[test]
+    #[should_panic(expected = "guardian map must cover")]
+    fn guardian_map_length_is_checked() {
+        let mut sim = WormSim::new(vec![vec![]], vec![true], WormParams::default(), 0);
+        sim.set_guardians(vec![true, false], SimDuration::from_millis(1));
+    }
+}

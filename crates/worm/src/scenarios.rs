@@ -1,0 +1,774 @@
+//! The five Figure-8 propagation scenarios.
+//!
+//! Each scenario builds a static 100 000-node overlay (as in §7.3),
+//! derives every node's *harvestable target list* from its real routing
+//! state, seeds the worm, and runs the four-state model — plus, for the
+//! impersonation attacks, a harvest process feeding the attacker fresh
+//! addresses at the rate the corresponding VerDi variant permits:
+//!
+//! * **Chord** — the worm follows successors, predecessor and fingers;
+//!   everything is reachable.
+//! * **Verme** — routing state names only own-section (same-type) and
+//!   opposite-type nodes; the worm is confined to one section.
+//! * **Secure-VerDi + impersonator** — the attacker joins with an
+//!   opposite-type identity; it can attack the (vulnerable-type) entries
+//!   of its own routing state, i.e. O(log n) sections, and nothing more.
+//! * **Fast-VerDi + impersonator** — the attacker additionally issues
+//!   replica lookups (10/s in the paper) whose sealed answers hand it
+//!   `n/2` vulnerable-type addresses in a fresh section each time.
+//! * **Compromise-VerDi** — the attacker cannot issue useful lookups; it
+//!   waits to be used as a *relay*. Relayed requests arrive at the rate
+//!   its reverse-finger neighbors issue operations (1 lookup/s per node
+//!   in the paper, weighted by how much of each neighbor's key space
+//!   routes through the attacker first), and each relayed request leaks
+//!   one client address plus the replica set the relay fetches.
+
+use rand::Rng;
+
+use verme_chord::{Id, NodeHandle, StaticRing};
+use verme_core::{SectionLayout, VermeStaticRing};
+use verme_crypto::NodeType;
+use verme_sim::{Addr, SeedSource, SimDuration, SimTime, TimeSeries};
+
+use crate::model::{WormParams, WormSim};
+
+/// Which propagation experiment to run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scenario {
+    /// A topological worm on plain Chord.
+    ChordWorm,
+    /// A topological worm on Verme, no impersonation.
+    VermeWorm,
+    /// Verme + Secure-VerDi with an impersonating node (no harvest
+    /// channel beyond the attacker's own routing state).
+    SecureVerDiImpersonation,
+    /// Verme + Fast-VerDi with an impersonating node issuing replica
+    /// lookups.
+    FastVerDiImpersonation {
+        /// Harvest lookups per second (paper: 10).
+        lookups_per_sec: f64,
+    },
+    /// Verme + Compromise-VerDi with an impersonating relay.
+    CompromiseVerDi {
+        /// Operations per second each overlay node issues (paper: 1).
+        node_lookup_rate_per_sec: f64,
+    },
+    /// **Ablation**: Verme's sectioned id layout but *plain Chord finger
+    /// targets* (no `+ section length` shift, no corner rule). Shows that
+    /// the §4.4 finger redefinition — not the id layout alone — is what
+    /// contains the worm.
+    VermeUnshiftedFingersAblation,
+    /// **Related-work comparison**: plain Chord defended by guardian
+    /// nodes (Zhou et al.) — a fraction of nodes runs detection and
+    /// floods alerts that immunize healthy peers. The defense the paper
+    /// positions Verme against.
+    ChordWithGuardians {
+        /// Fraction of the population running guardian detection.
+        guardian_fraction: f64,
+        /// Per-overlay-hop alert propagation delay, seconds.
+        alert_hop_delay_s: f64,
+    },
+    /// **§6.1 threat model**: a Sybil attacker holding several
+    /// opposite-type identities spread across the ring (each one a
+    /// Secure-VerDi-style impersonator). Quantifies why certificate
+    /// issuance must be rate-limited: containment degrades linearly in
+    /// the number of identities.
+    SybilImpersonation {
+        /// Number of attacker identities.
+        identities: usize,
+    },
+    /// **§6.2 generalization**: an unstructured, tracker-based swarm
+    /// (BitTorrent-style) with the classic type-blind random neighbor
+    /// assignment.
+    SwarmRandomTracker,
+    /// **§6.2 generalization**: the same swarm with the type-aware
+    /// tracker that assigns neighbors in the Figure-1 island structure.
+    SwarmTypeAwareTracker,
+}
+
+impl Scenario {
+    /// The label used in the paper's Figure 8.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::ChordWorm => "Chord",
+            Scenario::VermeWorm => "Verme",
+            Scenario::SecureVerDiImpersonation => "Secure-VerDi + impersonation",
+            Scenario::FastVerDiImpersonation { .. } => "Fast-VerDi + impersonation",
+            Scenario::CompromiseVerDi { .. } => "Compromise-VerDi + impersonation",
+            Scenario::VermeUnshiftedFingersAblation => "Verme (ablated fingers)",
+            Scenario::ChordWithGuardians { .. } => "Chord + guardian nodes",
+            Scenario::SybilImpersonation { .. } => "Verme + Sybil impersonation",
+            Scenario::SwarmRandomTracker => "Swarm (random tracker)",
+            Scenario::SwarmTypeAwareTracker => "Swarm (type-aware tracker)",
+        }
+    }
+}
+
+/// Population and timing configuration. Defaults are the paper's §7.3
+/// setup scaled down only in `nodes` (set it to 100 000 to reproduce the
+/// figure exactly).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Overlay size (paper: 100 000).
+    pub nodes: usize,
+    /// Verme section count (paper: 4096, ≈24 nodes per section).
+    pub sections: u128,
+    /// Successor-list length (paper: 10).
+    pub num_successors: usize,
+    /// Verme predecessor-list length (paper: 10).
+    pub num_predecessors: usize,
+    /// Replica addresses returned per harvested lookup (`n/2`; 3 here).
+    pub replicas_per_answer: usize,
+    /// Worm timing parameters.
+    pub params: WormParams,
+    /// Simulated time budget.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            nodes: 100_000,
+            sections: 4096,
+            num_successors: 10,
+            num_predecessors: 10,
+            replicas_per_answer: 3,
+            params: WormParams::default(),
+            duration: SimDuration::from_secs(20_000),
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Infected machines over time (one point per infection).
+    pub curve: TimeSeries,
+    /// Final infected count.
+    pub infected: usize,
+    /// Number of vulnerable machines in the population.
+    pub vulnerable: usize,
+    /// Population size.
+    pub nodes: usize,
+    /// Total scans performed.
+    pub scans: u64,
+    /// Infection collisions (two attackers racing for one victim).
+    pub collisions: u64,
+}
+
+impl ScenarioResult {
+    /// Time at which `fraction` of the *vulnerable* population was
+    /// infected, if reached.
+    pub fn time_to_vulnerable_fraction(&self, fraction: f64) -> Option<SimTime> {
+        self.curve.time_to_reach(self.vulnerable as f64 * fraction)
+    }
+
+    /// Renders the infection curve as `time_s,infected` CSV (with header),
+    /// ready for external plotting tools.
+    pub fn curve_csv(&self) -> String {
+        let mut out = String::from("time_s,infected\n");
+        for &(t, v) in self.curve.points() {
+            out.push_str(&format!("{:.6},{}\n", t.as_secs_f64(), v as u64));
+        }
+        out
+    }
+}
+
+/// Runs a scenario to its duration (or until the outbreak burns out).
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid (zero nodes,
+/// non-power-of-two section count, ...).
+pub fn run_scenario(scenario: &Scenario, cfg: &ScenarioConfig) -> ScenarioResult {
+    assert!(cfg.nodes > 1, "need a population");
+    match scenario {
+        Scenario::ChordWorm => run_chord(cfg),
+        Scenario::VermeWorm => run_verme(cfg, SeedChoice::Vulnerable),
+        Scenario::SecureVerDiImpersonation => run_verme(cfg, SeedChoice::Impersonator),
+        Scenario::FastVerDiImpersonation { lookups_per_sec } => {
+            run_fast_impersonation(cfg, *lookups_per_sec)
+        }
+        Scenario::CompromiseVerDi { node_lookup_rate_per_sec } => {
+            run_compromise(cfg, *node_lookup_rate_per_sec)
+        }
+        Scenario::VermeUnshiftedFingersAblation => run_verme_ablated(cfg),
+        Scenario::ChordWithGuardians { guardian_fraction, alert_hop_delay_s } => {
+            run_chord_guardians(cfg, *guardian_fraction, *alert_hop_delay_s)
+        }
+        Scenario::SybilImpersonation { identities } => run_sybil(cfg, *identities),
+        Scenario::SwarmRandomTracker => run_swarm(cfg, false),
+        Scenario::SwarmTypeAwareTracker => run_swarm(cfg, true),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Overlay views
+// ----------------------------------------------------------------------
+
+/// Builds the Chord population: target lists from real routing state and
+/// a random 50% vulnerable map.
+fn build_chord_view(cfg: &ScenarioConfig) -> (Vec<Vec<u32>>, Vec<bool>) {
+    let src = SeedSource::new(cfg.seed);
+    let mut rng = src.stream("chord-ids");
+    let mut ids: Vec<Id> = Vec::with_capacity(cfg.nodes);
+    while ids.len() < cfg.nodes {
+        let id = Id::random(&mut rng);
+        ids.push(id);
+    }
+    ids.sort_by_key(|i| i.raw());
+    ids.dedup();
+    assert_eq!(ids.len(), cfg.nodes, "id collision at simulated scale");
+    let handles: Vec<NodeHandle> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| NodeHandle::new(id, Addr::from_raw(i as u64 + 1)))
+        .collect();
+    let ring = StaticRing::new(handles);
+
+    let n = cfg.nodes;
+    let mut targets: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut list: Vec<u32> = Vec::new();
+        for d in 1..=cfg.num_successors.min(n - 1) {
+            list.push(((i + d) % n) as u32);
+        }
+        list.push(ring.predecessor_index(i) as u32);
+        for j in ring.distinct_finger_indices(i) {
+            let j = j as u32;
+            if !list.contains(&j) {
+                list.push(j);
+            }
+        }
+        targets.push(list);
+    }
+    let mut vrng = src.stream("chord-vulnerable");
+    let vulnerable: Vec<bool> = (0..n).map(|_| vrng.gen::<bool>()).collect();
+    (targets, vulnerable)
+}
+
+/// Builds the Verme population: the vulnerable machines are exactly the
+/// type-A nodes (one shared platform, 50% of the population).
+fn build_verme_view(cfg: &ScenarioConfig) -> (VermeStaticRing, Vec<Vec<u32>>, Vec<bool>) {
+    let layout = SectionLayout::with_sections(cfg.sections, 2);
+    let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
+    let n = cfg.nodes;
+    let mut targets: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut list: Vec<u32> = Vec::new();
+        for d in 1..=cfg.num_successors.min(n - 1) {
+            list.push(((i + d) % n) as u32);
+        }
+        for d in 1..=cfg.num_predecessors.min(n - 1) {
+            let j = ((i + n - d) % n) as u32;
+            if !list.contains(&j) {
+                list.push(j);
+            }
+        }
+        for j in ring.distinct_finger_indices(i) {
+            let j = j as u32;
+            if !list.contains(&j) {
+                list.push(j);
+            }
+        }
+        targets.push(list);
+    }
+    let vulnerable: Vec<bool> = (0..n).map(|i| ring.type_of_index(i) == NodeType::A).collect();
+    (ring, targets, vulnerable)
+}
+
+fn result_from(sim: WormSim, vulnerable: usize, nodes: usize) -> ScenarioResult {
+    ScenarioResult {
+        infected: sim.infected(),
+        vulnerable,
+        nodes,
+        scans: sim.scans_performed(),
+        collisions: sim.collisions(),
+        curve: sim.curve().clone(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scenario runners
+// ----------------------------------------------------------------------
+
+/// Ablation: sectioned typed ids, but fingers resolved the plain Chord
+/// way (`successor(id + 2^i)`). Long fingers then land in *same-type*
+/// sections, and the worm crosses islands freely.
+fn run_verme_ablated(cfg: &ScenarioConfig) -> ScenarioResult {
+    let layout = SectionLayout::with_sections(cfg.sections, 2);
+    let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
+    let n = cfg.nodes;
+    let mut targets: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut list: Vec<u32> = Vec::new();
+        for d in 1..=cfg.num_successors.min(n - 1) {
+            list.push(((i + d) % n) as u32);
+        }
+        for d in 1..=cfg.num_predecessors.min(n - 1) {
+            let j = ((i + n - d) % n) as u32;
+            if !list.contains(&j) {
+                list.push(j);
+            }
+        }
+        // Plain Chord finger resolution — the ablated piece.
+        let id = ring.node(i).id;
+        for b in 0..verme_chord::Id::BITS {
+            let j = ring.successor_index(id.finger_target(b));
+            if j != i && !list.contains(&(j as u32)) {
+                list.push(j as u32);
+            }
+        }
+        targets.push(list);
+    }
+    let vulnerable: Vec<bool> = (0..n).map(|i| ring.type_of_index(i) == NodeType::A).collect();
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
+    let seed_node = ring.random_index_of_type(NodeType::A, &mut rng) as u32;
+    sim.seed_infection(seed_node);
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+fn run_chord(cfg: &ScenarioConfig) -> ScenarioResult {
+    let (targets, vulnerable) = build_chord_view(cfg);
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    assert!(vuln_count > 0, "no vulnerable machines");
+    let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
+    // Patient zero: a random vulnerable machine.
+    let seed_node = loop {
+        let i = rng.gen_range(0..cfg.nodes);
+        if vulnerable[i] {
+            break i as u32;
+        }
+    };
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    sim.seed_infection(seed_node);
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+/// The §6.2 unstructured swarm: a tracker assigns every peer its
+/// neighbor set; the worm follows those neighbor lists. Island size is
+/// derived from the configured section count so structured and
+/// unstructured runs are comparable.
+fn run_swarm(cfg: &ScenarioConfig, type_aware: bool) -> ScenarioResult {
+    use verme_core::tracker::{assign_random, assign_type_aware, TrackerConfig};
+    let n = cfg.nodes;
+    let types: Vec<NodeType> =
+        (0..n).map(|i| if i % 2 == 0 { NodeType::A } else { NodeType::B }).collect();
+    let island_size = (n as u128 / cfg.sections).max(2) as usize;
+    let assignment = if type_aware {
+        let tcfg = TrackerConfig {
+            island_size,
+            same_type_neighbors: cfg.num_successors.min(island_size - 1),
+            cross_type_neighbors: cfg.num_successors,
+        };
+        assign_type_aware(&types, &tcfg, cfg.seed)
+    } else {
+        assign_random(&types, 2 * cfg.num_successors, cfg.seed)
+    };
+    let vulnerable: Vec<bool> = types.iter().map(|&t| t == NodeType::A).collect();
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
+    let seed_node = loop {
+        let i = rng.gen_range(0..n);
+        if vulnerable[i] {
+            break i as u32;
+        }
+    };
+    let mut sim = WormSim::new(assignment.neighbors, vulnerable, cfg.params.clone(), cfg.seed);
+    sim.seed_infection(seed_node);
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+/// Plain Chord plus randomly placed guardian nodes.
+fn run_chord_guardians(cfg: &ScenarioConfig, fraction: f64, hop_delay_s: f64) -> ScenarioResult {
+    assert!((0.0..1.0).contains(&fraction), "guardian fraction must be in [0,1)");
+    let (targets, vulnerable) = build_chord_view(cfg);
+    let src = SeedSource::new(cfg.seed);
+    let mut grng = src.stream("guardians");
+    let guardians: Vec<bool> = (0..cfg.nodes).map(|_| grng.gen::<f64>() < fraction).collect();
+    let mut rng = src.stream("seed-node");
+    let seed_node = loop {
+        let i = rng.gen_range(0..cfg.nodes);
+        if vulnerable[i] && !guardians[i] {
+            break i as u32;
+        }
+    };
+    let vuln_count = vulnerable.iter().zip(&guardians).filter(|&(&v, &g)| v && !g).count();
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    sim.set_guardians(guardians, SimDuration::from_secs_f64(hop_delay_s));
+    sim.seed_infection(seed_node);
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+enum SeedChoice {
+    /// A random vulnerable (type-A) node — the plain Verme outbreak.
+    Vulnerable,
+    /// A random type-B node under attacker control — the Secure-VerDi
+    /// impersonation (the attacker's certificate claims type B, so its
+    /// routing state points at type-A nodes it can infect).
+    Impersonator,
+}
+
+fn run_verme(cfg: &ScenarioConfig, seed_choice: SeedChoice) -> ScenarioResult {
+    let (ring, targets, vulnerable) = build_verme_view(cfg);
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
+    let ty = match seed_choice {
+        SeedChoice::Vulnerable => NodeType::A,
+        SeedChoice::Impersonator => NodeType::B,
+    };
+    let seed_node = ring.random_index_of_type(ty, &mut rng) as u32;
+    sim.seed_infection(seed_node);
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+/// §6.1: `identities` attacker-controlled type-B nodes, all activated at
+/// once. Each contributes its own routing state's worth of type-A
+/// victims (its fingers' sections), so containment scales with the
+/// number of certificates the attacker could obtain.
+fn run_sybil(cfg: &ScenarioConfig, identities: usize) -> ScenarioResult {
+    assert!(identities > 0, "need at least one identity");
+    let (ring, targets, vulnerable) = build_verme_view(cfg);
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
+    let mut seeded = 0;
+    let mut guard = 0;
+    while seeded < identities && guard < identities * 1000 {
+        guard += 1;
+        let i = ring.random_index_of_type(NodeType::B, &mut rng) as u32;
+        if !sim.state(i).is_infected() {
+            sim.seed_infection(i);
+            seeded += 1;
+        }
+    }
+    sim.run_until(SimTime::ZERO + cfg.duration);
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+fn run_fast_impersonation(cfg: &ScenarioConfig, lookups_per_sec: f64) -> ScenarioResult {
+    assert!(lookups_per_sec > 0.0, "harvest rate must be positive");
+    let (ring, targets, vulnerable) = build_verme_view(cfg);
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let src = SeedSource::new(cfg.seed);
+    let mut rng = src.stream("seed-node");
+    let imp = ring.random_index_of_type(NodeType::B, &mut rng) as u32;
+    sim.seed_infection(imp);
+
+    let mut hrng = src.stream("harvest");
+    let interval = SimDuration::from_secs_f64(1.0 / lookups_per_sec);
+    let deadline = SimTime::ZERO + cfg.duration;
+    let mut next_harvest = SimTime::ZERO + interval;
+    while sim.now() < deadline && sim.infected() <= vuln_count {
+        let stop = next_harvest.min(deadline);
+        sim.run_until(stop);
+        if sim.now() >= deadline {
+            break;
+        }
+        // One harvest lookup: a random key, adjusted away from the
+        // attacker's claimed type (B), answered with the key's in-section
+        // (type-A) replica set.
+        let key = Id::random(&mut hrng);
+        let point = ring.layout().replica_point_avoiding(key, NodeType::B);
+        let reps: Vec<u32> = ring
+            .replica_indices(point, cfg.replicas_per_answer)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        sim.add_targets(imp, &reps);
+        next_harvest = sim.now() + interval;
+    }
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+fn run_compromise(cfg: &ScenarioConfig, node_lookup_rate: f64) -> ScenarioResult {
+    assert!(node_lookup_rate > 0.0, "lookup rate must be positive");
+    let (ring, targets, vulnerable) = build_verme_view(cfg);
+    let vuln_count = vulnerable.iter().filter(|&&v| v).count();
+    let src = SeedSource::new(cfg.seed);
+    let mut rng = src.stream("seed-node");
+    let imp = ring.random_index_of_type(NodeType::B, &mut rng);
+
+    // How often is the impersonator used as a relay? A node routes an
+    // operation through the routing entry that most closely precedes the
+    // key, so entry `e` relays the fraction of the key space between `e`
+    // and the next entry. Sum that fraction over every node that has the
+    // impersonator in its routing state (its "reverse" neighbors), times
+    // the per-node operation rate.
+    let mut clients: Vec<(u32, f64)> = Vec::new(); // (client, weight)
+    for (x, list) in targets.iter().enumerate() {
+        if x == imp {
+            continue;
+        }
+        let Some(_) = list.iter().find(|&&t| t as usize == imp) else {
+            continue;
+        };
+        // Coverage of `imp` in x's routing table: sort entries by
+        // clockwise distance from x; imp covers up to the next entry.
+        let xid = ring.node(x).id;
+        let mut dists: Vec<u128> =
+            list.iter().map(|&t| xid.distance_to(ring.node(t as usize).id)).collect();
+        dists.sort_unstable();
+        let d_imp = xid.distance_to(ring.node(imp).id);
+        let next = dists.iter().copied().find(|&d| d > d_imp).unwrap_or(u128::MAX);
+        let coverage = (next - d_imp) as f64 / u128::MAX as f64;
+        if coverage > 0.0 {
+            clients.push((x as u32, coverage));
+        }
+    }
+    let lambda: f64 = node_lookup_rate * clients.iter().map(|&(_, w)| w).sum::<f64>();
+
+    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    sim.seed_infection(imp as u32);
+
+    if clients.is_empty() || lambda <= 0.0 {
+        sim.run_until(SimTime::ZERO + cfg.duration);
+        return result_from(sim, vuln_count, cfg.nodes);
+    }
+
+    // Weighted client sampling for "who used me as a relay this time".
+    let total_w: f64 = clients.iter().map(|&(_, w)| w).sum();
+    let mut hrng = src.stream("relay-arrivals");
+    let deadline = SimTime::ZERO + cfg.duration;
+    let mut next_arrival = SimTime::ZERO + verme_sim::rng::exp_duration(&mut hrng, 1.0 / lambda);
+    while sim.now() < deadline && sim.infected() <= vuln_count {
+        let stop = next_arrival.min(deadline);
+        sim.run_until(stop);
+        if sim.now() >= deadline {
+            break;
+        }
+        // One relayed operation: leaks the client's address and the
+        // replica set the relay fetches on its behalf.
+        let mut pick = hrng.gen::<f64>() * total_w;
+        let mut client = clients[0].0;
+        for &(c, w) in &clients {
+            if pick < w {
+                client = c;
+                break;
+            }
+            pick -= w;
+        }
+        let key = Id::random(&mut hrng);
+        let point = ring.layout().replica_point_avoiding(key, NodeType::B);
+        let mut fresh: Vec<u32> = ring
+            .replica_indices(point, cfg.replicas_per_answer)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        fresh.push(client);
+        sim.add_targets(imp as u32, &fresh);
+        next_arrival = sim.now() + verme_sim::rng::exp_duration(&mut hrng, 1.0 / lambda);
+    }
+    result_from(sim, vuln_count, cfg.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            nodes: 2048,
+            sections: 64, // ~32 nodes per section
+            duration: SimDuration::from_secs(5_000),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chord_worm_infects_everything_fast() {
+        let r = run_scenario(&Scenario::ChordWorm, &small_cfg());
+        assert_eq!(r.infected, r.vulnerable, "chord worm reaches all vulnerable nodes");
+        let t_full = r.curve.points().last().unwrap().0;
+        assert!(
+            t_full < SimTime::ZERO + SimDuration::from_secs(120),
+            "chord infection too slow: {t_full}"
+        );
+    }
+
+    #[test]
+    fn verme_confines_worm_to_one_section() {
+        let cfg = small_cfg();
+        let r = run_scenario(&Scenario::VermeWorm, &cfg);
+        // One section holds ~nodes/sections members, half the ring is
+        // vulnerable; containment means a tiny fraction got infected.
+        let section_size = cfg.nodes as f64 / cfg.sections as f64;
+        assert!(
+            (r.infected as f64) <= 2.5 * section_size,
+            "verme worm escaped its section: {} infected",
+            r.infected
+        );
+        assert!(r.infected >= 2, "worm should at least spread within its section");
+    }
+
+    #[test]
+    fn secure_impersonation_reaches_log_sections_only() {
+        let cfg = small_cfg();
+        let r = run_scenario(&Scenario::SecureVerDiImpersonation, &cfg);
+        let section_size = cfg.nodes as f64 / cfg.sections as f64;
+        // O(log n) sections: generous cap of 40 sections for 2048 nodes.
+        assert!(
+            (r.infected as f64) < 40.0 * section_size,
+            "secure impersonation spread too far: {}",
+            r.infected
+        );
+        assert!(
+            r.infected as f64 > section_size,
+            "impersonator should reach several sections: {}",
+            r.infected
+        );
+        // And far fewer than the vulnerable population.
+        assert!(r.infected < r.vulnerable / 4);
+    }
+
+    #[test]
+    fn fast_impersonation_eventually_reaches_most_of_the_population() {
+        let cfg = small_cfg();
+        let r = run_scenario(&Scenario::FastVerDiImpersonation { lookups_per_sec: 10.0 }, &cfg);
+        assert!(
+            r.infected as f64 >= 0.9 * r.vulnerable as f64,
+            "fast impersonation should saturate: {}/{}",
+            r.infected,
+            r.vulnerable
+        );
+    }
+
+    #[test]
+    fn ordering_chord_fastest_then_fast_then_compromise() {
+        let cfg = small_cfg();
+        let chord = run_scenario(&Scenario::ChordWorm, &cfg);
+        let fast = run_scenario(&Scenario::FastVerDiImpersonation { lookups_per_sec: 10.0 }, &cfg);
+        let comp = run_scenario(&Scenario::CompromiseVerDi { node_lookup_rate_per_sec: 1.0 }, &cfg);
+        let t = |r: &ScenarioResult| r.time_to_vulnerable_fraction(0.5).map(|t| t.as_secs_f64());
+        let (tc, tf) = (t(&chord).unwrap(), t(&fast).unwrap());
+        assert!(tc < tf, "chord ({tc:.0}s) must beat fast-verdi ({tf:.0}s)");
+        if let Some(tk) = t(&comp) {
+            assert!(tf < tk, "fast ({tf:.0}s) must beat compromise ({tk:.0}s)");
+        }
+        // Verme and Secure stay near zero.
+        let verme = run_scenario(&Scenario::VermeWorm, &cfg);
+        assert!(t(&verme).is_none(), "verme must never reach half the population");
+    }
+
+    #[test]
+    fn ablated_fingers_break_containment() {
+        // The ablation proves §4.4 is load-bearing: with plain Chord
+        // fingers over the same typed ring, the worm escapes its island
+        // and reaches most of the vulnerable population.
+        let cfg = small_cfg();
+        let contained = run_scenario(&Scenario::VermeWorm, &cfg);
+        let ablated = run_scenario(&Scenario::VermeUnshiftedFingersAblation, &cfg);
+        assert!(
+            ablated.infected > 10 * contained.infected,
+            "ablated: {}, contained: {}",
+            ablated.infected,
+            contained.infected
+        );
+        assert!(ablated.infected as f64 > 0.8 * ablated.vulnerable as f64);
+    }
+
+    #[test]
+    fn guardian_chord_sits_between_chord_and_verme() {
+        let cfg = small_cfg();
+        let chord = run_scenario(&Scenario::ChordWorm, &cfg);
+        let guarded = run_scenario(
+            &Scenario::ChordWithGuardians { guardian_fraction: 0.01, alert_hop_delay_s: 1.0 },
+            &cfg,
+        );
+        let verme = run_scenario(&Scenario::VermeWorm, &cfg);
+        assert!(
+            guarded.infected < chord.infected,
+            "guardians should blunt the outbreak ({} vs {})",
+            guarded.infected,
+            chord.infected
+        );
+        assert!(
+            guarded.infected > verme.infected,
+            "reactive alerts should not beat structural containment here ({} vs {})",
+            guarded.infected,
+            verme.infected
+        );
+    }
+
+    #[test]
+    fn sybil_containment_degrades_with_identity_count() {
+        let cfg = small_cfg();
+        let one = run_scenario(&Scenario::SybilImpersonation { identities: 1 }, &cfg);
+        let ten = run_scenario(&Scenario::SybilImpersonation { identities: 10 }, &cfg);
+        assert!(
+            ten.infected > 3 * one.infected,
+            "ten identities should reach several times more ({} vs {})",
+            ten.infected,
+            one.infected
+        );
+        // A single identity stays bounded at its own O(log n) neighbor
+        // sections. (At this small scale — 32 vulnerable sections — ten
+        // identities' fingers cover nearly the whole ring, which is
+        // exactly the §6.1 point: certificates must be rate-limited.)
+        assert!(one.infected < one.vulnerable / 4, "{}/{}", one.infected, one.vulnerable);
+    }
+
+    #[test]
+    fn type_aware_tracker_contains_unstructured_worms_too() {
+        let cfg = small_cfg();
+        let random = run_scenario(&Scenario::SwarmRandomTracker, &cfg);
+        let aware = run_scenario(&Scenario::SwarmTypeAwareTracker, &cfg);
+        assert!(
+            random.infected as f64 > 0.9 * random.vulnerable as f64,
+            "random tracker swarm should saturate: {}/{}",
+            random.infected,
+            random.vulnerable
+        );
+        let island = (cfg.nodes as u128 / cfg.sections).max(2) as usize;
+        assert!(
+            aware.infected <= island,
+            "type-aware swarm must confine the worm to one island: {} > {island}",
+            aware.infected
+        );
+    }
+
+    #[test]
+    fn curve_csv_is_well_formed() {
+        let cfg = ScenarioConfig {
+            nodes: 512,
+            sections: 16,
+            duration: SimDuration::from_secs(500),
+            seed: 2,
+            ..Default::default()
+        };
+        let r = run_scenario(&Scenario::VermeWorm, &cfg);
+        let csv = r.curve_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,infected"));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), r.curve.points().len());
+        for row in rows {
+            let mut cols = row.split(',');
+            let t: f64 = cols.next().unwrap().parse().unwrap();
+            let v: u64 = cols.next().unwrap().parse().unwrap();
+            assert!(t >= 0.0 && v >= 1);
+            assert!(cols.next().is_none());
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let cfg = small_cfg();
+        let a = run_scenario(&Scenario::VermeWorm, &cfg);
+        let b = run_scenario(&Scenario::VermeWorm, &cfg);
+        assert_eq!(a.infected, b.infected);
+        assert_eq!(a.scans, b.scans);
+    }
+}

@@ -1,0 +1,103 @@
+//! Churn: nodes joining and dying while the overlay self-repairs.
+//!
+//! Starts a small converged Verme ring, applies aggressive churn (kill a
+//! node, let a fresh one join, repeatedly), and shows that stabilization
+//! repairs successor/predecessor lists and that lookups keep succeeding
+//! throughout.
+//!
+//! ```text
+//! cargo run --release --example churn
+//! ```
+
+use rand::Rng;
+
+use verme::chord::Id;
+use verme::core::{SectionLayout, VermeConfig, VermeNode, VermeStaticRing};
+use verme::crypto::{CertificateAuthority, NodeType};
+use verme::sim::runtime::UniformLatency;
+use verme::sim::{Addr, HostId, Runtime, SeedSource, SimDuration};
+
+fn main() {
+    let layout = SectionLayout::with_sections(8, 2);
+    let n = 128;
+    let ring = VermeStaticRing::generate(layout, n, 5);
+    let mut ca = CertificateAuthority::new(5);
+    let mut cfg = VermeConfig::new(layout);
+    // Faster maintenance so the demo converges quickly.
+    cfg.stabilize_interval = SimDuration::from_secs(5);
+    cfg.fix_fingers_interval = SimDuration::from_secs(10);
+
+    let mut rt: Runtime<VermeNode, UniformLatency> =
+        Runtime::new(UniformLatency::new(n, SimDuration::from_millis(25)), 5);
+    let mut alive: Vec<Addr> = (0..n)
+        .map(|i| {
+            let node: VermeNode = ring.build_node(i, cfg.clone(), &mut ca);
+            rt.spawn(HostId(i), node)
+        })
+        .collect();
+
+    let mut rng = SeedSource::new(17).stream("churn");
+    let mut lookups_ok = 0u32;
+    let mut lookups_failed = 0u32;
+    for round in 1..=20 {
+        // Kill a random node; a new one (same type budget) joins through
+        // a random survivor.
+        let dead_slot = rng.gen_range(0..alive.len());
+        let dead = alive.swap_remove(dead_slot);
+        let host = rt.host_of(dead).expect("known host");
+        rt.kill(dead);
+        let ty = if rng.gen::<bool>() { NodeType::A } else { NodeType::B };
+        let id = layout.assign_id(&mut rng, ty);
+        let (cert, keys) = ca.issue(id.raw(), ty);
+        let bootstrap = alive[rng.gen_range(0..alive.len())];
+        let fresh =
+            rt.spawn(host, VermeNode::joining(cfg.clone(), cert, keys, ca.verifier(), bootstrap));
+        alive.push(fresh);
+
+        // Let maintenance work, then issue a lookup from a random node.
+        rt.run_until(rt.now() + SimDuration::from_secs(30));
+        let origin = alive[rng.gen_range(0..alive.len())];
+        let key = Id::random(&mut rng);
+        rt.invoke(origin, |node, ctx| {
+            if node.is_joined() {
+                node.start_measured_lookup(key, ctx);
+            }
+        });
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+        if let Some(node) = rt.node_mut(origin) {
+            for o in node.take_outcomes() {
+                if o.answer.is_some() {
+                    lookups_ok += 1;
+                } else {
+                    lookups_failed += 1;
+                }
+            }
+        }
+        let joined = alive.iter().filter(|&&a| rt.node(a).is_some_and(|x| x.is_joined())).count();
+        println!(
+            "round {round:>2}: killed one node, one joined; {joined}/{} joined, \
+             lookups ok/failed so far: {lookups_ok}/{lookups_failed}",
+            alive.len()
+        );
+    }
+
+    // After the storm: every node's first successor is the true next
+    // live node.
+    rt.run_until(rt.now() + SimDuration::from_secs(120));
+    let mut ids: Vec<(Id, Addr)> =
+        alive.iter().filter_map(|&a| rt.node(a).map(|nd| (nd.id(), a))).collect();
+    ids.sort_by_key(|(id, _)| id.raw());
+    let mut correct = 0;
+    for (i, &(_, addr)) in ids.iter().enumerate() {
+        let expect = ids[(i + 1) % ids.len()].0;
+        if rt.node(addr).unwrap().successor_list().first().map(|h| h.id) == Some(expect) {
+            correct += 1;
+        }
+    }
+    println!(
+        "\nafter churn settles: {correct}/{} nodes have the exact right first successor",
+        ids.len()
+    );
+    assert!(correct * 10 >= ids.len() * 9, "ring failed to repair");
+    println!("the ring healed itself — successors repaired, lookups kept working");
+}

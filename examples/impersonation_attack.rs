@@ -1,0 +1,114 @@
+//! The impersonation attack, live on real protocol nodes (paper §5.3.1).
+//!
+//! An attacker whose machines run platform A joins the overlay with a
+//! *legitimately issued* certificate claiming platform B. Against
+//! Fast-VerDi's rules it can then issue replica lookups whose sealed
+//! answers hand it type-A addresses — the harvesting channel the Figure 8
+//! experiment quantifies. The same node attempting the *same-type* harvest
+//! (asking for type-B replicas) is denied by the answering nodes.
+//!
+//! ```text
+//! cargo run --release --example impersonation_attack
+//! ```
+
+use std::collections::BTreeSet;
+
+use verme::chord::Id;
+use verme::core::{SectionLayout, VermeAnswer, VermeConfig, VermeNode, VermeStaticRing};
+use verme::crypto::{CertificateAuthority, NodeType};
+use verme::sim::runtime::UniformLatency;
+use verme::sim::{HostId, Runtime, SeedSource, SimDuration};
+
+fn main() {
+    let layout = SectionLayout::with_sections(16, 2);
+    let n = 256;
+    let ring = VermeStaticRing::generate(layout, n, 23);
+    let mut ca = CertificateAuthority::new(23);
+    let mut rt: Runtime<VermeNode, UniformLatency> =
+        Runtime::new(UniformLatency::new(n + 1, SimDuration::from_millis(25)), 23);
+    for i in 0..n {
+        let node: VermeNode = ring.build_node(i, VermeConfig::new(layout), &mut ca);
+        rt.spawn(HostId(i), node);
+    }
+
+    // The attacker: its machines run platform A (it wants to infect other
+    // A machines), but it requests — and receives — a certificate claiming
+    // type B. The CA cannot tell (remote attestation is the paper's §6.1
+    // countermeasure, out of band here).
+    let mut rng = SeedSource::new(7).stream("attacker");
+    let imp_id = layout.assign_id(&mut rng, NodeType::B);
+    let (imp_cert, imp_keys) = ca.issue(imp_id.raw(), NodeType::B);
+    println!(
+        "attacker joined with id {} claiming type {} (its real platform is A)",
+        imp_id,
+        imp_cert.node_type()
+    );
+    let bootstrap = ring.node(0).addr;
+    let imp = rt.spawn(
+        HostId(n),
+        VermeNode::joining(VermeConfig::new(layout), imp_cert, imp_keys, ca.verifier(), bootstrap),
+    );
+    rt.run_until(rt.now() + SimDuration::from_secs(120));
+    assert!(rt.node(imp).unwrap().is_joined(), "attacker failed to join");
+
+    // Phase 1 — the Fast-VerDi harvest: replica lookups for random keys,
+    // adjusted to type-A sections (the attacker's claimed type is B, so
+    // the §5.3.1 check passes). Each sealed answer hands it addresses of
+    // the platform it can actually infect.
+    let mut harvested: BTreeSet<u64> = BTreeSet::new();
+    let mut keyrng = SeedSource::new(99).stream("harvest");
+    let lookups = 20;
+    for _ in 0..lookups {
+        let key = Id::random(&mut keyrng);
+        let point = layout.replica_point_avoiding(key, NodeType::B);
+        rt.invoke(imp, |node, ctx| node.start_replica_lookup(point, None, ctx)).unwrap();
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+        for o in rt.node_mut(imp).unwrap().take_outcomes() {
+            if let Some(VermeAnswer::Replicas { replicas }) = o.answer {
+                for r in replicas {
+                    assert_eq!(layout.type_of(r.id), NodeType::A, "harvest must be type A");
+                    harvested.insert(r.addr.raw());
+                }
+            }
+        }
+    }
+    println!(
+        "phase 1 (Fast-VerDi rules): {lookups} lookups harvested {} distinct type-A \
+         addresses across the ring — each one an infection target",
+        harvested.len()
+    );
+    assert!(harvested.len() > 20, "harvest should cover many sections");
+
+    // Phase 2 — the same attacker tries to harvest type-B addresses (for
+    // a worm against platform B, or just to map the overlay). Every
+    // lookup is dropped by the answering node: certificate type == key's
+    // section type.
+    let denied_before: u64 =
+        (0..n).map(|i| rt.node(ring.node(i).addr).unwrap().denied_lookups()).sum();
+    let mut failures = 0;
+    for _ in 0..10 {
+        let key = Id::random(&mut keyrng);
+        let point = layout.replica_point_avoiding(key, NodeType::A); // type-B point
+        rt.invoke(imp, |node, ctx| node.start_replica_lookup(point, None, ctx)).unwrap();
+        rt.run_until(rt.now() + SimDuration::from_secs(20));
+        for o in rt.node_mut(imp).unwrap().take_outcomes() {
+            if o.answer.is_none() {
+                failures += 1;
+            }
+        }
+    }
+    let denied_after: u64 =
+        (0..n).map(|i| rt.node(ring.node(i).addr).unwrap().denied_lookups()).sum();
+    println!(
+        "phase 2 (same-type harvest): 10/10 lookups failed ({failures} timeouts, \
+         {} denials recorded by responsible nodes)",
+        denied_after - denied_before
+    );
+    assert_eq!(failures, 10);
+    assert!(denied_after > denied_before);
+
+    println!();
+    println!("takeaway: a single impersonating identity converts Fast-VerDi's lookup");
+    println!("primitive into an address-harvesting oracle for exactly one platform —");
+    println!("which is why Secure- and Compromise-VerDi close or throttle that channel.");
+}

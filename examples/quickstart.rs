@@ -1,0 +1,78 @@
+//! Quickstart: build a Verme overlay, look keys up, and see what a worm
+//! would see.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use verme::chord::Id;
+use verme::core::{SectionLayout, VermeConfig, VermeNode, VermeStaticRing};
+use verme::crypto::CertificateAuthority;
+use verme::sim::runtime::UniformLatency;
+use verme::sim::{HostId, Runtime, SeedSource, SimDuration, SimTime};
+
+fn main() {
+    // 1. Pick a section layout: 16 sections, two platform types that
+    //    alternate around the ring (A, B, A, B, ...).
+    let layout = SectionLayout::with_sections(16, 2);
+    println!("layout: {} sections of {} ids each", layout.num_sections(), layout.section_len());
+
+    // 2. Build a converged 256-node ring and spawn it on a simulated
+    //    network where every pair of hosts is 30 ms apart.
+    let n = 256;
+    let ring = VermeStaticRing::generate(layout, n, 7);
+    let mut ca = CertificateAuthority::new(7);
+    let mut rt: Runtime<VermeNode, UniformLatency> =
+        Runtime::new(UniformLatency::new(n, SimDuration::from_millis(30)), 7);
+    for i in 0..n {
+        let node: VermeNode = ring.build_node(i, VermeConfig::new(layout), &mut ca);
+        rt.spawn(HostId(i), node);
+    }
+    println!("spawned {n} nodes ({} per section on average)", n as u128 / layout.num_sections());
+
+    // 3. Issue a few random-key lookups and print their latencies. Verme
+    //    adjusts each key so the sealed answer names only opposite-type
+    //    replicas.
+    let mut rng = SeedSource::new(99).stream("keys");
+    for i in 0..5 {
+        let key = Id::random(&mut rng);
+        let origin = ring.node(i * 31).addr;
+        rt.invoke(origin, |node, ctx| node.start_measured_lookup(key, ctx)).expect("node is alive");
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+        let outcome =
+            rt.node_mut(origin).expect("alive").take_outcomes().pop().expect("lookup finished");
+        match outcome.answer {
+            Some(answer) => println!(
+                "lookup {i}: {} hops, {:.0} ms -> {:?}",
+                outcome.hops,
+                outcome.latency.as_millis_f64(),
+                answer
+            ),
+            None => println!("lookup {i}: failed"),
+        }
+    }
+
+    // 4. The containment property, live: everything a worm could harvest
+    //    from a node's routing state is either in the node's own island
+    //    or runs on the other platform.
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let victim = ring.node(0).addr;
+    let node = rt.node(victim).expect("alive");
+    let (mut same_island, mut other_type) = (0, 0);
+    for peer in node.known_peers() {
+        if layout.type_of(peer.id) == node.node_type() {
+            assert!(layout.same_section(peer.id, node.id()), "containment violated!");
+            same_island += 1;
+        } else {
+            other_type += 1;
+        }
+    }
+    println!(
+        "node {} (type {}) knows {} same-island peers and {} opposite-type peers — \
+         nothing else, so a worm on it is stuck in the island",
+        node.id(),
+        node.node_type(),
+        same_island,
+        other_type
+    );
+}
