@@ -7,12 +7,15 @@
 //! * [`fig8`] — worm propagation speed (Figure 8).
 //! * [`ext`] — the extension experiments (failure rate, maintenance
 //!   bandwidth, uneven type split) the paper reports in summary form.
+//! * [`extg`] — churn × kill-burst resilience sweep with and without
+//!   end-to-end retries (extension G).
 //!
 //! The `src/bin/` binaries print each figure's table at paper scale
 //! (`--full`) or a laptop-quick scale (default); the `benches/` criterion
 //! targets exercise reduced versions under `cargo bench`.
 
 pub mod ext;
+pub mod extg;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;

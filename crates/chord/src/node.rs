@@ -575,10 +575,15 @@ impl ChordNode {
 
             let replacement = self.route_excluding(key, &tried);
             let st = self.forwards.get_mut(&lid).expect("state still present");
-            if st.attempts + 1 >= self.cfg.max_hop_attempts || replacement.is_none() {
+            // Forwarders give up after `max_hop_attempts` — upstream hops
+            // reroute around them. The initiator has no upstream, so it
+            // keeps rerouting through the next-best finger for as long as
+            // untried routes remain; `LookupDeadline` bounds the total.
+            let out_of_attempts = prev.is_some() && st.attempts + 1 >= self.cfg.max_hop_attempts;
+            if out_of_attempts || replacement.is_none() {
                 self.forwards.remove(&lid);
                 if prev.is_none() {
-                    // We are the initiator: fail fast.
+                    // Initiator with no route left: nothing more to try.
                     self.fail_lookup(lid.seq, ctx);
                 }
                 return;
@@ -630,6 +635,16 @@ impl ChordNode {
             }
         }
         best
+    }
+
+    /// The live finger nearest ahead of this node — the best emergency
+    /// successor candidate after the whole successor list has died.
+    fn nearest_forward_finger(&self) -> Option<NodeHandle> {
+        self.fingers
+            .distinct()
+            .into_iter()
+            .filter(|h| h.addr != self.me.addr)
+            .min_by_key(|h| self.id.distance_to(h.id))
     }
 
     /// Purges a detected-dead address from all routing state.
@@ -777,6 +792,17 @@ impl ChordNode {
             self.send_counted(ctx, p.addr, ChordMsg::Ping { token }, keys::BYTES_MAINT);
             ctx.set_timer(self.cfg.hop_timeout * 2, ChordTimer::PredTimeout { token });
         }
+        if self.successors.is_empty() {
+            // A correlated failure can kill every node in the successor
+            // list at once. Re-acquire a forward pointer from the finger
+            // table and let stabilization walk it back to the true
+            // successor. Without this the next Notify from the predecessor
+            // would refill the list *backwards* and wedge this node in a
+            // wrapped state that answers lookups for the dead arc.
+            if let Some(f) = self.nearest_forward_finger() {
+                self.successors.integrate(f);
+            }
+        }
         let Some(s1) = self.successors.first() else {
             return; // Singleton (or still joining).
         };
@@ -833,6 +859,24 @@ impl ChordNode {
         self.mark_dead(s1.addr);
         // Repair immediately with the next live successor.
         self.stabilize_once(ctx);
+    }
+
+    /// A neighbor announced a graceful departure: splice it out at once
+    /// and absorb the routing state it handed over, instead of waiting for
+    /// timeouts to discover the gap.
+    fn handle_leaving(
+        &mut self,
+        node: NodeHandle,
+        successors: Vec<NodeHandle>,
+        predecessor: Option<NodeHandle>,
+    ) {
+        self.mark_dead(node.addr);
+        self.successors.integrate_all(&successors);
+        if let Some(p) = predecessor {
+            if p.addr != self.me.addr {
+                self.handle_notify(p);
+            }
+        }
     }
 
     fn handle_notify(&mut self, node: NodeHandle) {
@@ -942,6 +986,9 @@ impl Node for ChordNode {
                 self.handle_neighbors(token, predecessor, successors, ctx);
             }
             ChordMsg::Notify { node } => self.handle_notify(node),
+            ChordMsg::Leaving { node, successors, predecessor } => {
+                self.handle_leaving(node, successors, predecessor);
+            }
             ChordMsg::Ping { token } => {
                 self.send_counted(ctx, from, ChordMsg::Pong { token }, keys::BYTES_MAINT);
             }
@@ -950,6 +997,23 @@ impl Node for ChordNode {
                     self.pred_waiting = None;
                 }
             }
+        }
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        if !self.joined {
+            return;
+        }
+        let msg = ChordMsg::Leaving {
+            node: self.me,
+            successors: self.successors.as_slice().to_vec(),
+            predecessor: self.predecessor,
+        };
+        if let Some(p) = self.predecessor {
+            self.send_counted(ctx, p.addr, msg.clone(), keys::BYTES_MAINT);
+        }
+        if let Some(s1) = self.successors.first() {
+            self.send_counted(ctx, s1.addr, msg, keys::BYTES_MAINT);
         }
     }
 

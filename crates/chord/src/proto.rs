@@ -133,6 +133,16 @@ pub enum ChordMsg {
         /// The notifying node.
         node: NodeHandle,
     },
+    /// Graceful departure: the leaving node hands its routing state to its
+    /// neighbors so they can splice it out without waiting for timeouts.
+    Leaving {
+        /// The departing node.
+        node: NodeHandle,
+        /// The departing node's successor list.
+        successors: Vec<NodeHandle>,
+        /// The departing node's predecessor.
+        predecessor: Option<NodeHandle>,
+    },
     /// Liveness probe (used on predecessors).
     Ping {
         /// Matches the response to the request.
@@ -169,6 +179,11 @@ impl Wire for ChordMsg {
                 HEADER_BYTES + 8 + NodeHandle::WIRE_SIZE * (1 + successors.len())
             }
             ChordMsg::Notify { .. } => HEADER_BYTES + NodeHandle::WIRE_SIZE,
+            ChordMsg::Leaving { successors, predecessor, .. } => {
+                HEADER_BYTES
+                    + NodeHandle::WIRE_SIZE
+                        * (1 + successors.len() + usize::from(predecessor.is_some()))
+            }
             ChordMsg::Ping { .. } | ChordMsg::Pong { .. } => HEADER_BYTES + 8,
         }
     }

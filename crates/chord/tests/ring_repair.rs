@@ -1,0 +1,197 @@
+//! Property tests: the pure ring structures survive the removal of an
+//! arbitrary node subset — a correlated mass failure — with their
+//! invariants intact, repair re-converges to the true live neighborhood,
+//! and greedy routing over the repaired state still resolves every key to
+//! its live responsible node.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use verme_chord::{closest_preceding_hop, FingerTable, Id, NeighborList, NodeHandle};
+use verme_sim::Addr;
+
+const SUCCESSORS: usize = 8;
+
+/// Full per-node routing state, as a static ring would converge to.
+struct RingState {
+    me: NodeHandle,
+    successors: NeighborList,
+    fingers: FingerTable,
+}
+
+fn build_state(me: NodeHandle, population: &[NodeHandle]) -> RingState {
+    let mut successors = NeighborList::successors(me.id, SUCCESSORS);
+    successors.integrate_all(population.iter());
+    let mut fingers = FingerTable::new(me.id);
+    for i in 0..Id::BITS {
+        let target = me.id.finger_target(i);
+        // The finger is the first node clockwise from the target.
+        let best = population
+            .iter()
+            .filter(|h| h.id != me.id)
+            .min_by_key(|h| target.distance_to(h.id))
+            .copied();
+        fingers.set(i as usize, best);
+    }
+    RingState { me, successors, fingers }
+}
+
+/// The node responsible for `key`: the first live node clockwise from the
+/// key (inclusive), matching the `(predecessor, node]` ownership rule.
+fn responsible(key: Id, live: &[NodeHandle]) -> NodeHandle {
+    *live.iter().min_by_key(|h| key.distance_to(h.id)).expect("live ring is non-empty")
+}
+
+/// Greedy-routes `key` from `start` over per-node states, returning the
+/// node that answers as responsible.
+fn route(key: Id, start: usize, states: &[RingState]) -> Result<NodeHandle, String> {
+    let by_addr = |addr: Addr| -> Result<usize, String> {
+        states
+            .iter()
+            .position(|s| s.me.addr == addr)
+            .ok_or_else(|| format!("routed to unknown or dead node {addr:?}"))
+    };
+    let mut at = start;
+    // Greedy routing halves the remaining distance per finger hop and
+    // never revisits a node, so the live population bounds the hop count.
+    for _ in 0..states.len() + 1 {
+        let st = &states[at];
+        if let Some(s1) = st.successors.first() {
+            if key.in_open_closed(st.me.id, s1.id) {
+                return Ok(s1);
+            }
+        }
+        match closest_preceding_hop(st.me.id, &st.fingers, &st.successors, key) {
+            Some(hop) => at = by_addr(hop.addr)?,
+            // Nothing precedes the key: our immediate neighborhood owns it.
+            None => return Ok(st.me),
+        }
+    }
+    Err(format!("routing loop did not converge for key {key:?}"))
+}
+
+/// A random ring population plus an arbitrary kill mask (at least two
+/// nodes always survive).
+fn population_and_kills(max: usize) -> impl Strategy<Value = (Vec<NodeHandle>, Vec<bool>)> {
+    prop::collection::vec(any::<u128>(), 4..max).prop_flat_map(|raw| {
+        let mut ids: BTreeSet<u128> = raw.into_iter().collect();
+        let mut filler = 0u128;
+        while ids.len() < 4 {
+            ids.insert(filler);
+            filler = filler.wrapping_add(1);
+        }
+        let n = ids.len();
+        let handles: Vec<NodeHandle> = ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| NodeHandle::new(Id::new(id), Addr::from_raw(i as u64 + 1)))
+            .collect();
+        let kills = prop::collection::vec(any::<bool>(), n..=n).prop_map(|mut mask| {
+            let mut survivors = mask.iter().filter(|&&k| !k).count();
+            for k in mask.iter_mut() {
+                if survivors >= 2 {
+                    break;
+                }
+                if *k {
+                    *k = false;
+                    survivors += 1;
+                }
+            }
+            mask
+        });
+        (Just(handles), kills)
+    })
+}
+
+fn split(handles: &[NodeHandle], kills: &[bool]) -> (Vec<NodeHandle>, Vec<NodeHandle>) {
+    let live: Vec<NodeHandle> =
+        handles.iter().zip(kills).filter(|(_, &k)| !k).map(|(h, _)| *h).collect();
+    let dead: Vec<NodeHandle> =
+        handles.iter().zip(kills).filter(|(_, &k)| k).map(|(h, _)| *h).collect();
+    (live, dead)
+}
+
+proptest! {
+    /// Purging an arbitrary dead subset leaves every survivor's successor
+    /// list sorted, deduplicated, within capacity, and free of dead or
+    /// self entries — and its finger table free of dead pointers.
+    #[test]
+    fn purge_preserves_invariants((handles, kills) in population_and_kills(40)) {
+        let (live, dead) = split(&handles, &kills);
+        let dead_addrs: BTreeSet<Addr> = dead.iter().map(|h| h.addr).collect();
+        for &survivor in &live {
+            let mut st = build_state(survivor, &handles);
+            for d in &dead {
+                st.successors.remove_addr(d.addr);
+                st.fingers.remove_addr(d.addr);
+            }
+
+            let entries = st.successors.as_slice();
+            prop_assert!(entries.len() <= st.successors.capacity());
+            let mut seen = BTreeSet::new();
+            let mut prev_rank = 0u128;
+            for h in entries {
+                prop_assert!(!dead_addrs.contains(&h.addr), "dead entry survived purge");
+                prop_assert!(h.id != survivor.id, "owner in its own successor list");
+                prop_assert!(seen.insert(h.addr), "duplicate successor entry");
+                let rank = survivor.id.distance_to(h.id);
+                prop_assert!(rank > prev_rank, "successor list out of order");
+                prev_rank = rank;
+            }
+            for i in 0..st.fingers.len() {
+                if let Some(f) = st.fingers.get(i) {
+                    prop_assert!(!dead_addrs.contains(&f.addr), "dead finger survived purge");
+                }
+            }
+        }
+    }
+
+    /// Re-integrating the survivors (what stabilization's successor-list
+    /// exchange converges to) rebuilds exactly the nearest live successors
+    /// in clockwise order.
+    #[test]
+    fn repair_converges_to_true_successors((handles, kills) in population_and_kills(40)) {
+        let (live, dead) = split(&handles, &kills);
+        for &survivor in &live {
+            let mut st = build_state(survivor, &handles);
+            for d in &dead {
+                st.successors.remove_addr(d.addr);
+                st.fingers.remove_addr(d.addr);
+            }
+            st.successors.integrate_all(live.iter());
+
+            let mut expect: Vec<NodeHandle> =
+                live.iter().filter(|h| h.id != survivor.id).copied().collect();
+            expect.sort_by_key(|h| survivor.id.distance_to(h.id));
+            expect.truncate(SUCCESSORS);
+            prop_assert_eq!(st.successors.as_slice(), expect.as_slice());
+        }
+    }
+
+    /// On the repaired ring — every survivor's state rebuilt from the live
+    /// population — greedy routing resolves arbitrary keys from arbitrary
+    /// start nodes to the true responsible node.
+    #[test]
+    fn every_key_routes_to_its_live_responsible(
+        (handles, kills) in population_and_kills(28),
+        keys in prop::collection::vec(any::<u128>(), 1..8),
+    ) {
+        let (live, _) = split(&handles, &kills);
+        let states: Vec<RingState> =
+            live.iter().map(|&h| build_state(h, &live)).collect();
+        for raw in keys {
+            let key = Id::new(raw);
+            let expect = responsible(key, &live);
+            for start in 0..states.len() {
+                let got = route(key, start, &states);
+                prop_assert_eq!(
+                    got.as_ref().map(|h| h.addr),
+                    Ok(expect.addr),
+                    "key {:?} from start {} resolved wrongly: {:?}, expected {:?}",
+                    key, start, got, expect
+                );
+            }
+        }
+    }
+}

@@ -787,7 +787,11 @@ impl<P: Payload> VermeNode<P> {
 
         let replacement = self.route_excluding(key, &tried);
         let st = self.forwards.get_mut(&lid).expect("state still present");
-        if st.attempts + 1 >= self.cfg.max_hop_attempts || replacement.is_none() {
+        // As in `verme-chord`: forwarders cap their attempts (upstream
+        // reroutes around them), while the initiator keeps rerouting for as
+        // long as untried routes remain, bounded by its lookup deadline.
+        let out_of_attempts = prev.is_some() && st.attempts + 1 >= self.cfg.max_hop_attempts;
+        if out_of_attempts || replacement.is_none() {
             self.forwards.remove(&lid);
             if prev.is_none() {
                 self.fail_lookup(lid, ctx);
@@ -846,11 +850,32 @@ impl<P: Payload> VermeNode<P> {
         self.fingers.remove_addr(addr);
     }
 
+    /// The live finger nearest ahead of this node — the best emergency
+    /// successor candidate after the whole successor list has died.
+    fn nearest_forward_finger(&self) -> Option<NodeHandle> {
+        self.fingers
+            .distinct()
+            .into_iter()
+            .filter(|h| h.addr != self.me.addr)
+            .min_by_key(|h| self.id.distance_to(h.id))
+    }
+
     // ------------------------------------------------------------------
     // Stabilization (both directions)
     // ------------------------------------------------------------------
 
     fn stabilize_once(&mut self, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        if self.successors.is_empty() {
+            // A correlated failure can kill every node in the successor
+            // list at once. Re-acquire a forward pointer from the finger
+            // table and let stabilization walk it back to the true
+            // successor; without this the next Notify from a predecessor
+            // would refill the list *backwards* and wedge this node in a
+            // wrapped state that answers lookups for the dead arc.
+            if let Some(f) = self.nearest_forward_finger() {
+                self.successors.integrate(f);
+            }
+        }
         if let Some(s1) = self.successors.first() {
             let token = self.fresh_token();
             self.stab_waiting = Some((token, s1));
@@ -912,6 +937,24 @@ impl<P: Payload> VermeNode<P> {
             self.predecessors.integrate(node);
             if self.successors.is_empty() {
                 self.successors.integrate(node);
+            }
+        }
+    }
+
+    /// A neighbor announced a graceful departure: splice it out and absorb
+    /// the neighbor lists it handed over, instead of waiting for the next
+    /// stabilization round to time out on it.
+    fn handle_leaving(
+        &mut self,
+        node: NodeHandle,
+        successors: Vec<NodeHandle>,
+        predecessors: Vec<NodeHandle>,
+    ) {
+        self.mark_dead(node.addr);
+        for h in successors.into_iter().chain(predecessors) {
+            if h.addr != self.me.addr {
+                self.successors.integrate(h);
+                self.predecessors.integrate(h);
             }
         }
     }
@@ -1019,10 +1062,30 @@ impl<P: Payload> Node for VermeNode<P> {
                 self.handle_neighbors(token, successors, predecessors, ctx);
             }
             VermeMsg::Notify { node } => self.handle_notify(node),
+            VermeMsg::Leaving { node, successors, predecessors } => {
+                self.handle_leaving(node, successors, predecessors);
+            }
             VermeMsg::Ping { token } => {
                 self.send_counted(ctx, from, VermeMsg::Pong { token }, keys::BYTES_MAINT);
             }
             VermeMsg::Pong { .. } => {}
+        }
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        if !self.joined {
+            return;
+        }
+        let msg = VermeMsg::Leaving {
+            node: self.me,
+            successors: self.successors.as_slice().to_vec(),
+            predecessors: self.predecessors.as_slice().to_vec(),
+        };
+        if let Some(p1) = self.predecessors.first() {
+            self.send_counted(ctx, p1.addr, msg.clone(), keys::BYTES_MAINT);
+        }
+        if let Some(s1) = self.successors.first() {
+            self.send_counted(ctx, s1.addr, msg, keys::BYTES_MAINT);
         }
     }
 

@@ -167,6 +167,17 @@ pub enum VermeMsg<P> {
         /// The notifying node.
         node: NodeHandle,
     },
+    /// Graceful departure: the leaving node hands its neighbor lists to
+    /// its immediate neighbors so they can splice it out without waiting
+    /// for timeouts. Reveals no more than a `Neighbors` reply does.
+    Leaving {
+        /// The departing node.
+        node: NodeHandle,
+        /// The departing node's successor list.
+        successors: Vec<NodeHandle>,
+        /// The departing node's predecessor list.
+        predecessors: Vec<NodeHandle>,
+    },
     /// Liveness probe.
     Ping {
         /// Matches the response to the request.
@@ -202,6 +213,9 @@ impl<P: Payload> Wire for VermeMsg<P> {
                 HEADER_BYTES + 8 + NodeHandle::WIRE_SIZE * (successors.len() + predecessors.len())
             }
             VermeMsg::Notify { .. } => HEADER_BYTES + NodeHandle::WIRE_SIZE,
+            VermeMsg::Leaving { successors, predecessors, .. } => {
+                HEADER_BYTES + NodeHandle::WIRE_SIZE * (1 + successors.len() + predecessors.len())
+            }
             VermeMsg::Ping { .. } | VermeMsg::Pong { .. } => HEADER_BYTES + 8,
         }
     }

@@ -27,6 +27,10 @@ pub mod keys {
     pub const PUT_COMPLETED: &str = "dht.put.completed";
     /// Operations that failed (timeout, missing data, bad hash).
     pub const OP_FAILED: &str = "dht.op.failed";
+    /// End-to-end retries issued after a failed attempt.
+    pub const OP_RETRIES: &str = "dht.op.retries";
+    /// Operations that succeeded after at least one retry.
+    pub const OP_RECOVERED: &str = "dht.op.recovered";
     /// Bytes sent for foreground data transfer (fetch/store/relay).
     pub const BYTES_DATA: &str = "bytes.data";
     /// Bytes sent for background replication (excluded from Figure 7,
@@ -90,10 +94,18 @@ pub struct DhtConfig {
     /// Replication factor `n` (DHash replicates on the `n` successors;
     /// VerDi splits `n/2` + `n/2` across the two typed replica points).
     pub replicas: usize,
-    /// Deadline after which an operation is failed.
+    /// Deadline after which an operation is failed. This is a hard
+    /// per-request bound: retries never extend it.
     pub op_deadline: SimDuration,
     /// Interval between background data-stabilization rounds.
     pub data_stabilize_interval: SimDuration,
+    /// End-to-end retries after a failed attempt (0 disables retry).
+    /// Each attempt also gets a slice of `op_deadline` as its own
+    /// timeout, so an attempt stalled on a dead replica is retried
+    /// instead of burning the whole deadline.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for DhtConfig {
@@ -102,6 +114,8 @@ impl Default for DhtConfig {
             replicas: 6,
             op_deadline: SimDuration::from_secs(30),
             data_stabilize_interval: SimDuration::from_secs(60),
+            max_retries: 3,
+            retry_backoff: SimDuration::from_millis(500),
         }
     }
 }
@@ -124,6 +138,22 @@ impl DhtConfig {
             !self.data_stabilize_interval.is_zero(),
             "data stabilize interval must be positive"
         );
+        assert!(
+            self.max_retries == 0 || !self.retry_backoff.is_zero(),
+            "retry backoff must be positive when retries are enabled"
+        );
+    }
+
+    /// Per-attempt timeout: the deadline split evenly across the maximum
+    /// number of attempts, so a stalled attempt is abandoned in time to
+    /// retry within the overall deadline.
+    pub fn attempt_timeout(&self) -> SimDuration {
+        self.op_deadline / (self.max_retries as u64 + 1)
+    }
+
+    /// Backoff before retry number `attempt` (1-based), doubling each time.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        self.retry_backoff * 2u64.saturating_pow(attempt.saturating_sub(1))
     }
 }
 

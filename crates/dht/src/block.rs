@@ -5,7 +5,7 @@
 //! client re-hashes the value and checks it against the requested key, so
 //! a malicious replica cannot substitute data (paper §5.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use verme_chord::Id;
@@ -57,9 +57,13 @@ pub fn verify_block(key: Id, value: &Bytes) -> bool {
 }
 
 /// A node's local store of blocks it replicates.
+///
+/// Backed by a `BTreeMap` so iteration order is the key order — background
+/// re-replication walks the store, and a hash-seeded order would leak
+/// process-level randomness into the simulation's message schedule.
 #[derive(Clone, Debug, Default)]
 pub struct BlockStore {
-    blocks: HashMap<Id, Bytes>,
+    blocks: BTreeMap<Id, Bytes>,
 }
 
 impl BlockStore {
@@ -93,7 +97,7 @@ impl BlockStore {
         self.blocks.is_empty()
     }
 
-    /// Iterates over stored `(key, value)` pairs (arbitrary order).
+    /// Iterates over stored `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&Id, &Bytes)> {
         self.blocks.iter()
     }

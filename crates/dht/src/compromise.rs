@@ -150,9 +150,21 @@ impl Wire for CompMsg {
 pub enum CompTimer {
     /// Encapsulated Verme timer.
     Overlay(VermeTimer),
-    /// Operation deadline (initiator side).
+    /// Operation deadline (initiator side, hard per-request bound).
     OpDeadline {
         /// The guarded operation.
+        op: u64,
+    },
+    /// One attempt's share of the deadline elapsed without an answer.
+    AttemptTimeout {
+        /// The guarded operation.
+        op: u64,
+        /// The attempt this timer guards (stale timers are ignored).
+        attempt: u32,
+    },
+    /// Backoff elapsed; re-send the operation's relay request.
+    RetryOp {
+        /// The operation to retry.
         op: u64,
     },
     /// Periodic background data stabilization.
@@ -162,7 +174,10 @@ pub enum CompTimer {
 struct PendingOp {
     kind: OpKind,
     key: Id,
+    value: Option<Bytes>,
     started: SimTime,
+    /// Retries consumed so far (0 = first attempt).
+    attempt: u32,
 }
 
 /// A relayed operation this node is executing on a client's behalf.
@@ -336,12 +351,64 @@ impl CompromiseVerDiNode {
         );
     }
 
+    /// Issues (or re-issues) the relayed operation for a pending op: picks
+    /// a fresh opposite-type relay and sends it the signed request. Arms
+    /// the per-attempt timer.
+    fn issue_attempt(&mut self, op: u64, ctx: &mut CCtx<'_>) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let (kind, key, value, attempt) = (p.kind, p.key, p.value.clone(), p.attempt);
+        if self.cfg.max_retries > 0 {
+            ctx.set_timer(self.cfg.attempt_timeout(), CompTimer::AttemptTimeout { op, attempt });
+        }
+        let Some(relay) = self.overlay.route_first_hop(key) else {
+            // No live opposite-type finger right now; maybe one appears
+            // after repair, so this counts as a failed attempt, not a
+            // failed operation.
+            self.fail_attempt(op, ctx);
+            return;
+        };
+        let statement = self.overlay.sign_statement((key.raw(), op));
+        let msg = CompMsg::RelayRequest {
+            rop: op,
+            cert: *self.overlay.certificate(),
+            statement,
+            kind,
+            key,
+            value,
+        };
+        self.send_data(ctx, relay.addr, msg);
+    }
+
+    /// One attempt failed (no relay, negative relay reply, attempt
+    /// timeout). Retries with exponential backoff while the retry budget
+    /// and the per-request deadline allow; fails the op otherwise.
+    fn fail_attempt(&mut self, op: u64, ctx: &mut CCtx<'_>) {
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
+        let next_attempt = p.attempt + 1;
+        let backoff = self.cfg.backoff_for(next_attempt);
+        let deadline = p.started + self.cfg.op_deadline;
+        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
+            self.finish(op, false, None, ctx);
+            return;
+        }
+        p.attempt = next_attempt;
+        ctx.metrics().count(keys::OP_RETRIES, 1);
+        ctx.set_timer(backoff, CompTimer::RetryOp { op });
+    }
+
     fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut CCtx<'_>) {
         let Some(p) = self.pending.remove(&op) else {
             return;
         };
         let latency = ctx.now().saturating_since(p.started);
         if ok {
+            if p.attempt > 0 {
+                ctx.metrics().count(keys::OP_RECOVERED, 1);
+            }
             match p.kind {
                 OpKind::Get => {
                     ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
@@ -422,22 +489,9 @@ impl CompromiseVerDiNode {
     fn start_op(&mut self, kind: OpKind, key: Id, value: Option<Bytes>, ctx: &mut CCtx<'_>) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
-        self.pending.insert(op, PendingOp { kind, key, started: ctx.now() });
+        self.pending.insert(op, PendingOp { kind, key, value, started: ctx.now(), attempt: 0 });
         ctx.set_timer(self.cfg.op_deadline, CompTimer::OpDeadline { op });
-        let Some(relay) = self.overlay.route_first_hop(key) else {
-            self.finish(op, false, None, ctx);
-            return op;
-        };
-        let statement = self.overlay.sign_statement((key.raw(), op));
-        let msg = CompMsg::RelayRequest {
-            rop: op,
-            cert: *self.overlay.certificate(),
-            statement,
-            kind,
-            key,
-            value,
-        };
-        self.send_data(ctx, relay.addr, msg);
+        self.issue_attempt(op, ctx);
         op
     }
 }
@@ -511,11 +565,20 @@ impl Node for CompromiseVerDiNode {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
-                let value = if ok { value } else { None };
-                self.finish(rop, ok, value, ctx);
+                if ok {
+                    self.finish(rop, true, value, ctx);
+                } else {
+                    // The relay's fetch came back empty or corrupt; retry
+                    // through a (possibly different) relay.
+                    self.fail_attempt(rop, ctx);
+                }
             }
             CompMsg::RelayPutReply { rop, ok } => {
-                self.finish(rop, ok, None, ctx);
+                if ok {
+                    self.finish(rop, true, None, ctx);
+                } else {
+                    self.fail_attempt(rop, ctx);
+                }
             }
             CompMsg::Fetch { op, key } => {
                 let value = self.store.get(key).cloned();
@@ -573,6 +636,10 @@ impl Node for CompromiseVerDiNode {
         }
     }
 
+    fn on_shutdown(&mut self, ctx: &mut CCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
+    }
+
     fn on_timer(&mut self, timer: CompTimer, ctx: &mut CCtx<'_>) {
         match timer {
             CompTimer::Overlay(t) => {
@@ -582,6 +649,12 @@ impl Node for CompromiseVerDiNode {
             CompTimer::OpDeadline { op } => {
                 self.finish(op, false, None, ctx);
             }
+            CompTimer::AttemptTimeout { op, attempt } => {
+                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
+                    self.fail_attempt(op, ctx);
+                }
+            }
+            CompTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             CompTimer::DataStabilize => {
                 let layout = *self.overlay.layout();
                 let mine: Vec<(Id, Bytes)> = self

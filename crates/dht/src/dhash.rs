@@ -84,9 +84,21 @@ impl Wire for DhashMsg {
 pub enum DhashTimer {
     /// Encapsulated Chord timer.
     Overlay(ChordTimer),
-    /// Operation deadline.
+    /// Operation deadline (hard per-request bound).
     OpDeadline {
         /// The guarded operation.
+        op: u64,
+    },
+    /// One attempt's share of the deadline elapsed without an answer.
+    AttemptTimeout {
+        /// The guarded operation.
+        op: u64,
+        /// The attempt this timer guards (stale timers are ignored).
+        attempt: u32,
+    },
+    /// Backoff elapsed; re-issue the operation's lookup.
+    RetryOp {
+        /// The operation to retry.
         op: u64,
     },
     /// Periodic background data stabilization.
@@ -98,6 +110,8 @@ struct PendingOp {
     key: Id,
     value: Option<Bytes>,
     started: SimTime,
+    /// Retries consumed so far (0 = first attempt).
+    attempt: u32,
 }
 
 /// A DHash node: a [`ChordNode`] plus the block store and data plane.
@@ -166,7 +180,7 @@ impl DhashNode {
                 continue;
             };
             let Some(result) = o.result else {
-                self.finish(op, false, None, ctx);
+                self.fail_attempt(op, ctx);
                 continue;
             };
             let responsible = result.responsible();
@@ -184,12 +198,49 @@ impl DhashNode {
         }
     }
 
+    /// Issues (or re-issues) the overlay lookup for a pending operation
+    /// and arms the per-attempt timer.
+    fn issue_attempt(&mut self, op: u64, ctx: &mut DCtx<'_>) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let (key, attempt) = (p.key, p.attempt);
+        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
+        self.lookup_to_op.insert(seq, op);
+        if self.cfg.max_retries > 0 {
+            ctx.set_timer(self.cfg.attempt_timeout(), DhashTimer::AttemptTimeout { op, attempt });
+        }
+        self.drain_overlay_outcomes(ctx);
+    }
+
+    /// One attempt failed (lookup failure, missing block, negative ack,
+    /// attempt timeout). Retries with exponential backoff while the retry
+    /// budget and the per-request deadline allow; fails the op otherwise.
+    fn fail_attempt(&mut self, op: u64, ctx: &mut DCtx<'_>) {
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
+        let next_attempt = p.attempt + 1;
+        let backoff = self.cfg.backoff_for(next_attempt);
+        let deadline = p.started + self.cfg.op_deadline;
+        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
+            self.finish(op, false, None, ctx);
+            return;
+        }
+        p.attempt = next_attempt;
+        ctx.metrics().count(keys::OP_RETRIES, 1);
+        ctx.set_timer(backoff, DhashTimer::RetryOp { op });
+    }
+
     fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut DCtx<'_>) {
         let Some(p) = self.pending.remove(&op) else {
             return;
         };
         let latency = ctx.now().saturating_since(p.started);
         if ok {
+            if p.attempt > 0 {
+                ctx.metrics().count(keys::OP_RECOVERED, 1);
+            }
             match p.kind {
                 OpKind::Get => {
                     ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
@@ -244,24 +295,28 @@ impl DhtNode for DhashNode {
         let key = block_key(&value);
         self.pending.insert(
             op,
-            PendingOp { kind: OpKind::Put, key, value: Some(value), started: ctx.now() },
+            PendingOp {
+                kind: OpKind::Put,
+                key,
+                value: Some(value),
+                started: ctx.now(),
+                attempt: 0,
+            },
         );
         ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
-        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
-        self.lookup_to_op.insert(seq, op);
-        self.drain_overlay_outcomes(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut DCtx<'_>) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
-        self.pending
-            .insert(op, PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now() });
+        self.pending.insert(
+            op,
+            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
+        );
         ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
-        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
-        self.lookup_to_op.insert(seq, op);
-        self.drain_overlay_outcomes(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
@@ -300,8 +355,13 @@ impl Node for DhashNode {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
-                let value = if ok { value } else { None };
-                self.finish(op, ok, value, ctx);
+                if ok {
+                    self.finish(op, true, value, ctx);
+                } else {
+                    // The replica lacked (or corrupted) the block; retry
+                    // end to end — repair may have moved it meanwhile.
+                    self.fail_attempt(op, ctx);
+                }
             }
             DhashMsg::Store { op, key, value } => {
                 let ok = verify_block(key, &value);
@@ -312,7 +372,11 @@ impl Node for DhashNode {
                 self.send_data(ctx, from, DhashMsg::StoreAck { op, ok });
             }
             DhashMsg::StoreAck { op, ok } => {
-                self.finish(op, ok, None, ctx);
+                if ok {
+                    self.finish(op, true, None, ctx);
+                } else {
+                    self.fail_attempt(op, ctx);
+                }
             }
             DhashMsg::Replicate { key, value } => {
                 if verify_block(key, &value) {
@@ -320,6 +384,10 @@ impl Node for DhashNode {
                 }
             }
         }
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut DCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
     }
 
     fn on_timer(&mut self, timer: DhashTimer, ctx: &mut DCtx<'_>) {
@@ -331,6 +399,12 @@ impl Node for DhashNode {
             DhashTimer::OpDeadline { op } => {
                 self.finish(op, false, None, ctx);
             }
+            DhashTimer::AttemptTimeout { op, attempt } => {
+                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
+                    self.fail_attempt(op, ctx);
+                }
+            }
+            DhashTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             DhashTimer::DataStabilize => {
                 // Re-replicate blocks we are responsible for, so churn
                 // does not erode the replication level.

@@ -109,9 +109,21 @@ impl Wire for FastMsg {
 pub enum FastTimer {
     /// Encapsulated Verme timer.
     Overlay(VermeTimer),
-    /// Operation deadline.
+    /// Operation deadline (hard per-request bound).
     OpDeadline {
         /// The guarded operation.
+        op: u64,
+    },
+    /// One attempt's share of the deadline elapsed without an answer.
+    AttemptTimeout {
+        /// The guarded operation.
+        op: u64,
+        /// The attempt this timer guards (stale timers are ignored).
+        attempt: u32,
+    },
+    /// Backoff elapsed; re-issue the operation's lookup.
+    RetryOp {
+        /// The operation to retry.
         op: u64,
     },
     /// Periodic background data stabilization.
@@ -123,6 +135,8 @@ struct PendingOp {
     key: Id,
     value: Option<Bytes>,
     started: SimTime,
+    /// Retries consumed so far (0 = first attempt).
+    attempt: u32,
 }
 
 /// The responsible node's state while it cross-copies a freshly stored
@@ -207,6 +221,43 @@ impl FastVerDiNode {
         debug_assert!(self.overlay.take_answer_requests().is_empty());
     }
 
+    /// Issues (or re-issues) the overlay lookup for a pending operation
+    /// and arms the per-attempt timer.
+    fn issue_attempt(&mut self, op: u64, ctx: &mut FCtx<'_>) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let (key, attempt) = (p.key, p.attempt);
+        let my_type = self.overlay.node_type();
+        let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
+        let lid = self
+            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
+        self.lookup_to_op.insert(lid, op);
+        if self.cfg.max_retries > 0 {
+            ctx.set_timer(self.cfg.attempt_timeout(), FastTimer::AttemptTimeout { op, attempt });
+        }
+        self.drain_overlay(ctx);
+    }
+
+    /// One attempt failed (lookup failure, missing block, negative ack,
+    /// attempt timeout). Retries with exponential backoff while the retry
+    /// budget and the per-request deadline allow; fails the op otherwise.
+    fn fail_attempt(&mut self, op: u64, ctx: &mut FCtx<'_>) {
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
+        let next_attempt = p.attempt + 1;
+        let backoff = self.cfg.backoff_for(next_attempt);
+        let deadline = p.started + self.cfg.op_deadline;
+        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
+            self.finish(op, false, None, ctx);
+            return;
+        }
+        p.attempt = next_attempt;
+        ctx.metrics().count(keys::OP_RETRIES, 1);
+        ctx.set_timer(backoff, FastTimer::RetryOp { op });
+    }
+
     fn continue_op(&mut self, op: u64, answer: Option<VermeAnswer>, ctx: &mut FCtx<'_>) {
         let Some(p) = self.pending.get(&op) else {
             return;
@@ -214,7 +265,7 @@ impl FastVerDiNode {
         let replicas = match answer {
             Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
             _ => {
-                self.finish(op, false, None, ctx);
+                self.fail_attempt(op, ctx);
                 return;
             }
         };
@@ -266,6 +317,9 @@ impl FastVerDiNode {
         };
         let latency = ctx.now().saturating_since(p.started);
         if ok {
+            if p.attempt > 0 {
+                ctx.metrics().count(keys::OP_RECOVERED, 1);
+            }
             match p.kind {
                 OpKind::Get => {
                     ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
@@ -357,30 +411,28 @@ impl DhtNode for FastVerDiNode {
         let key = block_key(&value);
         self.pending.insert(
             op,
-            PendingOp { kind: OpKind::Put, key, value: Some(value), started: ctx.now() },
+            PendingOp {
+                kind: OpKind::Put,
+                key,
+                value: Some(value),
+                started: ctx.now(),
+                attempt: 0,
+            },
         );
         ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
-        let my_type = self.overlay.node_type();
-        let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
-        let lid = self
-            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
-        self.lookup_to_op.insert(lid, op);
-        self.drain_overlay(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut FCtx<'_>) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
-        self.pending
-            .insert(op, PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now() });
+        self.pending.insert(
+            op,
+            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
+        );
         ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
-        let my_type = self.overlay.node_type();
-        let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
-        let lid = self
-            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
-        self.lookup_to_op.insert(lid, op);
-        self.drain_overlay(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
@@ -419,8 +471,13 @@ impl Node for FastVerDiNode {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
-                let value = if ok { value } else { None };
-                self.finish(op, ok, value, ctx);
+                if ok {
+                    self.finish(op, true, value, ctx);
+                } else {
+                    // The replica lacked (or corrupted) the block; retry
+                    // end to end — repair may have moved it meanwhile.
+                    self.fail_attempt(op, ctx);
+                }
             }
             FastMsg::Store { op, key, value } => {
                 if !verify_block(key, &value) {
@@ -440,7 +497,11 @@ impl Node for FastVerDiNode {
                 self.drain_overlay(ctx);
             }
             FastMsg::StoreAck { op, ok } => {
-                self.finish(op, ok, None, ctx);
+                if ok {
+                    self.finish(op, true, None, ctx);
+                } else {
+                    self.fail_attempt(op, ctx);
+                }
             }
             FastMsg::CrossCopy { xid, key, value } => {
                 let ok = verify_block(key, &value);
@@ -463,6 +524,10 @@ impl Node for FastVerDiNode {
         }
     }
 
+    fn on_shutdown(&mut self, ctx: &mut FCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
+    }
+
     fn on_timer(&mut self, timer: FastTimer, ctx: &mut FCtx<'_>) {
         match timer {
             FastTimer::Overlay(t) => {
@@ -472,6 +537,12 @@ impl Node for FastVerDiNode {
             FastTimer::OpDeadline { op } => {
                 self.finish(op, false, None, ctx);
             }
+            FastTimer::AttemptTimeout { op, attempt } => {
+                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
+                    self.fail_attempt(op, ctx);
+                }
+            }
+            FastTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             FastTimer::DataStabilize => {
                 let layout = *self.overlay.layout();
                 let mine: Vec<(Id, Bytes)> = self

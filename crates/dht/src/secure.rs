@@ -95,9 +95,21 @@ impl Wire for SecureMsg {
 pub enum SecureTimer {
     /// Encapsulated Verme timer.
     Overlay(VermeTimer),
-    /// Operation deadline.
+    /// Operation deadline (hard per-request bound).
     OpDeadline {
         /// The guarded operation.
+        op: u64,
+    },
+    /// One attempt's share of the deadline elapsed without an answer.
+    AttemptTimeout {
+        /// The guarded operation.
+        op: u64,
+        /// The attempt this timer guards (stale timers are ignored).
+        attempt: u32,
+    },
+    /// Backoff elapsed; re-issue the operation's piggybacked lookup.
+    RetryOp {
+        /// The operation to retry.
         op: u64,
     },
     /// Periodic background data stabilization.
@@ -107,7 +119,10 @@ pub enum SecureTimer {
 struct PendingOp {
     kind: OpKind,
     key: Id,
+    value: Option<Bytes>,
     started: SimTime,
+    /// Retries consumed so far (0 = first attempt).
+    attempt: u32,
 }
 
 /// A Secure-VerDi node: a payload-carrying [`VermeNode`] plus the block
@@ -204,14 +219,67 @@ impl SecureVerDiNode {
                         (Some(v), Some(k)) => verify_block(k, v),
                         _ => false,
                     };
-                    self.finish(op, ok, if ok { value } else { None }, ctx);
+                    if ok {
+                        self.finish(op, true, value, ctx);
+                    } else {
+                        // The replica lacked (or corrupted) the block; retry
+                        // end to end — repair may have moved it meanwhile.
+                        self.fail_attempt(op, ctx);
+                    }
                 }
                 Some(SecurePayload::PutResp { ok }) => {
-                    self.finish(op, ok, None, ctx);
+                    if ok {
+                        self.finish(op, true, None, ctx);
+                    } else {
+                        self.fail_attempt(op, ctx);
+                    }
                 }
-                _ => self.finish(op, false, None, ctx),
+                _ => self.fail_attempt(op, ctx),
             }
         }
+    }
+
+    /// Issues (or re-issues) the piggybacked lookup for a pending
+    /// operation and arms the per-attempt timer.
+    fn issue_attempt(&mut self, op: u64, ctx: &mut SCtx<'_>) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let (key, attempt) = (p.key, p.attempt);
+        let payload = match p.kind {
+            OpKind::Get => SecurePayload::GetReq { key },
+            OpKind::Put => {
+                let value = p.value.clone().expect("puts carry a value");
+                SecurePayload::PutReq { key, value }
+            }
+        };
+        let lid = self.with_overlay(ctx, |overlay, ictx| {
+            overlay.start_replica_lookup(key, Some(payload), ictx)
+        });
+        self.lookup_to_op.insert(lid, op);
+        if self.cfg.max_retries > 0 {
+            ctx.set_timer(self.cfg.attempt_timeout(), SecureTimer::AttemptTimeout { op, attempt });
+        }
+        self.drain_overlay(ctx);
+    }
+
+    /// One attempt failed (lookup failure, missing block, negative ack,
+    /// attempt timeout). Retries with exponential backoff while the retry
+    /// budget and the per-request deadline allow; fails the op otherwise.
+    fn fail_attempt(&mut self, op: u64, ctx: &mut SCtx<'_>) {
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
+        let next_attempt = p.attempt + 1;
+        let backoff = self.cfg.backoff_for(next_attempt);
+        let deadline = p.started + self.cfg.op_deadline;
+        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
+            self.finish(op, false, None, ctx);
+            return;
+        }
+        p.attempt = next_attempt;
+        ctx.metrics().count(keys::OP_RETRIES, 1);
+        ctx.set_timer(backoff, SecureTimer::RetryOp { op });
     }
 
     fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
@@ -220,6 +288,9 @@ impl SecureVerDiNode {
         };
         let latency = ctx.now().saturating_since(p.started);
         if ok {
+            if p.attempt > 0 {
+                ctx.metrics().count(keys::OP_RECOVERED, 1);
+            }
             match p.kind {
                 OpKind::Get => {
                     ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
@@ -289,28 +360,30 @@ impl DhtNode for SecureVerDiNode {
         let op = self.next_op;
         self.next_op += 1;
         let key = crate::block::block_key(&value);
-        self.pending.insert(op, PendingOp { kind: OpKind::Put, key, started: ctx.now() });
+        self.pending.insert(
+            op,
+            PendingOp {
+                kind: OpKind::Put,
+                key,
+                value: Some(value),
+                started: ctx.now(),
+                attempt: 0,
+            },
+        );
         ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
-        let payload = SecurePayload::PutReq { key, value };
-        let lid = self.with_overlay(ctx, |overlay, ictx| {
-            overlay.start_replica_lookup(key, Some(payload), ictx)
-        });
-        self.lookup_to_op.insert(lid, op);
-        self.drain_overlay(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut SCtx<'_>) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
-        self.pending.insert(op, PendingOp { kind: OpKind::Get, key, started: ctx.now() });
+        self.pending.insert(
+            op,
+            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
+        );
         ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
-        let payload = SecurePayload::GetReq { key };
-        let lid = self.with_overlay(ctx, |overlay, ictx| {
-            overlay.start_replica_lookup(key, Some(payload), ictx)
-        });
-        self.lookup_to_op.insert(lid, op);
-        self.drain_overlay(ctx);
+        self.issue_attempt(op, ctx);
         op
     }
 
@@ -348,6 +421,10 @@ impl Node for SecureVerDiNode {
         }
     }
 
+    fn on_shutdown(&mut self, ctx: &mut SCtx<'_>) {
+        self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
+    }
+
     fn on_timer(&mut self, timer: SecureTimer, ctx: &mut SCtx<'_>) {
         match timer {
             SecureTimer::Overlay(t) => {
@@ -357,6 +434,12 @@ impl Node for SecureVerDiNode {
             SecureTimer::OpDeadline { op } => {
                 self.finish(op, false, None, ctx);
             }
+            SecureTimer::AttemptTimeout { op, attempt } => {
+                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
+                    self.fail_attempt(op, ctx);
+                }
+            }
+            SecureTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             SecureTimer::DataStabilize => {
                 let mine: Vec<(Id, Bytes)> = self
                     .store

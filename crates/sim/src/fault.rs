@@ -1,0 +1,824 @@
+//! Scriptable, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a pure-data script of adverse conditions — background
+//! churn, correlated mass failures ("worm kills"), message-loss bursts,
+//! latency spikes, and temporary network partitions. A [`FaultRunner`]
+//! executes the plan against a [`Runtime`], interleaving its own agenda with
+//! the simulation's event queue so that every injected fault lands at an
+//! exact virtual time. All randomness (churn inter-arrival draws, victim
+//! selection, crash-vs-graceful coin flips) comes from a dedicated
+//! [`SeedSource`] stream, so a given `(seed, plan)` pair replays bit for bit.
+//!
+//! The plan itself knows nothing about the protocol under test. Protocol
+//! binding happens through [`FaultHooks`]: a `join` closure that spawns and
+//! wires a fresh node, a `select_victims` closure that interprets a kill
+//! burst's selector string (e.g. `"section:3"` for the paper's worm
+//! scenario), and a `ring_converged` predicate polled after each burst to
+//! measure time-to-reconvergence.
+//!
+//! # Example
+//!
+//! ```
+//! use verme_sim::fault::{Fault, FaultPlan};
+//! use verme_sim::{SimDuration, SimTime};
+//!
+//! let plan = FaultPlan::new()
+//!     .with(Fault::Churn {
+//!         start: SimTime::ZERO + SimDuration::from_secs(60),
+//!         duration: SimDuration::from_mins(10),
+//!         leave_rate_per_sec: 0.05,
+//!         graceful_fraction: 0.5,
+//!         rejoin_after: Some(SimDuration::from_secs(30)),
+//!     })
+//!     .with(Fault::KillBurst {
+//!         at: SimTime::ZERO + SimDuration::from_mins(5),
+//!         window: SimDuration::from_secs(2),
+//!         selector: "section:0".into(),
+//!     });
+//! assert!(plan.validate().is_ok());
+//! ```
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::event::EventQueue;
+use crate::rng::{exp_duration, SeedSource};
+use crate::runtime::{Addr, HostId, LatencyModel, Node, Runtime};
+use crate::time::{SimDuration, SimTime};
+
+/// Metric keys the runner records into the runtime's
+/// [`MetricsSink`](crate::MetricsSink).
+pub mod keys {
+    /// Counter: nodes (re)joined by the churn process.
+    pub const JOIN: &str = "fault.join";
+    /// Counter: churn departures executed as crashes.
+    pub const LEAVE_CRASH: &str = "fault.leave_crash";
+    /// Counter: churn departures executed as graceful shutdowns.
+    pub const LEAVE_GRACEFUL: &str = "fault.leave_graceful";
+    /// Counter: nodes killed by correlated bursts.
+    pub const BURST_KILL: &str = "fault.burst_kill";
+    /// Histogram: milliseconds from the end of a kill burst until the
+    /// `ring_converged` hook first reported true.
+    pub const RECONVERGE_MS: &str = "fault.reconverge_ms";
+}
+
+/// One scripted adverse condition inside a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Poisson background churn: nodes leave at `leave_rate_per_sec`
+    /// (exponential inter-departure times), each leave being a graceful
+    /// shutdown with probability `graceful_fraction` and a crash otherwise.
+    /// If `rejoin_after` is set, every departure is balanced by a fresh
+    /// join that much later, keeping the population roughly stable.
+    Churn {
+        /// When the churn window opens.
+        start: SimTime,
+        /// How long departures keep arriving.
+        duration: SimDuration,
+        /// Mean departures per simulated second (Poisson rate λ).
+        leave_rate_per_sec: f64,
+        /// Probability in `[0, 1]` that a departure is graceful.
+        graceful_fraction: f64,
+        /// Delay before a replacement node joins, or `None` for no rejoin.
+        rejoin_after: Option<SimDuration>,
+    },
+    /// Correlated mass failure: every node matched by `selector` (as
+    /// interpreted by [`FaultHooks::select_victims`]) crashes at a time
+    /// spread uniformly over `[at, at + window]`. This models the paper's
+    /// worm-kill scenario — all nodes of the vulnerable type in a section
+    /// range dying nearly at once.
+    KillBurst {
+        /// When the first victim dies.
+        at: SimTime,
+        /// Span over which the victims' crash times are spread.
+        window: SimDuration,
+        /// Protocol-interpreted victim filter, e.g. `"section:3"` or
+        /// `"frac:0.25"`.
+        selector: String,
+    },
+    /// Raises the runtime's message-loss rate to `rate` for `duration`,
+    /// then restores whatever rate was in effect before.
+    LossBurst {
+        /// When the loss burst begins.
+        at: SimTime,
+        /// How long the elevated loss rate lasts.
+        duration: SimDuration,
+        /// Loss probability in `[0, 1]` during the burst.
+        rate: f64,
+    },
+    /// Multiplies all message latencies by `factor` for `duration`, then
+    /// restores the previous factor.
+    LatencySpike {
+        /// When the spike begins.
+        at: SimTime,
+        /// How long the spike lasts.
+        duration: SimDuration,
+        /// Latency multiplier (> 0); e.g. `10.0` for a 10× slowdown.
+        factor: f64,
+    },
+    /// Cuts the network in two: messages between `side` hosts and the rest
+    /// are dropped for `duration`, then connectivity is restored.
+    Partition {
+        /// When the partition forms.
+        at: SimTime,
+        /// How long the partition lasts.
+        duration: SimDuration,
+        /// Hosts on one side of the cut (the other side is everyone else).
+        side: Vec<HostId>,
+    },
+}
+
+/// A pure-data script of faults, executed by a [`FaultRunner`].
+///
+/// Plans are built with [`with`](FaultPlan::with) and checked by
+/// [`validate`](FaultPlan::validate); an invalid plan is rejected before
+/// any fault is injected.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault to the plan.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Checks every fault's parameters, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, f) in self.faults.iter().enumerate() {
+            let err = |msg: String| Err(format!("fault #{i}: {msg}"));
+            match f {
+                Fault::Churn { leave_rate_per_sec, graceful_fraction, duration, .. } => {
+                    if !(leave_rate_per_sec.is_finite() && *leave_rate_per_sec > 0.0) {
+                        return err(format!("leave rate must be positive: {leave_rate_per_sec}"));
+                    }
+                    if !(0.0..=1.0).contains(graceful_fraction) {
+                        return err(format!(
+                            "graceful fraction must be in [0, 1]: {graceful_fraction}"
+                        ));
+                    }
+                    if duration.is_zero() {
+                        return err("churn duration must be non-zero".into());
+                    }
+                }
+                Fault::KillBurst { selector, .. } => {
+                    if selector.is_empty() {
+                        return err("kill-burst selector must be non-empty".into());
+                    }
+                }
+                Fault::LossBurst { rate, duration, .. } => {
+                    if !(0.0..=1.0).contains(rate) {
+                        return err(format!("loss rate must be in [0, 1]: {rate}"));
+                    }
+                    if duration.is_zero() {
+                        return err("loss-burst duration must be non-zero".into());
+                    }
+                }
+                Fault::LatencySpike { factor, duration, .. } => {
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return err(format!("latency factor must be positive: {factor}"));
+                    }
+                    if duration.is_zero() {
+                        return err("latency-spike duration must be non-zero".into());
+                    }
+                }
+                Fault::Partition { side, duration, .. } => {
+                    if side.is_empty() {
+                        return err("partition side must be non-empty".into());
+                    }
+                    if duration.is_zero() {
+                        return err("partition duration must be non-zero".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Spawns a fresh node and initiates its join; returns its address, or
+/// `None` if joining is impossible right now (e.g. no live bootstrap).
+pub type JoinHook<N, L> = Box<dyn FnMut(&mut Runtime<N, L>, &mut StdRng) -> Option<Addr>>;
+/// Returns the subset of the population matched by a kill-burst selector
+/// string. Must be deterministic given the same runtime state, selector,
+/// and population order.
+pub type VictimSelector<N, L> = Box<dyn FnMut(&Runtime<N, L>, &str, &[Addr]) -> Vec<Addr>>;
+/// True once the overlay's routing structure is consistent again; polled
+/// after each kill burst to measure reconvergence time.
+pub type ConvergencePredicate<N, L> = Box<dyn FnMut(&Runtime<N, L>) -> bool>;
+
+/// Protocol bindings the [`FaultRunner`] calls back into.
+///
+/// The runner is generic over the protocol; these closures tell it how to
+/// add a node, how to interpret a kill burst's selector, and how to decide
+/// that the overlay has healed after a burst.
+pub struct FaultHooks<N: Node, L: LatencyModel> {
+    /// How to spawn and join a replacement node.
+    pub join: JoinHook<N, L>,
+    /// How to resolve a kill-burst selector against the live population.
+    pub select_victims: VictimSelector<N, L>,
+    /// When the overlay counts as healed after a burst.
+    pub ring_converged: ConvergencePredicate<N, L>,
+}
+
+impl<N: Node, L: LatencyModel> FaultHooks<N, L> {
+    /// Hooks for protocols without join/convergence machinery: `join` does
+    /// nothing, `select_victims` matches nobody, `ring_converged` is always
+    /// true. Useful for plans that only script loss, latency or partitions.
+    pub fn inert() -> Self {
+        FaultHooks {
+            join: Box::new(|_, _| None),
+            select_victims: Box::new(|_, _, _| Vec::new()),
+            ring_converged: Box::new(|_| true),
+        }
+    }
+}
+
+/// Measured impact of one kill burst.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BurstImpact {
+    /// The burst's selector string.
+    pub selector: String,
+    /// When the burst began.
+    pub at: SimTime,
+    /// How many nodes the burst killed.
+    pub killed: usize,
+    /// Time from the end of the kill window until `ring_converged` first
+    /// reported true, or `None` if it never did before the poll deadline.
+    pub reconverged_after: Option<SimDuration>,
+    /// Per-counter increase between the start of the burst and the moment
+    /// convergence was decided (healed or timed out) — repair traffic,
+    /// failed lookups, timeouts, and so on.
+    pub counter_delta: BTreeMap<&'static str, u64>,
+}
+
+/// Everything the runner observed while executing a plan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Churn departures executed as crashes.
+    pub leaves_crash: u64,
+    /// Churn departures executed as graceful shutdowns.
+    pub leaves_graceful: u64,
+    /// Replacement nodes joined.
+    pub joins: u64,
+    /// One entry per executed [`Fault::KillBurst`], in execution order.
+    pub bursts: Vec<BurstImpact>,
+}
+
+/// The runner's private agenda entries.
+enum Action {
+    /// One Poisson departure from churn window `fault_idx`, plus
+    /// scheduling of the next tick while the window is open.
+    ChurnTick { fault_idx: usize },
+    /// A replacement join balancing an earlier churn departure.
+    Rejoin,
+    /// Select and schedule the victims of kill burst `fault_idx`.
+    BurstStart { fault_idx: usize },
+    /// Crash one burst victim.
+    BurstKillOne { burst_idx: usize, addr: Addr },
+    /// Start polling for reconvergence after burst `burst_idx`.
+    BurstSettle { burst_idx: usize, window_end: SimTime, deadline: SimTime },
+    /// Raise the loss rate; schedules its own restore.
+    LossStart { fault_idx: usize },
+    /// Restore the loss rate captured when the burst began.
+    LossEnd { previous: f64 },
+    /// Raise the latency factor; schedules its own restore.
+    LatencyStart { fault_idx: usize },
+    /// Restore the latency factor captured when the spike began.
+    LatencyEnd { previous: f64 },
+    /// Install the partition.
+    PartitionStart { fault_idx: usize },
+    /// Heal the partition.
+    PartitionEnd,
+}
+
+/// Executes a [`FaultPlan`] against a [`Runtime`].
+///
+/// Create with [`new`](FaultRunner::new), then drive the simulation with
+/// [`run_until`](FaultRunner::run_until) instead of calling
+/// `Runtime::run_until` directly — the runner interleaves its agenda with
+/// the runtime's event queue. Call [`into_report`](FaultRunner::into_report)
+/// when done.
+pub struct FaultRunner<N: Node, L: LatencyModel> {
+    plan: FaultPlan,
+    hooks: FaultHooks<N, L>,
+    rng: StdRng,
+    agenda: EventQueue<Action>,
+    /// Live nodes eligible for churn departures, in deterministic spawn
+    /// order (never derived from runtime hash-map iteration).
+    population: Vec<Addr>,
+    report: FaultReport,
+    /// Counter snapshots taken at each burst's start, by burst index.
+    burst_snapshots: Vec<BTreeMap<&'static str, u64>>,
+    /// How often `ring_converged` is polled after a burst.
+    poll_interval: SimDuration,
+    /// How long after a burst's window the runner keeps polling before
+    /// declaring the burst unrecovered.
+    converge_timeout: SimDuration,
+    /// Population floor below which churn departures are skipped.
+    min_population: usize,
+}
+
+impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
+    /// Builds a runner for `plan`.
+    ///
+    /// `population` is the initial set of churn-eligible nodes in a
+    /// deterministic order (e.g. spawn order); `seeds` provides the
+    /// dedicated `"faults"` randomness stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the plan is malformed.
+    pub fn new(
+        plan: FaultPlan,
+        hooks: FaultHooks<N, L>,
+        seeds: SeedSource,
+        population: Vec<Addr>,
+    ) -> Result<Self, String> {
+        plan.validate()?;
+        let mut agenda = EventQueue::new();
+        for (fault_idx, fault) in plan.faults().iter().enumerate() {
+            match *fault {
+                Fault::Churn { start, .. } => {
+                    agenda.schedule(start, Action::ChurnTick { fault_idx });
+                }
+                Fault::KillBurst { at, .. } => {
+                    agenda.schedule(at, Action::BurstStart { fault_idx });
+                }
+                Fault::LossBurst { at, .. } => {
+                    agenda.schedule(at, Action::LossStart { fault_idx });
+                }
+                Fault::LatencySpike { at, .. } => {
+                    agenda.schedule(at, Action::LatencyStart { fault_idx });
+                }
+                Fault::Partition { at, .. } => {
+                    agenda.schedule(at, Action::PartitionStart { fault_idx });
+                }
+            }
+        }
+        Ok(FaultRunner {
+            plan,
+            hooks,
+            rng: seeds.stream("faults"),
+            agenda,
+            population,
+            report: FaultReport::default(),
+            burst_snapshots: Vec::new(),
+            poll_interval: SimDuration::from_millis(500),
+            converge_timeout: SimDuration::from_mins(5),
+            min_population: 4,
+        })
+    }
+
+    /// Overrides the reconvergence poll interval (default 500 ms).
+    #[must_use]
+    pub fn with_poll_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be non-zero");
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Overrides how long to keep polling after a burst (default 5 min).
+    #[must_use]
+    pub fn with_converge_timeout(mut self, timeout: SimDuration) -> Self {
+        self.converge_timeout = timeout;
+        self
+    }
+
+    /// Overrides the population floor below which churn departures are
+    /// skipped (default 4).
+    #[must_use]
+    pub fn with_min_population(mut self, floor: usize) -> Self {
+        self.min_population = floor;
+        self
+    }
+
+    /// Current churn-eligible population.
+    pub fn population(&self) -> &[Addr] {
+        &self.population
+    }
+
+    /// Advances the simulation to `deadline`, executing every scheduled
+    /// fault on the way. Safe to call repeatedly with increasing deadlines.
+    pub fn run_until(&mut self, rt: &mut Runtime<N, L>, deadline: SimTime) {
+        while let Some(at) = self.agenda.peek_time() {
+            if at > deadline {
+                break;
+            }
+            rt.run_until(at);
+            let (_, action) = self.agenda.pop().expect("agenda entry vanished");
+            self.execute(rt, action);
+        }
+        rt.run_until(deadline);
+    }
+
+    /// Consumes the runner and returns what it observed.
+    pub fn into_report(self) -> FaultReport {
+        self.report
+    }
+
+    /// Drops addresses that are no longer alive (killed outside the
+    /// runner, e.g. by a worm scenario running alongside the plan).
+    fn prune_dead(&mut self, rt: &Runtime<N, L>) {
+        self.population.retain(|&a| rt.is_alive(a));
+    }
+
+    fn execute(&mut self, rt: &mut Runtime<N, L>, action: Action) {
+        match action {
+            Action::ChurnTick { fault_idx } => self.churn_tick(rt, fault_idx),
+            Action::Rejoin => {
+                if let Some(addr) = (self.hooks.join)(rt, &mut self.rng) {
+                    self.population.push(addr);
+                    self.report.joins += 1;
+                    rt.metrics_mut().count(keys::JOIN, 1);
+                }
+            }
+            Action::BurstStart { fault_idx } => self.burst_start(rt, fault_idx),
+            Action::BurstKillOne { burst_idx, addr } => {
+                if rt.kill(addr) {
+                    self.population.retain(|&a| a != addr);
+                    self.report.bursts[burst_idx].killed += 1;
+                    rt.metrics_mut().count(keys::BURST_KILL, 1);
+                }
+            }
+            Action::BurstSettle { burst_idx, window_end, deadline } => {
+                self.burst_settle(rt, burst_idx, window_end, deadline);
+            }
+            Action::LossStart { fault_idx } => {
+                let Fault::LossBurst { duration, rate, .. } = self.plan.faults()[fault_idx] else {
+                    unreachable!("loss action for non-loss fault");
+                };
+                let previous = rt.loss_rate();
+                rt.set_loss_rate(rate);
+                self.agenda.schedule(rt.now() + duration, Action::LossEnd { previous });
+            }
+            Action::LossEnd { previous } => rt.set_loss_rate(previous),
+            Action::LatencyStart { fault_idx } => {
+                let Fault::LatencySpike { duration, factor, .. } = self.plan.faults()[fault_idx]
+                else {
+                    unreachable!("latency action for non-latency fault");
+                };
+                let previous = rt.latency_factor();
+                rt.set_latency_factor(factor);
+                self.agenda.schedule(rt.now() + duration, Action::LatencyEnd { previous });
+            }
+            Action::LatencyEnd { previous } => rt.set_latency_factor(previous),
+            Action::PartitionStart { fault_idx } => {
+                let Fault::Partition { duration, ref side, .. } = self.plan.faults()[fault_idx]
+                else {
+                    unreachable!("partition action for non-partition fault");
+                };
+                rt.set_partition(Some(side.iter().copied().collect()));
+                self.agenda.schedule(rt.now() + duration, Action::PartitionEnd);
+            }
+            Action::PartitionEnd => rt.set_partition(None),
+        }
+    }
+
+    fn churn_tick(&mut self, rt: &mut Runtime<N, L>, fault_idx: usize) {
+        let Fault::Churn { start, duration, leave_rate_per_sec, graceful_fraction, rejoin_after } =
+            self.plan.faults()[fault_idx].clone()
+        else {
+            unreachable!("churn action for non-churn fault");
+        };
+        let window_end = start + duration;
+        if rt.now() >= window_end {
+            return;
+        }
+        self.prune_dead(rt);
+        if self.population.len() > self.min_population {
+            // Deterministic victim choice from our own ordered population —
+            // never from runtime hash-map iteration order.
+            let idx = self.rng.gen_range(0..self.population.len());
+            let victim = self.population.swap_remove(idx);
+            let graceful = self.rng.gen::<f64>() < graceful_fraction;
+            if graceful {
+                rt.shutdown(victim);
+                self.report.leaves_graceful += 1;
+                rt.metrics_mut().count(keys::LEAVE_GRACEFUL, 1);
+            } else {
+                rt.kill(victim);
+                self.report.leaves_crash += 1;
+                rt.metrics_mut().count(keys::LEAVE_CRASH, 1);
+            }
+            if let Some(delay) = rejoin_after {
+                self.agenda.schedule(rt.now() + delay, Action::Rejoin);
+            }
+        }
+        let gap = exp_duration(&mut self.rng, 1.0 / leave_rate_per_sec);
+        let next = rt.now() + gap;
+        if next < window_end {
+            self.agenda.schedule(next, Action::ChurnTick { fault_idx });
+        }
+    }
+
+    fn burst_start(&mut self, rt: &mut Runtime<N, L>, fault_idx: usize) {
+        let Fault::KillBurst { at, window, ref selector } = self.plan.faults()[fault_idx].clone()
+        else {
+            unreachable!("burst action for non-burst fault");
+        };
+        self.prune_dead(rt);
+        let victims = (self.hooks.select_victims)(rt, selector, &self.population);
+        let burst_idx = self.report.bursts.len();
+        self.report.bursts.push(BurstImpact {
+            selector: selector.clone(),
+            at,
+            killed: 0,
+            reconverged_after: None,
+            counter_delta: BTreeMap::new(),
+        });
+        self.burst_snapshots.push(rt.metrics().counter_snapshot());
+        // Spread the crashes uniformly over the window so repair traffic
+        // overlaps the ongoing failures, as in a real worm kill.
+        let n = victims.len() as u64;
+        for (i, addr) in victims.into_iter().enumerate() {
+            let offset = if n > 1 {
+                SimDuration::from_nanos(window.as_nanos() / (n - 1) * i as u64)
+            } else {
+                SimDuration::ZERO
+            };
+            self.agenda.schedule(at + offset, Action::BurstKillOne { burst_idx, addr });
+        }
+        let window_end = at + window;
+        self.agenda.schedule(
+            window_end,
+            Action::BurstSettle {
+                burst_idx,
+                window_end,
+                deadline: window_end + self.converge_timeout,
+            },
+        );
+    }
+
+    fn burst_settle(
+        &mut self,
+        rt: &mut Runtime<N, L>,
+        burst_idx: usize,
+        window_end: SimTime,
+        deadline: SimTime,
+    ) {
+        let healed = (self.hooks.ring_converged)(rt);
+        if healed || rt.now() >= deadline {
+            let impact = &mut self.report.bursts[burst_idx];
+            if healed {
+                let took = rt.now().saturating_since(window_end);
+                impact.reconverged_after = Some(took);
+                rt.metrics_mut().record(keys::RECONVERGE_MS, took.as_millis_f64());
+            }
+            impact.counter_delta = rt.metrics().counter_delta(&self.burst_snapshots[burst_idx]);
+        } else {
+            self.agenda.schedule(
+                rt.now() + self.poll_interval,
+                Action::BurstSettle { burst_idx, window_end, deadline },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Ctx, UniformLatency, Wire};
+
+    /// Minimal protocol: every node pings a random peer each second and
+    /// counts ping/pong traffic, so faults visibly perturb its metrics.
+    struct PingNode {
+        peers: Vec<Addr>,
+        shutdowns_sent: u64,
+    }
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+        Bye,
+    }
+
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            16
+        }
+    }
+
+    impl Node for PingNode {
+        type Msg = Msg;
+        type Timer = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, ()>) {
+            ctx.set_timer(SimDuration::from_secs(1), ());
+        }
+
+        fn on_message(&mut self, from: Addr, msg: Msg, ctx: &mut Ctx<'_, Msg, ()>) {
+            match msg {
+                Msg::Ping => {
+                    ctx.metrics().count("ping.received", 1);
+                    ctx.send(from, Msg::Pong);
+                }
+                Msg::Pong => ctx.metrics().count("pong.received", 1),
+                Msg::Bye => ctx.metrics().count("bye.received", 1),
+            }
+        }
+
+        fn on_timer(&mut self, _t: (), ctx: &mut Ctx<'_, Msg, ()>) {
+            if !self.peers.is_empty() {
+                let idx = ctx.rng().gen_range(0..self.peers.len());
+                ctx.send(self.peers[idx], Msg::Ping);
+            }
+            ctx.set_timer(SimDuration::from_secs(1), ());
+        }
+
+        fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Msg, ()>) {
+            for &p in &self.peers {
+                ctx.send(p, Msg::Bye);
+            }
+            self.shutdowns_sent += 1;
+        }
+    }
+
+    fn build(n: usize, seed: u64) -> (Runtime<PingNode, UniformLatency>, Vec<Addr>) {
+        let mut rt = Runtime::new(UniformLatency::new(n, SimDuration::from_millis(10)), seed);
+        let addrs: Vec<Addr> = (0..n)
+            .map(|i| rt.spawn(HostId(i), PingNode { peers: Vec::new(), shutdowns_sent: 0 }))
+            .collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            let peers: Vec<Addr> = addrs
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, p)| p)
+                .collect();
+            rt.node_mut(a).expect("just spawned").peers = peers;
+        }
+        (rt, addrs)
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let bad_rate = FaultPlan::new().with(Fault::Churn {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(10),
+            leave_rate_per_sec: 0.0,
+            graceful_fraction: 0.5,
+            rejoin_after: None,
+        });
+        assert!(bad_rate.validate().is_err());
+
+        let bad_loss = FaultPlan::new().with(Fault::LossBurst {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            rate: 1.5,
+        });
+        assert!(bad_loss.validate().is_err());
+
+        let empty_side = FaultPlan::new().with(Fault::Partition {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            side: Vec::new(),
+        });
+        assert!(empty_side.validate().is_err());
+    }
+
+    #[test]
+    fn churn_kills_and_rejoins_nodes() {
+        let (mut rt, addrs) = build(12, 7);
+        let plan = FaultPlan::new().with(Fault::Churn {
+            start: secs(5),
+            duration: SimDuration::from_secs(60),
+            leave_rate_per_sec: 0.2,
+            graceful_fraction: 0.5,
+            rejoin_after: Some(SimDuration::from_secs(5)),
+        });
+        let hooks: FaultHooks<PingNode, UniformLatency> = FaultHooks {
+            join: Box::new(|rt, _rng| {
+                Some(rt.spawn(HostId(0), PingNode { peers: Vec::new(), shutdowns_sent: 0 }))
+            }),
+            select_victims: Box::new(|_, _, _| Vec::new()),
+            ring_converged: Box::new(|_| true),
+        };
+        let mut runner =
+            FaultRunner::new(plan, hooks, SeedSource::new(7), addrs).expect("valid plan");
+        runner.run_until(&mut rt, secs(120));
+        let report = runner.into_report();
+        let leaves = report.leaves_crash + report.leaves_graceful;
+        assert!(leaves > 0, "no departures in a 60 s window at 0.2/s");
+        assert!(report.leaves_crash > 0 && report.leaves_graceful > 0);
+        assert_eq!(report.joins, leaves, "every leave should be balanced by a rejoin");
+        assert_eq!(rt.metrics().counter(keys::JOIN), report.joins);
+        // Graceful leavers sent farewell messages.
+        assert!(rt.metrics().counter("bye.received") > 0);
+    }
+
+    #[test]
+    fn kill_burst_reports_impact_and_reconvergence() {
+        let (mut rt, addrs) = build(10, 11);
+        let plan = FaultPlan::new().with(Fault::KillBurst {
+            at: secs(10),
+            window: SimDuration::from_secs(2),
+            selector: "first:3".into(),
+        });
+        let hooks: FaultHooks<PingNode, UniformLatency> = FaultHooks {
+            join: Box::new(|_, _| None),
+            select_victims: Box::new(|_, sel, pop| {
+                let n: usize = sel.strip_prefix("first:").expect("selector").parse().unwrap();
+                pop.iter().copied().take(n).collect()
+            }),
+            // Healed once the population is back under ping load for a bit.
+            ring_converged: Box::new(|rt| rt.now() >= secs(20)),
+        };
+        let mut runner =
+            FaultRunner::new(plan, hooks, SeedSource::new(11), addrs).expect("valid plan");
+        runner.run_until(&mut rt, secs(60));
+        let report = runner.into_report();
+        assert_eq!(report.bursts.len(), 1);
+        let burst = &report.bursts[0];
+        assert_eq!(burst.killed, 3);
+        let took = burst.reconverged_after.expect("should reconverge");
+        assert!(took >= SimDuration::from_secs(7));
+        assert!(!burst.counter_delta.is_empty(), "burst window saw no traffic at all");
+        assert_eq!(rt.metrics().counter(keys::BURST_KILL), 3);
+        assert_eq!(rt.num_alive(), 7);
+    }
+
+    #[test]
+    fn loss_latency_and_partition_restore_previous_state() {
+        let (mut rt, addrs) = build(6, 3);
+        rt.set_loss_rate(0.01);
+        let plan = FaultPlan::new()
+            .with(Fault::LossBurst { at: secs(5), duration: SimDuration::from_secs(5), rate: 0.9 })
+            .with(Fault::LatencySpike {
+                at: secs(12),
+                duration: SimDuration::from_secs(5),
+                factor: 10.0,
+            })
+            .with(Fault::Partition {
+                at: secs(20),
+                duration: SimDuration::from_secs(5),
+                side: vec![HostId(0), HostId(1)],
+            });
+        let mut runner = FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(3), addrs)
+            .expect("valid plan");
+
+        runner.run_until(&mut rt, secs(7));
+        assert_eq!(rt.loss_rate(), 0.9);
+        runner.run_until(&mut rt, secs(13));
+        assert_eq!(rt.loss_rate(), 0.01, "previous loss rate restored");
+        assert_eq!(rt.latency_factor(), 10.0);
+        runner.run_until(&mut rt, secs(21));
+        assert_eq!(rt.latency_factor(), 1.0, "latency factor restored");
+        assert!(rt.is_partitioned());
+        runner.run_until(&mut rt, secs(30));
+        assert!(!rt.is_partitioned(), "partition healed");
+        assert!(rt.stats().partition_dropped > 0, "cross-partition traffic was dropped");
+    }
+
+    #[test]
+    fn same_seed_same_plan_is_reproducible() {
+        let run = |seed: u64| -> (FaultReport, String) {
+            let (mut rt, addrs) = build(12, seed);
+            let plan = FaultPlan::new()
+                .with(Fault::Churn {
+                    start: secs(2),
+                    duration: SimDuration::from_secs(40),
+                    leave_rate_per_sec: 0.25,
+                    graceful_fraction: 0.3,
+                    rejoin_after: None,
+                })
+                .with(Fault::LossBurst {
+                    at: secs(10),
+                    duration: SimDuration::from_secs(10),
+                    rate: 0.5,
+                });
+            let mut runner =
+                FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(seed), addrs)
+                    .expect("valid plan");
+            runner.run_until(&mut rt, secs(60));
+            (runner.into_report(), rt.metrics_mut().render_snapshot())
+        };
+        let (ra, ma) = run(42);
+        let (rb, mb) = run(42);
+        assert_eq!(ra, rb);
+        assert_eq!(ma, mb, "same seed must give byte-identical metrics");
+        let (rc, mc) = run(43);
+        assert!(ra != rc || ma != mc, "different seed should perturb the run");
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! * [`time`] — the virtual clock types [`SimTime`] and [`SimDuration`].
 //! * [`event`] — a generic ordered event queue, [`EventQueue`].
+//! * [`fault`] — scriptable fault injection: [`FaultPlan`] scripts churn,
+//!   mass failures, loss bursts, latency spikes and partitions, executed
+//!   deterministically by a [`FaultRunner`].
 //! * [`rng`] — reproducible random-number streams derived from one seed.
 //! * [`metrics`] — counters, histograms and time series used by every
 //!   experiment harness.
@@ -38,12 +41,14 @@
 //! [p2psim]: https://pdos.csail.mit.edu/p2psim/
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod runtime;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{BurstImpact, Fault, FaultHooks, FaultPlan, FaultReport, FaultRunner};
 pub use metrics::{Counter, Histogram, MetricsSink, Summary, TimeSeries};
 pub use rng::SeedSource;
 pub use runtime::{

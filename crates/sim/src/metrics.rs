@@ -290,6 +290,50 @@ impl MetricsSink {
         self.histograms.keys().copied()
     }
 
+    /// A point-in-time copy of every counter, for measuring the impact of
+    /// an interval (e.g. one injected fault) as a delta. See
+    /// [`counter_delta`](MetricsSink::counter_delta).
+    pub fn counter_snapshot(&self) -> BTreeMap<&'static str, u64> {
+        self.counters().collect()
+    }
+
+    /// Per-counter increase since `earlier` (a
+    /// [`counter_snapshot`](MetricsSink::counter_snapshot)). Counters that
+    /// did not move are omitted; counters born after the snapshot report
+    /// their full value.
+    pub fn counter_delta(
+        &self,
+        earlier: &BTreeMap<&'static str, u64>,
+    ) -> BTreeMap<&'static str, u64> {
+        self.counters()
+            .filter_map(|(k, v)| {
+                let d = v.saturating_sub(earlier.get(k).copied().unwrap_or(0));
+                (d > 0).then_some((k, d))
+            })
+            .collect()
+    }
+
+    /// A stable, human-readable rendering of every counter and histogram
+    /// summary, suitable for byte-for-byte determinism comparisons between
+    /// runs. Keys are emitted in sorted order; floats with fixed precision.
+    pub fn render_snapshot(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in self.counters() {
+            let _ = writeln!(out, "counter {k} = {v}");
+        }
+        let names: Vec<&'static str> = self.histogram_names().collect();
+        for k in names {
+            let s = self.histograms.get_mut(k).expect("histogram vanished").summary();
+            let _ = writeln!(
+                out,
+                "hist {k} count={} mean={:.6} min={:.6} max={:.6} p50={:.6} p90={:.6} p99={:.6}",
+                s.count, s.mean, s.min, s.max, s.p50, s.p90, s.p99
+            );
+        }
+        out
+    }
+
     /// Merges all counters and histograms from `other` into this sink.
     pub fn merge(&mut self, other: &MetricsSink) {
         for (&k, c) in &other.counters {

@@ -12,7 +12,7 @@
 //! dropped, exactly as UDP datagrams to a crashed host would be; protocols
 //! are responsible for their own timeouts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -101,6 +101,12 @@ pub trait Node: Sized {
 
     /// Called when a previously armed timer fires.
     fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
+
+    /// Called when the node leaves gracefully (a planned departure, as
+    /// opposed to a crash). The node may send farewell messages — e.g.
+    /// handing its successor list to its neighbors — which are flushed
+    /// before it is removed. Crashes never invoke this. Default: no-op.
+    fn on_shutdown(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {}
 }
 
 /// The effect interface handed to every [`Node`] hook.
@@ -238,6 +244,8 @@ pub struct NetStats {
     pub messages_delivered: u64,
     /// Messages dropped (dead destination or injected loss).
     pub messages_dropped: u64,
+    /// Messages dropped because they crossed an active network partition.
+    pub partition_dropped: u64,
 }
 
 enum RtEvent<M, T> {
@@ -298,6 +306,8 @@ pub struct Runtime<N: Node, L = Box<dyn LatencyModel>> {
     stats: NetStats,
     next_addr: u64,
     loss_rate: f64,
+    latency_factor: f64,
+    partition: Option<HashSet<HostId>>,
     tracer: Option<Tracer>,
 }
 
@@ -316,6 +326,8 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             stats: NetStats::default(),
             next_addr: 1,
             loss_rate: 0.0,
+            latency_factor: 1.0,
+            partition: None,
             tracer: None,
         }
     }
@@ -348,6 +360,39 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         self.loss_rate = rate;
     }
 
+    /// The current i.i.d. message-loss probability.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// Sets a multiplicative factor applied to every link delay (latency
+    /// spike injection; `1.0` is nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "latency factor must be finite and positive");
+        self.latency_factor = factor;
+    }
+
+    /// The current latency multiplier.
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
+    }
+
+    /// Installs (or clears) a network partition: messages between a host
+    /// inside `side` and one outside it are dropped until the partition is
+    /// cleared. Intra-side traffic is unaffected.
+    pub fn set_partition(&mut self, side: Option<HashSet<HostId>>) {
+        self.partition = side.filter(|s| !s.is_empty());
+    }
+
+    /// True if a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
     /// Spawns a node on `host`, returning its fresh address.
     ///
     /// # Panics
@@ -377,6 +422,21 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             self.trace(TraceEvent::Kill { addr });
         }
         removed
+    }
+
+    /// Gracefully shuts down the node at `addr`: its
+    /// [`on_shutdown`](Node::on_shutdown) hook runs (farewell messages are
+    /// flushed into the network) and then the node is removed. Returns
+    /// `false` if the node was already dead.
+    ///
+    /// Contrast with [`kill`](Runtime::kill), which models a crash and
+    /// gives the node no chance to say goodbye.
+    pub fn shutdown(&mut self, addr: Addr) -> bool {
+        if !self.nodes.contains_key(&addr) {
+            return false;
+        }
+        self.with_ctx(addr, |node, ctx| node.on_shutdown(ctx));
+        self.kill(addr)
     }
 
     /// True if `addr` names a live node.
@@ -538,7 +598,18 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
                     continue;
                 }
             };
-            let delay = self.latency.delay(from_host, to_host, bytes);
+            if let Some(side) = &self.partition {
+                if side.contains(&from_host) != side.contains(&to_host) {
+                    self.stats.messages_dropped += 1;
+                    self.stats.partition_dropped += 1;
+                    self.trace(TraceEvent::Drop { to });
+                    continue;
+                }
+            }
+            let mut delay = self.latency.delay(from_host, to_host, bytes);
+            if self.latency_factor != 1.0 {
+                delay = delay.mul_f64(self.latency_factor);
+            }
             self.queue.schedule(self.now + delay, RtEvent::Deliver { from: addr, to, msg });
         }
         for (delay, timer) in timers {

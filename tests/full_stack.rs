@@ -141,7 +141,7 @@ fn figure8_ordering_holds_end_to_end() {
         sections: 128,
         duration: SimDuration::from_secs(8_000),
         params: WormParams::default(),
-        seed: 21,
+        seed: 7,
         ..Default::default()
     };
     let chord = run_scenario(&Scenario::ChordWorm, &cfg);

@@ -1,0 +1,149 @@
+//! Workspace-local stand-in for the `criterion` bench harness.
+//!
+//! Implements the group / `bench_with_input` / `iter` API used by the
+//! `verme-bench` benches with plain wall-clock timing and a text report —
+//! no statistics engine, no HTML output. Good enough to compare runs by
+//! eye; the real figures come from the experiment binaries, not these
+//! benches.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench context, handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 10 }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the display form of a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, durations_ns: Vec::new() };
+        f(&mut bencher, input);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, durations_ns: Vec::new() };
+        f(&mut bencher);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` once per configured sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.durations_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.durations_ns.is_empty() {
+            println!("  {id:<32} (no samples)");
+            return;
+        }
+        let n = self.durations_ns.len() as u128;
+        let mean = self.durations_ns.iter().sum::<u128>() / n;
+        let min = *self.durations_ns.iter().min().expect("non-empty");
+        let max = *self.durations_ns.iter().max().expect("non-empty");
+        println!(
+            "  {id:<32} mean {:>12.3} ms   min {:>12.3} ms   max {:>12.3} ms   ({} samples)",
+            mean as f64 / 1e6,
+            min as f64 / 1e6,
+            max as f64 / 1e6,
+            n
+        );
+    }
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $crate::Criterion::default();
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,180 @@
+//! Workspace-local stand-in for the slice of `crossbeam` this repository
+//! uses: `channel::unbounded` with clonable senders **and** clonable
+//! receivers (MPMC), which the bench binaries use both for fan-in result
+//! collection and as shared work queues.
+
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; clonable, consumers share the queue.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value. Never fails in this implementation (receivers
+        /// share an unbounded queue); the `Result` mirrors crossbeam's
+        /// signature.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.queue.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors once the queue is empty and
+        /// every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` if nothing is queued right now.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.state.lock().expect("channel poisoned").queue.pop_front()
+        }
+
+        /// Blocking iterator that ends when all senders are dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Iterator over received values; see [`Receiver::iter`].
+    #[derive(Debug)]
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.iter()
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_scoped_threads() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|s| {
+                for i in 0..4u64 {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+                drop(tx);
+                let mut got: Vec<u64> = rx.iter().collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            });
+        }
+
+        #[test]
+        fn shared_work_queue_drains_exactly_once() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total = std::sync::atomic::AtomicU64::new(0);
+            let count = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let (total, count) = (&total, &count);
+                    s.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.into_inner(), 100);
+            assert_eq!(total.into_inner(), 4950);
+        }
+    }
+}

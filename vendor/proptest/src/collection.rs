@@ -1,0 +1,55 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Size arguments accepted by [`vec()`](fn@vec): `a..b`, `a..=b`, or an exact `n`.
+pub trait IntoSizeBounds {
+    /// Inclusive `(lo, hi)` element-count bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeBounds for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range for collection strategy");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeBounds for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range for collection strategy");
+        (*self.start(), *self.end())
+    }
+}
+
+impl IntoSizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`; see [`vec()`](fn@vec).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.lo..=self.hi);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    VecStrategy { element, lo, hi }
+}

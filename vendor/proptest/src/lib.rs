@@ -1,0 +1,212 @@
+//! Workspace-local property-testing harness.
+//!
+//! Implements the slice of the `proptest` crate this repository uses: the
+//! [`proptest!`] macro (both `name: Type` and `pattern in strategy`
+//! parameter forms), [`Strategy`](strategy::Strategy) with `prop_map` /
+//! `prop_flat_map`, tuple and range strategies, `any::<T>()`,
+//! `prop::collection::vec`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its values but is not minimized) and a fixed deterministic RNG per test
+//! (seeded from the test's module path, so failures reproduce exactly).
+//! Case count defaults to 64 and honours `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a: u32, b in 0u32..1000) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| -> $crate::test_runner::TestCaseResult {
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Binds one `proptest!` parameter list entry at a time. Entries are either
+/// `pattern in strategy-expr` or `name: Type` (sugar for `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut *$rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut *$rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::generate_any::<$ty>(&mut *$rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::generate_any::<$ty>(&mut *$rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_left == *__pa_right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __pa_left,
+            __pa_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(*__pa_left == *__pa_right, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_left != *__pa_right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __pa_left,
+            __pa_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pa_left, __pa_right) = (&$left, &$right);
+        $crate::prop_assert!(*__pa_left != *__pa_right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (it counts as neither pass nor fail) when a
+/// generated input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn plain_typed_params(a: u64, b: bool) {
+            prop_assert!(u64::from(b) <= 1);
+            prop_assert_eq!(a.to_le_bytes(), a.to_le_bytes());
+        }
+
+        #[test]
+        fn strategy_params(x in 5usize..10, v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn pattern_params((a, b) in (0u32..10, 10u32..20), c: u8) {
+            prop_assert!(a < b, "a={} b={} c={}", a, b, c);
+        }
+
+        #[test]
+        fn flat_map_composes(v in (1usize..8).prop_flat_map(|n| prop::collection::vec(0..n, n..=n))) {
+            let n = v.len();
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("some::test");
+        let mut b = crate::test_runner::TestRng::deterministic("some::test");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_message() {
+        crate::test_runner::run_cases("always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! Sampling strategies over fixed choices (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding clones of elements picked uniformly from a vector.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// Picks uniformly from `choices`.
+///
+/// # Panics
+///
+/// Panics (on generation) if `choices` is empty.
+pub fn select<T: Clone>(choices: impl Into<Vec<T>>) -> Select<T> {
+    let v = choices.into();
+    assert!(!v.is_empty(), "select requires at least one choice");
+    Select(v)
+}

@@ -1,0 +1,87 @@
+//! Case execution: deterministic per-test RNG and pass/fail/reject plumbing.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic RNG driving a single property test. Seeded from the
+/// test's module path so every run (and every machine) sees the same
+/// cases.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed 64-bit seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in test_name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the inputs; the case is
+    /// discarded and regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of passing cases each property must produce. Honours the
+/// `PROPTEST_CASES` environment variable; defaults to 64.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Runs `f` until [`case_count`] cases pass, panicking on the first
+/// failure. Rejected cases are regenerated, up to a 20× attempt budget.
+pub fn run_cases<F>(test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = case_count();
+    let mut rng = TestRng::deterministic(test_name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    while passed < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(20),
+            "proptest '{test_name}': too many cases rejected by prop_assume! \
+             ({passed}/{cases} passed after {attempts} attempts)"
+        );
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{test_name}' failed (case {}): {msg}", passed + 1)
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Distributions: the [`Standard`] uniform-over-the-type distribution and
+//! uniform range sampling backing `Rng::gen_range`.
+
+use std::marker::PhantomData;
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`, sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution over a whole primitive type:
+/// all bit patterns for integers, `[0, 1)` for floats, fair coin for bool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_small_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                // Take high bits: xoshiro's high bits are the strongest.
+                (rng.next_u64() >> (64 - <$t>::BITS)) as $t
+            }
+        }
+    )*};
+}
+standard_small_uint!(u8, u16, u32);
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! standard_int_via_unsigned {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                <Standard as Distribution<$u>>::sample(&Standard, rng) as $t
+            }
+        }
+    )*};
+}
+standard_int_via_unsigned!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u64() >> 63) == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Infinite iterator of samples, returned by `Rng::sample_iter`.
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (`Rng::gen_range`).
+
+    use crate::RngCore;
+
+    /// Marker for types `gen_range` can sample.
+    pub trait SampleUniform: Sized {}
+
+    /// Range arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    fn draw_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+
+    macro_rules! uniform_unsigned {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {}
+
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range called with empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((draw_u128(rng) % span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range called with empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full u128 domain: every draw is in range.
+                        return draw_u128(rng) as $t;
+                    }
+                    lo.wrapping_add((draw_u128(rng) % span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_unsigned!(u8, u16, u32, u64, usize, u128);
+
+    macro_rules! uniform_signed {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {}
+
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range called with empty range");
+                    // Order-preserving map into the unsigned domain.
+                    const BIAS: $u = 1 << (<$u>::BITS - 1);
+                    let lo = (self.start as $u) ^ BIAS;
+                    let hi = (self.end as $u) ^ BIAS;
+                    let v = (lo..hi).sample_single(rng);
+                    (v ^ BIAS) as $t
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = self.into_inner();
+                    assert!(start <= end, "gen_range called with empty range");
+                    const BIAS: $u = 1 << (<$u>::BITS - 1);
+                    let lo = (start as $u) ^ BIAS;
+                    let hi = (end as $u) ^ BIAS;
+                    let v = (lo..=hi).sample_single(rng);
+                    (v ^ BIAS) as $t
+                }
+            }
+        )*};
+    }
+    uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl SampleUniform for f64 {}
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range called with empty range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Workspace-local, dependency-free stand-in for the subset of the `rand`
+//! crate API this repository uses.
+//!
+//! The build environment vendors every external dependency inside the
+//! workspace (no network, no registry). This crate provides deterministic
+//! pseudo-randomness behind the familiar `rand 0.8` names: the [`Rng`] and
+//! [`SeedableRng`] traits, [`rngs::StdRng`], `rand::distributions::Standard`,
+//! and integer/float range sampling via `gen_range`.
+//!
+//! The generator is xoshiro256++ seeded through a SplitMix64 expansion. It
+//! does **not** reproduce upstream `rand` output streams — the simulator
+//! only requires that streams be deterministic per seed and statistically
+//! uniform, which this is.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use rngs::thread_rng;
+
+/// A low-level source of random 64-bit words.
+///
+/// Everything else ([`Rng`], the distributions) is derived from
+/// [`next_u64`](RngCore::next_u64).
+pub trait RngCore {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random 32-bit word (high bits of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Mirrors `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it to the full
+    /// internal state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`]
+    /// (uniform-over-the-type) distribution.
+    ///
+    /// [`Standard`]: distributions::Standard
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Consumes the generator, yielding an infinite iterator of samples
+    /// from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> =
+            StdRng::seed_from_u64(7).sample_iter(crate::distributions::Standard).take(16).collect();
+        let b: Vec<u64> =
+            StdRng::seed_from_u64(7).sample_iter(crate::distributions::Standard).take(16).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> =
+            StdRng::seed_from_u64(8).sample_iter(crate::distributions::Standard).take(16).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and a loosely-seeded
+//! [`ThreadRng`] for doc examples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Fast, 256 bits of state, passes BigCrush; state is expanded from the
+/// seed with SplitMix64 as the xoshiro authors recommend.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        self.s = [s0, s1, s2 ^ t, s3.rotate_left(45)];
+        result
+    }
+}
+
+/// A convenience generator seeded from wall-clock time and a process-wide
+/// counter. **Not** reproducible across runs — only used by examples; the
+/// simulator always goes through seeded [`StdRng`] streams.
+#[derive(Clone, Debug)]
+pub struct ThreadRng(StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns a loosely-seeded [`ThreadRng`].
+pub fn thread_rng() -> ThreadRng {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9);
+    let salt = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    ThreadRng(StdRng::seed_from_u64(nanos ^ salt))
+}

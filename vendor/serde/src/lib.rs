@@ -1,0 +1,14 @@
+//! Workspace-local serde facade.
+//!
+//! Re-exports the no-op derive macros and defines empty marker traits so
+//! `#[derive(Serialize, Deserialize)]` annotations and `serde::Serialize`
+//! bounds resolve. Nothing in the workspace actually serializes through
+//! serde, so no data model is implemented.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace annotates wire/config types with serde derives for
+//! forward compatibility, but never serializes them (no serde_json or
+//! similar is in the tree). These derives expand to nothing, which keeps
+//! the annotations compiling without pulling in the real serde stack.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
