@@ -5,11 +5,18 @@
 //! cargo run -p verme-bench --release --bin fig8_worm_propagation            # quick (10k nodes)
 //! cargo run -p verme-bench --release --bin fig8_worm_propagation -- --full  # paper (100k nodes)
 //! ```
+//!
+//! With `--trace FILE` each scenario's first repetition runs with a
+//! flight recorder attached; the merged infection-milestone events are
+//! dumped to `FILE` as NDJSON (one causal span per infection chain).
 
 use crossbeam::channel;
-use verme_bench::fig8::{figure_scenarios, run_series, Fig8Params, Fig8Series};
+use verme_bench::fig8::{figure_scenarios, run_series, run_series_traced, Fig8Params, Fig8Series};
 use verme_bench::plot::render_log_x;
 use verme_bench::CliArgs;
+
+/// Events retained per scenario when `--trace` is active.
+const TRACE_CAPACITY: usize = 65_536;
 
 fn main() {
     let args = CliArgs::parse();
@@ -25,6 +32,7 @@ fn main() {
     );
 
     let scenarios = figure_scenarios();
+    let tracing = args.trace.is_some();
     let (tx, rx) = channel::unbounded();
     std::thread::scope(|s| {
         for (i, sc) in scenarios.iter().enumerate() {
@@ -32,15 +40,30 @@ fn main() {
             let params = params.clone();
             let sc = sc.clone();
             s.spawn(move || {
-                tx.send((i, run_series(&sc, &params))).unwrap();
+                let (series, events) = if tracing {
+                    run_series_traced(&sc, &params, TRACE_CAPACITY)
+                } else {
+                    (run_series(&sc, &params), Vec::new())
+                };
+                tx.send((i, series, events)).unwrap();
             });
         }
         drop(tx);
         let mut series: Vec<Option<Fig8Series>> = vec![None; scenarios.len()];
-        for (i, r) in rx.iter() {
+        let mut traces: Vec<Vec<verme_sim::TraceEvent>> = vec![Vec::new(); scenarios.len()];
+        for (i, r, ev) in rx.iter() {
             series[i] = Some(r);
+            traces[i] = ev;
         }
         let series: Vec<Fig8Series> = series.into_iter().map(|s| s.unwrap()).collect();
+        if let Some(path) = &args.trace {
+            // One dump, scenarios in legend order (each internally
+            // time-ordered by the recorder).
+            let merged: Vec<verme_sim::TraceEvent> = traces.into_iter().flatten().collect();
+            let ndjson = verme_obs::trace_to_ndjson(&merged);
+            std::fs::write(path, ndjson).expect("write trace dump");
+            println!("# trace: {} events -> {path}", merged.len());
+        }
 
         // Header.
         print!("{:<12}", "t (s)");

@@ -1,0 +1,279 @@
+//! End-to-end check of the observability pipeline, run in CI.
+//!
+//! Drives a small fault-free Chord ring and a small Verme ring with the
+//! flight recorder and the path collector teed into the runtime tracer,
+//! then verifies every layer of the `verme-obs` contract:
+//!
+//! 1. the recorded events serialize to NDJSON that parses back and passes
+//!    the trace schema (every message-flow and protocol event carries a
+//!    cause ID);
+//! 2. the assembled lookup paths satisfy the routing invariants — Chord's
+//!    monotone clockwise progress, Verme's opposite-type rule on
+//!    cross-section hops;
+//! 3. the per-lookup hop counts recorded in the trace agree with the
+//!    protocols' own hop histograms (trace and metrics tell one story);
+//! 4. every metric the run produced is covered by a registry descriptor,
+//!    and both exporters render it.
+//!
+//! Exits non-zero on the first broken guarantee.
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin trace_schema_check
+//! cargo run -p verme-bench --release --bin trace_schema_check -- --trace /tmp/trace.ndjson
+//! ```
+
+use rand::Rng;
+
+use verme_bench::CliArgs;
+use verme_chord::{ChordConfig, ChordNode, Id, LookupMode, StaticRing};
+use verme_core::node::verme_keys;
+use verme_core::{SectionLayout, VermeConfig, VermeNode, VermeStaticRing};
+use verme_crypto::CertificateAuthority;
+use verme_net::KingMatrix;
+use verme_obs::{
+    check_chord_monotone, check_hop_agreement, check_verme_opposite_types, parse_ndjson,
+    trace_to_ndjson, validate_trace_schema, LookupPath, PathCollector, Registry,
+};
+use verme_sim::{
+    tee, Addr, FlightRecorder, HostId, LatencyModel, Node, Runtime, SeedSource, SimDuration,
+    SimTime, TraceEvent,
+};
+
+const NODES: usize = 128;
+const LOOKUPS: usize = 300;
+const RECORDER_CAPACITY: usize = 1 << 16;
+
+struct Probe {
+    /// Everything the runtime traced, oldest first.
+    events: Vec<TraceEvent>,
+    /// Completed application-level lookup paths.
+    app_paths: Vec<LookupPath>,
+    /// All finished paths (maintenance included).
+    all_paths: Vec<LookupPath>,
+}
+
+/// Installs recorder + collector, drives `issue` for [`LOOKUPS`] random
+/// keys at 1 s intervals, and drains the trace.
+fn drive<N: Node, L: LatencyModel>(
+    rt: &mut Runtime<N, L>,
+    seed: u64,
+    app_kind: &str,
+    issue: impl Fn(&mut Runtime<N, L>, Addr, Id),
+) -> Probe {
+    let recorder = FlightRecorder::new(RECORDER_CAPACITY);
+    let collector = PathCollector::new();
+    rt.set_tracer(Some(tee(recorder.tracer(), collector.tracer())));
+
+    let mut rng = SeedSource::new(seed).stream("schema-check");
+    let addrs: Vec<Addr> = rt.alive_addrs().collect();
+    // Let maintenance run once before the workload starts.
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(90));
+    for i in 0..LOOKUPS {
+        rt.run_until(SimTime::ZERO + SimDuration::from_secs(90 + i as u64));
+        let addr = addrs[rng.gen_range(0..addrs.len())];
+        let key = Id::random(&mut rng);
+        issue(rt, addr, key);
+    }
+    // Generous drain so every lookup completes (fault-free ring).
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(90 + LOOKUPS as u64 + 120));
+    rt.set_tracer(None);
+
+    let all_paths = collector.finished();
+    let app_paths: Vec<LookupPath> =
+        all_paths.iter().filter(|p| p.kind == app_kind && p.ok == Some(true)).cloned().collect();
+    Probe { events: recorder.snapshot(), app_paths, all_paths }
+}
+
+fn build_chord(seed: u64) -> Runtime<ChordNode, KingMatrix> {
+    let mut idrng = SeedSource::new(seed).stream("ids");
+    let king = KingMatrix::synthetic(NODES, verme_net::king::KING_MEAN_RTT_MS, seed);
+    let mut rt = Runtime::new(king, seed);
+    // Generous timeouts: the King matrix's latency tail must never trip a
+    // hop timeout, so the trace is reroute-free and hop counts are exact.
+    let cfg = ChordConfig {
+        lookup_mode: LookupMode::Recursive,
+        hop_timeout: SimDuration::from_secs(20),
+        lookup_deadline: SimDuration::from_secs(60),
+        ..ChordConfig::default()
+    };
+    let handles: Vec<_> = (0..NODES)
+        .map(|i| verme_chord::NodeHandle::new(Id::random(&mut idrng), Addr::from_raw(i as u64 + 1)))
+        .collect();
+    let ring = StaticRing::new(handles);
+    let mut by_addr: Vec<(u64, usize)> = (0..NODES).map(|i| (ring.node(i).addr.raw(), i)).collect();
+    by_addr.sort_unstable();
+    for (raw, pos) in by_addr {
+        rt.spawn(HostId(raw as usize - 1), ring.build_node(pos, cfg.clone()));
+    }
+    rt
+}
+
+fn build_verme(seed: u64) -> Runtime<VermeNode<()>, KingMatrix> {
+    // Section size (nodes/sections = 32) must exceed the successor and
+    // predecessor list lengths (10): otherwise a single successor-list
+    // hop can skip a whole section and land same-type, which the
+    // opposite-type invariant rightly rejects. The paper keeps the same
+    // margin (24-node sections, 10-entry lists).
+    let layout = SectionLayout::with_sections(4, 2);
+    let king = KingMatrix::synthetic(NODES, verme_net::king::KING_MEAN_RTT_MS, seed);
+    let mut rt = Runtime::new(king, seed);
+    let mut ca = CertificateAuthority::new(seed);
+    let ring = VermeStaticRing::generate(layout, NODES, seed);
+    let cfg = VermeConfig {
+        hop_timeout: SimDuration::from_secs(20),
+        lookup_deadline: SimDuration::from_secs(60),
+        ..VermeConfig::new(layout)
+    };
+    for i in 0..NODES {
+        let node: VermeNode<()> = ring.build_node(i, cfg.clone(), &mut ca);
+        rt.spawn(HostId(i), node);
+    }
+    rt
+}
+
+/// Runs one named check, printing a verdict line and counting failures.
+fn check(failures: &mut u32, name: &str, result: Result<String, String>) {
+    match result {
+        Ok(detail) => println!("ok   {name}: {detail}"),
+        Err(why) => {
+            *failures += 1;
+            println!("FAIL {name}: {why}");
+        }
+    }
+}
+
+/// Schema-validates a recorded event stream end to end through NDJSON.
+fn schema_roundtrip(events: &[TraceEvent]) -> Result<String, String> {
+    let ndjson = trace_to_ndjson(events);
+    let lines = parse_ndjson(&ndjson).map_err(|(n, e)| format!("line {n}: {e}"))?;
+    if lines.len() != events.len() {
+        return Err(format!("{} events serialized to {} lines", events.len(), lines.len()));
+    }
+    let stats = validate_trace_schema(&lines).map_err(|e| e.to_string())?;
+    Ok(format!("{} events, {} caused, {} proto", stats.events, stats.caused, stats.proto))
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let mut failures = 0u32;
+
+    // ------------------------------------------------------------------
+    // Chord: schema + monotone progress + hop agreement.
+    // ------------------------------------------------------------------
+    let mut chord = build_chord(args.seed);
+    let probe = drive(&mut chord, args.seed, "app", |rt, addr, key| {
+        rt.invoke(addr, |node, ctx| {
+            if node.is_joined() {
+                node.start_lookup(key, ctx);
+            }
+        });
+    });
+    check(&mut failures, "chord.schema", schema_roundtrip(&probe.events));
+    check(&mut failures, "chord.paths", {
+        if probe.app_paths.len() < LOOKUPS / 2 {
+            Err(format!(
+                "only {} of {LOOKUPS} app lookups traced to completion",
+                probe.app_paths.len()
+            ))
+        } else {
+            Ok(format!("{} app paths ({} total)", probe.app_paths.len(), probe.all_paths.len()))
+        }
+    });
+    check(&mut failures, "chord.monotone", {
+        let violations = check_chord_monotone(&probe.app_paths);
+        if violations.is_empty() {
+            Ok("clockwise progress holds on every hop".into())
+        } else {
+            Err(format!("{} violations; first: {}", violations.len(), violations[0]))
+        }
+    });
+    check(&mut failures, "chord.hop_agreement", {
+        match chord.metrics().histogram(verme_chord::keys::LOOKUP_HOPS) {
+            None => Err("no lookup.hops histogram".into()),
+            Some(hist) => check_hop_agreement(&probe.app_paths, hist)
+                .map(|()| format!("trace matches histogram over {} lookups", hist.count())),
+        }
+    });
+    let mut trace_dump = probe.events;
+
+    // ------------------------------------------------------------------
+    // Verme: schema + opposite-type rule + hop agreement.
+    // ------------------------------------------------------------------
+    let mut verme = build_verme(args.seed);
+    let probe = drive(&mut verme, args.seed, "replicas", |rt, addr, key| {
+        rt.invoke(addr, |node, ctx| {
+            if node.is_joined() {
+                node.start_measured_lookup(key, ctx);
+            }
+        });
+    });
+    check(&mut failures, "verme.schema", schema_roundtrip(&probe.events));
+    check(&mut failures, "verme.paths", {
+        if probe.app_paths.len() < LOOKUPS / 2 {
+            Err(format!(
+                "only {} of {LOOKUPS} replica lookups traced to completion",
+                probe.app_paths.len()
+            ))
+        } else {
+            Ok(format!("{} replica paths ({} total)", probe.app_paths.len(), probe.all_paths.len()))
+        }
+    });
+    check(&mut failures, "verme.opposite_types", {
+        let violations = check_verme_opposite_types(&probe.app_paths);
+        if violations.is_empty() {
+            Ok("every cross-section hop connects opposite types".into())
+        } else {
+            Err(format!("{} violations; first: {}", violations.len(), violations[0]))
+        }
+    });
+    check(&mut failures, "verme.hop_agreement", {
+        match verme.metrics().histogram(verme_chord::keys::LOOKUP_HOPS) {
+            None => Err("no lookup.hops histogram".into()),
+            Some(hist) => check_hop_agreement(&probe.app_paths, hist)
+                .map(|()| format!("trace matches histogram over {} lookups", hist.count())),
+        }
+    });
+    trace_dump.extend(probe.events);
+
+    // ------------------------------------------------------------------
+    // Registry: every metric both runs produced has a descriptor, and
+    // both exporters render.
+    // ------------------------------------------------------------------
+    let mut registry = Registry::new();
+    registry.register_all(verme_chord::keys::descriptors());
+    registry.register_all(verme_dht::keys::descriptors());
+    registry.register_all(verme_keys::descriptors());
+    registry.register_all(verme_sim::fault::keys::descriptors());
+    check(&mut failures, "registry.coverage", {
+        let mut missing = registry.unregistered(chord.metrics());
+        missing.extend(registry.unregistered(verme.metrics()));
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            Ok(format!("{} descriptors cover both runs", registry.entries().len()))
+        } else {
+            Err(format!("metrics without descriptors: {missing:?}"))
+        }
+    });
+    check(&mut failures, "registry.export", {
+        let ndjson = registry.export_ndjson(chord.metrics_mut());
+        let csv = registry.export_csv(verme.metrics_mut());
+        match parse_ndjson(&ndjson) {
+            Err((n, e)) => Err(format!("metrics NDJSON line {n}: {e}")),
+            Ok(lines) => {
+                let rows = csv.lines().count();
+                Ok(format!("{} NDJSON metric lines, {rows} CSV rows", lines.len()))
+            }
+        }
+    });
+
+    if let Some(path) = &args.trace {
+        std::fs::write(path, trace_to_ndjson(&trace_dump)).expect("write trace dump");
+        println!("# trace: {} events -> {path}", trace_dump.len());
+    }
+    if failures > 0 {
+        eprintln!("{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

@@ -4,8 +4,8 @@
 //! (the paper uses 10), and resamples the infection curves onto a
 //! logarithmic time grid matching the figure's log-scaled x-axis.
 
-use verme_sim::{SimDuration, SimTime};
-use verme_worm::{run_scenario, Scenario, ScenarioConfig, ScenarioResult};
+use verme_sim::{FlightRecorder, SimDuration, SimTime, TraceEvent};
+use verme_worm::{run_scenario_recorded, Scenario, ScenarioConfig, ScenarioResult};
 
 /// Parameters for a Figure 8 sweep.
 #[derive(Clone, Debug)]
@@ -100,6 +100,30 @@ pub fn infected_at(result: &ScenarioResult, t_s: f64) -> f64 {
 
 /// Runs one scenario `repetitions` times and averages onto the grid.
 pub fn run_series(scenario: &Scenario, params: &Fig8Params) -> Fig8Series {
+    run_series_inner(scenario, params, None)
+}
+
+/// [`run_series`] with the *first* repetition traced through a bounded
+/// flight recorder: infection milestones (seed, infect, activate, alert)
+/// land in the ring as cause-attributed events, one causal span per
+/// infection chain. Only one repetition is traced — the others are
+/// statistically identical and tracing them would just evict rep 0's
+/// events from the ring.
+pub fn run_series_traced(
+    scenario: &Scenario,
+    params: &Fig8Params,
+    capacity: usize,
+) -> (Fig8Series, Vec<TraceEvent>) {
+    let rec = FlightRecorder::new(capacity);
+    let series = run_series_inner(scenario, params, Some(&rec));
+    (series, rec.snapshot())
+}
+
+fn run_series_inner(
+    scenario: &Scenario,
+    params: &Fig8Params,
+    rec: Option<&FlightRecorder>,
+) -> Fig8Series {
     let grid = log_grid(params.config.duration.as_secs_f64());
     let mut sums = vec![0.0; grid.len()];
     let mut final_sum = 0.0;
@@ -111,7 +135,7 @@ pub fn run_series(scenario: &Scenario, params: &Fig8Params) -> Fig8Series {
             seed: params.config.seed.wrapping_add(rep * 7919),
             ..params.config.clone()
         };
-        let r = run_scenario(scenario, &cfg);
+        let r = run_scenario_recorded(scenario, &cfg, if rep == 0 { rec } else { None });
         for (i, &t) in grid.iter().enumerate() {
             sums[i] += infected_at(&r, t);
         }

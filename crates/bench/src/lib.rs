@@ -22,7 +22,7 @@ pub mod fig8;
 pub mod plot;
 
 /// Parses the common `--full` / `--seed N` / `--reps N` binary arguments.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct CliArgs {
     /// Run at the paper's full scale.
     pub full: bool,
@@ -32,6 +32,8 @@ pub struct CliArgs {
     pub reps: Option<u64>,
     /// Simulated-hours override for the churn experiments, if given.
     pub hours: Option<u64>,
+    /// Where to dump a flight-recorder NDJSON trace, if requested.
+    pub trace: Option<String>,
 }
 
 impl CliArgs {
@@ -41,7 +43,7 @@ impl CliArgs {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> CliArgs {
-        let mut out = CliArgs { full: false, seed: 42, reps: None, hours: None };
+        let mut out = CliArgs { full: false, seed: 42, reps: None, hours: None, trace: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -66,8 +68,12 @@ impl CliArgs {
                             .expect("--hours requires an integer"),
                     );
                 }
+                "--trace" => {
+                    out.trace = Some(args.next().expect("--trace requires a file path"));
+                }
                 other => panic!(
-                    "unknown argument {other}; usage: [--full] [--seed N] [--reps N] [--hours H]"
+                    "unknown argument {other}; usage: \
+                     [--full] [--seed N] [--reps N] [--hours H] [--trace FILE]"
                 ),
             }
         }

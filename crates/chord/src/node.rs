@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime};
+use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime};
 
 use crate::id::Id;
 use crate::proto::{
@@ -38,6 +38,22 @@ pub mod keys {
     pub const BYTES_MAINT: &str = "bytes.maint";
     /// Hop-level timeouts that triggered rerouting.
     pub const HOP_REROUTES: &str = "lookup.hop_reroutes";
+
+    /// Registry descriptors for every metric a Chord node records.
+    pub fn descriptors() -> &'static [verme_sim::MetricDesc] {
+        use verme_sim::MetricDesc;
+        const DESCS: &[MetricDesc] = &[
+            MetricDesc::histogram(LOOKUP_LATENCY_MS, "ms", "application lookup latency"),
+            MetricDesc::histogram(LOOKUP_HOPS, "hops", "application lookup forward-path hops"),
+            MetricDesc::counter(LOOKUP_ISSUED, "ops", "application lookups issued"),
+            MetricDesc::counter(LOOKUP_COMPLETED, "ops", "application lookups completed"),
+            MetricDesc::counter(LOOKUP_FAILED, "ops", "application lookups failed"),
+            MetricDesc::counter(BYTES_LOOKUP, "bytes", "lookup traffic sent"),
+            MetricDesc::counter(BYTES_MAINT, "bytes", "maintenance traffic sent"),
+            MetricDesc::counter(HOP_REROUTES, "ops", "hop timeouts that triggered rerouting"),
+        ];
+        DESCS
+    }
 }
 
 /// The observable outcome of an application lookup, retrieved with
@@ -71,6 +87,29 @@ impl LookupKind {
             _ => keys::BYTES_MAINT,
         }
     }
+
+    fn label(self) -> &'static str {
+        match self {
+            LookupKind::App => "app",
+            LookupKind::Join => "join",
+            LookupKind::FingerRefresh(_) => "finger",
+        }
+    }
+}
+
+/// Emits a [`ProtoEvent::LookupHop`]. Chord has no node types or sections,
+/// so those tags are `None`.
+fn emit_hop(ctx: &mut Ctx<'_, ChordMsg, ChordTimer>, op: u64, to: Addr, to_id: Id, hop: u32) {
+    ctx.emit(ProtoEvent::LookupHop {
+        op,
+        to,
+        to_id: to_id.raw(),
+        hop,
+        from_type: None,
+        to_type: None,
+        from_section: None,
+        to_section: None,
+    });
 }
 
 struct PendingLookup {
@@ -134,7 +173,9 @@ impl ChordNode {
     ///
     /// Panics if the configuration is invalid.
     pub fn first(id: Id, cfg: ChordConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid Chord config: {e}");
+        }
         let successors = NeighborList::successors(id, cfg.num_successors);
         ChordNode {
             fingers: FingerTable::new(id),
@@ -267,6 +308,16 @@ impl ChordNode {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        // Root lookups (app injections, the join on start) mint their own
+        // causal span; lookups begun inside a larger span (finger refresh
+        // under a maintenance tick, a DHT op) inherit it.
+        ctx.ensure_cause();
+        ctx.emit(ProtoEvent::LookupStart {
+            op: seq,
+            key: key.raw(),
+            origin_id: self.id.raw(),
+            kind: kind.label(),
+        });
         self.pending.insert(
             seq,
             PendingLookup {
@@ -282,20 +333,25 @@ impl ChordNode {
         );
         ctx.set_timer(self.cfg.lookup_deadline, ChordTimer::LookupDeadline { seq });
 
-        // A joining node must route its first lookup through the bootstrap.
+        // A joining node must route its first lookup through the bootstrap
+        // (whose id it does not know yet, hence no hop id to trace).
         let first_hop = if !self.joined {
-            self.bootstrap
+            self.bootstrap.map(|a| (a, None))
         } else if let Some(result) = self.local_answer(key) {
             self.complete_lookup(seq, result, 0, ctx);
             return seq;
         } else {
-            closest_preceding_hop(self.id, &self.fingers, &self.successors, key).map(|h| h.addr)
+            closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+                .map(|h| (h.addr, Some(h.id)))
         };
-        let Some(first_hop) = first_hop else {
+        let Some((first_hop, first_hop_id)) = first_hop else {
             // No route at all (pathological); fail on the spot.
             self.fail_lookup(seq, ctx);
             return seq;
         };
+        if let Some(hid) = first_hop_id {
+            emit_hop(ctx, seq, first_hop, hid, 0);
+        }
         self.dispatch_first_hop(seq, key, kind, first_hop, ctx);
         seq
     }
@@ -389,6 +445,7 @@ impl ChordNode {
             return; // Late reply for an already-failed lookup.
         };
         self.forwards.remove(&LookupId { origin: self.me.addr, seq });
+        ctx.emit(ProtoEvent::LookupEnd { op: seq, ok: true, hops });
         match p.kind {
             LookupKind::App => {
                 let latency = ctx.now().saturating_since(p.started);
@@ -436,6 +493,7 @@ impl ChordNode {
             return;
         };
         self.forwards.remove(&LookupId { origin: self.me.addr, seq });
+        ctx.emit(ProtoEvent::LookupEnd { op: seq, ok: false, hops: 0 });
         match p.kind {
             LookupKind::App => {
                 ctx.metrics().count(keys::LOOKUP_FAILED, 1);
@@ -509,6 +567,7 @@ impl ChordNode {
                 kind_bytes: bytes_key,
             },
         );
+        emit_hop(ctx, lid.seq, next.addr, next.id, hops);
         self.send_counted(
             ctx,
             next.addr,
@@ -593,6 +652,8 @@ impl ChordNode {
             st.next = next.addr;
             st.tried.push(next.addr);
             let new_attempt = st.attempts;
+            ctx.emit(ProtoEvent::Reroute { op: lid.seq, to: next.addr });
+            emit_hop(ctx, lid.seq, next.addr, next.id, hops - 1);
             self.send_counted(
                 ctx,
                 next.addr,
@@ -719,6 +780,7 @@ impl ChordNode {
                 let key = p.key;
                 let bytes_key = p.kind.bytes_key();
                 let maint = bytes_key == keys::BYTES_MAINT;
+                emit_hop(ctx, seq, next.addr, next.id, p.hops);
                 self.send_counted(
                     ctx,
                     next.addr,
@@ -773,6 +835,9 @@ impl ChordNode {
                 let attempt = p.attempt;
                 let bytes_key = p.kind.bytes_key();
                 let maint = bytes_key == keys::BYTES_MAINT;
+                let hop_idx = p.hops;
+                ctx.emit(ProtoEvent::Reroute { op: seq, to: n.addr });
+                emit_hop(ctx, seq, n.addr, n.id, hop_idx);
                 self.send_counted(ctx, n.addr, ChordMsg::GetNextHop { lid, key, maint }, bytes_key);
                 ctx.set_timer(self.cfg.hop_timeout, ChordTimer::HopTimeout { lid, attempt });
             }
@@ -1020,12 +1085,17 @@ impl Node for ChordNode {
     fn on_timer(&mut self, timer: ChordTimer, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
         match timer {
             ChordTimer::Stabilize => {
+                // Each maintenance tick is its own causal span; without
+                // this the periodic timer would chain every future tick
+                // onto whatever span armed the very first one.
+                ctx.begin_cause();
                 if self.joined {
                     self.stabilize_once(ctx);
                 }
                 ctx.set_timer(self.cfg.stabilize_interval, ChordTimer::Stabilize);
             }
             ChordTimer::FixFingers => {
+                ctx.begin_cause();
                 self.fix_fingers(ctx);
                 ctx.set_timer(self.cfg.fix_fingers_interval, ChordTimer::FixFingers);
             }

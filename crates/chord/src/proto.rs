@@ -264,16 +264,17 @@ impl Default for ChordConfig {
 impl ChordConfig {
     /// Validates parameter sanity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any count or interval is zero.
-    pub fn validate(&self) {
-        assert!(self.num_successors > 0, "need at least one successor");
-        assert!(!self.stabilize_interval.is_zero(), "stabilize interval must be positive");
-        assert!(!self.fix_fingers_interval.is_zero(), "finger interval must be positive");
-        assert!(!self.hop_timeout.is_zero(), "hop timeout must be positive");
-        assert!(self.max_hop_attempts > 0, "need at least one hop attempt");
-        assert!(!self.lookup_deadline.is_zero(), "lookup deadline must be positive");
+    /// Returns the first zero count or interval found.
+    pub fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(self.num_successors > 0, "num_successors", "need at least one successor")?;
+        ensure(!self.stabilize_interval.is_zero(), "stabilize_interval", "must be positive")?;
+        ensure(!self.fix_fingers_interval.is_zero(), "fix_fingers_interval", "must be positive")?;
+        ensure(!self.hop_timeout.is_zero(), "hop_timeout", "must be positive")?;
+        ensure(self.max_hop_attempts > 0, "max_hop_attempts", "need at least one hop attempt")?;
+        ensure(!self.lookup_deadline.is_zero(), "lookup_deadline", "must be positive")
     }
 }
 
@@ -303,16 +304,22 @@ mod tests {
     #[test]
     fn default_config_matches_paper() {
         let cfg = ChordConfig::default();
-        cfg.validate();
+        cfg.validate().expect("default config is valid");
         assert_eq!(cfg.num_successors, 10);
         assert_eq!(cfg.stabilize_interval, SimDuration::from_secs(30));
         assert_eq!(cfg.fix_fingers_interval, SimDuration::from_secs(60));
     }
 
     #[test]
-    #[should_panic(expected = "need at least one successor")]
     fn config_validation() {
-        ChordConfig { num_successors: 0, ..Default::default() }.validate();
+        let err = ChordConfig { num_successors: 0, ..Default::default() }
+            .validate()
+            .expect_err("zero successors must be rejected");
+        assert_eq!(err.field, "num_successors");
+        let err = ChordConfig { hop_timeout: SimDuration::ZERO, ..Default::default() }
+            .validate()
+            .expect_err("zero hop timeout must be rejected");
+        assert_eq!(err.field, "hop_timeout");
     }
 
     #[test]

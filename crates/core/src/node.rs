@@ -21,13 +21,32 @@ use rand::Rng;
 use verme_chord::node::keys;
 use verme_chord::{closest_preceding_hop, FingerTable, Id, NeighborList, NodeHandle};
 use verme_crypto::{CaVerifier, Certificate, KeyPair, NodeType, Sealed};
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime, Wire};
 
 use crate::layout::SectionLayout;
 use crate::proto::{
     answer_body_size, AnswerBody, LookupPurpose, Payload, VermeAnswer, VermeConfig, VermeLookupId,
     VermeMsg, VermeTimer,
 };
+
+/// Metric keys specific to Verme nodes. Most keys are shared with
+/// [`verme_chord::node::keys`]; only the §4.5 verification counter is new.
+pub mod verme_keys {
+    use verme_sim::MetricDesc;
+
+    /// Lookups dropped by the answering node's §4.5 verification.
+    pub const LOOKUP_DENIED: &str = "lookup.denied";
+
+    /// Descriptors for the Verme-specific metrics, for registry export.
+    pub fn descriptors() -> &'static [MetricDesc] {
+        const DESCS: &[MetricDesc] = &[MetricDesc::counter(
+            LOOKUP_DENIED,
+            "lookups",
+            "lookups dropped by §4.5 entitlement verification",
+        )];
+        DESCS
+    }
+}
 
 /// The observable outcome of a lookup initiated on this node, drained with
 /// [`VermeNode::take_outcomes`].
@@ -144,7 +163,9 @@ impl<P: Payload> VermeNode<P> {
         crypto_keys: KeyPair,
         verifier: CaVerifier,
     ) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid Verme config: {e}");
+        }
         let id = Id::new(cert.id());
         let node_type = cfg.layout.type_of(id);
         assert_eq!(
@@ -365,11 +386,20 @@ impl<P: Payload> VermeNode<P> {
         ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
     ) -> VermeLookupId {
         let lid: VermeLookupId = ctx.rng().gen();
+        ctx.ensure_cause();
+        ctx.emit(ProtoEvent::LookupStart {
+            op: lid,
+            key: key.raw(),
+            origin_id: self.id.raw(),
+            kind: purpose.label(),
+        });
         self.pending.insert(lid, PendingLookup { key, purpose, started: ctx.now() });
         ctx.set_timer(self.cfg.lookup_deadline, VermeTimer::LookupDeadline { lid });
 
         let first_hop = if !self.joined {
-            self.bootstrap
+            // The bootstrap address carries no id, so no hop is traced; the
+            // checkers only run on `replicas` paths anyway.
+            self.bootstrap.map(|a| (a, None))
         } else if self.is_keys_predecessor(key) {
             // We can answer ourselves (no network round trip).
             if let Some(pb) = piggyback {
@@ -387,9 +417,10 @@ impl<P: Payload> VermeNode<P> {
             self.complete_lookup(lid, Some(answer), None, 0, ctx);
             return lid;
         } else {
-            closest_preceding_hop(self.id, &self.fingers, &self.successors, key).map(|h| h.addr)
+            closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+                .map(|h| (h.addr, Some(h)))
         };
-        let Some(hop) = first_hop else {
+        let Some((hop, hop_handle)) = first_hop else {
             self.fail_lookup(lid, ctx);
             return lid;
         };
@@ -410,6 +441,9 @@ impl<P: Payload> VermeNode<P> {
                 bytes_key,
             },
         );
+        if let Some(h) = hop_handle {
+            self.emit_hop(ctx, lid, h, 0);
+        }
         self.send_counted(
             ctx,
             hop,
@@ -418,6 +452,29 @@ impl<P: Payload> VermeNode<P> {
         );
         ctx.set_timer(self.cfg.hop_timeout, VermeTimer::HopTimeout { lid, attempt: 0 });
         lid
+    }
+
+    /// Emits a `LookupHop` trace event for the hop this node is about to
+    /// send to `to`, tagged with both endpoints' types and sections — the
+    /// fields the Verme opposite-type invariant checker needs.
+    fn emit_hop(
+        &self,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+        lid: VermeLookupId,
+        to: NodeHandle,
+        hop: u32,
+    ) {
+        let layout = &self.cfg.layout;
+        ctx.emit(ProtoEvent::LookupHop {
+            op: lid,
+            to: to.addr,
+            to_id: to.id.raw(),
+            hop,
+            from_type: Some(self.node_type.index()),
+            to_type: Some(layout.type_of(to.id).index()),
+            from_section: Some(layout.section_of(self.id)),
+            to_section: Some(layout.section_of(to.id)),
+        });
     }
 
     fn complete_lookup(
@@ -432,6 +489,7 @@ impl<P: Payload> VermeNode<P> {
             return;
         };
         self.forwards.remove(&lid);
+        ctx.emit(ProtoEvent::LookupEnd { op: lid, ok: true, hops });
         let latency = ctx.now().saturating_since(p.started);
         match (&answer, p.purpose) {
             (Some(VermeAnswer::Join { predecessor, successors }), LookupPurpose::Join) => {
@@ -494,6 +552,7 @@ impl<P: Payload> VermeNode<P> {
             return;
         };
         self.forwards.remove(&lid);
+        ctx.emit(ProtoEvent::LookupEnd { op: lid, ok: false, hops: 0 });
         if p.purpose == LookupPurpose::Replicas {
             ctx.metrics().count(keys::LOOKUP_FAILED, 1);
         }
@@ -639,7 +698,8 @@ impl<P: Payload> VermeNode<P> {
                 // §4.5: drop illegitimate lookups. The initiator's
                 // deadline will fire.
                 self.denied += 1;
-                ctx.metrics().count("lookup.denied", 1);
+                ctx.metrics().count(verme_keys::LOOKUP_DENIED, 1);
+                ctx.emit(ProtoEvent::Note { label: verme_keys::LOOKUP_DENIED, value: lid });
                 return;
             }
             if let Some(pb) = piggyback {
@@ -675,6 +735,7 @@ impl<P: Payload> VermeNode<P> {
                 bytes_key,
             },
         );
+        self.emit_hop(ctx, lid, next, hops);
         self.send_counted(
             ctx,
             next.addr,
@@ -816,6 +877,10 @@ impl<P: Payload> VermeNode<P> {
             }
             return;
         }
+        ctx.emit(ProtoEvent::Reroute { op: lid, to: next.addr });
+        // Re-emit the hop at its original index: the path record replaces
+        // the dead candidate rather than growing.
+        self.emit_hop(ctx, lid, next, hops - 1);
         self.send_counted(
             ctx,
             next.addr,
@@ -1092,12 +1157,16 @@ impl<P: Payload> Node for VermeNode<P> {
     fn on_timer(&mut self, timer: VermeTimer, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
         match timer {
             VermeTimer::Stabilize => {
+                // Each periodic round is its own causal span; without this
+                // every round would chain off the previous one forever.
+                ctx.begin_cause();
                 if self.joined {
                     self.stabilize_once(ctx);
                 }
                 ctx.set_timer(self.cfg.stabilize_interval, VermeTimer::Stabilize);
             }
             VermeTimer::FixFingers => {
+                ctx.begin_cause();
                 self.fix_fingers(ctx);
                 ctx.set_timer(self.cfg.fix_fingers_interval, VermeTimer::FixFingers);
             }

@@ -52,6 +52,17 @@ pub enum LookupPurpose {
     Replicas,
 }
 
+impl LookupPurpose {
+    /// Stable label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            LookupPurpose::Join => "join",
+            LookupPurpose::Finger => "finger",
+            LookupPurpose::Replicas => "replicas",
+        }
+    }
+}
+
 /// An opaque per-lookup nonce. Unlike Chord's [`LookupId`]
 /// (which embeds the initiator's address), Verme lookup ids reveal
 /// nothing; replies are routed by relay state held at each hop.
@@ -308,18 +319,19 @@ impl VermeConfig {
 
     /// Validates parameter sanity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any count or interval is zero.
-    pub fn validate(&self) {
-        assert!(self.num_successors > 0, "need at least one successor");
-        assert!(self.num_predecessors > 0, "need at least one predecessor");
-        assert!(self.replicas_per_section > 0, "need at least one replica");
-        assert!(!self.stabilize_interval.is_zero(), "stabilize interval must be positive");
-        assert!(!self.fix_fingers_interval.is_zero(), "finger interval must be positive");
-        assert!(!self.hop_timeout.is_zero(), "hop timeout must be positive");
-        assert!(self.max_hop_attempts > 0, "need at least one hop attempt");
-        assert!(!self.lookup_deadline.is_zero(), "lookup deadline must be positive");
+    /// Returns the first zero count or interval found.
+    pub fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(self.num_successors > 0, "num_successors", "need at least one successor")?;
+        ensure(self.num_predecessors > 0, "num_predecessors", "need at least one predecessor")?;
+        ensure(self.replicas_per_section > 0, "replicas_per_section", "need at least one replica")?;
+        ensure(!self.stabilize_interval.is_zero(), "stabilize_interval", "must be positive")?;
+        ensure(!self.fix_fingers_interval.is_zero(), "fix_fingers_interval", "must be positive")?;
+        ensure(!self.hop_timeout.is_zero(), "hop_timeout", "must be positive")?;
+        ensure(self.max_hop_attempts > 0, "max_hop_attempts", "need at least one hop attempt")?;
+        ensure(!self.lookup_deadline.is_zero(), "lookup_deadline", "must be positive")
     }
 }
 
@@ -363,17 +375,17 @@ mod tests {
     #[test]
     fn config_defaults_match_paper() {
         let cfg = VermeConfig::new(SectionLayout::with_sections(128, 2));
-        cfg.validate();
+        cfg.validate().expect("default config is valid");
         assert_eq!(cfg.num_successors, 10);
         assert_eq!(cfg.num_predecessors, 10);
         assert_eq!(cfg.stabilize_interval, SimDuration::from_secs(30));
     }
 
     #[test]
-    #[should_panic(expected = "at least one predecessor")]
     fn config_validation() {
         let mut cfg = VermeConfig::new(SectionLayout::with_sections(128, 2));
         cfg.num_predecessors = 0;
-        cfg.validate();
+        let err = cfg.validate().expect_err("zero predecessors must be rejected");
+        assert_eq!(err.field, "num_predecessors");
     }
 }

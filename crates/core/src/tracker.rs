@@ -38,12 +38,14 @@ impl Default for TrackerConfig {
 }
 
 impl TrackerConfig {
-    fn validate(&self) {
-        assert!(self.island_size >= 2, "islands need at least two members");
-        assert!(
+    fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(self.island_size >= 2, "island_size", "islands need at least two members")?;
+        ensure(
             self.same_type_neighbors < self.island_size,
-            "cannot have more same-type neighbors than island peers"
-        );
+            "same_type_neighbors",
+            "cannot have more same-type neighbors than island peers",
+        )
     }
 }
 
@@ -82,7 +84,9 @@ impl SwarmAssignment {
 /// Panics if `types` is empty, the configuration is invalid, or some
 /// type has no peers while cross-type links were requested.
 pub fn assign_type_aware(types: &[NodeType], cfg: &TrackerConfig, seed: u64) -> SwarmAssignment {
-    cfg.validate();
+    if let Err(e) = cfg.validate() {
+        panic!("invalid tracker config: {e}");
+    }
     assert!(!types.is_empty(), "empty swarm");
     let n = types.len();
     let mut rng = SeedSource::new(seed).stream("tracker-aware");

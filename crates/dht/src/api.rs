@@ -11,9 +11,11 @@
 //! simulator's [`Node`] trait with operation injection and outcome
 //! retrieval.
 
+use std::collections::HashMap;
+
 use bytes::Bytes;
 use verme_chord::Id;
-use verme_sim::{Ctx, Node, SimDuration};
+use verme_sim::{Ctx, Node, ProtoEvent, SimDuration, SimTime};
 
 /// Metric keys recorded by DHT nodes.
 pub mod keys {
@@ -36,6 +38,23 @@ pub mod keys {
     /// Bytes sent for background replication (excluded from Figure 7,
     /// matching the paper's accounting).
     pub const BYTES_REPLICATION: &str = "bytes.replication";
+
+    /// Descriptors for every DHT metric, for registry export.
+    pub fn descriptors() -> &'static [verme_sim::MetricDesc] {
+        use verme_sim::MetricDesc;
+        const DESCS: &[MetricDesc] = &[
+            MetricDesc::histogram(GET_LATENCY_MS, "ms", "latency of each completed get"),
+            MetricDesc::histogram(PUT_LATENCY_MS, "ms", "latency of each completed put"),
+            MetricDesc::counter(GET_COMPLETED, "ops", "gets completed successfully"),
+            MetricDesc::counter(PUT_COMPLETED, "ops", "puts completed successfully"),
+            MetricDesc::counter(OP_FAILED, "ops", "operations that failed"),
+            MetricDesc::counter(OP_RETRIES, "retries", "end-to-end retries after a failed attempt"),
+            MetricDesc::counter(OP_RECOVERED, "ops", "operations recovered by a retry"),
+            MetricDesc::counter(BYTES_DATA, "bytes", "foreground data-plane traffic"),
+            MetricDesc::counter(BYTES_REPLICATION, "bytes", "background replication traffic"),
+        ];
+        DESCS
+    }
 }
 
 /// The kind of a DHT operation.
@@ -45,6 +64,16 @@ pub enum OpKind {
     Get,
     /// A `put(value)`.
     Put,
+}
+
+impl OpKind {
+    /// Stable label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::Put => "put",
+        }
+    }
 }
 
 /// The observable outcome of a DHT operation, drained with
@@ -123,25 +152,29 @@ impl Default for DhtConfig {
 impl DhtConfig {
     /// Validates parameter sanity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `replicas` is zero or odd (VerDi needs `n/2` per
-    /// section), or an interval is zero.
-    pub fn validate(&self) {
-        assert!(self.replicas > 0, "need at least one replica");
-        assert!(
+    /// Returns an error if `replicas` is zero or odd (VerDi needs `n/2`
+    /// per section), or an interval is zero.
+    pub fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(self.replicas > 0, "replicas", "need at least one replica")?;
+        ensure(
             self.replicas.is_multiple_of(2),
-            "replication factor must be even (n/2 per section)"
-        );
-        assert!(!self.op_deadline.is_zero(), "op deadline must be positive");
-        assert!(
+            "replicas",
+            "replication factor must be even (n/2 per section)",
+        )?;
+        ensure(!self.op_deadline.is_zero(), "op_deadline", "must be positive")?;
+        ensure(
             !self.data_stabilize_interval.is_zero(),
-            "data stabilize interval must be positive"
-        );
-        assert!(
+            "data_stabilize_interval",
+            "must be positive",
+        )?;
+        ensure(
             self.max_retries == 0 || !self.retry_backoff.is_zero(),
-            "retry backoff must be positive when retries are enabled"
-        );
+            "retry_backoff",
+            "must be positive when retries are enabled",
+        )
     }
 
     /// Per-attempt timeout: the deadline split evenly across the maximum
@@ -157,6 +190,139 @@ impl DhtConfig {
     }
 }
 
+/// A pending DHT operation tracked by an [`OpTable`].
+pub struct PendingOp {
+    /// Get or put.
+    pub kind: OpKind,
+    /// The block key.
+    pub key: Id,
+    /// The value being stored (puts only).
+    pub value: Option<Bytes>,
+    /// When the operation started (the deadline anchors here).
+    pub started: SimTime,
+    /// Retries consumed so far (0 = first attempt).
+    pub attempt: u32,
+}
+
+/// The operation lifecycle shared by all four DHT implementations: id
+/// allocation, the hard per-request deadline, retry/backoff accounting,
+/// metrics, trace events, and outcome collection.
+///
+/// Only *issuing* an attempt stays variant-specific (each system routes
+/// its request differently); everything around it lives here. Timers are
+/// injected as closures because each system has its own timer enum.
+#[derive(Default)]
+pub struct OpTable {
+    next_op: u64,
+    pending: HashMap<u64, PendingOp>,
+    outcomes: Vec<OpOutcome>,
+}
+
+impl OpTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        OpTable::default()
+    }
+
+    /// Registers a new operation: allocates its id, opens a fresh causal
+    /// span, records it as pending, and arms the hard deadline timer.
+    ///
+    /// The caller must then issue the first attempt itself.
+    pub fn start<M, T>(
+        &mut self,
+        kind: OpKind,
+        key: Id,
+        value: Option<Bytes>,
+        cfg: &DhtConfig,
+        ctx: &mut Ctx<'_, M, T>,
+        deadline_timer: impl FnOnce(u64) -> T,
+    ) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        ctx.begin_cause();
+        ctx.emit(ProtoEvent::OpStart { op, kind: kind.label(), key: key.raw() });
+        self.pending.insert(op, PendingOp { kind, key, value, started: ctx.now(), attempt: 0 });
+        ctx.set_timer(cfg.op_deadline, deadline_timer(op));
+        op
+    }
+
+    /// The pending operation with this id, if still in flight.
+    pub fn get(&self, op: u64) -> Option<&PendingOp> {
+        self.pending.get(&op)
+    }
+
+    /// True if `op` is still pending on exactly this attempt number (used
+    /// to discard stale per-attempt timers).
+    pub fn attempt_matches(&self, op: u64, attempt: u32) -> bool {
+        self.pending.get(&op).is_some_and(|p| p.attempt == attempt)
+    }
+
+    /// One attempt failed (lookup failure, missing block, negative ack,
+    /// attempt timeout). Retries with exponential backoff while the retry
+    /// budget and the per-request deadline allow; fails the op otherwise.
+    pub fn fail_attempt<M, T>(
+        &mut self,
+        op: u64,
+        cfg: &DhtConfig,
+        ctx: &mut Ctx<'_, M, T>,
+        retry_timer: impl FnOnce(u64) -> T,
+    ) {
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
+        let next_attempt = p.attempt + 1;
+        let backoff = cfg.backoff_for(next_attempt);
+        let deadline = p.started + cfg.op_deadline;
+        if next_attempt > cfg.max_retries || ctx.now() + backoff >= deadline {
+            self.finish(op, false, None, ctx);
+            return;
+        }
+        p.attempt = next_attempt;
+        ctx.metrics().count(keys::OP_RETRIES, 1);
+        ctx.emit(ProtoEvent::OpRetry { op, attempt: next_attempt });
+        ctx.set_timer(backoff, retry_timer(op));
+    }
+
+    /// Completes (or fails) an operation: records latency and outcome
+    /// metrics and queues the [`OpOutcome`] for the harness.
+    pub fn finish<M, T>(
+        &mut self,
+        op: u64,
+        ok: bool,
+        value: Option<Bytes>,
+        ctx: &mut Ctx<'_, M, T>,
+    ) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(p.started);
+        if ok {
+            if p.attempt > 0 {
+                ctx.metrics().count(keys::OP_RECOVERED, 1);
+            }
+            match p.kind {
+                OpKind::Get => {
+                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::GET_COMPLETED, 1);
+                }
+                OpKind::Put => {
+                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
+                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
+                }
+            }
+        } else {
+            ctx.metrics().count(keys::OP_FAILED, 1);
+        }
+        ctx.emit(ProtoEvent::OpEnd { op, ok });
+        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+    }
+
+    /// Drains outcomes of operations that finished since the last call.
+    pub fn take_outcomes(&mut self) -> Vec<OpOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,13 +330,16 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         let cfg = DhtConfig::default();
-        cfg.validate();
+        cfg.validate().expect("default config is valid");
         assert_eq!(cfg.replicas, 6);
     }
 
     #[test]
-    #[should_panic(expected = "must be even")]
     fn odd_replication_rejected() {
-        DhtConfig { replicas: 5, ..Default::default() }.validate();
+        let err = DhtConfig { replicas: 5, ..Default::default() }
+            .validate()
+            .expect_err("odd replication factor must be rejected");
+        assert_eq!(err.field, "replicas");
+        assert!(err.constraint.contains("even"));
     }
 }

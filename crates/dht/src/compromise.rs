@@ -18,9 +18,9 @@ use rand::Rng;
 use verme_chord::Id;
 use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
 use verme_crypto::{Certificate, SignedStatement};
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
-use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
 
 /// Compromise-VerDi wire messages.
@@ -171,15 +171,6 @@ pub enum CompTimer {
     DataStabilize,
 }
 
-struct PendingOp {
-    kind: OpKind,
-    key: Id,
-    value: Option<Bytes>,
-    started: SimTime,
-    /// Retries consumed so far (0 = first attempt).
-    attempt: u32,
-}
-
 /// A relayed operation this node is executing on a client's behalf.
 struct RelayJob {
     client: Addr,
@@ -212,16 +203,14 @@ pub struct CompromiseVerDiNode {
     overlay: VermeNode<()>,
     cfg: DhtConfig,
     store: BlockStore,
-    next_op: u64,
     next_job: u64,
     next_xid: u64,
-    pending: HashMap<u64, PendingOp>,
+    ops: OpTable,
     jobs: HashMap<u64, RelayJob>,
     lookup_to_job: HashMap<u64, u64>,
     cross_lookups: HashMap<u64, CrossState>,
     cross_waiting: HashMap<u64, (u64, Addr)>,
     observed: Vec<ObservedClient>,
-    outcomes: Vec<OpOutcome>,
 }
 
 type CCtx<'a> = Ctx<'a, CompMsg, CompTimer>;
@@ -233,21 +222,21 @@ impl CompromiseVerDiNode {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(overlay: VermeNode<()>, cfg: DhtConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DHT config: {e}");
+        }
         CompromiseVerDiNode {
             overlay,
             cfg,
             store: BlockStore::new(),
-            next_op: 0,
             next_job: 0,
             next_xid: 0,
-            pending: HashMap::new(),
+            ops: OpTable::new(),
             jobs: HashMap::new(),
             lookup_to_job: HashMap::new(),
             cross_lookups: HashMap::new(),
             cross_waiting: HashMap::new(),
             observed: Vec::new(),
-            outcomes: Vec::new(),
         }
     }
 
@@ -355,7 +344,7 @@ impl CompromiseVerDiNode {
     /// a fresh opposite-type relay and sends it the signed request. Arms
     /// the per-attempt timer.
     fn issue_attempt(&mut self, op: u64, ctx: &mut CCtx<'_>) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.ops.get(op) else {
             return;
         };
         let (kind, key, value, attempt) = (p.kind, p.key, p.value.clone(), p.attempt);
@@ -366,7 +355,7 @@ impl CompromiseVerDiNode {
             // No live opposite-type finger right now; maybe one appears
             // after repair, so this counts as a failed attempt, not a
             // failed operation.
-            self.fail_attempt(op, ctx);
+            self.ops.fail_attempt(op, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
             return;
         };
         let statement = self.overlay.sign_statement((key.raw(), op));
@@ -379,50 +368,6 @@ impl CompromiseVerDiNode {
             value,
         };
         self.send_data(ctx, relay.addr, msg);
-    }
-
-    /// One attempt failed (no relay, negative relay reply, attempt
-    /// timeout). Retries with exponential backoff while the retry budget
-    /// and the per-request deadline allow; fails the op otherwise.
-    fn fail_attempt(&mut self, op: u64, ctx: &mut CCtx<'_>) {
-        let Some(p) = self.pending.get_mut(&op) else {
-            return;
-        };
-        let next_attempt = p.attempt + 1;
-        let backoff = self.cfg.backoff_for(next_attempt);
-        let deadline = p.started + self.cfg.op_deadline;
-        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
-            self.finish(op, false, None, ctx);
-            return;
-        }
-        p.attempt = next_attempt;
-        ctx.metrics().count(keys::OP_RETRIES, 1);
-        ctx.set_timer(backoff, CompTimer::RetryOp { op });
-    }
-
-    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut CCtx<'_>) {
-        let Some(p) = self.pending.remove(&op) else {
-            return;
-        };
-        let latency = ctx.now().saturating_since(p.started);
-        if ok {
-            if p.attempt > 0 {
-                ctx.metrics().count(keys::OP_RECOVERED, 1);
-            }
-            match p.kind {
-                OpKind::Get => {
-                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::GET_COMPLETED, 1);
-                }
-                OpKind::Put => {
-                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
-                }
-            }
-        } else {
-            ctx.metrics().count(keys::OP_FAILED, 1);
-        }
-        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
     }
 
     fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut CCtx<'_>) {
@@ -487,10 +432,8 @@ impl CompromiseVerDiNode {
     }
 
     fn start_op(&mut self, kind: OpKind, key: Id, value: Option<Bytes>, ctx: &mut CCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        self.pending.insert(op, PendingOp { kind, key, value, started: ctx.now(), attempt: 0 });
-        ctx.set_timer(self.cfg.op_deadline, CompTimer::OpDeadline { op });
+        let op =
+            self.ops.start(kind, key, value, &self.cfg, ctx, |op| CompTimer::OpDeadline { op });
         self.issue_attempt(op, ctx);
         op
     }
@@ -507,7 +450,7 @@ impl DhtNode for CompromiseVerDiNode {
     }
 
     fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
-        std::mem::take(&mut self.outcomes)
+        self.ops.take_outcomes()
     }
 
     fn stored_blocks(&self) -> usize {
@@ -561,23 +504,23 @@ impl Node for CompromiseVerDiNode {
                 self.drain_overlay(ctx);
             }
             CompMsg::RelayGetReply { rop, value } => {
-                let Some(p) = self.pending.get(&rop) else {
+                let Some(p) = self.ops.get(rop) else {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.finish(rop, true, value, ctx);
+                    self.ops.finish(rop, true, value, ctx);
                 } else {
                     // The relay's fetch came back empty or corrupt; retry
                     // through a (possibly different) relay.
-                    self.fail_attempt(rop, ctx);
+                    self.ops.fail_attempt(rop, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
                 }
             }
             CompMsg::RelayPutReply { rop, ok } => {
                 if ok {
-                    self.finish(rop, true, None, ctx);
+                    self.ops.finish(rop, true, None, ctx);
                 } else {
-                    self.fail_attempt(rop, ctx);
+                    self.ops.fail_attempt(rop, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
                 }
             }
             CompMsg::Fetch { op, key } => {
@@ -647,15 +590,17 @@ impl Node for CompromiseVerDiNode {
                 self.drain_overlay(ctx);
             }
             CompTimer::OpDeadline { op } => {
-                self.finish(op, false, None, ctx);
+                self.ops.finish(op, false, None, ctx);
             }
             CompTimer::AttemptTimeout { op, attempt } => {
-                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
-                    self.fail_attempt(op, ctx);
+                if self.ops.attempt_matches(op, attempt) {
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
                 }
             }
             CompTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             CompTimer::DataStabilize => {
+                // Each periodic round is its own causal span.
+                ctx.begin_cause();
                 let layout = *self.overlay.layout();
                 let mine: Vec<(Id, Bytes)> = self
                     .store

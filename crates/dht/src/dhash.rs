@@ -13,9 +13,9 @@ use bytes::Bytes;
 use rand::Rng;
 
 use verme_chord::{ChordMsg, ChordNode, ChordTimer, Id};
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
-use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
 
 /// DHash wire messages: the overlay's own messages plus the data plane.
@@ -105,15 +105,6 @@ pub enum DhashTimer {
     DataStabilize,
 }
 
-struct PendingOp {
-    kind: OpKind,
-    key: Id,
-    value: Option<Bytes>,
-    started: SimTime,
-    /// Retries consumed so far (0 = first attempt).
-    attempt: u32,
-}
-
 /// A DHash node: a [`ChordNode`] plus the block store and data plane.
 ///
 /// Drive operations with [`DhtNode::start_get`]/[`DhtNode::start_put`] via
@@ -122,10 +113,8 @@ pub struct DhashNode {
     overlay: ChordNode,
     cfg: DhtConfig,
     store: BlockStore,
-    next_op: u64,
-    pending: HashMap<u64, PendingOp>,
+    ops: OpTable,
     lookup_to_op: HashMap<u64, u64>,
-    outcomes: Vec<OpOutcome>,
 }
 
 type DCtx<'a> = Ctx<'a, DhashMsg, DhashTimer>;
@@ -137,15 +126,15 @@ impl DhashNode {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(overlay: ChordNode, cfg: DhtConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DHT config: {e}");
+        }
         DhashNode {
             overlay,
             cfg,
             store: BlockStore::new(),
-            next_op: 0,
-            pending: HashMap::new(),
+            ops: OpTable::new(),
             lookup_to_op: HashMap::new(),
-            outcomes: Vec::new(),
         }
     }
 
@@ -176,11 +165,11 @@ impl DhashNode {
             let Some(op) = self.lookup_to_op.remove(&o.seq) else {
                 continue;
             };
-            let Some(p) = self.pending.get(&op) else {
+            let Some(p) = self.ops.get(op) else {
                 continue;
             };
             let Some(result) = o.result else {
-                self.fail_attempt(op, ctx);
+                self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 continue;
             };
             let responsible = result.responsible();
@@ -201,7 +190,7 @@ impl DhashNode {
     /// Issues (or re-issues) the overlay lookup for a pending operation
     /// and arms the per-attempt timer.
     fn issue_attempt(&mut self, op: u64, ctx: &mut DCtx<'_>) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.ops.get(op) else {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
@@ -211,50 +200,6 @@ impl DhashNode {
             ctx.set_timer(self.cfg.attempt_timeout(), DhashTimer::AttemptTimeout { op, attempt });
         }
         self.drain_overlay_outcomes(ctx);
-    }
-
-    /// One attempt failed (lookup failure, missing block, negative ack,
-    /// attempt timeout). Retries with exponential backoff while the retry
-    /// budget and the per-request deadline allow; fails the op otherwise.
-    fn fail_attempt(&mut self, op: u64, ctx: &mut DCtx<'_>) {
-        let Some(p) = self.pending.get_mut(&op) else {
-            return;
-        };
-        let next_attempt = p.attempt + 1;
-        let backoff = self.cfg.backoff_for(next_attempt);
-        let deadline = p.started + self.cfg.op_deadline;
-        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
-            self.finish(op, false, None, ctx);
-            return;
-        }
-        p.attempt = next_attempt;
-        ctx.metrics().count(keys::OP_RETRIES, 1);
-        ctx.set_timer(backoff, DhashTimer::RetryOp { op });
-    }
-
-    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut DCtx<'_>) {
-        let Some(p) = self.pending.remove(&op) else {
-            return;
-        };
-        let latency = ctx.now().saturating_since(p.started);
-        if ok {
-            if p.attempt > 0 {
-                ctx.metrics().count(keys::OP_RECOVERED, 1);
-            }
-            match p.kind {
-                OpKind::Get => {
-                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::GET_COMPLETED, 1);
-                }
-                OpKind::Put => {
-                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
-                }
-            }
-        } else {
-            ctx.metrics().count(keys::OP_FAILED, 1);
-        }
-        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
     }
 
     /// Replicates `key` to this node's first `replicas - 1` successors
@@ -290,38 +235,24 @@ impl DhashNode {
 
 impl DhtNode for DhashNode {
     fn start_put(&mut self, value: Bytes, ctx: &mut DCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
         let key = block_key(&value);
-        self.pending.insert(
-            op,
-            PendingOp {
-                kind: OpKind::Put,
-                key,
-                value: Some(value),
-                started: ctx.now(),
-                attempt: 0,
-            },
-        );
-        ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
+        let op = self.ops.start(OpKind::Put, key, Some(value), &self.cfg, ctx, |op| {
+            DhashTimer::OpDeadline { op }
+        });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut DCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        self.pending.insert(
-            op,
-            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
-        );
-        ctx.set_timer(self.cfg.op_deadline, DhashTimer::OpDeadline { op });
+        let op = self
+            .ops
+            .start(OpKind::Get, key, None, &self.cfg, ctx, |op| DhashTimer::OpDeadline { op });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
-        std::mem::take(&mut self.outcomes)
+        self.ops.take_outcomes()
     }
 
     fn stored_blocks(&self) -> usize {
@@ -351,16 +282,16 @@ impl Node for DhashNode {
                 self.send_data(ctx, from, DhashMsg::FetchReply { op, value });
             }
             DhashMsg::FetchReply { op, value } => {
-                let Some(p) = self.pending.get(&op) else {
+                let Some(p) = self.ops.get(op) else {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.finish(op, true, value, ctx);
+                    self.ops.finish(op, true, value, ctx);
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
-                    self.fail_attempt(op, ctx);
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
             }
             DhashMsg::Store { op, key, value } => {
@@ -373,9 +304,9 @@ impl Node for DhashNode {
             }
             DhashMsg::StoreAck { op, ok } => {
                 if ok {
-                    self.finish(op, true, None, ctx);
+                    self.ops.finish(op, true, None, ctx);
                 } else {
-                    self.fail_attempt(op, ctx);
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
             }
             DhashMsg::Replicate { key, value } => {
@@ -397,15 +328,17 @@ impl Node for DhashNode {
                 self.drain_overlay_outcomes(ctx);
             }
             DhashTimer::OpDeadline { op } => {
-                self.finish(op, false, None, ctx);
+                self.ops.finish(op, false, None, ctx);
             }
             DhashTimer::AttemptTimeout { op, attempt } => {
-                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
-                    self.fail_attempt(op, ctx);
+                if self.ops.attempt_matches(op, attempt) {
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
             }
             DhashTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             DhashTimer::DataStabilize => {
+                // Each periodic round is its own causal span.
+                ctx.begin_cause();
                 // Re-replicate blocks we are responsible for, so churn
                 // does not erode the replication level.
                 let mine: Vec<(Id, Bytes)> = self

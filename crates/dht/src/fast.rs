@@ -18,9 +18,9 @@ use rand::Rng;
 
 use verme_chord::Id;
 use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
-use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
 
 /// Fast-VerDi wire messages.
@@ -130,15 +130,6 @@ pub enum FastTimer {
     DataStabilize,
 }
 
-struct PendingOp {
-    kind: OpKind,
-    key: Id,
-    value: Option<Bytes>,
-    started: SimTime,
-    /// Retries consumed so far (0 = first attempt).
-    attempt: u32,
-}
-
 /// The responsible node's state while it cross-copies a freshly stored
 /// block to the opposite-type replica point.
 struct CrossState {
@@ -154,15 +145,13 @@ pub struct FastVerDiNode {
     overlay: VermeNode<()>,
     cfg: DhtConfig,
     store: BlockStore,
-    next_op: u64,
+    ops: OpTable,
     next_xid: u64,
-    pending: HashMap<u64, PendingOp>,
     lookup_to_op: HashMap<u64, u64>,
     /// Cross-copy lookups this node (as responsible) has in flight.
     lookup_to_cross: HashMap<u64, CrossState>,
     /// Cross copies awaiting acknowledgment, by xid.
     cross_waiting: HashMap<u64, (u64, Addr)>,
-    outcomes: Vec<OpOutcome>,
 }
 
 type FCtx<'a> = Ctx<'a, FastMsg, FastTimer>;
@@ -174,18 +163,18 @@ impl FastVerDiNode {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(overlay: VermeNode<()>, cfg: DhtConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DHT config: {e}");
+        }
         FastVerDiNode {
             overlay,
             cfg,
             store: BlockStore::new(),
-            next_op: 0,
+            ops: OpTable::new(),
             next_xid: 0,
-            pending: HashMap::new(),
             lookup_to_op: HashMap::new(),
             lookup_to_cross: HashMap::new(),
             cross_waiting: HashMap::new(),
-            outcomes: Vec::new(),
         }
     }
 
@@ -224,7 +213,7 @@ impl FastVerDiNode {
     /// Issues (or re-issues) the overlay lookup for a pending operation
     /// and arms the per-attempt timer.
     fn issue_attempt(&mut self, op: u64, ctx: &mut FCtx<'_>) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.ops.get(op) else {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
@@ -239,33 +228,14 @@ impl FastVerDiNode {
         self.drain_overlay(ctx);
     }
 
-    /// One attempt failed (lookup failure, missing block, negative ack,
-    /// attempt timeout). Retries with exponential backoff while the retry
-    /// budget and the per-request deadline allow; fails the op otherwise.
-    fn fail_attempt(&mut self, op: u64, ctx: &mut FCtx<'_>) {
-        let Some(p) = self.pending.get_mut(&op) else {
-            return;
-        };
-        let next_attempt = p.attempt + 1;
-        let backoff = self.cfg.backoff_for(next_attempt);
-        let deadline = p.started + self.cfg.op_deadline;
-        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
-            self.finish(op, false, None, ctx);
-            return;
-        }
-        p.attempt = next_attempt;
-        ctx.metrics().count(keys::OP_RETRIES, 1);
-        ctx.set_timer(backoff, FastTimer::RetryOp { op });
-    }
-
     fn continue_op(&mut self, op: u64, answer: Option<VermeAnswer>, ctx: &mut FCtx<'_>) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.ops.get(op) else {
             return;
         };
         let replicas = match answer {
             Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
             _ => {
-                self.fail_attempt(op, ctx);
+                self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 return;
             }
         };
@@ -309,31 +279,6 @@ impl FastVerDiNode {
             replicas[0].addr,
             FastMsg::CrossCopy { xid, key: cross.key, value: cross.value },
         );
-    }
-
-    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut FCtx<'_>) {
-        let Some(p) = self.pending.remove(&op) else {
-            return;
-        };
-        let latency = ctx.now().saturating_since(p.started);
-        if ok {
-            if p.attempt > 0 {
-                ctx.metrics().count(keys::OP_RECOVERED, 1);
-            }
-            match p.kind {
-                OpKind::Get => {
-                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::GET_COMPLETED, 1);
-                }
-                OpKind::Put => {
-                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
-                }
-            }
-        } else {
-            ctx.metrics().count(keys::OP_FAILED, 1);
-        }
-        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
     }
 
     fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut FCtx<'_>) {
@@ -406,38 +351,24 @@ impl FastVerDiNode {
 
 impl DhtNode for FastVerDiNode {
     fn start_put(&mut self, value: Bytes, ctx: &mut FCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
         let key = block_key(&value);
-        self.pending.insert(
-            op,
-            PendingOp {
-                kind: OpKind::Put,
-                key,
-                value: Some(value),
-                started: ctx.now(),
-                attempt: 0,
-            },
-        );
-        ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
+        let op = self.ops.start(OpKind::Put, key, Some(value), &self.cfg, ctx, |op| {
+            FastTimer::OpDeadline { op }
+        });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut FCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        self.pending.insert(
-            op,
-            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
-        );
-        ctx.set_timer(self.cfg.op_deadline, FastTimer::OpDeadline { op });
+        let op = self
+            .ops
+            .start(OpKind::Get, key, None, &self.cfg, ctx, |op| FastTimer::OpDeadline { op });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
-        std::mem::take(&mut self.outcomes)
+        self.ops.take_outcomes()
     }
 
     fn stored_blocks(&self) -> usize {
@@ -467,16 +398,16 @@ impl Node for FastVerDiNode {
                 self.send_data(ctx, from, FastMsg::FetchReply { op, value });
             }
             FastMsg::FetchReply { op, value } => {
-                let Some(p) = self.pending.get(&op) else {
+                let Some(p) = self.ops.get(op) else {
                     return;
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.finish(op, true, value, ctx);
+                    self.ops.finish(op, true, value, ctx);
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
-                    self.fail_attempt(op, ctx);
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }
             FastMsg::Store { op, key, value } => {
@@ -498,9 +429,9 @@ impl Node for FastVerDiNode {
             }
             FastMsg::StoreAck { op, ok } => {
                 if ok {
-                    self.finish(op, true, None, ctx);
+                    self.ops.finish(op, true, None, ctx);
                 } else {
-                    self.fail_attempt(op, ctx);
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }
             FastMsg::CrossCopy { xid, key, value } => {
@@ -535,15 +466,17 @@ impl Node for FastVerDiNode {
                 self.drain_overlay(ctx);
             }
             FastTimer::OpDeadline { op } => {
-                self.finish(op, false, None, ctx);
+                self.ops.finish(op, false, None, ctx);
             }
             FastTimer::AttemptTimeout { op, attempt } => {
-                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
-                    self.fail_attempt(op, ctx);
+                if self.ops.attempt_matches(op, attempt) {
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }
             FastTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             FastTimer::DataStabilize => {
+                // Each periodic round is its own causal span.
+                ctx.begin_cause();
                 let layout = *self.overlay.layout();
                 let mine: Vec<(Id, Bytes)> = self
                     .store

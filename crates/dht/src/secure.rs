@@ -20,9 +20,9 @@ use rand::Rng;
 
 use verme_chord::Id;
 use verme_core::{Payload, VermeMsg, VermeNode, VermeTimer};
-use verme_sim::{Addr, Ctx, Node, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
-use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
+use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{verify_block, BlockStore};
 
 /// The operation payload piggybacked inside Secure-VerDi lookups and
@@ -116,25 +116,14 @@ pub enum SecureTimer {
     DataStabilize,
 }
 
-struct PendingOp {
-    kind: OpKind,
-    key: Id,
-    value: Option<Bytes>,
-    started: SimTime,
-    /// Retries consumed so far (0 = first attempt).
-    attempt: u32,
-}
-
 /// A Secure-VerDi node: a payload-carrying [`VermeNode`] plus the block
 /// store. There is no separate data plane — data rides the lookups.
 pub struct SecureVerDiNode {
     overlay: VermeNode<SecurePayload>,
     cfg: DhtConfig,
     store: BlockStore,
-    next_op: u64,
-    pending: HashMap<u64, PendingOp>,
+    ops: OpTable,
     lookup_to_op: HashMap<u64, u64>,
-    outcomes: Vec<OpOutcome>,
 }
 
 type SCtx<'a> = Ctx<'a, SecureMsg, SecureTimer>;
@@ -146,15 +135,15 @@ impl SecureVerDiNode {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(overlay: VermeNode<SecurePayload>, cfg: DhtConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DHT config: {e}");
+        }
         SecureVerDiNode {
             overlay,
             cfg,
             store: BlockStore::new(),
-            next_op: 0,
-            pending: HashMap::new(),
+            ops: OpTable::new(),
             lookup_to_op: HashMap::new(),
-            outcomes: Vec::new(),
         }
     }
 
@@ -214,27 +203,27 @@ impl SecureVerDiNode {
             };
             match o.app {
                 Some(SecurePayload::GetResp { value }) => {
-                    let key = self.pending.get(&op).map(|p| p.key);
+                    let key = self.ops.get(op).map(|p| p.key);
                     let ok = match (&value, key) {
                         (Some(v), Some(k)) => verify_block(k, v),
                         _ => false,
                     };
                     if ok {
-                        self.finish(op, true, value, ctx);
+                        self.ops.finish(op, true, value, ctx);
                     } else {
                         // The replica lacked (or corrupted) the block; retry
                         // end to end — repair may have moved it meanwhile.
-                        self.fail_attempt(op, ctx);
+                        self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
                     }
                 }
                 Some(SecurePayload::PutResp { ok }) => {
                     if ok {
-                        self.finish(op, true, None, ctx);
+                        self.ops.finish(op, true, None, ctx);
                     } else {
-                        self.fail_attempt(op, ctx);
+                        self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
                     }
                 }
-                _ => self.fail_attempt(op, ctx),
+                _ => self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op }),
             }
         }
     }
@@ -242,7 +231,7 @@ impl SecureVerDiNode {
     /// Issues (or re-issues) the piggybacked lookup for a pending
     /// operation and arms the per-attempt timer.
     fn issue_attempt(&mut self, op: u64, ctx: &mut SCtx<'_>) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.ops.get(op) else {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
@@ -261,50 +250,6 @@ impl SecureVerDiNode {
             ctx.set_timer(self.cfg.attempt_timeout(), SecureTimer::AttemptTimeout { op, attempt });
         }
         self.drain_overlay(ctx);
-    }
-
-    /// One attempt failed (lookup failure, missing block, negative ack,
-    /// attempt timeout). Retries with exponential backoff while the retry
-    /// budget and the per-request deadline allow; fails the op otherwise.
-    fn fail_attempt(&mut self, op: u64, ctx: &mut SCtx<'_>) {
-        let Some(p) = self.pending.get_mut(&op) else {
-            return;
-        };
-        let next_attempt = p.attempt + 1;
-        let backoff = self.cfg.backoff_for(next_attempt);
-        let deadline = p.started + self.cfg.op_deadline;
-        if next_attempt > self.cfg.max_retries || ctx.now() + backoff >= deadline {
-            self.finish(op, false, None, ctx);
-            return;
-        }
-        p.attempt = next_attempt;
-        ctx.metrics().count(keys::OP_RETRIES, 1);
-        ctx.set_timer(backoff, SecureTimer::RetryOp { op });
-    }
-
-    fn finish(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
-        let Some(p) = self.pending.remove(&op) else {
-            return;
-        };
-        let latency = ctx.now().saturating_since(p.started);
-        if ok {
-            if p.attempt > 0 {
-                ctx.metrics().count(keys::OP_RECOVERED, 1);
-            }
-            match p.kind {
-                OpKind::Get => {
-                    ctx.metrics().record(keys::GET_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::GET_COMPLETED, 1);
-                }
-                OpKind::Put => {
-                    ctx.metrics().record(keys::PUT_LATENCY_MS, latency.as_millis_f64());
-                    ctx.metrics().count(keys::PUT_COMPLETED, 1);
-                }
-            }
-        } else {
-            ctx.metrics().count(keys::OP_FAILED, 1);
-        }
-        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
     }
 
     /// True if this node anchors the replica set for `point` (it is the
@@ -357,38 +302,24 @@ impl SecureVerDiNode {
 
 impl DhtNode for SecureVerDiNode {
     fn start_put(&mut self, value: Bytes, ctx: &mut SCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
         let key = crate::block::block_key(&value);
-        self.pending.insert(
-            op,
-            PendingOp {
-                kind: OpKind::Put,
-                key,
-                value: Some(value),
-                started: ctx.now(),
-                attempt: 0,
-            },
-        );
-        ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
+        let op = self.ops.start(OpKind::Put, key, Some(value), &self.cfg, ctx, |op| {
+            SecureTimer::OpDeadline { op }
+        });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn start_get(&mut self, key: Id, ctx: &mut SCtx<'_>) -> u64 {
-        let op = self.next_op;
-        self.next_op += 1;
-        self.pending.insert(
-            op,
-            PendingOp { kind: OpKind::Get, key, value: None, started: ctx.now(), attempt: 0 },
-        );
-        ctx.set_timer(self.cfg.op_deadline, SecureTimer::OpDeadline { op });
+        let op = self
+            .ops
+            .start(OpKind::Get, key, None, &self.cfg, ctx, |op| SecureTimer::OpDeadline { op });
         self.issue_attempt(op, ctx);
         op
     }
 
     fn take_op_outcomes(&mut self) -> Vec<OpOutcome> {
-        std::mem::take(&mut self.outcomes)
+        self.ops.take_outcomes()
     }
 
     fn stored_blocks(&self) -> usize {
@@ -432,15 +363,17 @@ impl Node for SecureVerDiNode {
                 self.drain_overlay(ctx);
             }
             SecureTimer::OpDeadline { op } => {
-                self.finish(op, false, None, ctx);
+                self.ops.finish(op, false, None, ctx);
             }
             SecureTimer::AttemptTimeout { op, attempt } => {
-                if self.pending.get(&op).is_some_and(|p| p.attempt == attempt) {
-                    self.fail_attempt(op, ctx);
+                if self.ops.attempt_matches(op, attempt) {
+                    self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
                 }
             }
             SecureTimer::RetryOp { op } => self.issue_attempt(op, ctx),
             SecureTimer::DataStabilize => {
+                // Each periodic round is its own causal span.
+                ctx.begin_cause();
                 let mine: Vec<(Id, Bytes)> = self
                     .store
                     .iter()

@@ -89,16 +89,22 @@ impl TransitStubConfig {
 
     /// Validates structural parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any count is zero, `hosts` is zero, or `jitter` ∉ [0, 1).
-    fn validate(&self) {
-        assert!(self.transit_domains > 0, "need at least one transit domain");
-        assert!(self.transit_nodes_per_domain > 0, "need transit nodes");
-        assert!(self.stub_domains_per_transit > 0, "need stub domains");
-        assert!(self.stub_nodes_per_domain > 0, "need stub nodes");
-        assert!(self.hosts > 0, "need at least one host");
-        assert!((0.0..1.0).contains(&self.jitter), "jitter must be in [0,1)");
+    /// Returns an error if any count is zero, `hosts` is zero, or
+    /// `jitter` ∉ [0, 1).
+    fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(self.transit_domains > 0, "transit_domains", "need at least one transit domain")?;
+        ensure(
+            self.transit_nodes_per_domain > 0,
+            "transit_nodes_per_domain",
+            "need transit nodes",
+        )?;
+        ensure(self.stub_domains_per_transit > 0, "stub_domains_per_transit", "need stub domains")?;
+        ensure(self.stub_nodes_per_domain > 0, "stub_nodes_per_domain", "need stub nodes")?;
+        ensure(self.hosts > 0, "hosts", "need at least one host")?;
+        ensure((0.0..1.0).contains(&self.jitter), "jitter", "jitter must be in [0,1)")?;
         for (name, v) in [
             ("transit_transit_ms", self.transit_transit_ms),
             ("transit_intra_ms", self.transit_intra_ms),
@@ -109,8 +115,9 @@ impl TransitStubConfig {
             ("stub_bw_bps", self.stub_bw_bps),
             ("access_bw_bps", self.access_bw_bps),
         ] {
-            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+            ensure(v.is_finite() && v > 0.0, name, "must be positive")?;
         }
+        Ok(())
     }
 }
 
@@ -151,7 +158,9 @@ impl TransitStub {
     /// Panics if the configuration is structurally invalid (see
     /// [`TransitStubConfig`]).
     pub fn generate(config: TransitStubConfig, seed: u64) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid transit-stub config: {e}");
+        }
         let mut rng = SeedSource::new(seed).stream("transit-stub");
         let n_transit = config.transit_domains * config.transit_nodes_per_domain;
         let routers = config.num_routers();

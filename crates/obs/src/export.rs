@@ -1,0 +1,546 @@
+//! Trace and metrics exporters: NDJSON traces, schema validation, and a
+//! metrics registry with NDJSON/CSV output.
+//!
+//! ## Trace schema
+//!
+//! One JSON object per line. Every line has:
+//!
+//! * `"at"` — virtual time in nanoseconds (integer),
+//! * `"cause"` — the causal span id, or `null` for runtime lifecycle
+//!   events (spawn/kill) and traffic produced outside any span,
+//! * `"kind"` — one of `"spawn"`, `"kill"`, `"send"`, `"deliver"`,
+//!   `"drop"`, `"proto"`, plus kind-specific fields.
+//!
+//! `"proto"` lines nest the protocol event under `"event"`, tagged with
+//! `"type"`. 128-bit overlay identifiers (keys, node ids, sections) are
+//! decimal **strings**; 64-bit values are plain integers.
+
+use std::fmt::Write as _;
+
+use verme_sim::metrics::{MetricDesc, MetricKind, MetricsSink};
+use verme_sim::trace::{ProtoEvent, TraceEvent, TraceKind};
+
+use crate::json::{parse, Json, JsonError};
+
+fn u128_str(v: u128) -> Json {
+    Json::Str(format!("{v}"))
+}
+
+fn opt_u8(v: Option<u8>) -> Json {
+    match v {
+        Some(n) => Json::UInt(n as u128),
+        None => Json::Null,
+    }
+}
+
+fn opt_u128_str(v: Option<u128>) -> Json {
+    match v {
+        Some(n) => u128_str(n),
+        None => Json::Null,
+    }
+}
+
+fn proto_to_json(event: &ProtoEvent) -> Json {
+    match *event {
+        ProtoEvent::LookupStart { op, key, origin_id, kind } => Json::Obj(vec![
+            ("type".into(), "lookup_start".into()),
+            ("op".into(), op.into()),
+            ("key".into(), u128_str(key)),
+            ("origin_id".into(), u128_str(origin_id)),
+            ("kind".into(), kind.into()),
+        ]),
+        ProtoEvent::LookupHop {
+            op,
+            to,
+            to_id,
+            hop,
+            from_type,
+            to_type,
+            from_section,
+            to_section,
+        } => Json::Obj(vec![
+            ("type".into(), "lookup_hop".into()),
+            ("op".into(), op.into()),
+            ("to".into(), to.raw().into()),
+            ("to_id".into(), u128_str(to_id)),
+            ("hop".into(), u64::from(hop).into()),
+            ("from_type".into(), opt_u8(from_type)),
+            ("to_type".into(), opt_u8(to_type)),
+            ("from_section".into(), opt_u128_str(from_section)),
+            ("to_section".into(), opt_u128_str(to_section)),
+        ]),
+        ProtoEvent::LookupEnd { op, ok, hops } => Json::Obj(vec![
+            ("type".into(), "lookup_end".into()),
+            ("op".into(), op.into()),
+            ("ok".into(), ok.into()),
+            ("hops".into(), u64::from(hops).into()),
+        ]),
+        ProtoEvent::Reroute { op, to } => Json::Obj(vec![
+            ("type".into(), "reroute".into()),
+            ("op".into(), op.into()),
+            ("to".into(), to.raw().into()),
+        ]),
+        ProtoEvent::OpStart { op, kind, key } => Json::Obj(vec![
+            ("type".into(), "op_start".into()),
+            ("op".into(), op.into()),
+            ("kind".into(), kind.into()),
+            ("key".into(), u128_str(key)),
+        ]),
+        ProtoEvent::OpRetry { op, attempt } => Json::Obj(vec![
+            ("type".into(), "op_retry".into()),
+            ("op".into(), op.into()),
+            ("attempt".into(), u64::from(attempt).into()),
+        ]),
+        ProtoEvent::OpEnd { op, ok } => Json::Obj(vec![
+            ("type".into(), "op_end".into()),
+            ("op".into(), op.into()),
+            ("ok".into(), ok.into()),
+        ]),
+        ProtoEvent::Note { label, value } => Json::Obj(vec![
+            ("type".into(), "note".into()),
+            ("label".into(), label.into()),
+            ("value".into(), value.into()),
+        ]),
+    }
+}
+
+/// Encodes one trace event as a JSON object (one NDJSON line).
+pub fn event_to_json(ev: &TraceEvent) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("at".into(), ev.at.as_nanos().into()),
+        (
+            "cause".into(),
+            match ev.cause {
+                Some(c) => c.into(),
+                None => Json::Null,
+            },
+        ),
+    ];
+    match ev.kind {
+        TraceKind::Spawn { addr, host } => {
+            members.push(("kind".into(), "spawn".into()));
+            members.push(("addr".into(), addr.raw().into()));
+            members.push(("host".into(), (host.0 as u64).into()));
+        }
+        TraceKind::Kill { addr } => {
+            members.push(("kind".into(), "kill".into()));
+            members.push(("addr".into(), addr.raw().into()));
+        }
+        TraceKind::Send { from, to, bytes } => {
+            members.push(("kind".into(), "send".into()));
+            members.push(("from".into(), from.raw().into()));
+            members.push(("to".into(), to.raw().into()));
+            members.push(("bytes".into(), (bytes as u64).into()));
+        }
+        TraceKind::Deliver { from, to } => {
+            members.push(("kind".into(), "deliver".into()));
+            members.push(("from".into(), from.raw().into()));
+            members.push(("to".into(), to.raw().into()));
+        }
+        TraceKind::Drop { to } => {
+            members.push(("kind".into(), "drop".into()));
+            members.push(("to".into(), to.raw().into()));
+        }
+        TraceKind::Proto { node, ref event } => {
+            members.push(("kind".into(), "proto".into()));
+            members.push(("node".into(), node.raw().into()));
+            members.push(("event".into(), proto_to_json(event)));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// Serializes events as NDJSON (one compact object per line, trailing
+/// newline included when non-empty).
+pub fn trace_to_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_to_json(ev).to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses NDJSON text into one [`Json`] value per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first malformed line (1-based) and its parse error.
+pub fn parse_ndjson(text: &str) -> Result<Vec<Json>, (usize, JsonError)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+/// Aggregate facts about a validated trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events validated.
+    pub events: usize,
+    /// Events carrying a non-null cause.
+    pub caused: usize,
+    /// `"proto"` events, by far the most informative kind.
+    pub proto: usize,
+}
+
+/// Validates a parsed NDJSON trace against the schema above.
+///
+/// Every line must be an object with `at`, `cause` and a known `kind`
+/// with its kind-specific fields; message-flow and protocol events
+/// (`send`/`deliver`/`drop`/`proto`) must carry a **non-null** cause —
+/// the whole point of causal tracing is that traffic is attributable.
+///
+/// # Errors
+///
+/// Describes the first offending line (1-based).
+pub fn validate_trace_schema(lines: &[Json]) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    for (i, line) in lines.iter().enumerate() {
+        let n = i + 1;
+        let fail = |what: &str| Err(format!("line {n}: {what}"));
+        if line.as_object().is_none() {
+            return fail("not a JSON object");
+        }
+        if line.get("at").and_then(Json::as_u64).is_none() {
+            return fail("missing or non-integer \"at\"");
+        }
+        let cause = match line.get("cause") {
+            Some(c) if c.is_null() => None,
+            Some(c) => match c.as_u64() {
+                Some(id) => Some(id),
+                None => return fail("non-integer \"cause\""),
+            },
+            None => return fail("missing \"cause\" key"),
+        };
+        let kind = match line.get("kind").and_then(Json::as_str) {
+            Some(k) => k,
+            None => return fail("missing \"kind\""),
+        };
+        let required: &[&str] = match kind {
+            "spawn" => &["addr", "host"],
+            "kill" => &["addr"],
+            "send" => &["from", "to", "bytes"],
+            "deliver" => &["from", "to"],
+            "drop" => &["to"],
+            "proto" => &["node", "event"],
+            _ => return fail("unknown \"kind\""),
+        };
+        for field in required {
+            if line.get(field).is_none() {
+                return Err(format!("line {n}: {kind} event missing \"{field}\""));
+            }
+        }
+        let needs_cause = matches!(kind, "send" | "deliver" | "drop" | "proto");
+        if needs_cause && cause.is_none() {
+            return Err(format!("line {n}: {kind} event has null cause"));
+        }
+        if kind == "proto" {
+            stats.proto += 1;
+            let event = line.get("event").expect("checked above");
+            if event.get("type").and_then(Json::as_str).is_none() {
+                return fail("proto event missing \"type\"");
+            }
+        }
+        stats.events += 1;
+        if cause.is_some() {
+            stats.caused += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// A catalogue of the metrics an experiment intends to record.
+///
+/// Crates export their metric descriptors (e.g.
+/// [`fault::keys::descriptors`](verme_sim::fault::keys::descriptors));
+/// harnesses collect them here, then export a [`MetricsSink`] with names,
+/// units and help text attached — and can assert that nothing was recorded
+/// under an uncatalogued key.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    entries: Vec<MetricDesc>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a different descriptor is already registered under the
+    /// same name (identical re-registration is a no-op).
+    pub fn register(&mut self, desc: MetricDesc) {
+        match self.entries.iter().find(|d| d.name == desc.name) {
+            Some(existing) => {
+                assert_eq!(*existing, desc, "conflicting registration for metric {:?}", desc.name)
+            }
+            None => self.entries.push(desc),
+        }
+    }
+
+    /// Adds a batch of descriptors (a crate's `descriptors()` export).
+    pub fn register_all(&mut self, descs: &[MetricDesc]) {
+        for d in descs {
+            self.register(*d);
+        }
+    }
+
+    /// Looks a descriptor up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricDesc> {
+        self.entries.iter().find(|d| d.name == name)
+    }
+
+    /// All descriptors, in registration order.
+    pub fn entries(&self) -> &[MetricDesc] {
+        &self.entries
+    }
+
+    /// Keys present in `sink` that no descriptor covers.
+    pub fn unregistered(&self, sink: &MetricsSink) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = sink
+            .counters()
+            .map(|(k, _)| k)
+            .chain(sink.histogram_names())
+            .filter(|k| self.get(k).is_none())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Exports every registered metric present in `sink` as NDJSON.
+    ///
+    /// Counters carry `"value"`; histograms carry their summary. Takes
+    /// `&mut` because histogram quantiles sort lazily.
+    pub fn export_ndjson(&self, sink: &mut MetricsSink) -> String {
+        let mut out = String::new();
+        for desc in &self.entries {
+            let mut members: Vec<(String, Json)> = vec![
+                ("name".into(), desc.name.into()),
+                ("unit".into(), desc.unit.into()),
+                ("help".into(), desc.help.into()),
+            ];
+            match desc.kind {
+                MetricKind::Counter => {
+                    members.push(("kind".into(), "counter".into()));
+                    members.push(("value".into(), sink.counter(desc.name).into()));
+                }
+                MetricKind::Histogram => {
+                    members.push(("kind".into(), "histogram".into()));
+                    let Some(h) = sink.histogram_mut(desc.name) else {
+                        members.push(("count".into(), 0u64.into()));
+                        out.push_str(&Json::Obj(members).to_json());
+                        out.push('\n');
+                        continue;
+                    };
+                    let s = h.summary();
+                    members.push(("count".into(), s.count.into()));
+                    for (k, v) in [
+                        ("mean", s.mean),
+                        ("min", s.min),
+                        ("max", s.max),
+                        ("p50", s.p50),
+                        ("p90", s.p90),
+                        ("p99", s.p99),
+                    ] {
+                        members.push((k.into(), Json::Float(v)));
+                    }
+                }
+            }
+            out.push_str(&Json::Obj(members).to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports every registered metric present in `sink` as CSV with
+    /// header `name,kind,unit,count,value,p50,p90,p99`.
+    ///
+    /// For counters, `count` repeats the value and the quantile columns
+    /// are empty; for absent histograms all numeric columns are empty.
+    pub fn export_csv(&self, sink: &mut MetricsSink) -> String {
+        let mut out = String::from("name,kind,unit,count,value,p50,p90,p99\n");
+        for desc in &self.entries {
+            match desc.kind {
+                MetricKind::Counter => {
+                    let v = sink.counter(desc.name);
+                    let _ = writeln!(out, "{},counter,{},{v},{v},,,", desc.name, desc.unit);
+                }
+                MetricKind::Histogram => match sink.histogram_mut(desc.name) {
+                    Some(h) => {
+                        let s = h.summary();
+                        let _ = writeln!(
+                            out,
+                            "{},histogram,{},{},{},{},{},{}",
+                            desc.name, desc.unit, s.count, s.mean, s.p50, s.p90, s.p99
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{},histogram,{},,,,,", desc.name, desc.unit);
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::{Addr, HostId, SimTime};
+
+    fn ev(cause: Option<u64>, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_nanos(5), cause, kind }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let a = Addr::from_raw(1);
+        let b = Addr::from_raw(2);
+        vec![
+            ev(None, TraceKind::Spawn { addr: a, host: HostId(0) }),
+            ev(
+                Some(1),
+                TraceKind::Proto {
+                    node: a,
+                    event: ProtoEvent::LookupStart {
+                        op: 7,
+                        key: u128::MAX - 1,
+                        origin_id: 3,
+                        kind: "app",
+                    },
+                },
+            ),
+            ev(
+                Some(1),
+                TraceKind::Proto {
+                    node: a,
+                    event: ProtoEvent::LookupHop {
+                        op: 7,
+                        to: b,
+                        to_id: 9,
+                        hop: 0,
+                        from_type: Some(1),
+                        to_type: Some(0),
+                        from_section: Some(2),
+                        to_section: Some(5),
+                    },
+                },
+            ),
+            ev(Some(1), TraceKind::Send { from: a, to: b, bytes: 40 }),
+            ev(Some(1), TraceKind::Deliver { from: a, to: b }),
+            ev(
+                Some(1),
+                TraceKind::Proto {
+                    node: a,
+                    event: ProtoEvent::LookupEnd { op: 7, ok: true, hops: 1 },
+                },
+            ),
+            ev(None, TraceKind::Kill { addr: b }),
+        ]
+    }
+
+    #[test]
+    fn ndjson_round_trip_preserves_every_line() {
+        let events = sample_events();
+        let text = trace_to_ndjson(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let lines = parse_ndjson(&text).expect("own output parses");
+        // Re-serializing the parsed lines reproduces the file exactly.
+        let rewritten: String = lines.iter().map(|l| l.to_json() + "\n").collect();
+        assert_eq!(rewritten, text);
+        // 128-bit ids survive exactly, as decimal strings.
+        let key = lines[1].get("event").and_then(|e| e.get("key")).unwrap();
+        assert_eq!(key.as_u128(), Some(u128::MAX - 1));
+    }
+
+    #[test]
+    fn schema_accepts_valid_traces() {
+        let text = trace_to_ndjson(&sample_events());
+        let lines = parse_ndjson(&text).unwrap();
+        let stats = validate_trace_schema(&lines).expect("valid trace");
+        assert_eq!(stats.events, 7);
+        assert_eq!(stats.proto, 3);
+        assert_eq!(stats.caused, 5, "spawn/kill are uncaused, the rest attributed");
+    }
+
+    #[test]
+    fn schema_rejects_uncaused_traffic_and_junk() {
+        let uncaused = trace_to_ndjson(&[ev(
+            None,
+            TraceKind::Send { from: Addr::from_raw(1), to: Addr::from_raw(2), bytes: 8 },
+        )]);
+        let lines = parse_ndjson(&uncaused).unwrap();
+        let err = validate_trace_schema(&lines).unwrap_err();
+        assert!(err.contains("null cause"), "{err}");
+
+        for (bad, what) in [
+            (r#"{"cause":1,"kind":"send"}"#, "at"),
+            (r#"{"at":1,"kind":"send"}"#, "cause"),
+            (r#"{"at":1,"cause":1,"kind":"warp"}"#, "kind"),
+            (r#"{"at":1,"cause":1,"kind":"send","from":1,"to":2}"#, "bytes"),
+            (r#"[1]"#, "object"),
+        ] {
+            let lines = parse_ndjson(bad).unwrap();
+            let err = validate_trace_schema(&lines).unwrap_err();
+            assert!(err.contains(what), "{bad} should fail on {what}, got: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_ndjson_reports_the_offending_line() {
+        let (line, _) = parse_ndjson("{}\nnot json\n").unwrap_err();
+        assert_eq!(line, 2);
+        assert_eq!(parse_ndjson("\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn registry_exports_and_flags_strays() {
+        let mut reg = Registry::new();
+        reg.register(MetricDesc::counter("a.count", "ops", "a counter"));
+        reg.register(MetricDesc::histogram("a.lat", "ms", "a histogram"));
+        reg.register(MetricDesc::counter("a.count", "ops", "a counter")); // no-op
+        reg.register(MetricDesc::histogram("a.empty", "ms", "never recorded"));
+        assert_eq!(reg.entries().len(), 3);
+
+        let mut sink = MetricsSink::new();
+        sink.count("a.count", 4);
+        sink.record("a.lat", 10.0);
+        sink.record("a.lat", 20.0);
+        sink.count("stray.key", 1);
+        assert_eq!(reg.unregistered(&sink), vec!["stray.key"]);
+
+        let nd = reg.export_ndjson(&mut sink);
+        let lines = parse_ndjson(&nd).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("value").and_then(Json::as_u64), Some(4));
+        assert_eq!(lines[1].get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(lines[1].get("p50").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(lines[2].get("count").and_then(Json::as_u64), Some(0));
+
+        let csv = reg.export_csv(&mut sink);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], "name,kind,unit,count,value,p50,p90,p99");
+        assert!(rows[1].starts_with("a.count,counter,ops,4,4,"));
+        assert!(rows[2].starts_with("a.lat,histogram,ms,2,15,10,20,20"));
+        assert!(rows[3].starts_with("a.empty,histogram,ms,,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting registration")]
+    fn conflicting_registration_is_rejected() {
+        let mut reg = Registry::new();
+        reg.register(MetricDesc::counter("x", "ops", "one"));
+        reg.register(MetricDesc::histogram("x", "ms", "other"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # verme-obs — observability over the simulation's causal traces
+//!
+//! `verme-sim` produces a stream of cause-attributed [`TraceEvent`]s
+//! (see `verme_sim::trace`); this crate turns that stream into things an
+//! experimenter can *use*:
+//!
+//! * [`path`] — a [`PathCollector`] that folds lookup events into
+//!   per-lookup [`LookupPath`] records: ordered hops with node types,
+//!   sections and per-leg timing.
+//! * [`invariant`] — checkers that run over recorded paths: Chord's
+//!   monotone clockwise progress, Verme's opposite-type rule for
+//!   cross-section fingers, and trace-vs-histogram hop agreement.
+//! * [`export`] — NDJSON trace serialization with schema validation, and
+//!   a metrics [`Registry`] (named [`MetricDesc`](verme_sim::MetricDesc)
+//!   entries) with NDJSON/CSV exporters.
+//! * [`json`] — the dependency-free JSON value/writer/parser underneath
+//!   (the vendored `serde` shim has no `serde_json`).
+//!
+//! The crate is strictly a *consumer* of the trace stream: it depends
+//! only on `verme-sim` and never feeds back into a running simulation, so
+//! attaching any of it cannot perturb a run.
+//!
+//! ## Typical wiring
+//!
+//! ```
+//! use verme_obs::export::{parse_ndjson, trace_to_ndjson, validate_trace_schema};
+//! use verme_obs::path::PathCollector;
+//! use verme_sim::{tee, FlightRecorder};
+//!
+//! let recorder = FlightRecorder::new(4096);
+//! let paths = PathCollector::new();
+//! let tracer = tee(recorder.tracer(), paths.tracer());
+//! // rt.set_tracer(Some(tracer)); run the scenario...
+//! # drop(tracer);
+//! let dump = trace_to_ndjson(&recorder.snapshot());
+//! let stats = validate_trace_schema(&parse_ndjson(&dump).unwrap()).unwrap();
+//! assert_eq!(stats.events, 0); // nothing ran in this doc example
+//! ```
+
+pub mod export;
+pub mod invariant;
+pub mod json;
+pub mod path;
+
+pub use export::{
+    event_to_json, parse_ndjson, trace_to_ndjson, validate_trace_schema, Registry, TraceStats,
+};
+pub use invariant::{
+    check_chord_monotone, check_hop_agreement, check_verme_opposite_types, Violation,
+};
+pub use json::{parse, Json, JsonError};
+pub use path::{HopRecord, LookupPath, PathCollector};
+
+// Re-exported so harnesses can depend on `verme-obs` alone for tracing.
+pub use verme_sim::trace::TraceEvent;

@@ -1,0 +1,66 @@
+//! Typed configuration-validation errors.
+//!
+//! Every crate in the workspace exposes `validate()` on its configuration
+//! structs. Those used to `assert!` (and therefore panic inside innocent
+//! constructors); they now return `Result<(), InvalidConfig>` so harnesses
+//! and future CLI front ends can report bad parameters without unwinding.
+//! Constructors still panic on invalid configs — by `expect`ing the same
+//! `Result` — so existing behavior is unchanged for valid inputs.
+
+use std::fmt;
+
+/// A configuration field failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidConfig {
+    /// The offending field, e.g. `"scan_rate_per_sec"`.
+    pub field: &'static str,
+    /// The violated constraint, e.g. `"must be positive"`.
+    pub constraint: &'static str,
+}
+
+impl InvalidConfig {
+    /// Creates an error for `field` violating `constraint`.
+    pub const fn new(field: &'static str, constraint: &'static str) -> Self {
+        InvalidConfig { field, constraint }
+    }
+}
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {} {}", self.field, self.constraint)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// Returns `Err(InvalidConfig::new(field, constraint))` unless `ok` holds.
+pub fn ensure(
+    ok: bool,
+    field: &'static str,
+    constraint: &'static str,
+) -> Result<(), InvalidConfig> {
+    if ok {
+        Ok(())
+    } else {
+        Err(InvalidConfig::new(field, constraint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field_and_constraint() {
+        let e = InvalidConfig::new("replicas", "must be odd");
+        assert_eq!(e.to_string(), "invalid config: replicas must be odd");
+    }
+
+    #[test]
+    fn ensure_passes_and_fails() {
+        assert_eq!(ensure(true, "x", "y"), Ok(()));
+        assert_eq!(ensure(false, "x", "y"), Err(InvalidConfig::new("x", "y")));
+        let err: Box<dyn std::error::Error> = Box::new(InvalidConfig::new("x", "y"));
+        assert!(err.to_string().contains("x"));
+    }
+}

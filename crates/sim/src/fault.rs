@@ -47,6 +47,7 @@ use crate::event::EventQueue;
 use crate::rng::{exp_duration, SeedSource};
 use crate::runtime::{Addr, HostId, LatencyModel, Node, Runtime};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{FlightRecorder, TraceEvent};
 
 /// Metric keys the runner records into the runtime's
 /// [`MetricsSink`](crate::MetricsSink).
@@ -62,6 +63,19 @@ pub mod keys {
     /// Histogram: milliseconds from the end of a kill burst until the
     /// `ring_converged` hook first reported true.
     pub const RECONVERGE_MS: &str = "fault.reconverge_ms";
+
+    /// Registry descriptors for every metric the fault runner records.
+    pub fn descriptors() -> &'static [crate::metrics::MetricDesc] {
+        use crate::metrics::MetricDesc;
+        const DESCS: &[MetricDesc] = &[
+            MetricDesc::counter(JOIN, "nodes", "nodes (re)joined by the churn process"),
+            MetricDesc::counter(LEAVE_CRASH, "nodes", "churn departures executed as crashes"),
+            MetricDesc::counter(LEAVE_GRACEFUL, "nodes", "churn departures executed gracefully"),
+            MetricDesc::counter(BURST_KILL, "nodes", "nodes killed by correlated bursts"),
+            MetricDesc::histogram(RECONVERGE_MS, "ms", "kill-burst end to ring reconvergence"),
+        ];
+        DESCS
+    }
 }
 
 /// One scripted adverse condition inside a [`FaultPlan`].
@@ -265,6 +279,10 @@ pub struct BurstImpact {
     /// convergence was decided (healed or timed out) — repair traffic,
     /// failed lookups, timeouts, and so on.
     pub counter_delta: BTreeMap<&'static str, u64>,
+    /// The flight-recorder contents captured the moment convergence was
+    /// decided — the structured events surrounding the burst. Empty unless
+    /// the runner was built [`with_recorder`](FaultRunner::with_recorder).
+    pub events: Vec<TraceEvent>,
 }
 
 /// Everything the runner observed while executing a plan.
@@ -332,6 +350,8 @@ pub struct FaultRunner<N: Node, L: LatencyModel> {
     converge_timeout: SimDuration,
     /// Population floor below which churn departures are skipped.
     min_population: usize,
+    /// Flight recorder snapshotted into each burst's [`BurstImpact::events`].
+    recorder: Option<FlightRecorder>,
 }
 
 impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
@@ -382,6 +402,7 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
             poll_interval: SimDuration::from_millis(500),
             converge_timeout: SimDuration::from_mins(5),
             min_population: 4,
+            recorder: None,
         })
     }
 
@@ -405,6 +426,18 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
     #[must_use]
     pub fn with_min_population(mut self, floor: usize) -> Self {
         self.min_population = floor;
+        self
+    }
+
+    /// Attaches a [`FlightRecorder`] whose contents are snapshotted into
+    /// [`BurstImpact::events`] the moment each burst's convergence is
+    /// decided. The recorder is shared, not owned: install its
+    /// [`tracer`](FlightRecorder::tracer) on the runtime yourself (possibly
+    /// [`tee`](crate::trace::tee)d with another sink), and it keeps
+    /// recording after the runner is done.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -541,6 +574,7 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
             killed: 0,
             reconverged_after: None,
             counter_delta: BTreeMap::new(),
+            events: Vec::new(),
         });
         self.burst_snapshots.push(rt.metrics().counter_snapshot());
         // Spread the crashes uniformly over the window so repair traffic
@@ -581,6 +615,9 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 rt.metrics_mut().record(keys::RECONVERGE_MS, took.as_millis_f64());
             }
             impact.counter_delta = rt.metrics().counter_delta(&self.burst_snapshots[burst_idx]);
+            if let Some(rec) = &self.recorder {
+                impact.events = rec.snapshot();
+            }
         } else {
             self.agenda.schedule(
                 rt.now() + self.poll_interval,
@@ -757,6 +794,42 @@ mod tests {
         assert!(!burst.counter_delta.is_empty(), "burst window saw no traffic at all");
         assert_eq!(rt.metrics().counter(keys::BURST_KILL), 3);
         assert_eq!(rt.num_alive(), 7);
+    }
+
+    #[test]
+    fn recorder_attached_bursts_carry_surrounding_events() {
+        use crate::trace::{FlightRecorder, TraceKind};
+
+        let (mut rt, addrs) = build(8, 5);
+        let recorder = FlightRecorder::new(256);
+        rt.set_tracer(Some(recorder.tracer()));
+        let plan = FaultPlan::new().with(Fault::KillBurst {
+            at: secs(5),
+            window: SimDuration::from_secs(1),
+            selector: "first:2".into(),
+        });
+        let hooks: FaultHooks<PingNode, UniformLatency> = FaultHooks {
+            join: Box::new(|_, _| None),
+            select_victims: Box::new(|_, sel, pop| {
+                let n: usize = sel.strip_prefix("first:").expect("selector").parse().unwrap();
+                pop.iter().copied().take(n).collect()
+            }),
+            ring_converged: Box::new(|rt| rt.now() >= secs(10)),
+        };
+        let mut runner = FaultRunner::new(plan, hooks, SeedSource::new(5), addrs)
+            .expect("valid plan")
+            .with_recorder(recorder.clone());
+        runner.run_until(&mut rt, secs(30));
+        let report = runner.into_report();
+        assert_eq!(report.bursts.len(), 1);
+        let events = &report.bursts[0].events;
+        assert!(!events.is_empty(), "recorder-attached burst captured no events");
+        assert!(
+            events.iter().any(|e| matches!(e.kind, TraceKind::Kill { .. })),
+            "snapshot should include the burst's kill events"
+        );
+        // The recorder is shared, not drained: it keeps recording afterwards.
+        assert!(recorder.len() >= events.len() || recorder.evicted() > 0);
     }
 
     #[test]

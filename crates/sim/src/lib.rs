@@ -19,6 +19,11 @@
 //! * [`runtime`] — the node runtime: protocol state machines implementing
 //!   [`Node`] exchange messages through a [`LatencyModel`], with churn
 //!   (spawn/kill), timers, and byte accounting.
+//! * [`trace`] — causal tracing: cause-attributed [`TraceEvent`]s, the
+//!   protocol-level [`ProtoEvent`] vocabulary, and the bounded
+//!   [`FlightRecorder`] ring buffer.
+//! * [`config`] — the [`InvalidConfig`] error shared by every crate's
+//!   configuration validators.
 //!
 //! Determinism is a hard requirement: given the same seed, a simulation
 //! produces the same event trace, which makes every experiment in the
@@ -40,18 +45,20 @@
 //!
 //! [p2psim]: https://pdos.csail.mit.edu/p2psim/
 
+pub mod config;
 pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod runtime;
 pub mod time;
+pub mod trace;
 
+pub use config::InvalidConfig;
 pub use event::EventQueue;
 pub use fault::{BurstImpact, Fault, FaultHooks, FaultPlan, FaultReport, FaultRunner};
-pub use metrics::{Counter, Histogram, MetricsSink, Summary, TimeSeries};
+pub use metrics::{Counter, Histogram, MetricDesc, MetricKind, MetricsSink, Summary, TimeSeries};
 pub use rng::SeedSource;
-pub use runtime::{
-    Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, TraceEvent, Tracer, Wire,
-};
+pub use runtime::{Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, Wire};
 pub use time::{SimDuration, SimTime};
+pub use trace::{tee, CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind, Tracer};

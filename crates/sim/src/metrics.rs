@@ -11,6 +11,45 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
 
+/// What kind of instrument a registered metric is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing counter.
+    Counter,
+    /// A histogram of scalar observations.
+    Histogram,
+}
+
+/// Static description of one named metric: the registry entry protocols
+/// publish so exporters and dashboards can interpret raw sink keys.
+///
+/// Each crate exposes a `descriptors()` function next to its `keys` module
+/// returning the `MetricDesc` for every key it records; the `verme-obs`
+/// registry collects them and drives the NDJSON/CSV exporters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MetricDesc {
+    /// The sink key, e.g. `"lookup.latency_ms"`.
+    pub name: &'static str,
+    /// Counter or histogram.
+    pub kind: MetricKind,
+    /// Unit label (`"ms"`, `"bytes"`, `"ops"`, `""` for dimensionless).
+    pub unit: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+}
+
+impl MetricDesc {
+    /// Shorthand for a counter descriptor.
+    pub const fn counter(name: &'static str, unit: &'static str, help: &'static str) -> Self {
+        MetricDesc { name, kind: MetricKind::Counter, unit, help }
+    }
+
+    /// Shorthand for a histogram descriptor.
+    pub const fn histogram(name: &'static str, unit: &'static str, help: &'static str) -> Self {
+        MetricDesc { name, kind: MetricKind::Histogram, unit, help }
+    }
+}
+
 /// A monotonically increasing event counter.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counter(u64);
@@ -413,6 +452,94 @@ mod tests {
         assert_eq!(ts.time_to_reach(100.0), None);
         assert_eq!(ts.last_value(), Some(50.0));
         assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_collapse_to_it() {
+        let mut h = Histogram::new();
+        h.record(42.5);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.5, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.mean, s.min, s.max), (1, 42.5, 42.5, 42.5));
+    }
+
+    #[test]
+    fn quantiles_on_duplicate_heavy_input() {
+        // 999 copies of 5.0 and one 1000.0: every quantile below the last
+        // rank must return the duplicated value, not interpolate.
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(5.0);
+        }
+        h.record(1000.0);
+        assert_eq!(h.quantile(0.0), 5.0);
+        assert_eq!(h.quantile(0.5), 5.0);
+        assert_eq!(h.quantile(0.99), 5.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.min(), 5.0);
+        assert_eq!(h.max(), 1000.0);
+    }
+
+    #[test]
+    fn quantile_boundaries_on_empty_histogram() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.quantile(1.5);
+    }
+
+    #[test]
+    fn quantiles_stay_correct_across_interleaved_records() {
+        // Recording after a quantile query must re-sort.
+        let mut h = Histogram::new();
+        h.record(10.0);
+        h.record(20.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.0), 5.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+    }
+
+    #[test]
+    fn time_series_ordering_and_accessors() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.last_value(), None);
+        assert_eq!(ts.time_to_reach(0.0), None);
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        // Equal timestamps are allowed; strictly increasing values are not
+        // required by the container.
+        ts.push(t(1), 3.0);
+        ts.push(t(1), 2.0);
+        ts.push(t(4), 9.0);
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.points(), &[(t(1), 3.0), (t(1), 2.0), (t(4), 9.0)]);
+        // time_to_reach returns the *first* crossing in append order.
+        assert_eq!(ts.time_to_reach(2.5), Some(t(1)));
+        assert_eq!(ts.time_to_reach(9.0), Some(t(4)));
+        assert_eq!(ts.last_value(), Some(9.0));
+    }
+
+    #[test]
+    fn metric_descriptors_carry_metadata() {
+        const D: MetricDesc = MetricDesc::counter("lookup.issued", "ops", "lookups issued");
+        assert_eq!(D.kind, MetricKind::Counter);
+        assert_eq!(D.name, "lookup.issued");
+        let h = MetricDesc::histogram("lookup.latency_ms", "ms", "lookup latency");
+        assert_eq!(h.kind, MetricKind::Histogram);
+        assert_eq!(h.unit, "ms");
     }
 
     #[test]

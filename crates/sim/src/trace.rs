@@ -1,0 +1,386 @@
+//! Causal tracing and the bounded flight recorder.
+//!
+//! Every observable event in a simulation — a message handed to the
+//! network, a delivery, a protocol-level lookup hop — is a [`TraceEvent`]:
+//! a timestamped [`TraceKind`] tagged with the **cause** ([`CauseId`]) of
+//! the originating operation. Causes are allocated by
+//! [`Ctx::begin_cause`](crate::Ctx::begin_cause) (one per root operation,
+//! e.g. a DHT `get` or a maintenance tick) and flow automatically through
+//! [`Ctx::send`](crate::Ctx::send) and timer firings: the handler that
+//! processes a delivered message or fired timer resumes the cause under
+//! which it was produced. A retry timer armed while executing operation 17
+//! therefore fires *as* operation 17, and every message it provokes is
+//! attributable to that root op.
+//!
+//! Tracing is strictly observational and zero-cost when disabled: cause
+//! ids are plain counters (never drawn from the simulation RNG), protocol
+//! emissions via [`Ctx::emit`](crate::Ctx::emit) are dropped before
+//! buffering when no tracer is installed, and no RNG or metrics state is
+//! touched — a run with tracing off is byte-identical to one that never
+//! linked this module.
+//!
+//! The [`FlightRecorder`] is a fixed-capacity ring buffer of recent
+//! events. Harnesses install it as the runtime tracer (via
+//! [`FlightRecorder::tracer`]) and snapshot it when something interesting
+//! happens — an invariant violation, a fault-injection burst, an explicit
+//! dump request — so the events *surrounding* the incident are available
+//! without recording the whole run.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::runtime::{Addr, HostId};
+use crate::time::SimTime;
+
+/// Identifier of one causal span: a root operation and everything that
+/// happens on its behalf (forwarded messages, retries, reroutes).
+///
+/// Allocated from a monotonic per-runtime counter, starting at 1; `0` is
+/// never a valid cause.
+pub type CauseId = u64;
+
+/// A protocol-level event emitted through [`Ctx::emit`](crate::Ctx::emit).
+///
+/// The vocabulary is deliberately primitive — raw 128-bit identifiers,
+/// optional type/section tags — so the simulation core needs no knowledge
+/// of any particular overlay. Protocols that have richer structure (Verme
+/// node types, section numbers) pre-compute those tags at the emission
+/// site, where the layout is in scope; consumers (the `verme-obs` path
+/// collector and invariant checkers) work over this neutral form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// A lookup began at this node.
+    LookupStart {
+        /// Initiator-local lookup id (unique per cause).
+        op: u64,
+        /// The key being resolved.
+        key: u128,
+        /// The initiator's overlay identifier.
+        origin_id: u128,
+        /// Lookup kind label (`"app"`, `"finger"`, `"join"`, `"replicas"`, ...).
+        kind: &'static str,
+    },
+    /// One routing hop of a lookup was taken (emitted by the node that
+    /// chose the hop, at the moment it dispatches to it).
+    LookupHop {
+        /// The lookup this hop belongs to.
+        op: u64,
+        /// Address of the next hop.
+        to: Addr,
+        /// Overlay identifier of the next hop.
+        to_id: u128,
+        /// Zero-based hop index within the lookup.
+        hop: u32,
+        /// The forwarding node's type, if the overlay has types.
+        from_type: Option<u8>,
+        /// The next hop's type, if the overlay has types.
+        to_type: Option<u8>,
+        /// The forwarding node's section, if the overlay has sections.
+        from_section: Option<u128>,
+        /// The next hop's section, if the overlay has sections.
+        to_section: Option<u128>,
+    },
+    /// A lookup finished at its initiator.
+    LookupEnd {
+        /// The finished lookup.
+        op: u64,
+        /// Whether it produced an answer.
+        ok: bool,
+        /// Hops taken, as reported by the protocol.
+        hops: u32,
+    },
+    /// A hop timed out and the lookup was redirected to another candidate.
+    Reroute {
+        /// The rerouted lookup.
+        op: u64,
+        /// The replacement hop.
+        to: Addr,
+    },
+    /// An end-to-end operation (DHT get/put) began.
+    OpStart {
+        /// Initiator-local operation id.
+        op: u64,
+        /// Operation kind label (`"get"` or `"put"`).
+        kind: &'static str,
+        /// The block key.
+        key: u128,
+    },
+    /// An end-to-end operation consumed one retry.
+    OpRetry {
+        /// The retried operation.
+        op: u64,
+        /// Retries consumed so far (1 = first retry).
+        attempt: u32,
+    },
+    /// An end-to-end operation finished.
+    OpEnd {
+        /// The finished operation.
+        op: u64,
+        /// Whether it succeeded.
+        ok: bool,
+    },
+    /// A free-form annotation (worm infections, denied lookups, ...).
+    Note {
+        /// Event label, namespaced by convention (`"worm.infected"`).
+        label: &'static str,
+        /// Event payload.
+        value: u64,
+    },
+}
+
+/// What happened, without the timestamp/cause envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A node was spawned on a host.
+    Spawn {
+        /// The new node's address.
+        addr: Addr,
+        /// Its host.
+        host: HostId,
+    },
+    /// A node was killed.
+    Kill {
+        /// The removed node's address.
+        addr: Addr,
+    },
+    /// A message was handed to the network.
+    Send {
+        /// Sender.
+        from: Addr,
+        /// Destination.
+        to: Addr,
+        /// Modelled wire size.
+        bytes: usize,
+    },
+    /// A message reached a live destination.
+    Deliver {
+        /// Sender.
+        from: Addr,
+        /// Destination.
+        to: Addr,
+    },
+    /// A message was dropped (dead destination or injected loss).
+    Drop {
+        /// Destination that did not receive it.
+        to: Addr,
+    },
+    /// A protocol-level emission from [`Ctx::emit`](crate::Ctx::emit).
+    Proto {
+        /// The emitting node.
+        node: Addr,
+        /// The emitted event.
+        event: ProtoEvent,
+    },
+}
+
+/// One timestamped, cause-attributed event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The causal span it belongs to, if any. Runtime lifecycle events
+    /// (spawn/kill) and traffic produced outside any span carry `None`.
+    pub cause: Option<CauseId>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A tracer callback. Receives every [`TraceEvent`] as it happens.
+pub type Tracer = Box<dyn FnMut(&TraceEvent)>;
+
+/// Combines two tracers into one that feeds both (e.g. a
+/// [`FlightRecorder`] plus a path collector).
+pub fn tee(mut a: Tracer, mut b: Tracer) -> Tracer {
+    Box::new(move |ev| {
+        a(ev);
+        b(ev);
+    })
+}
+
+struct Ring {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+/// A bounded ring buffer of recent [`TraceEvent`]s.
+///
+/// Cheaply cloneable handle (all clones share one buffer), so the same
+/// recorder can serve as the runtime tracer *and* be snapshotted by a
+/// fault-injection runner or an experiment harness.
+///
+/// # Example
+///
+/// ```
+/// use verme_sim::{FlightRecorder, ProtoEvent, SimTime, TraceEvent, TraceKind, Addr};
+///
+/// let rec = FlightRecorder::new(2);
+/// for i in 0..3 {
+///     rec.record(TraceEvent {
+///         at: SimTime::ZERO,
+///         cause: Some(i + 1),
+///         kind: TraceKind::Proto {
+///             node: Addr::from_raw(1),
+///             event: ProtoEvent::Note { label: "tick", value: i },
+///         },
+///     });
+/// }
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.len(), 2); // oldest event evicted
+/// assert_eq!(rec.evicted(), 1);
+/// assert_eq!(snap[0].cause, Some(2));
+/// ```
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<Ring>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(Ring {
+                cap: capacity,
+                buf: VecDeque::with_capacity(capacity),
+                evicted: 0,
+            })),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn record(&self, ev: TraceEvent) {
+        let mut ring = self.inner.borrow_mut();
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.evicted += 1;
+        }
+        ring.buf.push_back(ev);
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().cap
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().buf.is_empty()
+    }
+
+    /// Events evicted so far to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.inner.borrow().evicted
+    }
+
+    /// Discards all retained events (the eviction count keeps running).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().buf.clear();
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().buf.iter().cloned().collect()
+    }
+
+    /// A [`Tracer`] that records into this buffer. Install it with
+    /// [`Runtime::set_tracer`](crate::Runtime::set_tracer); the handle you
+    /// keep still sees everything the runtime records.
+    pub fn tracer(&self) -> Tracer {
+        let handle = self.clone();
+        Box::new(move |ev| handle.record(ev.clone()))
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ring = self.inner.borrow();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &ring.cap)
+            .field("len", &ring.buf.len())
+            .field("evicted", &ring.evicted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(i: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::ZERO,
+            cause: Some(i),
+            kind: TraceKind::Proto {
+                node: Addr::from_raw(9),
+                event: ProtoEvent::Note { label: "t", value: i },
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..5 {
+            rec.record(note(i));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.evicted(), 2);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.cause.unwrap()).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest events are evicted first"
+        );
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.evicted(), 2, "clear does not reset the eviction count");
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let rec = FlightRecorder::new(4);
+        let other = rec.clone();
+        rec.record(note(1));
+        other.record(note(2));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(other.snapshot(), rec.snapshot());
+    }
+
+    #[test]
+    fn tracer_feeds_the_shared_buffer() {
+        let rec = FlightRecorder::new(4);
+        let mut t = rec.tracer();
+        t(&note(7));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.snapshot()[0].cause, Some(7));
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let a = FlightRecorder::new(2);
+        let b = FlightRecorder::new(2);
+        let mut t = tee(a.tracer(), b.tracer());
+        t(&note(1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

@@ -18,4 +18,6 @@ pub mod scenarios;
 
 pub use analysis::{analyze, logistic, CurveStats};
 pub use model::{WormParams, WormSim, WormState};
-pub use scenarios::{run_scenario, Scenario, ScenarioConfig, ScenarioResult};
+pub use scenarios::{
+    run_scenario, run_scenario_recorded, Scenario, ScenarioConfig, ScenarioResult,
+};

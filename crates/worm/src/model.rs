@@ -15,7 +15,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use verme_sim::{EventQueue, SeedSource, SimDuration, SimTime, TimeSeries};
+use verme_sim::trace::{CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind};
+use verme_sim::{Addr, EventQueue, SeedSource, SimDuration, SimTime, TimeSeries};
 
 /// Worm timing parameters. Defaults are the paper's (§7.3, after Staniford et al.):
 /// 100 scans/machine/second, 100 ms infection time, 1 s activation delay.
@@ -47,16 +48,19 @@ impl WormParams {
 
     /// Validates parameter sanity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the scan rate is not positive or a duration is zero.
-    pub fn validate(&self) {
-        assert!(
+    /// Returns an error if the scan rate is not positive or a duration is
+    /// zero.
+    pub fn validate(&self) -> Result<(), verme_sim::InvalidConfig> {
+        use verme_sim::config::ensure;
+        ensure(
             self.scan_rate_per_sec.is_finite() && self.scan_rate_per_sec > 0.0,
-            "scan rate must be positive"
-        );
-        assert!(!self.infect_time.is_zero(), "infect time must be positive");
-        assert!(!self.activation_delay.is_zero(), "activation delay must be positive");
+            "scan_rate_per_sec",
+            "scan rate must be positive",
+        )?;
+        ensure(!self.infect_time.is_zero(), "infect_time", "must be positive")?;
+        ensure(!self.activation_delay.is_zero(), "activation_delay", "must be positive")
     }
 }
 
@@ -129,6 +133,13 @@ pub struct WormSim {
     alerted: Vec<bool>,
     alert_hop_delay: SimDuration,
     immunized: usize,
+    /// Optional flight recorder for infection-chain trace events.
+    recorder: Option<FlightRecorder>,
+    /// Causal span of each node's infection: seeds mint fresh roots,
+    /// victims inherit their attacker's span, so one span traces one
+    /// infection chain end to end.
+    cause_of: Vec<Option<CauseId>>,
+    next_cause: CauseId,
 }
 
 impl WormSim {
@@ -145,7 +156,9 @@ impl WormSim {
         params: WormParams,
         seed: u64,
     ) -> Self {
-        params.validate();
+        if let Err(e) = params.validate() {
+            panic!("invalid worm params: {e}");
+        }
         let n = targets.len();
         assert_eq!(n, vulnerable.len(), "targets and vulnerable maps must align");
         for (i, list) in targets.iter().enumerate() {
@@ -170,7 +183,41 @@ impl WormSim {
             alerted: vec![false; n],
             alert_hop_delay: SimDuration::from_millis(50),
             immunized: 0,
+            recorder: None,
+            cause_of: vec![None; n],
+            next_cause: 0,
         }
+    }
+
+    /// Attaches a flight recorder: infection milestones (`worm.seed`,
+    /// `worm.infected`, `worm.activated`, `worm.alerted`) are recorded as
+    /// cause-attributed [`Note`](ProtoEvent::Note) events, one causal span
+    /// per infection chain. Per-scan probes are deliberately not recorded
+    /// (they dominate the event volume and carry no chain information).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The causal span of `node`'s infection chain, if it is infected and
+    /// tracing reached it.
+    pub fn cause_of(&self, node: u32) -> Option<CauseId> {
+        self.cause_of[node as usize]
+    }
+
+    fn note(&self, node: u32, label: &'static str) {
+        let Some(rec) = &self.recorder else {
+            return;
+        };
+        rec.record(TraceEvent {
+            at: self.now,
+            cause: self.cause_of[node as usize],
+            kind: TraceKind::Proto {
+                node: Addr::from_raw(node as u64),
+                event: ProtoEvent::Note { label, value: node as u64 },
+            },
+        });
     }
 
     /// Enables the guardian-node defense (Zhou et al.): when a scanning
@@ -250,7 +297,10 @@ impl WormSim {
         if self.states[node as usize].is_infected() {
             return;
         }
+        self.next_cause += 1;
+        self.cause_of[node as usize] = Some(self.next_cause);
         self.mark_infected(node);
+        self.note(node, "worm.seed");
         self.begin_scanning(node);
     }
 
@@ -302,7 +352,9 @@ impl WormSim {
             Ev::Scan { node } => self.do_scan(node),
             Ev::InfectDone { attacker, victim } => {
                 if self.states[victim as usize] == WormState::NotInfected {
+                    self.cause_of[victim as usize] = self.cause_of[attacker as usize];
                     self.mark_infected(victim);
+                    self.note(victim, "worm.infected");
                     self.states[victim as usize] = WormState::Inactive;
                     self.queue.schedule(
                         self.now + self.params.activation_delay,
@@ -318,6 +370,7 @@ impl WormSim {
             }
             Ev::Activate { node } => {
                 if self.states[node as usize] == WormState::Inactive {
+                    self.note(node, "worm.activated");
                     self.begin_scanning(node);
                 }
             }
@@ -332,13 +385,20 @@ impl WormSim {
             return;
         }
         self.alerted[i] = true;
+        self.note(node, "worm.alerted");
         if self.states[i] == WormState::NotInfected {
             self.states[i] = WormState::Immune;
             self.immunized += 1;
         }
-        // Flood the alert along the node's own overlay edges.
+        // Flood the alert along the node's own overlay edges. Each newly
+        // reached node joins the alert's causal span (unless it already
+        // has one from an infection), so the flood is attributable to the
+        // outbreak that triggered it.
         for t in self.targets[i].clone() {
             if !self.alerted[t as usize] {
+                if self.cause_of[t as usize].is_none() {
+                    self.cause_of[t as usize] = self.cause_of[i];
+                }
                 self.queue.schedule(self.now + self.alert_hop_delay, Ev::Alert { node: t });
             }
         }
@@ -358,8 +418,13 @@ impl WormSim {
         self.scan_pos[node as usize] += 1;
         self.scans_performed += 1;
         let v = victim as usize;
-        // A probed guardian detects the worm and raises the alarm.
+        // A probed guardian detects the worm and raises the alarm. The
+        // alert chain inherits the probing attacker's causal span: the
+        // defense reaction traces back to the infection that provoked it.
         if self.guardians[v] && !self.alerted[v] {
+            if self.cause_of[v].is_none() {
+                self.cause_of[v] = self.cause_of[node as usize];
+            }
             self.queue.schedule(self.now, Ev::Alert { node: victim });
         }
         if self.vulnerable[v] && self.states[v] == WormState::NotInfected {
@@ -408,6 +473,75 @@ mod tests {
         }
         // Each link costs ≥ infect_time + activation_delay.
         assert!(sim.now() >= SimTime::ZERO + SimDuration::from_millis(3 * 1100));
+    }
+
+    #[test]
+    fn params_are_validated() {
+        let p = WormParams { scan_rate_per_sec: 0.0, ..WormParams::default() };
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.field, "scan_rate_per_sec");
+        assert!(WormParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn recorder_traces_one_span_per_infection_chain() {
+        let rec = FlightRecorder::new(64);
+        let targets = vec![vec![1], vec![2], vec![]];
+        let mut sim = WormSim::new(targets, vec![true; 3], params(), 1).with_recorder(rec.clone());
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), 3);
+        // Every victim inherits the seed's causal span.
+        let root = sim.cause_of(0).expect("seed has a span");
+        assert_eq!(sim.cause_of(1), Some(root));
+        assert_eq!(sim.cause_of(2), Some(root));
+        let events = rec.snapshot();
+        let labels: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Proto { event: ProtoEvent::Note { label, .. }, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels.iter().filter(|l| **l == "worm.seed").count(), 1);
+        assert_eq!(labels.iter().filter(|l| **l == "worm.infected").count(), 2);
+        assert_eq!(labels.iter().filter(|l| **l == "worm.activated").count(), 2);
+        assert!(events.iter().all(|e| e.cause == Some(root)));
+    }
+
+    #[test]
+    fn alert_floods_inherit_the_outbreak_span() {
+        // 0 infects 1; 1's scan probes guardian 2, whose alert floods to 3.
+        let rec = FlightRecorder::new(64);
+        let targets = vec![vec![1], vec![2], vec![3], vec![]];
+        let mut sim = WormSim::new(targets, vec![true, true, false, false], params(), 5)
+            .with_recorder(rec.clone());
+        sim.set_guardians(vec![false, false, true, true], SimDuration::from_millis(10));
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        let root = sim.cause_of(0).expect("seed has a span");
+        // Every recorded event — including the alert flood on the
+        // never-infected guardians — carries the outbreak's span.
+        let events = rec.snapshot();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            TraceKind::Proto { event: ProtoEvent::Note { label: "worm.alerted", .. }, .. }
+        )));
+        assert!(events.iter().all(|e| e.cause == Some(root)));
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_the_outbreak() {
+        let targets: Vec<Vec<u32>> = (0..40u32).map(|i| vec![(i + 1) % 40, (i + 7) % 40]).collect();
+        let mut plain = WormSim::new(targets.clone(), vec![true; 40], params(), 9);
+        plain.seed_infection(0);
+        plain.run_to_quiescence();
+        let mut traced = WormSim::new(targets, vec![true; 40], params(), 9)
+            .with_recorder(FlightRecorder::new(16));
+        traced.seed_infection(0);
+        traced.run_to_quiescence();
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.curve().points(), traced.curve().points());
     }
 
     #[test]

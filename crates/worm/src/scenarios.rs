@@ -30,6 +30,8 @@ use verme_core::{SectionLayout, VermeStaticRing};
 use verme_crypto::NodeType;
 use verme_sim::{Addr, SeedSource, SimDuration, SimTime, TimeSeries};
 
+use verme_sim::FlightRecorder;
+
 use crate::model::{WormParams, WormSim};
 
 /// Which propagation experiment to run.
@@ -184,24 +186,48 @@ impl ScenarioResult {
 /// Panics if the configuration is structurally invalid (zero nodes,
 /// non-power-of-two section count, ...).
 pub fn run_scenario(scenario: &Scenario, cfg: &ScenarioConfig) -> ScenarioResult {
+    run_scenario_recorded(scenario, cfg, None)
+}
+
+/// [`run_scenario`] with an optional flight recorder attached to the worm
+/// model: infection milestones land in the ring as cause-attributed
+/// events, one causal span per infection chain. Passing `None` is exactly
+/// `run_scenario` (the recorder never perturbs the outbreak).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_scenario`].
+pub fn run_scenario_recorded(
+    scenario: &Scenario,
+    cfg: &ScenarioConfig,
+    recorder: Option<&FlightRecorder>,
+) -> ScenarioResult {
     assert!(cfg.nodes > 1, "need a population");
     match scenario {
-        Scenario::ChordWorm => run_chord(cfg),
-        Scenario::VermeWorm => run_verme(cfg, SeedChoice::Vulnerable),
-        Scenario::SecureVerDiImpersonation => run_verme(cfg, SeedChoice::Impersonator),
+        Scenario::ChordWorm => run_chord(cfg, recorder),
+        Scenario::VermeWorm => run_verme(cfg, SeedChoice::Vulnerable, recorder),
+        Scenario::SecureVerDiImpersonation => run_verme(cfg, SeedChoice::Impersonator, recorder),
         Scenario::FastVerDiImpersonation { lookups_per_sec } => {
-            run_fast_impersonation(cfg, *lookups_per_sec)
+            run_fast_impersonation(cfg, *lookups_per_sec, recorder)
         }
         Scenario::CompromiseVerDi { node_lookup_rate_per_sec } => {
-            run_compromise(cfg, *node_lookup_rate_per_sec)
+            run_compromise(cfg, *node_lookup_rate_per_sec, recorder)
         }
-        Scenario::VermeUnshiftedFingersAblation => run_verme_ablated(cfg),
+        Scenario::VermeUnshiftedFingersAblation => run_verme_ablated(cfg, recorder),
         Scenario::ChordWithGuardians { guardian_fraction, alert_hop_delay_s } => {
-            run_chord_guardians(cfg, *guardian_fraction, *alert_hop_delay_s)
+            run_chord_guardians(cfg, *guardian_fraction, *alert_hop_delay_s, recorder)
         }
-        Scenario::SybilImpersonation { identities } => run_sybil(cfg, *identities),
-        Scenario::SwarmRandomTracker => run_swarm(cfg, false),
-        Scenario::SwarmTypeAwareTracker => run_swarm(cfg, true),
+        Scenario::SybilImpersonation { identities } => run_sybil(cfg, *identities, recorder),
+        Scenario::SwarmRandomTracker => run_swarm(cfg, false, recorder),
+        Scenario::SwarmTypeAwareTracker => run_swarm(cfg, true, recorder),
+    }
+}
+
+/// Attaches `rec` (if any) to a freshly built worm model.
+fn maybe_record(sim: WormSim, rec: Option<&FlightRecorder>) -> WormSim {
+    match rec {
+        Some(r) => sim.with_recorder(r.clone()),
+        None => sim,
     }
 }
 
@@ -298,7 +324,7 @@ fn result_from(sim: WormSim, vulnerable: usize, nodes: usize) -> ScenarioResult 
 /// Ablation: sectioned typed ids, but fingers resolved the plain Chord
 /// way (`successor(id + 2^i)`). Long fingers then land in *same-type*
 /// sections, and the worm crosses islands freely.
-fn run_verme_ablated(cfg: &ScenarioConfig) -> ScenarioResult {
+fn run_verme_ablated(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResult {
     let layout = SectionLayout::with_sections(cfg.sections, 2);
     let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
     let n = cfg.nodes;
@@ -326,7 +352,8 @@ fn run_verme_ablated(cfg: &ScenarioConfig) -> ScenarioResult {
     }
     let vulnerable: Vec<bool> = (0..n).map(|i| ring.type_of_index(i) == NodeType::A).collect();
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let seed_node = ring.random_index_of_type(NodeType::A, &mut rng) as u32;
     sim.seed_infection(seed_node);
@@ -334,7 +361,7 @@ fn run_verme_ablated(cfg: &ScenarioConfig) -> ScenarioResult {
     result_from(sim, vuln_count, cfg.nodes)
 }
 
-fn run_chord(cfg: &ScenarioConfig) -> ScenarioResult {
+fn run_chord(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResult {
     let (targets, vulnerable) = build_chord_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
     assert!(vuln_count > 0, "no vulnerable machines");
@@ -346,7 +373,8 @@ fn run_chord(cfg: &ScenarioConfig) -> ScenarioResult {
             break i as u32;
         }
     };
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
     result_from(sim, vuln_count, cfg.nodes)
@@ -356,7 +384,11 @@ fn run_chord(cfg: &ScenarioConfig) -> ScenarioResult {
 /// neighbor set; the worm follows those neighbor lists. Island size is
 /// derived from the configured section count so structured and
 /// unstructured runs are comparable.
-fn run_swarm(cfg: &ScenarioConfig, type_aware: bool) -> ScenarioResult {
+fn run_swarm(
+    cfg: &ScenarioConfig,
+    type_aware: bool,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     use verme_core::tracker::{assign_random, assign_type_aware, TrackerConfig};
     let n = cfg.nodes;
     let types: Vec<NodeType> =
@@ -381,14 +413,22 @@ fn run_swarm(cfg: &ScenarioConfig, type_aware: bool) -> ScenarioResult {
             break i as u32;
         }
     };
-    let mut sim = WormSim::new(assignment.neighbors, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim = maybe_record(
+        WormSim::new(assignment.neighbors, vulnerable, cfg.params.clone(), cfg.seed),
+        rec,
+    );
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
     result_from(sim, vuln_count, cfg.nodes)
 }
 
 /// Plain Chord plus randomly placed guardian nodes.
-fn run_chord_guardians(cfg: &ScenarioConfig, fraction: f64, hop_delay_s: f64) -> ScenarioResult {
+fn run_chord_guardians(
+    cfg: &ScenarioConfig,
+    fraction: f64,
+    hop_delay_s: f64,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     assert!((0.0..1.0).contains(&fraction), "guardian fraction must be in [0,1)");
     let (targets, vulnerable) = build_chord_view(cfg);
     let src = SeedSource::new(cfg.seed);
@@ -402,7 +442,8 @@ fn run_chord_guardians(cfg: &ScenarioConfig, fraction: f64, hop_delay_s: f64) ->
         }
     };
     let vuln_count = vulnerable.iter().zip(&guardians).filter(|&(&v, &g)| v && !g).count();
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     sim.set_guardians(guardians, SimDuration::from_secs_f64(hop_delay_s));
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
@@ -418,10 +459,15 @@ enum SeedChoice {
     Impersonator,
 }
 
-fn run_verme(cfg: &ScenarioConfig, seed_choice: SeedChoice) -> ScenarioResult {
+fn run_verme(
+    cfg: &ScenarioConfig,
+    seed_choice: SeedChoice,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let ty = match seed_choice {
         SeedChoice::Vulnerable => NodeType::A,
@@ -437,11 +483,16 @@ fn run_verme(cfg: &ScenarioConfig, seed_choice: SeedChoice) -> ScenarioResult {
 /// once. Each contributes its own routing state's worth of type-A
 /// victims (its fingers' sections), so containment scales with the
 /// number of certificates the attacker could obtain.
-fn run_sybil(cfg: &ScenarioConfig, identities: usize) -> ScenarioResult {
+fn run_sybil(
+    cfg: &ScenarioConfig,
+    identities: usize,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     assert!(identities > 0, "need at least one identity");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let mut seeded = 0;
     let mut guard = 0;
@@ -457,11 +508,16 @@ fn run_sybil(cfg: &ScenarioConfig, identities: usize) -> ScenarioResult {
     result_from(sim, vuln_count, cfg.nodes)
 }
 
-fn run_fast_impersonation(cfg: &ScenarioConfig, lookups_per_sec: f64) -> ScenarioResult {
+fn run_fast_impersonation(
+    cfg: &ScenarioConfig,
+    lookups_per_sec: f64,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     assert!(lookups_per_sec > 0.0, "harvest rate must be positive");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     let src = SeedSource::new(cfg.seed);
     let mut rng = src.stream("seed-node");
     let imp = ring.random_index_of_type(NodeType::B, &mut rng) as u32;
@@ -493,7 +549,11 @@ fn run_fast_impersonation(cfg: &ScenarioConfig, lookups_per_sec: f64) -> Scenari
     result_from(sim, vuln_count, cfg.nodes)
 }
 
-fn run_compromise(cfg: &ScenarioConfig, node_lookup_rate: f64) -> ScenarioResult {
+fn run_compromise(
+    cfg: &ScenarioConfig,
+    node_lookup_rate: f64,
+    rec: Option<&FlightRecorder>,
+) -> ScenarioResult {
     assert!(node_lookup_rate > 0.0, "lookup rate must be positive");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
@@ -530,7 +590,8 @@ fn run_compromise(cfg: &ScenarioConfig, node_lookup_rate: f64) -> ScenarioResult
     }
     let lambda: f64 = node_lookup_rate * clients.iter().map(|&(_, w)| w).sum::<f64>();
 
-    let mut sim = WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed);
+    let mut sim =
+        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
     sim.seed_infection(imp as u32);
 
     if clients.is_empty() || lambda <= 0.0 {

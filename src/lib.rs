@@ -5,6 +5,8 @@
 //! integration tests and downstream users can depend on a single crate.
 //!
 //! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`obs`] — observability: lookup-path records, invariant checkers,
+//!   trace/metrics exporters over the sim crate's causal tracing.
 //! * [`net`] — network models (synthetic King matrix, transit-stub).
 //! * [`crypto`] — simulated certificates and sealed replies.
 //! * [`chord`] — the Chord baseline overlay.
@@ -17,5 +19,6 @@ pub use verme_core as core;
 pub use verme_crypto as crypto;
 pub use verme_dht as dht;
 pub use verme_net as net;
+pub use verme_obs as obs;
 pub use verme_sim as sim;
 pub use verme_worm as worm;
