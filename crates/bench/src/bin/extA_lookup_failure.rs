@@ -8,10 +8,12 @@
 
 use crossbeam::channel;
 use verme_bench::fig5::{run_fig5, Fig5Params, Fig5System};
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 use verme_sim::SimDuration;
 
 fn main() {
+    let timer = BenchTimer::start("extA_lookup_failure");
     let args = CliArgs::parse();
     let reps = args.reps.unwrap_or(if args.full { 8 } else { 2 });
     let lifetimes = [
@@ -30,6 +32,7 @@ fn main() {
     println!("{:<10} {:>18} {:>18} {:>12}", "lifetime", "Chord recursive", "Verme", "difference");
 
     let (tx, rx) = channel::unbounded();
+    let mut events: u64 = 0;
     std::thread::scope(|s| {
         for (li, _) in lifetimes.iter().enumerate() {
             for sys in [Fig5System::ChordRecursive, Fig5System::Verme] {
@@ -60,6 +63,7 @@ fn main() {
             let si = if sys == Fig5System::ChordRecursive { 0 } else { 1 };
             fails[li][si] += r.failure_rate() * 100.0;
             counts[li][si] += 1;
+            events += r.issued;
         }
         for (li, (name, _)) in lifetimes.iter().enumerate() {
             let c = fails[li][0] / counts[li][0].max(1) as f64;
@@ -70,4 +74,5 @@ fn main() {
     println!(
         "# expectation (paper/thesis): Chord and Verme failure rates do not differ significantly"
     );
+    timer.finish(events);
 }

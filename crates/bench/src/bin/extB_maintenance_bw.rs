@@ -8,10 +8,12 @@
 
 use crossbeam::channel;
 use verme_bench::fig5::{run_fig5, Fig5Params, Fig5System};
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 use verme_sim::SimDuration;
 
 fn main() {
+    let timer = BenchTimer::start("extB_maintenance_bw");
     let args = CliArgs::parse();
     let reps = args.reps.unwrap_or(if args.full { 8 } else { 2 });
     let lifetimes = [
@@ -28,6 +30,7 @@ fn main() {
     println!("{:<10} {:>18} {:>18} {:>10}", "lifetime", "Chord recursive", "Verme", "ratio");
 
     let (tx, rx) = channel::unbounded();
+    let mut events: u64 = 0;
     std::thread::scope(|s| {
         for (li, _) in lifetimes.iter().enumerate() {
             for sys in [Fig5System::ChordRecursive, Fig5System::Verme] {
@@ -58,6 +61,7 @@ fn main() {
             let si = if sys == Fig5System::ChordRecursive { 0 } else { 1 };
             bw[li][si] += r.maint_bytes_per_node_s;
             counts[li][si] += 1;
+            events += r.issued;
         }
         for (li, (name, _)) in lifetimes.iter().enumerate() {
             let c = bw[li][0] / counts[li][0].max(1) as f64;
@@ -69,4 +73,5 @@ fn main() {
         "# expectation (paper/thesis): maintenance bandwidth comparable between Chord and Verme"
     );
     println!("# (Verme pays extra for predecessor-list upkeep; same order of magnitude)");
+    timer.finish(events);
 }

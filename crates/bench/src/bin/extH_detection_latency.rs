@@ -1,0 +1,92 @@
+//! **Extension H — detection latency of the live monitoring plane.**
+//!
+//! Attaches the `verme-obs` monitor to the guardian-defended Chord
+//! scenario and measures how long the outbreak runs before a detector
+//! fires, as a function of (a) guardian coverage and (b) the detector's
+//! own parameters. The structural point: Verme needs no detector to win
+//! this race, while the reactive defense pays the full latency shown
+//! here before its first alert even exists.
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin extH_detection_latency            # quick (4k nodes)
+//! cargo run -p verme-bench --release --bin extH_detection_latency -- --full  # paper (100k nodes)
+//! ```
+
+use verme_bench::exth::{sweep_coverage, sweep_threshold, sweep_window, ExtHParams};
+use verme_bench::report::BenchTimer;
+use verme_bench::CliArgs;
+
+fn fmt_latency(l: Option<f64>) -> String {
+    l.map(|v| format!("{v:.1}")).unwrap_or_else(|| "never".into())
+}
+
+fn main() {
+    let timer = BenchTimer::start("extH_detection_latency");
+    let args = CliArgs::parse();
+    let mut p = if args.full { ExtHParams::paper(args.seed) } else { ExtHParams::quick(args.seed) };
+    if let Some(r) = args.reps {
+        p.repetitions = r;
+    }
+    println!("# Extension H — detection latency vs guardian coverage and detector parameters");
+    println!(
+        "# {} nodes, {} sections, {} reps, sample every {} s | seed: {}",
+        p.config.nodes,
+        p.config.sections,
+        p.repetitions,
+        p.sample_interval.as_secs_f64(),
+        args.seed
+    );
+    let mut events = 0u64;
+
+    println!();
+    println!("## coverage sweep (detector: worm.alerts >= 1)");
+    println!(
+        "{:<12} {:>14} {:>12} {:>14} {:>14}",
+        "coverage", "latency (s)", "detected", "infected", "sections hit"
+    );
+    let coverage = sweep_coverage(&p);
+    for pt in &coverage {
+        println!(
+            "{:<12} {:>14} {:>12} {:>14.0} {:>14.1}",
+            format!("{:.1}%", pt.coverage * 100.0),
+            fmt_latency(pt.mean_latency_s),
+            format!("{}/{}", pt.detected_reps, pt.repetitions),
+            pt.mean_final_infected,
+            pt.mean_sections_hit
+        );
+        events += pt.scans;
+    }
+
+    let mid = p.coverages[p.coverages.len() / 2];
+    println!();
+    println!("## detector-threshold sweep (coverage {:.1}%, worm.infected >= min)", mid * 100.0);
+    println!("{:<16} {:>14} {:>12}", "threshold", "latency (s)", "detected");
+    for pt in sweep_threshold(&p, mid) {
+        println!(
+            "{:<16} {:>14} {:>12}",
+            pt.label,
+            fmt_latency(pt.mean_latency_s),
+            format!("{}/{}", pt.detected_reps, pt.repetitions)
+        );
+        events += pt.scans;
+    }
+
+    println!();
+    println!("## rate-window sweep (coverage {:.1}%, d(worm.infected)/dt >= 1/s)", mid * 100.0);
+    println!("{:<16} {:>14} {:>12}", "window", "latency (s)", "detected");
+    for pt in sweep_window(&p, mid) {
+        println!(
+            "{:<16} {:>14} {:>12}",
+            pt.label,
+            fmt_latency(pt.mean_latency_s),
+            format!("{}/{}", pt.detected_reps, pt.repetitions)
+        );
+        events += pt.scans;
+    }
+
+    println!();
+    println!("# observation: latency falls monotonically with coverage (more guardians see the");
+    println!("# worm's scans sooner) and rises with detector conservatism; Verme's containment");
+    println!("# needs no detector at all — its latency column is structurally zero.");
+    timer.finish(events);
+}

@@ -8,10 +8,12 @@
 
 use crossbeam::channel;
 use verme_bench::fig5::{run_fig5, Fig5Params, Fig5System};
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 use verme_sim::SimDuration;
 
 fn main() {
+    let timer = BenchTimer::start("fig5_lookup_latency");
     let args = CliArgs::parse();
     let reps = args.reps.unwrap_or(if args.full { 8 } else { 2 });
     let lifetimes = [
@@ -52,6 +54,7 @@ fn main() {
         job_q.0.send(*j).unwrap();
     }
     drop(job_q.0);
+    let mut events: u64 = 0;
     std::thread::scope(|s| {
         for _ in 0..workers {
             let rxj = job_q.1.clone();
@@ -83,6 +86,7 @@ fn main() {
             let si = Fig5System::ALL.iter().position(|&s| s == sys).unwrap();
             sums[li][si] += r.mean_latency_ms;
             counts[li][si] += 1;
+            events += r.issued;
         }
         for (li, (name, _)) in lifetimes.iter().enumerate() {
             let m: Vec<f64> =
@@ -100,4 +104,5 @@ fn main() {
     println!(
         "# expectation (paper): transitive ≈ 35% below Verme; recursive ≈ Verme; flat in lifetime"
     );
+    timer.finish(events);
 }

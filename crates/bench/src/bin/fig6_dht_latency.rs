@@ -8,9 +8,11 @@
 
 use crossbeam::channel;
 use verme_bench::fig67::{run_fig67, DhtSystem, Fig67Params};
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 
 fn main() {
+    let timer = BenchTimer::start("fig6_dht_latency");
     let args = CliArgs::parse();
     let reps = args.reps.unwrap_or(if args.full { 4 } else { 2 });
     println!("# Figure 6 — DHT operation latency (ms)");
@@ -22,6 +24,7 @@ fn main() {
     println!("{:<18} {:>12} {:>12}", "system", "get (ms)", "put (ms)");
 
     let (tx, rx) = channel::unbounded();
+    let mut events: u64 = 0;
     std::thread::scope(|s| {
         for sys in DhtSystem::ALL {
             for rep in 0..reps {
@@ -42,6 +45,7 @@ fn main() {
             sums[i].0 += r.get_latency_ms;
             sums[i].1 += r.put_latency_ms;
             sums[i].2 += 1;
+            events += r.completed + r.failed;
         }
         for (i, sys) in DhtSystem::ALL.iter().enumerate() {
             let n = sums[i].2.max(1) as f64;
@@ -50,4 +54,5 @@ fn main() {
     });
     println!("# expectation (paper): get — Fast ≈ DHash < Compromise (≤ ~31% over DHash) ≪ Secure");
     println!("# expectation (paper): put — DHash < Fast ≈ Compromise < Secure");
+    timer.finish(events);
 }

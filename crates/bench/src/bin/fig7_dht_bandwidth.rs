@@ -9,9 +9,11 @@
 
 use crossbeam::channel;
 use verme_bench::fig67::{run_fig67, DhtSystem, Fig67Params};
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 
 fn main() {
+    let timer = BenchTimer::start("fig7_dht_bandwidth");
     let args = CliArgs::parse();
     let reps = args.reps.unwrap_or(if args.full { 4 } else { 2 });
     println!("# Figure 7 — bandwidth per DHT operation (KiB)");
@@ -23,6 +25,7 @@ fn main() {
     println!("{:<18} {:>12} {:>12}", "system", "get (KiB)", "put (KiB)");
 
     let (tx, rx) = channel::unbounded();
+    let mut events: u64 = 0;
     std::thread::scope(|s| {
         for sys in DhtSystem::ALL {
             for rep in 0..reps {
@@ -43,6 +46,7 @@ fn main() {
             sums[i].0 += r.get_bytes_per_op;
             sums[i].1 += r.put_bytes_per_op;
             sums[i].2 += 1;
+            events += r.completed + r.failed;
         }
         for (i, sys) in DhtSystem::ALL.iter().enumerate() {
             let n = sums[i].2.max(1) as f64;
@@ -56,4 +60,5 @@ fn main() {
     });
     println!("# expectation (paper): get — DHash ≈ Fast < Compromise (≈2×) ≪ Secure");
     println!("# expectation (paper): put — like get, plus the extra cross-section copy for Fast/Compromise");
+    timer.finish(events);
 }

@@ -9,16 +9,27 @@
 //! With `--trace FILE` each scenario's first repetition runs with a
 //! flight recorder attached; the merged infection-milestone events are
 //! dumped to `FILE` as NDJSON (one causal span per infection chain).
+//!
+//! With `--monitor` each scenario's first repetition runs with the live
+//! monitor sampled every 5 simulated seconds; the run-health report
+//! (per-gauge sparklines, alert timeline, per-section detection latency)
+//! is printed after the figure.
 
 use crossbeam::channel;
-use verme_bench::fig8::{figure_scenarios, run_series, run_series_traced, Fig8Params, Fig8Series};
+use verme_bench::fig8::{
+    default_monitor_rules, figure_scenarios, run_series, run_series_monitored, run_series_traced,
+    Fig8Params, Fig8Series, MonitorReport,
+};
 use verme_bench::plot::render_log_x;
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
+use verme_sim::SimDuration;
 
 /// Events retained per scenario when `--trace` is active.
 const TRACE_CAPACITY: usize = 65_536;
 
 fn main() {
+    let timer = BenchTimer::start("fig8_worm_propagation");
     let args = CliArgs::parse();
     let mut params =
         if args.full { Fig8Params::paper(args.seed) } else { Fig8Params::quick(args.seed) };
@@ -33,29 +44,45 @@ fn main() {
 
     let scenarios = figure_scenarios();
     let tracing = args.trace.is_some();
+    let monitoring = args.monitor;
     let (tx, rx) = channel::unbounded();
+    let mut total_scans: u64 = 0;
     std::thread::scope(|s| {
         for (i, sc) in scenarios.iter().enumerate() {
             let tx = tx.clone();
             let params = params.clone();
             let sc = sc.clone();
             s.spawn(move || {
-                let (series, events) = if tracing {
-                    run_series_traced(&sc, &params, TRACE_CAPACITY)
+                // The Monitor itself is thread-local (Rc); only the
+                // plain-data MonitorReport crosses the channel.
+                let (series, events, report) = if monitoring {
+                    let (series, report) = run_series_monitored(
+                        &sc,
+                        &params,
+                        SimDuration::from_secs(5),
+                        &default_monitor_rules(),
+                    );
+                    (series, Vec::new(), Some(report))
+                } else if tracing {
+                    let (series, events) = run_series_traced(&sc, &params, TRACE_CAPACITY);
+                    (series, events, None)
                 } else {
-                    (run_series(&sc, &params), Vec::new())
+                    (run_series(&sc, &params), Vec::new(), None)
                 };
-                tx.send((i, series, events)).unwrap();
+                tx.send((i, series, events, report)).unwrap();
             });
         }
         drop(tx);
         let mut series: Vec<Option<Fig8Series>> = vec![None; scenarios.len()];
         let mut traces: Vec<Vec<verme_sim::TraceEvent>> = vec![Vec::new(); scenarios.len()];
-        for (i, r, ev) in rx.iter() {
+        let mut reports: Vec<Option<MonitorReport>> = (0..scenarios.len()).map(|_| None).collect();
+        for (i, r, ev, rep) in rx.iter() {
             series[i] = Some(r);
             traces[i] = ev;
+            reports[i] = rep;
         }
         let series: Vec<Fig8Series> = series.into_iter().map(|s| s.unwrap()).collect();
+        total_scans = series.iter().map(|s| s.scans).sum();
         if let Some(path) = &args.trace {
             // One dump, scenarios in legend order (each internally
             // time-ordered by the recorder).
@@ -110,7 +137,42 @@ fn main() {
                 ),
             }
         }
+
+        if monitoring {
+            for (s, report) in series.iter().zip(&reports) {
+                let Some(report) = report else { continue };
+                println!();
+                println!("## monitor — {} (first repetition)", s.label);
+                for line in report.health.lines() {
+                    println!("#   {line}");
+                }
+                println!("#   alert timeline ({} alerts):", report.alerts.len());
+                for a in report.alerts.iter().take(12) {
+                    println!(
+                        "#     t={:>8.1} s  {:<28} [{}] value={:.1}",
+                        a.at.as_secs_f64(),
+                        a.series,
+                        a.rule,
+                        a.value
+                    );
+                }
+                if report.alerts.len() > 12 {
+                    println!("#     ... {} more", report.alerts.len() - 12);
+                }
+                let detected = report.detection.iter().filter(|d| d.first_alert.is_some());
+                for d in detected.take(8) {
+                    let lat = d.latency().map_or(f64::NAN, |l| l.as_secs_f64());
+                    println!(
+                        "#     section {:>4}  first infection t={:>8.1} s  detection latency {:>6.1} s",
+                        d.section,
+                        d.first_infection.as_secs_f64(),
+                        lat
+                    );
+                }
+            }
+        }
     });
     println!("# expectation (paper, 100k nodes): Chord saturates in ~32 s; Verme confined to one section;");
     println!("# Secure+imp confined to O(log n) sections (~352 nodes); Fast t50 ≈ 160 s; Compromise t50 ≈ 1600 s");
+    timer.finish(total_scans);
 }

@@ -1,0 +1,308 @@
+//! End-to-end check of the live monitoring plane, run in CI.
+//!
+//! Complements `trace_schema_check` (which covers the *post-hoc* trace
+//! pipeline) with the *live* side — sampler, detectors, profiler:
+//!
+//! 1. the detector rules fire on a scripted outbreak (guardian-defended
+//!    Chord with the monitor attached) and the detection report pairs
+//!    every reached section with its first infection;
+//! 2. the same rules stay silent over a fault-free Chord ring sampled
+//!    through the runtime's sampler hook — no false positives;
+//! 3. a run with sampler + profiler attached leaves the protocol metrics,
+//!    network statistics and final clock *byte-identical* to an
+//!    unobserved run (observability never perturbs the simulation);
+//! 4. the event-loop profiler's exported metrics are fully covered by
+//!    registry descriptors and render through both exporters;
+//! 5. the observed run's wall-clock overhead stays under 15% (the
+//!    monitoring plane must be cheap enough to leave on).
+//!
+//! Exits non-zero on the first broken guarantee.
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin monitor_check
+//! ```
+
+use rand::Rng;
+
+use verme_bench::report::BenchTimer;
+use verme_bench::CliArgs;
+use verme_chord::{ChordConfig, ChordNode, Id, LookupMode, StaticRing};
+use verme_net::KingMatrix;
+use verme_obs::{parse_ndjson, Monitor, Registry, Rule};
+use verme_sim::{Addr, HostId, Runtime, SeedSource, SimDuration, SimTime};
+use verme_worm::{run_scenario_instrumented, Instrumentation, Scenario, ScenarioConfig};
+
+const NODES: usize = 96;
+const LOOKUPS: usize = 200;
+
+fn build_chord(seed: u64) -> Runtime<ChordNode, KingMatrix> {
+    let mut idrng = SeedSource::new(seed).stream("ids");
+    let king = KingMatrix::synthetic(NODES, verme_net::king::KING_MEAN_RTT_MS, seed);
+    let mut rt = Runtime::new(king, seed);
+    let cfg = ChordConfig {
+        lookup_mode: LookupMode::Recursive,
+        hop_timeout: SimDuration::from_secs(20),
+        lookup_deadline: SimDuration::from_secs(60),
+        ..ChordConfig::default()
+    };
+    let handles: Vec<_> = (0..NODES)
+        .map(|i| verme_chord::NodeHandle::new(Id::random(&mut idrng), Addr::from_raw(i as u64 + 1)))
+        .collect();
+    let ring = StaticRing::new(handles);
+    let mut by_addr: Vec<(u64, usize)> = (0..NODES).map(|i| (ring.node(i).addr.raw(), i)).collect();
+    by_addr.sort_unstable();
+    for (raw, pos) in by_addr {
+        rt.spawn(HostId(raw as usize - 1), ring.build_node(pos, cfg.clone()));
+    }
+    rt
+}
+
+/// Drives the standard lookup workload: maintenance warm-up, one random
+/// lookup per simulated second, then a drain.
+fn drive(rt: &mut Runtime<ChordNode, KingMatrix>, seed: u64) {
+    let mut rng = SeedSource::new(seed).stream("monitor-check");
+    // alive_addrs iterates a HashMap; sort so every run (observed or
+    // not) picks the same lookup sources.
+    let mut addrs: Vec<Addr> = rt.alive_addrs().collect();
+    addrs.sort_unstable_by_key(|a| a.raw());
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(90));
+    for i in 0..LOOKUPS {
+        rt.run_until(SimTime::ZERO + SimDuration::from_secs(90 + i as u64));
+        let addr = addrs[rng.gen_range(0..addrs.len())];
+        let key = Id::random(&mut rng);
+        rt.invoke(addr, |node, ctx| {
+            if node.is_joined() {
+                node.start_lookup(key, ctx);
+            }
+        });
+    }
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(90 + LOOKUPS as u64 + 120));
+}
+
+/// A deterministic fingerprint of everything the protocol layer produced:
+/// final clock, network statistics and the full metrics export.
+fn fingerprint(rt: &Runtime<ChordNode, KingMatrix>) -> String {
+    let mut registry = Registry::new();
+    registry.register_all(verme_chord::keys::descriptors());
+    format!("{:?}|{:?}|{}", rt.now(), rt.stats(), registry.export_ndjson(rt.metrics()))
+}
+
+/// Attaches a monitor to the runtime's sampler hook, watching the
+/// fault-free health gauges: dropped messages and degraded nodes must
+/// stay at zero, so the threshold rules below must never fire.
+fn attach_quiet_monitor(rt: &mut Runtime<ChordNode, KingMatrix>) -> Monitor {
+    let mon = Monitor::new(2048);
+    mon.add_rule("net.dropped", Rule::Threshold { min: 1.0 });
+    mon.add_rule("net.partition_dropped", Rule::Threshold { min: 1.0 });
+    mon.add_rule("health.degraded_nodes", Rule::Threshold { min: 1.0 });
+    let hook = mon.clone();
+    rt.set_sampler(
+        SimDuration::from_secs(5),
+        Box::new(move |view| {
+            let stats = view.stats();
+            hook.observe("net.dropped", view.now(), stats.messages_dropped as f64, None);
+            hook.observe("net.partition_dropped", view.now(), stats.partition_dropped as f64, None);
+            hook.observe("net.delivered", view.now(), stats.messages_delivered as f64, None);
+            hook.observe("sim.pending", view.now(), view.pending_events() as f64, None);
+            // Per-node health, folded commutatively (node order is
+            // unspecified): a converged static ring must never report a
+            // node below half its successor redundancy.
+            let mut degraded = 0u64;
+            let mut in_flight = 0u64;
+            for (_, node) in view.nodes() {
+                let h = node.health();
+                if h.is_degraded(5) {
+                    degraded += 1;
+                }
+                in_flight += h.pending_lookups as u64;
+            }
+            hook.observe("health.degraded_nodes", view.now(), degraded as f64, None);
+            hook.observe("health.inflight_lookups", view.now(), in_flight as f64, None);
+        }),
+    );
+    mon
+}
+
+/// Runs one named check, printing a verdict line and counting failures.
+fn check(failures: &mut u32, name: &str, result: Result<String, String>) {
+    match result {
+        Ok(detail) => println!("ok   {name}: {detail}"),
+        Err(why) => {
+            *failures += 1;
+            println!("FAIL {name}: {why}");
+        }
+    }
+}
+
+fn main() {
+    let timer = BenchTimer::start("monitor_check");
+    let args = CliArgs::parse();
+    let mut failures = 0u32;
+
+    // ------------------------------------------------------------------
+    // 1. Detectors fire on a scripted outbreak.
+    // ------------------------------------------------------------------
+    let outbreak_cfg = ScenarioConfig {
+        nodes: 2048,
+        sections: 64,
+        duration: SimDuration::from_secs(2_000),
+        seed: args.seed,
+        ..ScenarioConfig::default()
+    };
+    let mon = Monitor::new(4096);
+    mon.add_rule("worm.alerts", Rule::Threshold { min: 1.0 });
+    mon.add_rule(
+        "worm.infected",
+        Rule::RateOfChange { window: SimDuration::from_secs(10), min_rate_per_s: 1.0 },
+    );
+    let inst = Instrumentation {
+        monitor: Some((mon.clone(), SimDuration::from_secs(1))),
+        ..Instrumentation::default()
+    };
+    let outbreak = run_scenario_instrumented(
+        &Scenario::ChordWithGuardians { guardian_fraction: 0.05, alert_hop_delay_s: 1.0 },
+        &outbreak_cfg,
+        &inst,
+    );
+    check(&mut failures, "outbreak.fires", {
+        let alerts = mon.alerts();
+        if alerts.is_empty() {
+            Err("no detector fired on a chord outbreak".into())
+        } else if outbreak.detection.is_empty() {
+            Err("empty detection report despite an outbreak".into())
+        } else {
+            let covered = outbreak.detection.iter().filter(|d| d.first_alert.is_some()).count();
+            if covered == 0 {
+                Err("no section was ever covered by an alert".into())
+            } else {
+                Ok(format!(
+                    "{} alerts, {}/{} sections covered, first at {}",
+                    alerts.len(),
+                    covered,
+                    outbreak.detection.len(),
+                    alerts[0].at
+                ))
+            }
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 2. The same plane stays silent on a fault-free ring.
+    // ------------------------------------------------------------------
+    let mut quiet = build_chord(args.seed);
+    let quiet_mon = attach_quiet_monitor(&mut quiet);
+    drive(&mut quiet, args.seed);
+    quiet.clear_sampler();
+    check(&mut failures, "quiet.silent", {
+        let alerts = quiet_mon.alerts();
+        let samples = quiet_mon.series_points("net.delivered").len();
+        if samples == 0 {
+            Err("sampler never fired".into())
+        } else if !alerts.is_empty() {
+            Err(format!(
+                "false positive on a fault-free ring: {} in {}",
+                alerts[0].rule, alerts[0].series
+            ))
+        } else {
+            Ok(format!("{samples} samples, 0 alerts"))
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 3. Observability never perturbs the run: byte-identical metrics.
+    // ------------------------------------------------------------------
+    let mut plain = build_chord(args.seed);
+    drive(&mut plain, args.seed);
+    let plain_print = fingerprint(&plain);
+
+    let mut observed = build_chord(args.seed);
+    let _observed_mon = attach_quiet_monitor(&mut observed);
+    observed.enable_profiler();
+    drive(&mut observed, args.seed);
+    check(&mut failures, "monitor_off.identical", {
+        let observed_print = fingerprint(&observed);
+        if plain_print == observed_print {
+            Ok(format!("{} fingerprint bytes match", plain_print.len()))
+        } else {
+            let at = plain_print
+                .bytes()
+                .zip(observed_print.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(plain_print.len().min(observed_print.len()));
+            let lo = at.saturating_sub(40);
+            Err(format!(
+                "sampler/profiler changed the protocol outcome at byte {at}: \
+                 plain ..{:?} vs observed ..{:?}",
+                &plain_print[lo..(at + 40).min(plain_print.len())],
+                &observed_print[lo..(at + 40).min(observed_print.len())]
+            ))
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 4. The profiler's export is descriptor-covered and renders.
+    // ------------------------------------------------------------------
+    check(&mut failures, "profiler.registry", {
+        match observed.disable_profiler() {
+            None => Err("profiler was not enabled".into()),
+            Some(profile) => {
+                let mut sink = verme_sim::MetricsSink::default();
+                profile.export_into(&mut sink);
+                let mut registry = Registry::new();
+                registry.register_all(verme_sim::profile::keys::descriptors());
+                let missing = registry.unregistered(&sink);
+                if !missing.is_empty() {
+                    Err(format!("profiler metrics without descriptors: {missing:?}"))
+                } else {
+                    match parse_ndjson(&registry.export_ndjson(&sink)) {
+                        Err((n, e)) => Err(format!("profiler NDJSON line {n}: {e}")),
+                        Ok(lines) if lines.is_empty() => Err("profiler exported nothing".into()),
+                        Ok(lines) => Ok(format!(
+                            "{} metric lines, {} deliver events",
+                            lines.len(),
+                            profile.deliver_events
+                        )),
+                    }
+                }
+            }
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 5. Overhead guard: the observed run must stay within 15%.
+    // ------------------------------------------------------------------
+    check(&mut failures, "monitor.overhead", {
+        let time_one = |observe: bool| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut rt = build_chord(args.seed);
+                let mon = observe.then(|| attach_quiet_monitor(&mut rt));
+                if observe {
+                    rt.enable_profiler();
+                }
+                let started = std::time::Instant::now();
+                drive(&mut rt, args.seed);
+                best = best.min(started.elapsed().as_secs_f64());
+                drop(mon);
+            }
+            best
+        };
+        let off = time_one(false);
+        let on = time_one(true);
+        // 15% relative plus a small absolute floor so scheduler noise on
+        // a sub-100ms baseline cannot flake the check.
+        let limit = off * 1.15 + 0.05;
+        if on <= limit {
+            Ok(format!("off {off:.3} s, on {on:.3} s (limit {limit:.3} s)"))
+        } else {
+            Err(format!("observed run too slow: off {off:.3} s, on {on:.3} s > {limit:.3} s"))
+        }
+    });
+
+    timer.finish(outbreak.scans + plain.stats().messages_delivered);
+    if failures > 0 {
+        eprintln!("{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

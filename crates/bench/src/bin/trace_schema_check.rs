@@ -24,6 +24,7 @@
 
 use rand::Rng;
 
+use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
 use verme_chord::{ChordConfig, ChordNode, Id, LookupMode, StaticRing};
 use verme_core::node::verme_keys;
@@ -154,6 +155,7 @@ fn schema_roundtrip(events: &[TraceEvent]) -> Result<String, String> {
 }
 
 fn main() {
+    let timer = BenchTimer::start("trace_schema_check");
     let args = CliArgs::parse();
     let mut failures = 0u32;
 
@@ -256,8 +258,8 @@ fn main() {
         }
     });
     check(&mut failures, "registry.export", {
-        let ndjson = registry.export_ndjson(chord.metrics_mut());
-        let csv = registry.export_csv(verme.metrics_mut());
+        let ndjson = registry.export_ndjson(chord.metrics());
+        let csv = registry.export_csv(verme.metrics());
         match parse_ndjson(&ndjson) {
             Err((n, e)) => Err(format!("metrics NDJSON line {n}: {e}")),
             Ok(lines) => {
@@ -276,4 +278,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("all checks passed");
+    timer.finish(trace_dump.len() as u64);
 }

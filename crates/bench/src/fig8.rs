@@ -4,8 +4,12 @@
 //! (the paper uses 10), and resamples the infection curves onto a
 //! logarithmic time grid matching the figure's log-scaled x-axis.
 
+use verme_obs::{Alert, Monitor, Rule};
 use verme_sim::{FlightRecorder, SimDuration, SimTime, TraceEvent};
-use verme_worm::{run_scenario_recorded, Scenario, ScenarioConfig, ScenarioResult};
+use verme_worm::{
+    run_scenario_instrumented, Instrumentation, Scenario, ScenarioConfig, ScenarioResult,
+    SectionDetection,
+};
 
 /// Parameters for a Figure 8 sweep.
 #[derive(Clone, Debug)]
@@ -56,6 +60,8 @@ pub struct Fig8Series {
     pub t50_reached: u64,
     /// Total repetitions.
     pub repetitions: u64,
+    /// Total worm scans across all repetitions (the series' event count).
+    pub scans: u64,
 }
 
 /// The five scenarios of the figure, in its legend order.
@@ -100,7 +106,7 @@ pub fn infected_at(result: &ScenarioResult, t_s: f64) -> f64 {
 
 /// Runs one scenario `repetitions` times and averages onto the grid.
 pub fn run_series(scenario: &Scenario, params: &Fig8Params) -> Fig8Series {
-    run_series_inner(scenario, params, None)
+    run_series_inner(scenario, params, None).0
 }
 
 /// [`run_series`] with the *first* repetition traced through a bounded
@@ -115,39 +121,95 @@ pub fn run_series_traced(
     capacity: usize,
 ) -> (Fig8Series, Vec<TraceEvent>) {
     let rec = FlightRecorder::new(capacity);
-    let series = run_series_inner(scenario, params, Some(&rec));
+    let inst = Instrumentation { recorder: Some(rec.clone()), ..Instrumentation::default() };
+    let (series, _) = run_series_inner(scenario, params, Some(&inst));
     (series, rec.snapshot())
+}
+
+/// A `Send`-able snapshot of the live monitor after a run. [`Monitor`]
+/// itself is a single-threaded handle (`Rc` inside), so the fig8 worker
+/// threads extract this plain-data report before sending results back.
+#[derive(Clone, Debug)]
+pub struct MonitorReport {
+    /// The rendered run-health report (sparklines + alert timeline).
+    pub health: String,
+    /// Every alert the detectors raised, in firing order.
+    pub alerts: Vec<Alert>,
+    /// Per-section detection timing of the monitored repetition.
+    pub detection: Vec<SectionDetection>,
+}
+
+/// The detector rules `--monitor` installs: an outbreak-wide growth
+/// detector plus per-section presence alerts.
+pub fn default_monitor_rules() -> Vec<(&'static str, Rule)> {
+    vec![
+        (
+            "worm.infected",
+            Rule::RateOfChange { window: SimDuration::from_secs(10), min_rate_per_s: 1.0 },
+        ),
+        ("worm.infected", Rule::Ewma { alpha: 0.3, k: 4.0, warmup: 8 }),
+        ("worm.section.", Rule::Threshold { min: 1.0 }),
+    ]
+}
+
+/// [`run_series`] with the *first* repetition monitored: outbreak gauges
+/// are sampled every `interval` of simulated time, `rules` run per
+/// sample, and the monitor's health report, alert stream and per-section
+/// detection timing come back alongside the averaged series.
+pub fn run_series_monitored(
+    scenario: &Scenario,
+    params: &Fig8Params,
+    interval: SimDuration,
+    rules: &[(&str, Rule)],
+) -> (Fig8Series, MonitorReport) {
+    let mon = Monitor::new(8192);
+    for (prefix, rule) in rules {
+        mon.add_rule(prefix, rule.clone());
+    }
+    let inst =
+        Instrumentation { monitor: Some((mon.clone(), interval)), ..Instrumentation::default() };
+    let (series, detection) = run_series_inner(scenario, params, Some(&inst));
+    let report = MonitorReport { health: mon.render_health(), alerts: mon.alerts(), detection };
+    (series, report)
 }
 
 fn run_series_inner(
     scenario: &Scenario,
     params: &Fig8Params,
-    rec: Option<&FlightRecorder>,
-) -> Fig8Series {
+    inst0: Option<&Instrumentation>,
+) -> (Fig8Series, Vec<SectionDetection>) {
     let grid = log_grid(params.config.duration.as_secs_f64());
     let mut sums = vec![0.0; grid.len()];
     let mut final_sum = 0.0;
     let mut t50_sum = 0.0;
     let mut t50_count = 0u64;
     let mut vulnerable = 0;
+    let mut scans = 0u64;
+    let mut detection = Vec::new();
+    let plain = Instrumentation::default();
     for rep in 0..params.repetitions {
         let cfg = ScenarioConfig {
             seed: params.config.seed.wrapping_add(rep * 7919),
             ..params.config.clone()
         };
-        let r = run_scenario_recorded(scenario, &cfg, if rep == 0 { rec } else { None });
+        let inst = if rep == 0 { inst0.unwrap_or(&plain) } else { &plain };
+        let r = run_scenario_instrumented(scenario, &cfg, inst);
         for (i, &t) in grid.iter().enumerate() {
             sums[i] += infected_at(&r, t);
         }
         final_sum += r.infected as f64;
         vulnerable = r.vulnerable;
+        scans += r.scans;
         if let Some(t) = r.time_to_vulnerable_fraction(0.5) {
             t50_sum += t.as_secs_f64();
             t50_count += 1;
         }
+        if rep == 0 {
+            detection = r.detection;
+        }
     }
     let reps = params.repetitions as f64;
-    Fig8Series {
+    let series = Fig8Series {
         label: scenario.label(),
         points: grid.iter().zip(&sums).map(|(&t, &s)| (t, s / reps)).collect(),
         final_infected: final_sum / reps,
@@ -155,7 +217,9 @@ fn run_series_inner(
         t50_s: (t50_count > 0).then(|| t50_sum / t50_count as f64),
         t50_reached: t50_count,
         repetitions: params.repetitions,
-    }
+        scans,
+    };
+    (series, detection)
 }
 
 #[cfg(test)]
@@ -184,9 +248,38 @@ mod tests {
         assert_eq!(s.label, "Chord");
         assert!(s.final_infected > 0.9 * s.vulnerable as f64);
         assert!(s.t50_s.is_some());
+        assert!(s.scans > 0);
         // Points are non-decreasing in time.
         for w in s.points.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn monitored_series_matches_plain_series_and_reports_health() {
+        let params = Fig8Params {
+            config: ScenarioConfig {
+                nodes: 1000,
+                sections: 32,
+                duration: SimDuration::from_secs(200),
+                seed: 3,
+                ..ScenarioConfig::default()
+            },
+            repetitions: 2,
+        };
+        let plain = run_series(&Scenario::ChordWorm, &params);
+        let (monitored, report) = run_series_monitored(
+            &Scenario::ChordWorm,
+            &params,
+            SimDuration::from_secs(2),
+            &default_monitor_rules(),
+        );
+        // The monitor never perturbs the outbreak.
+        assert_eq!(plain.points, monitored.points);
+        assert_eq!(plain.scans, monitored.scans);
+        // And it saw the chord outbreak.
+        assert!(!report.alerts.is_empty(), "growth detectors must fire on a chord worm");
+        assert!(!report.detection.is_empty());
+        assert!(report.health.contains("worm.infected"));
     }
 }

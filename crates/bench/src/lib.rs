@@ -9,6 +9,11 @@
 //!   bandwidth, uneven type split) the paper reports in summary form.
 //! * [`extg`] — churn × kill-burst resilience sweep with and without
 //!   end-to-end retries (extension G).
+//! * [`exth`] — detection-latency sweeps for the live monitoring plane
+//!   (extension H): guardian coverage and detector parameters vs the
+//!   outbreak's speed.
+//! * [`report`] — `BENCH_<name>.json` wall-clock/event-rate summaries
+//!   every binary writes for CI regression tracking.
 //!
 //! The `src/bin/` binaries print each figure's table at paper scale
 //! (`--full`) or a laptop-quick scale (default); the `benches/` criterion
@@ -16,10 +21,12 @@
 
 pub mod ext;
 pub mod extg;
+pub mod exth;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod plot;
+pub mod report;
 
 /// Parses the common `--full` / `--seed N` / `--reps N` binary arguments.
 #[derive(Clone, Debug)]
@@ -34,6 +41,8 @@ pub struct CliArgs {
     pub hours: Option<u64>,
     /// Where to dump a flight-recorder NDJSON trace, if requested.
     pub trace: Option<String>,
+    /// Attach the live monitor and print its run-health report.
+    pub monitor: bool,
 }
 
 impl CliArgs {
@@ -43,11 +52,13 @@ impl CliArgs {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> CliArgs {
-        let mut out = CliArgs { full: false, seed: 42, reps: None, hours: None, trace: None };
+        let mut out =
+            CliArgs { full: false, seed: 42, reps: None, hours: None, trace: None, monitor: false };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => out.full = true,
+                "--monitor" => out.monitor = true,
                 "--seed" => {
                     out.seed = args
                         .next()
@@ -73,7 +84,7 @@ impl CliArgs {
                 }
                 other => panic!(
                     "unknown argument {other}; usage: \
-                     [--full] [--seed N] [--reps N] [--hours H] [--trace FILE]"
+                     [--full] [--seed N] [--reps N] [--hours H] [--trace FILE] [--monitor]"
                 ),
             }
         }

@@ -1,0 +1,95 @@
+//! Machine-readable run summaries for the experiment binaries.
+//!
+//! Every `fig*` / `ext*` binary wraps its work in a [`BenchTimer`]; on
+//! [`finish`](BenchTimer::finish) a `BENCH_<name>.json` file is written
+//! next to the process (or under `$BENCH_DIR`) recording wall-clock time,
+//! the number of simulation events processed and the resulting event
+//! rate. CI diffs these files across commits to catch order-of-magnitude
+//! performance regressions that the figures themselves would hide.
+//!
+//! Wall-clock time is *host* time, not simulated time — it lives only in
+//! these side-channel files and never enters the deterministic metrics
+//! space (see `verme_sim::profile` for the same rule inside the runtime).
+
+use std::time::Instant;
+
+use verme_obs::Json;
+
+/// Measures one binary's end-to-end run and writes its summary file.
+pub struct BenchTimer {
+    name: String,
+    started: Instant,
+}
+
+impl BenchTimer {
+    /// Starts the wall clock. `name` becomes the `BENCH_<name>.json`
+    /// file stem; use the binary's own name.
+    pub fn start(name: &str) -> BenchTimer {
+        BenchTimer { name: name.to_string(), started: Instant::now() }
+    }
+
+    /// Stops the clock and writes `BENCH_<name>.json`. `events_processed`
+    /// is whatever event notion the experiment counts (worm scans,
+    /// lookups, protocol messages); pass the sum over all repetitions.
+    ///
+    /// Failures to write are reported on stderr but never fail the run —
+    /// the figures are the primary output.
+    ///
+    /// The summary line goes to *stderr*: stdout must stay byte-identical
+    /// across same-seed runs (the workspace determinism invariant), and
+    /// wall-clock time is not deterministic.
+    pub fn finish(self, events_processed: u64) {
+        let wall = self.started.elapsed();
+        let wall_s = wall.as_secs_f64();
+        let rate = if wall_s > 0.0 { events_processed as f64 / wall_s } else { 0.0 };
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("wall_time_s".into(), Json::Float(wall_s)),
+            ("events_processed".into(), Json::UInt(events_processed as u128)),
+            ("events_per_sec".into(), Json::Float(rate)),
+        ]);
+        let path = bench_json_path(&self.name);
+        match std::fs::write(&path, doc.to_json() + "\n") {
+            Ok(()) => eprintln!(
+                "# bench: {:.2} s wall, {events_processed} events ({rate:.0}/s) -> {path}",
+                wall_s
+            ),
+            Err(e) => eprintln!("# bench: could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Where `BENCH_<name>.json` lands: `$BENCH_DIR` if set, else the
+/// current directory.
+pub fn bench_json_path(name: &str) -> String {
+    let file = format!("BENCH_{name}.json");
+    match std::env::var("BENCH_DIR") {
+        Ok(dir) if !dir.is_empty() => format!("{}/{file}", dir.trim_end_matches('/')),
+        _ => file,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test for both behaviors: BENCH_DIR is process-global state, so
+    // splitting these would race under the parallel test runner.
+    #[test]
+    fn bench_file_is_valid_json_with_expected_fields() {
+        let dir = std::env::temp_dir().join(format!("verme-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_DIR", &dir);
+        let t = BenchTimer::start("unit_test");
+        t.finish(12345);
+        std::env::remove_var("BENCH_DIR");
+        let raw = std::fs::read_to_string(dir.join("BENCH_unit_test.json")).unwrap();
+        let doc = verme_obs::parse(&raw).unwrap();
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("unit_test"));
+        assert_eq!(doc.get("events_processed").and_then(Json::as_u64), Some(12345));
+        assert!(doc.get("wall_time_s").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(doc.get("events_per_sec").and_then(Json::as_f64).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(bench_json_path("x"), "BENCH_x.json");
+    }
+}

@@ -25,7 +25,7 @@ pub mod ring;
 pub mod static_ring;
 
 pub use id::Id;
-pub use node::{keys, ChordNode};
+pub use node::{keys, ChordNode, NodeHealth};
 pub use proto::{ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult};
 pub use ring::{closest_preceding_hop, FingerTable, NeighborList, NodeHandle};
 pub use static_ring::StaticRing;

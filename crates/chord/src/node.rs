@@ -138,6 +138,41 @@ struct ForwardState {
     kind_bytes: &'static str,
 }
 
+/// A point-in-time snapshot of one node's routing-state health.
+///
+/// Designed for the runtime's sampler hook
+/// ([`SampleView::nodes`](verme_sim::SampleView::nodes)): a handful of
+/// counter reads per node, strictly read-only. Samplers fold the
+/// per-node snapshots into run-level gauges (minimum successor
+/// redundancy, total in-flight lookups, ...) and feed them to a
+/// `verme-obs` monitor. Both [`ChordNode`] and `verme-core`'s
+/// `VermeNode` report through this one shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Completed its join.
+    pub joined: bool,
+    /// Live successor-list entries.
+    pub successors: usize,
+    /// Live predecessor links (0 or 1 on Chord, up to the configured
+    /// list length on Verme).
+    pub predecessors: usize,
+    /// Distinct peers in the finger table.
+    pub distinct_fingers: usize,
+    /// Lookups this node originated that are still in flight.
+    pub pending_lookups: usize,
+    /// Lookups this node is currently relaying for other nodes.
+    pub forwarding: usize,
+}
+
+impl NodeHealth {
+    /// True when the node is joined but its successor redundancy has
+    /// dropped below `want` — the precursor to ring partition under
+    /// churn.
+    pub fn is_degraded(&self, want_successors: usize) -> bool {
+        self.joined && self.successors < want_successors
+    }
+}
+
 /// A Chord overlay node, to be driven by a
 /// [`Runtime`](verme_sim::Runtime).
 ///
@@ -260,6 +295,18 @@ impl ChordNode {
     /// The node's finger table.
     pub fn finger_table(&self) -> &FingerTable {
         &self.fingers
+    }
+
+    /// Samples this node's [`NodeHealth`] gauges.
+    pub fn health(&self) -> NodeHealth {
+        NodeHealth {
+            joined: self.joined,
+            successors: self.successors.len(),
+            predecessors: usize::from(self.predecessor.is_some()),
+            distinct_fingers: self.fingers.distinct().len(),
+            pending_lookups: self.pending.len(),
+            forwarding: self.forwards.len(),
+        }
     }
 
     /// Every distinct peer this node's routing state names — exactly the
@@ -1136,6 +1183,21 @@ mod tests {
             &[h(200, 2), h(300, 3), h(400, 4)],
             &[(120, h(300, 3)), (125, h(900, 9))],
         )
+    }
+
+    #[test]
+    fn health_reflects_routing_state() {
+        let n = converged_node();
+        let h = n.health();
+        assert!(h.joined);
+        assert_eq!(h.successors, 3);
+        assert_eq!(h.predecessors, 1);
+        assert_eq!(h.distinct_fingers, 2); // h(300,3) and h(900,9)
+        assert_eq!(h.pending_lookups, 0);
+        assert_eq!(h.forwarding, 0);
+        assert!(!h.is_degraded(3));
+        assert!(h.is_degraded(4));
+        assert!(!NodeHealth::default().is_degraded(1), "an unjoined node is not degraded");
     }
 
     #[test]

@@ -310,6 +310,20 @@ impl<P: Payload> VermeNode<P> {
         verme_crypto::SignedStatement::sign(&self.crypto_keys, statement)
     }
 
+    /// Samples this node's [`NodeHealth`](verme_chord::NodeHealth)
+    /// gauges — the same shape [`ChordNode`](verme_chord::ChordNode)
+    /// reports, so samplers treat both overlays uniformly.
+    pub fn health(&self) -> verme_chord::NodeHealth {
+        verme_chord::NodeHealth {
+            joined: self.joined,
+            successors: self.successors.len(),
+            predecessors: self.predecessors.len(),
+            distinct_fingers: self.fingers.distinct().len(),
+            pending_lookups: self.pending.len(),
+            forwarding: self.forwards.len(),
+        }
+    }
+
     /// Every distinct peer in this node's routing state — what a worm on
     /// this node could harvest.
     pub fn known_peers(&self) -> Vec<NodeHandle> {

@@ -1,0 +1,244 @@
+//! Detector rules over sampled series, and the typed [`Alert`] stream.
+//!
+//! A detector watches one gauge (a [`RingSeries`] fed by the sampler) and
+//! decides, at each sample point, whether the gauge is in breach. Three
+//! rule families cover the containment experiments:
+//!
+//! * [`Rule::Threshold`] — the gauge reached an absolute level ("any
+//!   guardian has alerted", "a section holds ≥ k infections").
+//! * [`Rule::RateOfChange`] — the gauge is *rising* faster than a bound
+//!   over a sliding window ("infections per second exceed r") — the
+//!   classic worm early-warning signal of Zhou et al.
+//! * [`Rule::Ewma`] — the sample deviates from an exponentially weighted
+//!   running mean by more than `k` standard deviations, for gauges whose
+//!   normal level is not known a priori.
+//!
+//! Detectors are *edge-triggered*: a rule fires when it first enters
+//! breach, then stays silent until the gauge leaves breach and re-arms.
+//! Without this latch a slow outbreak would emit one alert per sample and
+//! drown the stream. Each firing produces an [`Alert`] carrying the causal
+//! span of the observation that tripped it (when the producer attributed
+//! one), which is what lets a detection be traced back to the infection
+//! chain that caused it.
+
+use verme_sim::{CauseId, SimDuration, SimTime};
+
+use crate::window::RingSeries;
+
+/// A detector rule: the condition under which a gauge is "in breach".
+#[derive(Clone, Debug)]
+pub enum Rule {
+    /// Breach while the sampled value is at or above `min`.
+    Threshold {
+        /// Absolute level that constitutes a breach.
+        min: f64,
+    },
+    /// Breach while the gauge rises at `min_rate_per_s` or more, measured
+    /// over the trailing `window` of retained samples.
+    RateOfChange {
+        /// Sliding window the rate is measured over.
+        window: SimDuration,
+        /// Rise (units per simulated second) that constitutes a breach.
+        min_rate_per_s: f64,
+    },
+    /// Breach when a sample exceeds the exponentially weighted moving
+    /// average by more than `k` standard deviations. The first `warmup`
+    /// samples only train the baseline and never fire.
+    Ewma {
+        /// Smoothing factor in `(0, 1]`; higher tracks faster.
+        alpha: f64,
+        /// Breach threshold in standard deviations above the mean.
+        k: f64,
+        /// Samples consumed before the detector may fire.
+        warmup: u32,
+    },
+}
+
+impl Rule {
+    /// Short stable name for reports and alert streams.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::Threshold { .. } => "threshold",
+            Rule::RateOfChange { .. } => "rate_of_change",
+            Rule::Ewma { .. } => "ewma",
+        }
+    }
+
+    /// Validates the rule's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite thresholds, a zero rate window, or an EWMA
+    /// `alpha` outside `(0, 1]`.
+    pub fn validate(&self) {
+        match self {
+            Rule::Threshold { min } => assert!(min.is_finite(), "threshold must be finite"),
+            Rule::RateOfChange { window, min_rate_per_s } => {
+                assert!(!window.is_zero(), "rate window must be positive");
+                assert!(min_rate_per_s.is_finite(), "rate bound must be finite");
+            }
+            Rule::Ewma { alpha, k, .. } => {
+                assert!(*alpha > 0.0 && *alpha <= 1.0, "ewma alpha must be in (0,1]");
+                assert!(k.is_finite() && *k >= 0.0, "ewma k must be finite and non-negative");
+            }
+        }
+    }
+}
+
+/// One firing of a detector: the gauge, the rule, the sample that tripped
+/// it, and the causal span of that sample's producer (when known).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alert {
+    /// Simulated time of the triggering sample.
+    pub at: SimTime,
+    /// The gauge (monitor key) the detector watches.
+    pub series: String,
+    /// The rule family that fired ([`Rule::name`]).
+    pub rule: &'static str,
+    /// The sampled value at the firing.
+    pub value: f64,
+    /// Causal span of the observation that tripped the rule, if the
+    /// producer attributed one (e.g. the infection chain whose victim
+    /// pushed a section count over threshold).
+    pub cause: Option<CauseId>,
+}
+
+/// The run-state of one rule attached to one gauge: the EWMA baseline and
+/// the edge-trigger latch.
+#[derive(Clone, Debug)]
+pub struct DetectorState {
+    rule: Rule,
+    armed: bool,
+    ewma: f64,
+    var: f64,
+    seen: u32,
+}
+
+impl DetectorState {
+    /// Creates the state for `rule`, validating its parameters.
+    pub fn new(rule: Rule) -> Self {
+        rule.validate();
+        DetectorState { rule, armed: true, ewma: 0.0, var: 0.0, seen: 0 }
+    }
+
+    /// The rule this state runs.
+    pub fn rule(&self) -> &Rule {
+        &self.rule
+    }
+
+    /// Feeds one sample; returns `true` exactly when the rule fires (a
+    /// rising edge into breach). `series` is the gauge's ring, already
+    /// containing this sample.
+    pub fn observe(&mut self, series: &RingSeries, value: f64) -> bool {
+        let breach = match &self.rule {
+            Rule::Threshold { min } => value >= *min,
+            Rule::RateOfChange { window, min_rate_per_s } => {
+                series.rate_over(*window).is_some_and(|r| r >= *min_rate_per_s)
+            }
+            Rule::Ewma { alpha, k, warmup } => {
+                let trained = self.seen >= *warmup;
+                let breach = trained && value > self.ewma + k * self.var.sqrt();
+                // Update the baseline with every sample, breached or not:
+                // during a real outbreak the mean chases the signal, but
+                // the rising edge has already fired by then.
+                let delta = value - self.ewma;
+                self.ewma += alpha * delta;
+                self.var = (1.0 - alpha) * (self.var + alpha * delta * delta);
+                self.seen = self.seen.saturating_add(1);
+                breach
+            }
+        };
+        let fired = breach && self.armed;
+        self.armed = !breach;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn feed(det: &mut DetectorState, ring: &mut RingSeries, s: u64, v: f64) -> bool {
+        ring.push(t(s), v);
+        det.observe(ring, v)
+    }
+
+    #[test]
+    fn threshold_fires_once_and_rearms() {
+        let mut ring = RingSeries::new(16);
+        let mut det = DetectorState::new(Rule::Threshold { min: 10.0 });
+        assert!(!feed(&mut det, &mut ring, 0, 3.0));
+        assert!(feed(&mut det, &mut ring, 1, 12.0), "rising edge fires");
+        assert!(!feed(&mut det, &mut ring, 2, 15.0), "latched while in breach");
+        assert!(!feed(&mut det, &mut ring, 3, 4.0), "leaving breach re-arms silently");
+        assert!(feed(&mut det, &mut ring, 4, 11.0), "second crossing fires again");
+    }
+
+    #[test]
+    fn rate_of_change_needs_the_window() {
+        let mut ring = RingSeries::new(64);
+        let mut det = DetectorState::new(Rule::RateOfChange {
+            window: SimDuration::from_secs(4),
+            min_rate_per_s: 5.0,
+        });
+        // Slow growth: 1/s, never fires.
+        for s in 0..10 {
+            assert!(!feed(&mut det, &mut ring, s, s as f64));
+        }
+        // Outbreak: 10/s, fires on the first sample where the windowed
+        // rate crosses 5/s.
+        let mut fired_at = None;
+        for s in 10..20 {
+            let v = 10.0 + 10.0 * (s - 10) as f64;
+            if feed(&mut det, &mut ring, s, v) && fired_at.is_none() {
+                fired_at = Some(s);
+            }
+        }
+        // At s=12 the window [8,12] spans 8→30, i.e. 5.5/s ≥ 5/s; one
+        // sample earlier the window still averages in too much slow phase.
+        assert_eq!(fired_at, Some(12));
+    }
+
+    #[test]
+    fn ewma_fires_on_anomaly_after_warmup() {
+        let mut ring = RingSeries::new(64);
+        let mut det = DetectorState::new(Rule::Ewma { alpha: 0.3, k: 3.0, warmup: 5 });
+        // A noisy-but-stable baseline.
+        let baseline = [10.0, 11.0, 9.0, 10.0, 10.5, 9.5, 10.0, 10.2];
+        for (i, v) in baseline.iter().enumerate() {
+            assert!(!feed(&mut det, &mut ring, i as u64, *v), "no fire on baseline sample {i}");
+        }
+        // A 10x spike is an anomaly.
+        assert!(feed(&mut det, &mut ring, 20, 100.0));
+    }
+
+    #[test]
+    fn ewma_warmup_suppresses_early_fires() {
+        let mut ring = RingSeries::new(16);
+        let mut det = DetectorState::new(Rule::Ewma { alpha: 0.5, k: 1.0, warmup: 3 });
+        // Wild swings inside warmup never fire.
+        assert!(!feed(&mut det, &mut ring, 0, 0.0));
+        assert!(!feed(&mut det, &mut ring, 1, 1000.0));
+        assert!(!feed(&mut det, &mut ring, 2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_validates_alpha() {
+        let _ = DetectorState::new(Rule::Ewma { alpha: 1.5, k: 2.0, warmup: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "rate window must be positive")]
+    fn rate_validates_window() {
+        let _ = DetectorState::new(Rule::RateOfChange {
+            window: SimDuration::ZERO,
+            min_rate_per_s: 1.0,
+        });
+    }
+}

@@ -319,9 +319,11 @@ impl Registry {
 
     /// Exports every registered metric present in `sink` as NDJSON.
     ///
-    /// Counters carry `"value"`; histograms carry their summary. Takes
-    /// `&mut` because histogram quantiles sort lazily.
-    pub fn export_ndjson(&self, sink: &mut MetricsSink) -> String {
+    /// Counters carry `"value"`; histograms carry their summary. Export is
+    /// read-only ([`Histogram::snapshot_summary`](verme_sim::Histogram)
+    /// sorts a scratch copy), so a mid-run snapshot — e.g. from a sampler
+    /// hook holding only `&MetricsSink` — needs no exclusive access.
+    pub fn export_ndjson(&self, sink: &MetricsSink) -> String {
         let mut out = String::new();
         for desc in &self.entries {
             let mut members: Vec<(String, Json)> = vec![
@@ -336,13 +338,13 @@ impl Registry {
                 }
                 MetricKind::Histogram => {
                     members.push(("kind".into(), "histogram".into()));
-                    let Some(h) = sink.histogram_mut(desc.name) else {
+                    let Some(h) = sink.histogram(desc.name) else {
                         members.push(("count".into(), 0u64.into()));
                         out.push_str(&Json::Obj(members).to_json());
                         out.push('\n');
                         continue;
                     };
-                    let s = h.summary();
+                    let s = h.snapshot_summary();
                     members.push(("count".into(), s.count.into()));
                     for (k, v) in [
                         ("mean", s.mean),
@@ -367,7 +369,8 @@ impl Registry {
     ///
     /// For counters, `count` repeats the value and the quantile columns
     /// are empty; for absent histograms all numeric columns are empty.
-    pub fn export_csv(&self, sink: &mut MetricsSink) -> String {
+    /// Read-only, like [`export_ndjson`](Registry::export_ndjson).
+    pub fn export_csv(&self, sink: &MetricsSink) -> String {
         let mut out = String::from("name,kind,unit,count,value,p50,p90,p99\n");
         for desc in &self.entries {
             match desc.kind {
@@ -375,9 +378,9 @@ impl Registry {
                     let v = sink.counter(desc.name);
                     let _ = writeln!(out, "{},counter,{},{v},{v},,,", desc.name, desc.unit);
                 }
-                MetricKind::Histogram => match sink.histogram_mut(desc.name) {
+                MetricKind::Histogram => match sink.histogram(desc.name) {
                     Some(h) => {
-                        let s = h.summary();
+                        let s = h.snapshot_summary();
                         let _ = writeln!(
                             out,
                             "{},histogram,{},{},{},{},{},{}",
@@ -504,6 +507,53 @@ mod tests {
     }
 
     #[test]
+    fn parse_ndjson_rejects_a_truncated_line() {
+        // A dump cut off mid-write (crash, full disk) must fail loudly at
+        // the truncated line, not silently drop the tail.
+        let whole = trace_to_ndjson(&sample_events());
+        let cut = &whole[..whole.len() - 20];
+        let (line, _) = parse_ndjson(cut).unwrap_err();
+        assert_eq!(line, cut.lines().count(), "error points at the final, truncated line");
+        // Truncation mid-string and mid-object both surface as parse errors.
+        assert!(parse_ndjson(r#"{"at":1,"cause":"#).is_err());
+        assert!(parse_ndjson(r#"{"at":1,"kind":"sen"#).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_wrong_field_types() {
+        for (bad, what) in [
+            // "at" must be an integer, not a string or float.
+            (r#"{"at":"soon","cause":1,"kind":"kill","addr":1}"#, "at"),
+            (r#"{"at":1.5,"cause":1,"kind":"kill","addr":1}"#, "at"),
+            // "cause" must be an integer or null.
+            (r#"{"at":1,"cause":"root","kind":"kill","addr":1}"#, "cause"),
+            // "kind" must be a string.
+            (r#"{"at":1,"cause":1,"kind":7,"addr":1}"#, "kind"),
+            // proto "event" must carry a string "type".
+            (r#"{"at":1,"cause":1,"kind":"proto","node":1,"event":{"type":3}}"#, "type"),
+        ] {
+            let lines = parse_ndjson(bad).unwrap();
+            let err = validate_trace_schema(&lines).unwrap_err();
+            assert!(err.contains(what), "{bad} should fail on {what}, got: {err}");
+        }
+    }
+
+    #[test]
+    fn schema_tolerates_unknown_extra_fields_but_not_unknown_kinds() {
+        // Forward compatibility: newer writers may add fields; readers of
+        // the current schema must not choke on them...
+        let extra = r#"{"at":1,"cause":1,"kind":"kill","addr":1,"annotation":"new"}"#;
+        let lines = parse_ndjson(extra).unwrap();
+        assert_eq!(validate_trace_schema(&lines).unwrap().events, 1);
+        // ...but an unknown event kind means the reader cannot interpret
+        // the line at all, and must reject it.
+        let unknown = r#"{"at":1,"cause":1,"kind":"teleport","addr":1}"#;
+        let lines = parse_ndjson(unknown).unwrap();
+        let err = validate_trace_schema(&lines).unwrap_err();
+        assert!(err.contains("unknown \"kind\""), "{err}");
+    }
+
+    #[test]
     fn registry_exports_and_flags_strays() {
         let mut reg = Registry::new();
         reg.register(MetricDesc::counter("a.count", "ops", "a counter"));
@@ -519,7 +569,9 @@ mod tests {
         sink.count("stray.key", 1);
         assert_eq!(reg.unregistered(&sink), vec!["stray.key"]);
 
-        let nd = reg.export_ndjson(&mut sink);
+        // Export is read-only: a shared reference suffices.
+        let sink = &sink;
+        let nd = reg.export_ndjson(sink);
         let lines = parse_ndjson(&nd).unwrap();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].get("value").and_then(Json::as_u64), Some(4));
@@ -527,7 +579,7 @@ mod tests {
         assert_eq!(lines[1].get("p50").and_then(Json::as_f64), Some(10.0));
         assert_eq!(lines[2].get("count").and_then(Json::as_u64), Some(0));
 
-        let csv = reg.export_csv(&mut sink);
+        let csv = reg.export_csv(sink);
         let rows: Vec<&str> = csv.lines().collect();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0], "name,kind,unit,count,value,p50,p90,p99");

@@ -15,10 +15,17 @@
 //!   entries) with NDJSON/CSV exporters.
 //! * [`json`] — the dependency-free JSON value/writer/parser underneath
 //!   (the vendored `serde` shim has no `serde_json`).
+//! * [`window`] — retention-bounded ring-buffer time series and
+//!   log-bucketed streaming histograms for live sampling.
+//! * [`detect`] — threshold / rate-of-change / EWMA detector rules and the
+//!   typed, cause-attributed [`Alert`] stream.
+//! * [`monitor`] — the live [`Monitor`]: a clock-driven gauge store fed by
+//!   sampler hooks, evaluating detectors per sample and rendering
+//!   plain-text run-health reports.
 //!
-//! The crate is strictly a *consumer* of the trace stream: it depends
-//! only on `verme-sim` and never feeds back into a running simulation, so
-//! attaching any of it cannot perturb a run.
+//! The crate is strictly a *consumer* of the trace stream and the sampled
+//! state: it depends only on `verme-sim` and never feeds back into a
+//! running simulation, so attaching any of it cannot perturb a run.
 //!
 //! ## Typical wiring
 //!
@@ -37,11 +44,15 @@
 //! assert_eq!(stats.events, 0); // nothing ran in this doc example
 //! ```
 
+pub mod detect;
 pub mod export;
 pub mod invariant;
 pub mod json;
+pub mod monitor;
 pub mod path;
+pub mod window;
 
+pub use detect::{Alert, DetectorState, Rule};
 pub use export::{
     event_to_json, parse_ndjson, trace_to_ndjson, validate_trace_schema, Registry, TraceStats,
 };
@@ -49,7 +60,9 @@ pub use invariant::{
     check_chord_monotone, check_hop_agreement, check_verme_opposite_types, Violation,
 };
 pub use json::{parse, Json, JsonError};
+pub use monitor::Monitor;
 pub use path::{HopRecord, LookupPath, PathCollector};
+pub use window::{RingSeries, StreamingHistogram};
 
 // Re-exported so harnesses can depend on `verme-obs` alone for tracing.
 pub use verme_sim::trace::TraceEvent;

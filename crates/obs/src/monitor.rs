@@ -1,0 +1,329 @@
+//! The live monitor: a clock-driven gauge store with attached detectors.
+//!
+//! A [`Monitor`] is the meeting point of the telemetry plane. Producers —
+//! the runtime's sampler hook, `verme-worm`'s outbreak sampler — call
+//! [`observe`](Monitor::observe) with `(key, time, value, cause)` tuples;
+//! the monitor folds each observation into a retention-bounded
+//! [`RingSeries`] and a whole-run [`StreamingHistogram`] per key, runs the
+//! key's detectors, and appends any firings to a typed [`Alert`] stream.
+//!
+//! Like [`FlightRecorder`](verme_sim::FlightRecorder), a `Monitor` is a
+//! cloneable handle (`Rc<RefCell<...>>`): clone it, hand one clone to the
+//! sampling closure, keep the other to query alerts and render reports
+//! after the run. It is strictly a consumer — observing never feeds back
+//! into the simulation — so attaching a monitor cannot perturb a run.
+//!
+//! Rules are registered against key *prefixes* rather than exact keys:
+//! gauges like `worm.section.17.infected` are born mid-run when a section
+//! sees its first infection, and a prefix rule
+//! (`"worm.section."`, threshold ≥ 3) instantiates a fresh
+//! [`DetectorState`] for each such gauge as it appears.
+//!
+//! ## Example
+//!
+//! ```
+//! use verme_obs::monitor::Monitor;
+//! use verme_obs::detect::Rule;
+//! use verme_sim::{SimDuration, SimTime};
+//!
+//! let mon = Monitor::new(256);
+//! mon.add_rule("worm.", Rule::Threshold { min: 3.0 });
+//! let mut t = SimTime::ZERO;
+//! for k in 0..6 {
+//!     t += SimDuration::from_secs(1);
+//!     mon.observe("worm.section.0.infected", t, k as f64, None);
+//! }
+//! let alerts = mon.alerts();
+//! assert_eq!(alerts.len(), 1);
+//! assert_eq!(alerts[0].at, SimTime::ZERO + SimDuration::from_secs(4)); // value hit 3
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use verme_sim::{CauseId, SimTime, Summary};
+
+use crate::detect::{Alert, DetectorState, Rule};
+use crate::window::{RingSeries, StreamingHistogram};
+
+/// Upper bound on retained alerts; overflow is counted, not stored. A
+/// misconfigured rule on a hot gauge must not grow without bound.
+const MAX_ALERTS: usize = 10_000;
+
+struct Gauge {
+    series: RingSeries,
+    hist: StreamingHistogram,
+    detectors: Vec<DetectorState>,
+}
+
+struct Inner {
+    retention: usize,
+    rules: Vec<(String, Rule)>,
+    gauges: BTreeMap<String, Gauge>,
+    alerts: Vec<Alert>,
+    alerts_dropped: u64,
+}
+
+/// A cloneable handle to a live gauge store with attached detectors. See
+/// the [module docs](self).
+#[derive(Clone)]
+pub struct Monitor {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Monitor {
+    /// Creates a monitor whose per-gauge ring series retain `retention`
+    /// points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention` is zero.
+    pub fn new(retention: usize) -> Self {
+        assert!(retention > 0, "monitor retention must be positive");
+        Monitor {
+            inner: Rc::new(RefCell::new(Inner {
+                retention,
+                rules: Vec::new(),
+                gauges: BTreeMap::new(),
+                alerts: Vec::new(),
+                alerts_dropped: 0,
+            })),
+        }
+    }
+
+    /// Registers `rule` for every gauge whose key starts with `prefix` —
+    /// both gauges that already exist and gauges first observed later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule's parameters are invalid (see [`Rule::validate`]).
+    pub fn add_rule(&self, prefix: &str, rule: Rule) {
+        rule.validate();
+        let mut inner = self.inner.borrow_mut();
+        for (key, gauge) in inner.gauges.iter_mut() {
+            if key.starts_with(prefix) {
+                gauge.detectors.push(DetectorState::new(rule.clone()));
+            }
+        }
+        inner.rules.push((prefix.to_string(), rule));
+    }
+
+    /// Feeds one observation: appends to the key's series and histogram,
+    /// creating the gauge (with all matching prefix rules) on first sight,
+    /// then evaluates the gauge's detectors. Fired detectors append to the
+    /// alert stream, attributing `cause`.
+    pub fn observe(&self, key: &str, at: SimTime, value: f64, cause: Option<CauseId>) {
+        let mut inner = self.inner.borrow_mut();
+        let retention = inner.retention;
+        if !inner.gauges.contains_key(key) {
+            let detectors = inner
+                .rules
+                .iter()
+                .filter(|(p, _)| key.starts_with(p.as_str()))
+                .map(|(_, r)| DetectorState::new(r.clone()))
+                .collect();
+            inner.gauges.insert(
+                key.to_string(),
+                Gauge {
+                    series: RingSeries::new(retention),
+                    hist: StreamingHistogram::new(),
+                    detectors,
+                },
+            );
+        }
+        let gauge = inner.gauges.get_mut(key).expect("inserted above");
+        gauge.series.push(at, value);
+        gauge.hist.record(value);
+        let mut fired: Vec<&'static str> = Vec::new();
+        for det in &mut gauge.detectors {
+            if det.observe(&gauge.series, value) {
+                fired.push(det.rule().name());
+            }
+        }
+        for rule in fired {
+            if inner.alerts.len() >= MAX_ALERTS {
+                inner.alerts_dropped += 1;
+            } else {
+                inner.alerts.push(Alert { at, series: key.to_string(), rule, value, cause });
+            }
+        }
+    }
+
+    /// All alerts so far, in firing order.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.inner.borrow().alerts.clone()
+    }
+
+    /// Number of alerts discarded after the retention cap filled.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.inner.borrow().alerts_dropped
+    }
+
+    /// The earliest alert whose gauge key starts with `prefix`, if any.
+    pub fn first_alert(&self, prefix: &str) -> Option<Alert> {
+        self.inner.borrow().alerts.iter().find(|a| a.series.starts_with(prefix)).cloned()
+    }
+
+    /// Keys of every gauge observed so far, sorted.
+    pub fn gauge_keys(&self) -> Vec<String> {
+        self.inner.borrow().gauges.keys().cloned().collect()
+    }
+
+    /// The most recent sample of `key`, if observed.
+    pub fn last_value(&self, key: &str) -> Option<(SimTime, f64)> {
+        self.inner.borrow().gauges.get(key).and_then(|g| g.series.last())
+    }
+
+    /// The retained window of `key`, oldest first.
+    pub fn series_points(&self, key: &str) -> Vec<(SimTime, f64)> {
+        self.inner.borrow().gauges.get(key).map(|g| g.series.points().collect()).unwrap_or_default()
+    }
+
+    /// Whole-run summary of `key` from its streaming histogram
+    /// (approximate quantiles, exact count/mean/min/max).
+    pub fn summary(&self, key: &str) -> Option<Summary> {
+        self.inner.borrow().gauges.get(key).map(|g| g.hist.summary())
+    }
+
+    /// Renders a plain-text run-health report: one sparkline row per
+    /// gauge, then the alert timeline. This is what `fig8 --monitor`
+    /// prints per scenario.
+    pub fn render_health(&self) -> String {
+        const SPARK_WIDTH: usize = 40;
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        let key_width = inner.gauges.keys().map(|k| k.len()).max().unwrap_or(5).max("gauge".len());
+        let _ = writeln!(out, "{:<key_width$}  {:>12}  {:>8}  trend", "gauge", "last", "samples");
+        for (key, gauge) in &inner.gauges {
+            let last = gauge.series.last().map_or(0.0, |(_, v)| v);
+            let _ = writeln!(
+                out,
+                "{:<key_width$}  {:>12.2}  {:>8}  |{}|",
+                key,
+                last,
+                gauge.hist.count(),
+                gauge.series.sparkline(SPARK_WIDTH)
+            );
+        }
+        if inner.alerts.is_empty() {
+            let _ = writeln!(out, "alerts: none");
+        } else {
+            let _ = writeln!(out, "alerts: {}", inner.alerts.len());
+            for a in &inner.alerts {
+                let cause = a.cause.map_or("-".to_string(), |c| c.to_string());
+                let _ = writeln!(
+                    out,
+                    "  t={:>10.1}s  {:<12}  {}  value={:.2}  cause={}",
+                    a.at.as_secs_f64(),
+                    a.rule,
+                    a.series,
+                    a.value,
+                    cause
+                );
+            }
+            if inner.alerts_dropped > 0 {
+                let _ = writeln!(out, "  (+{} alerts dropped at cap)", inner.alerts_dropped);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn prefix_rules_attach_to_new_and_existing_gauges() {
+        let mon = Monitor::new(64);
+        // Existing gauge picks up a rule added later...
+        mon.observe("worm.section.0.infected", t(0), 1.0, None);
+        mon.add_rule("worm.section.", Rule::Threshold { min: 3.0 });
+        // ...and a gauge born after registration gets it too.
+        mon.observe("worm.section.0.infected", t(1), 5.0, Some(42));
+        mon.observe("worm.section.9.infected", t(2), 7.0, Some(43));
+        // Unrelated keys do not.
+        mon.observe("net.dropped", t(3), 100.0, None);
+        let alerts = mon.alerts();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].series, "worm.section.0.infected");
+        assert_eq!(alerts[0].cause, Some(42));
+        assert_eq!(alerts[1].series, "worm.section.9.infected");
+        assert_eq!(alerts[1].cause, Some(43));
+    }
+
+    #[test]
+    fn first_alert_by_prefix() {
+        let mon = Monitor::new(16);
+        mon.add_rule("a.", Rule::Threshold { min: 1.0 });
+        mon.add_rule("b.", Rule::Threshold { min: 1.0 });
+        mon.observe("b.x", t(1), 2.0, None);
+        mon.observe("a.x", t(2), 2.0, None);
+        assert_eq!(mon.first_alert("a.").unwrap().at, t(2));
+        assert_eq!(mon.first_alert("b.").unwrap().at, t(1));
+        assert_eq!(mon.first_alert("").unwrap().at, t(1), "empty prefix matches all");
+        assert!(mon.first_alert("c.").is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let mon = Monitor::new(16);
+        let writer = mon.clone();
+        writer.observe("x", t(0), 1.0, None);
+        assert_eq!(mon.last_value("x"), Some((t(0), 1.0)));
+        assert_eq!(mon.gauge_keys(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn summaries_and_series_are_queryable() {
+        let mon = Monitor::new(4);
+        for s in 0..8 {
+            mon.observe("g", t(s), s as f64, None);
+        }
+        // Ring retains the last 4 points; histogram saw all 8.
+        assert_eq!(mon.series_points("g").len(), 4);
+        assert_eq!(mon.series_points("g")[0], (t(4), 4.0));
+        let sum = mon.summary("g").unwrap();
+        assert_eq!(sum.count, 8);
+        assert_eq!(sum.max, 7.0);
+        assert!(mon.summary("missing").is_none());
+    }
+
+    #[test]
+    fn health_report_lists_gauges_and_alerts() {
+        let mon = Monitor::new(32);
+        mon.add_rule("worm.", Rule::Threshold { min: 4.0 });
+        for s in 0..10 {
+            mon.observe("worm.infected", t(s), s as f64, None);
+            mon.observe("quiet", t(s), 1.0, None);
+        }
+        let report = mon.render_health();
+        assert!(report.contains("worm.infected"), "report:\n{report}");
+        assert!(report.contains("quiet"));
+        assert!(report.contains("alerts: 1"));
+        assert!(report.contains("threshold"));
+        // A quiet monitor says so.
+        let silent = Monitor::new(8);
+        silent.observe("q", t(0), 0.0, None);
+        assert!(silent.render_health().contains("alerts: none"));
+    }
+
+    #[test]
+    fn alert_cap_counts_overflow() {
+        let mon = Monitor::new(8);
+        // A rule that fires on every other sample (enter/leave breach).
+        mon.add_rule("g", Rule::Threshold { min: 1.0 });
+        for s in 0..(2 * (MAX_ALERTS as u64) + 20) {
+            mon.observe("g", t(s), (s % 2) as f64 * 2.0, None);
+        }
+        assert_eq!(mon.alerts().len(), MAX_ALERTS);
+        assert!(mon.alerts_dropped() > 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Windowed, retention-bounded statistics: ring-buffer time series and
+//! log-bucketed streaming histograms.
+//!
+//! These are the storage primitives behind the live [`Monitor`]
+//! (see [`crate::monitor`]): a sampler that fires every few simulated
+//! seconds for hours of simulated time would grow an unbounded
+//! [`TimeSeries`](verme_sim::TimeSeries) into hundreds of megabytes, so
+//! the monitor keeps only a bounded recent window ([`RingSeries`]) plus a
+//! constant-size whole-run summary ([`StreamingHistogram`]).
+//!
+//! Both types are allocation-free per observation: the ring buffer
+//! allocates once up front, and the histogram is a fixed array of
+//! power-of-two buckets (HDR-style, ~2× relative error on quantiles),
+//! mergeable across sections or runs by bucket-wise addition.
+//!
+//! [`Monitor`]: crate::monitor::Monitor
+
+use std::collections::VecDeque;
+
+use verme_sim::{SimDuration, SimTime, Summary};
+
+/// A bounded time series: keeps the most recent `capacity` points,
+/// evicting the oldest. The retained window is what detectors (rates,
+/// EWMA) and sparkline renderers operate on.
+#[derive(Clone, Debug)]
+pub struct RingSeries {
+    capacity: usize,
+    points: VecDeque<(SimTime, f64)>,
+    evicted: u64,
+}
+
+impl RingSeries {
+    /// Creates a ring holding at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingSeries capacity must be positive");
+        RingSeries { capacity, points: VecDeque::with_capacity(capacity), evicted: 0 }
+    }
+
+    /// Appends a point, evicting the oldest if full. Timestamps must be
+    /// non-decreasing (checked in debug builds), matching the sampler's
+    /// monotone clock.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.back().is_none_or(|(t, _)| *t <= at),
+            "RingSeries points must be pushed in time order"
+        );
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.evicted += 1;
+        }
+        self.points.push_back((at, value));
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of points evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The most recent point, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.back().copied()
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Mean rate of change (per simulated second) over the trailing
+    /// `window`, computed between the newest point and the oldest retained
+    /// point not older than `window` before it. `None` until two points
+    /// span a nonzero interval.
+    pub fn rate_over(&self, window: SimDuration) -> Option<f64> {
+        let (t1, v1) = self.last()?;
+        let cutoff = t1.saturating_since(SimTime::ZERO).saturating_sub(window);
+        let (t0, v0) = self
+            .points
+            .iter()
+            .find(|(t, _)| t.saturating_since(SimTime::ZERO) >= cutoff)
+            .copied()?;
+        let dt = t1.saturating_since(t0).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        Some((v1 - v0) / dt)
+    }
+
+    /// Minimum and maximum retained values, if any.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|(_, v)| *v);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+
+    /// Renders the retained window as a fixed-width ASCII sparkline,
+    /// resampling the points into `width` columns and mapping values
+    /// linearly onto a ramp of glyphs. A flat series renders as a flat
+    /// baseline. Returns an empty string if no points are retained.
+    pub fn sparkline(&self, width: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        if self.points.is_empty() || width == 0 {
+            return String::new();
+        }
+        let (lo, hi) = self.min_max().expect("non-empty");
+        let span = hi - lo;
+        let n = self.points.len();
+        let mut out = String::with_capacity(width);
+        for col in 0..width {
+            // Resample: each column shows the max of its slice of points,
+            // so short spikes stay visible at any width.
+            let start = col * n / width;
+            let end = ((col + 1) * n / width).max(start + 1).min(n);
+            let v =
+                self.points.range(start..end).map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+            let level = if span <= 0.0 {
+                0
+            } else {
+                (((v - lo) / span) * (RAMP.len() - 1) as f64).round() as usize
+            };
+            out.push(RAMP[level.min(RAMP.len() - 1)] as char);
+        }
+        out
+    }
+}
+
+/// Number of buckets: one underflow bucket for values < 1, then one bucket
+/// per power of two up to 2^63, then an overflow bucket.
+const BUCKETS: usize = 66;
+
+/// A log-bucketed streaming histogram (HDR-style).
+///
+/// Values are assigned to power-of-two buckets by exponent, so recording
+/// is a few integer ops with no allocation and no libm calls (bucket
+/// selection reads the IEEE-754 exponent bits directly, keeping results
+/// bit-identical across platforms). Quantiles are approximate — the
+/// reported value is the geometric midpoint of the quantile's bucket,
+/// within 2× of the true value — while `count`, `sum`, `min` and `max`
+/// are exact. Histograms merge by bucket-wise addition.
+#[derive(Clone, Debug)]
+pub struct StreamingHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index for `v`: 0 for values below 1 (including all
+    /// negatives), `1 + floor(log2 v)` for the rest, clamped into range.
+    fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v < 1.0 {
+            return 0;
+        }
+        // IEEE-754 double: biased exponent in bits 52..63.
+        let exp = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+        (1 + exp.clamp(0, (BUCKETS - 2) as i64)) as usize
+    }
+
+    /// The representative value reported for a bucket: its geometric
+    /// midpoint (≈ 1.41 × the bucket's lower bound).
+    fn bucket_value(bucket: usize) -> f64 {
+        if bucket == 0 {
+            return 0.5;
+        }
+        let low = (bucket - 1) as i32;
+        2f64.powi(low) * std::f64::consts::SQRT_2
+    }
+
+    /// Records one observation. Negative values land in the underflow
+    /// bucket (the monitor's gauges are non-negative in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "cannot record NaN");
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (nearest-rank over buckets; the returned value
+    /// is the bucket's geometric midpoint clamped into `[min, max]`).
+    /// Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A [`Summary`] in the same shape the exact
+    /// [`Histogram`](verme_sim::Histogram) produces; quantiles are the
+    /// bucket approximations.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut r = RingSeries::new(3);
+        for s in 0..5 {
+            r.push(t(s), s as f64);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.points().next(), Some((t(2), 2.0)));
+        assert_eq!(r.last(), Some((t(4), 4.0)));
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn ring_rate_over_window() {
+        let mut r = RingSeries::new(16);
+        // 2 units per second.
+        for s in 0..10 {
+            r.push(t(s), (2 * s) as f64);
+        }
+        let rate = r.rate_over(SimDuration::from_secs(4)).unwrap();
+        assert!((rate - 2.0).abs() < 1e-9, "rate {rate}");
+        // Window wider than the data still uses the oldest point.
+        let rate = r.rate_over(SimDuration::from_secs(100)).unwrap();
+        assert!((rate - 2.0).abs() < 1e-9);
+        // A single point has no rate.
+        let mut one = RingSeries::new(4);
+        one.push(t(1), 5.0);
+        assert!(one.rate_over(SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn ring_sparkline_shapes() {
+        let mut r = RingSeries::new(32);
+        for s in 0..16 {
+            r.push(t(s), s as f64);
+        }
+        let line = r.sparkline(8);
+        assert_eq!(line.len(), 8);
+        assert!(line.starts_with(' ') || line.starts_with('.'));
+        assert!(line.ends_with('@'));
+        // Flat series renders flat, empty renders empty.
+        let mut flat = RingSeries::new(4);
+        flat.push(t(0), 3.0);
+        flat.push(t(1), 3.0);
+        assert_eq!(flat.sparkline(4), "    ");
+        assert_eq!(RingSeries::new(4).sparkline(4), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        let _ = RingSeries::new(0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        assert_eq!(StreamingHistogram::bucket_of(0.0), 0);
+        assert_eq!(StreamingHistogram::bucket_of(-7.0), 0);
+        assert_eq!(StreamingHistogram::bucket_of(0.99), 0);
+        assert_eq!(StreamingHistogram::bucket_of(1.0), 1);
+        assert_eq!(StreamingHistogram::bucket_of(1.99), 1);
+        assert_eq!(StreamingHistogram::bucket_of(2.0), 2);
+        assert_eq!(StreamingHistogram::bucket_of(1024.0), 11);
+        assert_eq!(StreamingHistogram::bucket_of(f64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_factor_two() {
+        let mut h = StreamingHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9, "mean is exact");
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            assert!(est >= truth / 2.0 && est <= truth * 2.0, "q{q}: est {est} vs true {truth}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut both = StreamingHistogram::new();
+        for i in 0..100 {
+            let v = (i * 37 % 250) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zeroed() {
+        let h = StreamingHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+}

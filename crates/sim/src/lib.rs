@@ -16,6 +16,9 @@
 //! * [`rng`] — reproducible random-number streams derived from one seed.
 //! * [`metrics`] — counters, histograms and time series used by every
 //!   experiment harness.
+//! * [`profile`] — the event-loop profiler: per-event-type dispatch counts,
+//!   wall-clock timing and queue-depth telemetry for the runtime's hot
+//!   loop, zero-cost when disabled.
 //! * [`runtime`] — the node runtime: protocol state machines implementing
 //!   [`Node`] exchange messages through a [`LatencyModel`], with churn
 //!   (spawn/kill), timers, and byte accounting.
@@ -49,6 +52,7 @@ pub mod config;
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod runtime;
 pub mod time;
@@ -58,7 +62,10 @@ pub use config::InvalidConfig;
 pub use event::EventQueue;
 pub use fault::{BurstImpact, Fault, FaultHooks, FaultPlan, FaultReport, FaultRunner};
 pub use metrics::{Counter, Histogram, MetricDesc, MetricKind, MetricsSink, Summary, TimeSeries};
+pub use profile::{EventClass, EventProfile};
 pub use rng::SeedSource;
-pub use runtime::{Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, Wire};
+pub use runtime::{
+    Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, SampleView, Sampler, Wire,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{tee, CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind, Tracer};

@@ -198,6 +198,40 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+
+    /// [`summary`](Histogram::summary) through a shared reference.
+    ///
+    /// The in-place variant caches its sort; this one sorts a scratch copy
+    /// when needed, so mid-run snapshots (live monitoring, read-only
+    /// exporters) can summarize without exclusive access to the sink.
+    pub fn snapshot_summary(&self) -> Summary {
+        let quantile_of = |sorted: &[f64], q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx =
+                ((sorted.len() as f64 * q).ceil() as usize).saturating_sub(1).min(sorted.len() - 1);
+            sorted[idx]
+        };
+        let scratch;
+        let sorted: &[f64] = if self.sorted {
+            &self.samples
+        } else {
+            let mut copy = self.samples.clone();
+            copy.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            scratch = copy;
+            &scratch
+        };
+        Summary {
+            count: sorted.len() as u64,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: quantile_of(sorted, 0.5),
+            p90: quantile_of(sorted, 0.9),
+            p99: quantile_of(sorted, 0.99),
+        }
+    }
 }
 
 /// An immutable statistical summary of a [`Histogram`].

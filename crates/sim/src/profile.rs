@@ -1,0 +1,192 @@
+//! Event-loop profiler: per-event-type dispatch counts, wall-clock timing
+//! and queue-depth telemetry for the runtime's hot loop.
+//!
+//! The profiler answers "where does the *simulator* spend its time" — a
+//! question about the host machine, not the simulated world. It therefore
+//! measures real [`std::time::Instant`] durations and keeps its results in
+//! its own [`EventProfile`] struct, never in the shared
+//! [`MetricsSink`](crate::MetricsSink): wall-clock numbers differ from run
+//! to run, and letting them leak into the deterministic metrics space would
+//! break byte-identical reproducibility. Harnesses that want the numbers in
+//! the exporter pipeline call [`EventProfile::export_into`] explicitly,
+//! after the simulation has finished.
+//!
+//! Profiling is strictly observational: enabling it reads the clock around
+//! each dispatch but never touches the simulation RNG, queue order, or any
+//! node state, so a profiled run produces byte-identical simulation output
+//! to an unprofiled one. When disabled (the default) the runtime pays one
+//! branch per event and nothing else.
+
+use std::time::Duration;
+
+use crate::metrics::{MetricDesc, MetricsSink};
+
+/// The runtime's event classes, as seen by the dispatch loop.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// A message delivery to a live node.
+    Deliver,
+    /// A message whose destination was dead at delivery time.
+    DeadLetter,
+    /// A timer firing (including timers of dead nodes, which are no-ops).
+    Timer,
+}
+
+/// Accumulated event-loop profile for one runtime.
+///
+/// Produced by [`Runtime::enable_profiler`](crate::Runtime::enable_profiler)
+/// and read back with [`Runtime::profile`](crate::Runtime::profile) or
+/// [`Runtime::disable_profiler`](crate::Runtime::disable_profiler).
+#[derive(Clone, Debug, Default)]
+pub struct EventProfile {
+    /// Deliveries dispatched to a live node.
+    pub deliver_events: u64,
+    /// Deliveries whose destination was dead (dropped without dispatch).
+    pub dead_letter_events: u64,
+    /// Timer events popped (fired or discarded for dead nodes).
+    pub timer_events: u64,
+    /// Host wall-clock time spent inside deliver dispatches.
+    pub deliver_wall: Duration,
+    /// Host wall-clock time spent handling dead-letter drops.
+    pub dead_letter_wall: Duration,
+    /// Host wall-clock time spent inside timer dispatches.
+    pub timer_wall: Duration,
+    /// Maximum event-queue depth observed at any pop.
+    pub queue_depth_max: usize,
+    /// Sum of queue depths observed at each pop (for the mean).
+    pub queue_depth_sum: u64,
+}
+
+impl EventProfile {
+    /// Total events popped while profiling was enabled.
+    pub fn total_events(&self) -> u64 {
+        self.deliver_events + self.dead_letter_events + self.timer_events
+    }
+
+    /// Total wall-clock time spent dispatching those events.
+    pub fn total_wall(&self) -> Duration {
+        self.deliver_wall + self.dead_letter_wall + self.timer_wall
+    }
+
+    /// Mean queue depth observed at pop time (0 if nothing was popped).
+    pub fn queue_depth_mean(&self) -> f64 {
+        let n = self.total_events();
+        if n == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / n as f64
+        }
+    }
+
+    /// Records one dispatched event. Called by the runtime's event loop.
+    pub(crate) fn record(&mut self, class: EventClass, wall: Duration, queue_depth: usize) {
+        match class {
+            EventClass::Deliver => {
+                self.deliver_events += 1;
+                self.deliver_wall += wall;
+            }
+            EventClass::DeadLetter => {
+                self.dead_letter_events += 1;
+                self.dead_letter_wall += wall;
+            }
+            EventClass::Timer => {
+                self.timer_events += 1;
+                self.timer_wall += wall;
+            }
+        }
+        self.queue_depth_max = self.queue_depth_max.max(queue_depth);
+        self.queue_depth_sum += queue_depth as u64;
+    }
+
+    /// Copies the profile into a metrics sink under the [`keys`] names, so
+    /// it flows through the existing [`Registry`](crate::MetricDesc)
+    /// exporters. Call this *after* the run: the values are host wall-clock
+    /// measurements and are not deterministic across machines.
+    pub fn export_into(&self, sink: &mut MetricsSink) {
+        sink.count(keys::DELIVER_EVENTS, self.deliver_events);
+        sink.count(keys::DEAD_LETTER_EVENTS, self.dead_letter_events);
+        sink.count(keys::TIMER_EVENTS, self.timer_events);
+        sink.count(keys::DELIVER_WALL_US, self.deliver_wall.as_micros() as u64);
+        sink.count(keys::TIMER_WALL_US, self.timer_wall.as_micros() as u64);
+        sink.count(keys::QUEUE_DEPTH_MAX, self.queue_depth_max as u64);
+        sink.record(keys::QUEUE_DEPTH_MEAN, self.queue_depth_mean());
+    }
+}
+
+/// Metric names (and descriptors) for the exported profile.
+pub mod keys {
+    use super::MetricDesc;
+
+    /// Deliveries dispatched to live nodes.
+    pub const DELIVER_EVENTS: &str = "sim.profile.deliver.events";
+    /// Deliveries to dead destinations.
+    pub const DEAD_LETTER_EVENTS: &str = "sim.profile.dead_letter.events";
+    /// Timer events popped.
+    pub const TIMER_EVENTS: &str = "sim.profile.timer.events";
+    /// Wall-clock µs inside deliver dispatches.
+    pub const DELIVER_WALL_US: &str = "sim.profile.deliver.wall_us";
+    /// Wall-clock µs inside timer dispatches.
+    pub const TIMER_WALL_US: &str = "sim.profile.timer.wall_us";
+    /// Maximum observed queue depth.
+    pub const QUEUE_DEPTH_MAX: &str = "sim.profile.queue.depth_max";
+    /// Mean observed queue depth.
+    pub const QUEUE_DEPTH_MEAN: &str = "sim.profile.queue.depth_mean";
+
+    const DESCS: &[MetricDesc] = &[
+        MetricDesc::counter(DELIVER_EVENTS, "events", "deliveries dispatched to live nodes"),
+        MetricDesc::counter(DEAD_LETTER_EVENTS, "events", "deliveries to dead destinations"),
+        MetricDesc::counter(TIMER_EVENTS, "events", "timer events popped"),
+        MetricDesc::counter(DELIVER_WALL_US, "us", "host wall-clock in deliver dispatch"),
+        MetricDesc::counter(TIMER_WALL_US, "us", "host wall-clock in timer dispatch"),
+        MetricDesc::counter(QUEUE_DEPTH_MAX, "events", "max event-queue depth at pop"),
+        MetricDesc::histogram(QUEUE_DEPTH_MEAN, "events", "mean event-queue depth at pop"),
+    ];
+
+    /// Descriptors for every profiler metric, for registry registration.
+    pub fn descriptors() -> &'static [MetricDesc] {
+        DESCS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_class() {
+        let mut p = EventProfile::default();
+        p.record(EventClass::Deliver, Duration::from_micros(10), 4);
+        p.record(EventClass::Deliver, Duration::from_micros(5), 8);
+        p.record(EventClass::Timer, Duration::from_micros(2), 2);
+        p.record(EventClass::DeadLetter, Duration::from_micros(1), 1);
+        assert_eq!(p.deliver_events, 2);
+        assert_eq!(p.timer_events, 1);
+        assert_eq!(p.dead_letter_events, 1);
+        assert_eq!(p.total_events(), 4);
+        assert_eq!(p.deliver_wall, Duration::from_micros(15));
+        assert_eq!(p.total_wall(), Duration::from_micros(18));
+        assert_eq!(p.queue_depth_max, 8);
+        assert!((p.queue_depth_mean() - 15.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_populates_every_key() {
+        let mut p = EventProfile::default();
+        p.record(EventClass::Deliver, Duration::from_micros(10), 4);
+        let mut sink = MetricsSink::new();
+        p.export_into(&mut sink);
+        for desc in keys::descriptors() {
+            let present = sink.counter_snapshot().contains_key(desc.name)
+                || sink.histogram_names().any(|n| n == desc.name);
+            assert!(present, "missing exported key {}", desc.name);
+        }
+    }
+
+    #[test]
+    fn empty_profile_is_sane() {
+        let p = EventProfile::default();
+        assert_eq!(p.total_events(), 0);
+        assert_eq!(p.queue_depth_mean(), 0.0);
+        assert_eq!(p.total_wall(), Duration::ZERO);
+    }
+}

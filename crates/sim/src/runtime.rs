@@ -19,6 +19,7 @@ use rand::Rng;
 
 use crate::event::EventQueue;
 use crate::metrics::MetricsSink;
+use crate::profile::{EventClass, EventProfile};
 use crate::rng::SeedSource;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{CauseId, ProtoEvent, TraceEvent, TraceKind, Tracer};
@@ -279,6 +280,78 @@ struct Slot<N> {
     host: HostId,
 }
 
+/// A read-only snapshot of the runtime handed to a [`Sampler`] hook.
+///
+/// The view deliberately exposes no mutable access: samplers observe the
+/// run, they never steer it. Anything a sampler computes therefore cannot
+/// perturb the simulation, and a run with a sampler installed is
+/// byte-identical to one without.
+pub struct SampleView<'a, N: Node> {
+    now: SimTime,
+    metrics: &'a MetricsSink,
+    stats: NetStats,
+    pending: usize,
+    nodes: &'a HashMap<Addr, Slot<N>>,
+}
+
+impl<'a, N: Node> SampleView<'a, N> {
+    /// The simulated time of this sample point.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run-wide metrics sink (read-only).
+    pub fn metrics(&self) -> &'a MetricsSink {
+        self.metrics
+    }
+
+    /// Aggregate network statistics at this sample point.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Number of events pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.pending
+    }
+
+    /// Number of live nodes.
+    pub fn num_alive(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to the node at `addr`, if alive.
+    pub fn node(&self, addr: Addr) -> Option<&'a N> {
+        self.nodes.get(&addr).map(|s| &s.node)
+    }
+
+    /// All live nodes, in **unspecified order** (`HashMap` iteration).
+    /// Samplers that fold per-node values into anything order-sensitive
+    /// must use [`nodes_sorted`](SampleView::nodes_sorted) or a commutative
+    /// reduction, or their output will vary between runs.
+    pub fn nodes(&self) -> impl Iterator<Item = (Addr, &'a N)> + '_ {
+        self.nodes.iter().map(|(a, s)| (*a, &s.node))
+    }
+
+    /// All live nodes sorted by address — the deterministic iteration.
+    pub fn nodes_sorted(&self) -> Vec<(Addr, &'a N)> {
+        let mut v: Vec<_> = self.nodes.iter().map(|(a, s)| (*a, &s.node)).collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+}
+
+/// A periodic sampling hook: called every `sample_interval` of simulated
+/// time with a read-only [`SampleView`]. See
+/// [`Runtime::set_sampler`](Runtime::set_sampler).
+pub type Sampler<N> = Box<dyn FnMut(&SampleView<'_, N>)>;
+
+struct SamplerSlot<N: Node> {
+    interval: SimDuration,
+    next: SimTime,
+    hook: Sampler<N>,
+}
+
 /// The discrete-event node runtime.
 ///
 /// Owns the clock, the event queue, all live nodes, and the latency model.
@@ -331,6 +404,8 @@ pub struct Runtime<N: Node, L = Box<dyn LatencyModel>> {
     latency_factor: f64,
     partition: Option<HashSet<HostId>>,
     tracer: Option<Tracer>,
+    sampler: Option<SamplerSlot<N>>,
+    profile: Option<EventProfile>,
 }
 
 impl<N: Node, L: LatencyModel> Runtime<N, L> {
@@ -352,6 +427,8 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             latency_factor: 1.0,
             partition: None,
             tracer: None,
+            sampler: None,
+            profile: None,
         }
     }
 
@@ -372,6 +449,71 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         if let Some(t) = self.tracer.as_mut() {
             t(&TraceEvent { at: self.now, cause, kind });
         }
+    }
+
+    /// Installs a periodic sampling hook fired on the **simulated** clock:
+    /// the first sample at `now + interval`, then every `interval`
+    /// thereafter, interleaved in timestamp order with event processing. A
+    /// sample at time *t* observes the state produced by every event
+    /// scheduled strictly before *t* (events at exactly *t* run after the
+    /// sample). The hook receives a read-only [`SampleView`], so sampling
+    /// cannot perturb the run; with no sampler installed the event loop
+    /// pays a single `Option` check per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_sampler(&mut self, interval: SimDuration, hook: Sampler<N>) {
+        assert!(interval > SimDuration::ZERO, "sample interval must be positive");
+        self.sampler = Some(SamplerSlot { interval, next: self.now + interval, hook });
+    }
+
+    /// Removes the sampling hook, if any.
+    pub fn clear_sampler(&mut self) {
+        self.sampler = None;
+    }
+
+    /// Fires every due sample point up to and including `t`, advancing the
+    /// clock to each sample point as it fires.
+    fn fire_samples_until(&mut self, t: SimTime) {
+        // Take the slot so the hook can borrow the rest of `self` freely.
+        let Some(mut slot) = self.sampler.take() else {
+            return;
+        };
+        while slot.next <= t {
+            if self.now < slot.next {
+                self.now = slot.next;
+            }
+            let view = SampleView {
+                now: self.now,
+                metrics: &self.metrics,
+                stats: self.stats,
+                pending: self.queue.len(),
+                nodes: &self.nodes,
+            };
+            (slot.hook)(&view);
+            slot.next += slot.interval;
+        }
+        self.sampler = Some(slot);
+    }
+
+    /// Enables the event-loop profiler (see [`crate::profile`]): dispatch
+    /// counts, wall-clock timing and queue-depth telemetry, accumulated
+    /// from this point on. Profiling reads the host clock but never the
+    /// simulation RNG, so simulation output is byte-identical either way.
+    /// Re-enabling resets any previous profile.
+    pub fn enable_profiler(&mut self) {
+        self.profile = Some(EventProfile::default());
+    }
+
+    /// Stops profiling and returns the accumulated profile, if enabled.
+    pub fn disable_profiler(&mut self) -> Option<EventProfile> {
+        self.profile.take()
+    }
+
+    /// The accumulated profile so far, if profiling is enabled.
+    pub fn profile(&self) -> Option<&EventProfile> {
+        self.profile.as_ref()
     }
 
     /// Current simulation time.
@@ -546,41 +688,57 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
     }
 
     /// Processes the next event, advancing the clock. Returns `false` if the
-    /// queue was empty.
+    /// queue was empty. Due sample points fire first, in timestamp order.
     pub fn step(&mut self) -> bool {
-        let Some((at, ev)) = self.queue.pop() else {
+        let Some(next_t) = self.queue.peek_time() else {
             return false;
         };
+        if self.sampler.is_some() {
+            self.fire_samples_until(next_t);
+        }
+        let (at, ev) = self.queue.pop().expect("event peeked above");
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
-        match ev {
+        let queue_depth = self.queue.len();
+        let started = self.profile.as_ref().map(|_| std::time::Instant::now());
+        let class = match ev {
             RtEvent::Deliver { from, to, msg, cause } => {
                 if self.nodes.contains_key(&to) {
                     self.stats.messages_delivered += 1;
                     self.trace(cause, TraceKind::Deliver { from, to });
                     self.with_ctx_caused(to, cause, |node, ctx| node.on_message(from, msg, ctx));
+                    EventClass::Deliver
                 } else {
                     self.stats.messages_dropped += 1;
                     self.trace(cause, TraceKind::Drop { to });
+                    EventClass::DeadLetter
                 }
             }
             RtEvent::Timer { node, timer, cause } => {
                 if self.nodes.contains_key(&node) {
                     self.with_ctx_caused(node, cause, |n, ctx| n.on_timer(timer, ctx));
                 }
+                EventClass::Timer
             }
+        };
+        if let (Some(p), Some(t0)) = (self.profile.as_mut(), started) {
+            p.record(class, t0.elapsed(), queue_depth);
         }
         true
     }
 
     /// Processes every event scheduled at or before `deadline`, leaving the
-    /// clock at `deadline` (or later if an event moved it there).
+    /// clock at `deadline` (or later if an event moved it there). Sample
+    /// points due by `deadline` fire even if no event follows them.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
             self.step();
+        }
+        if self.sampler.is_some() {
+            self.fire_samples_until(deadline);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -861,6 +1019,173 @@ mod tests {
         let a = rt.spawn(HostId(0), Echo::default());
         rt.kill(a);
         assert!(rt.invoke(a, |_n, _ctx| ()).is_none());
+    }
+}
+
+#[cfg(test)]
+mod sampler_tests {
+    use super::tests_support::{run_ping_workload, Echo2, TestMsg2};
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn rt() -> Runtime<Echo2, UniformLatency> {
+        Runtime::new(UniformLatency::new(4, SimDuration::from_millis(50)), 1)
+    }
+
+    #[test]
+    fn sampler_fires_on_schedule_and_sees_state() {
+        let samples: Rc<RefCell<Vec<(SimTime, u64, usize)>>> = Rc::default();
+        let sink = samples.clone();
+        let mut rt = rt();
+        let a = rt.spawn(HostId(0), Echo2::default());
+        let b = rt.spawn(HostId(1), Echo2::default());
+        rt.set_sampler(
+            SimDuration::from_millis(100),
+            Box::new(move |view| {
+                sink.borrow_mut().push((
+                    view.now(),
+                    view.stats().messages_delivered,
+                    view.num_alive(),
+                ));
+            }),
+        );
+        rt.invoke(a, |_n, ctx| ctx.send(b, TestMsg2::Ping(1)));
+        rt.run_until(SimTime::ZERO + SimDuration::from_millis(500));
+        let samples = samples.borrow();
+        // 100, 200, 300, 400, 500 ms — sample points fire even when idle.
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0].0, SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(samples[4].0, SimTime::ZERO + SimDuration::from_millis(500));
+        // The ping lands at 50ms; the pong lands at exactly 100ms, which is
+        // after the 100ms sample (samples precede same-time events).
+        assert_eq!(samples[0].1, 1, "ping delivered before first sample, pong at t exactly");
+        assert_eq!(samples[1].1, 2, "both legs delivered by 200ms");
+        assert!(samples.iter().all(|s| s.2 == 2));
+    }
+
+    #[test]
+    fn sampler_does_not_perturb_the_run() {
+        let baseline = run_ping_workload(7, |_rt| {});
+        let sampled = run_ping_workload(7, |rt| {
+            rt.set_sampler(SimDuration::from_millis(37), Box::new(|_view| {}));
+        });
+        assert_eq!(baseline, sampled, "sampling must be invisible to the simulation");
+    }
+
+    #[test]
+    fn profiler_counts_dispatches_and_does_not_perturb() {
+        let baseline = run_ping_workload(7, |_rt| {});
+        let mut rt = rt();
+        rt.enable_profiler();
+        let a = rt.spawn(HostId(0), Echo2::default());
+        let b = rt.spawn(HostId(1), Echo2::default());
+        rt.invoke(a, |_n, ctx| ctx.send(b, TestMsg2::Ping(1)));
+        rt.kill(b);
+        rt.run_to_quiescence();
+        let p = rt.disable_profiler().expect("profiler was enabled");
+        // The ping to the dead node is a dead letter; both nodes armed one
+        // start timer each (b's is discarded but still popped).
+        assert_eq!(p.dead_letter_events, 1);
+        assert_eq!(p.deliver_events, 0);
+        assert_eq!(p.timer_events, 2);
+        assert_eq!(p.total_events(), 3);
+        assert!(rt.profile().is_none(), "disable_profiler clears the slot");
+        // And a profiled run's simulation output matches an unprofiled one.
+        let profiled = run_ping_workload(7, |rt| rt.enable_profiler());
+        assert_eq!(baseline, profiled, "profiling must be invisible to the simulation");
+    }
+
+    #[test]
+    fn nodes_sorted_is_deterministic() {
+        let mut rt = rt();
+        for i in 0..4 {
+            rt.spawn(HostId(i), Echo2::default());
+        }
+        let order: Rc<RefCell<Vec<Vec<Addr>>>> = Rc::default();
+        let sink = order.clone();
+        rt.set_sampler(
+            SimDuration::from_secs(1),
+            Box::new(move |view| {
+                sink.borrow_mut().push(view.nodes_sorted().iter().map(|(a, _)| *a).collect());
+            }),
+        );
+        rt.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let order = order.borrow();
+        assert_eq!(order.len(), 2);
+        let mut expect: Vec<Addr> = order[0].clone();
+        expect.sort();
+        assert_eq!(order[0], expect, "nodes_sorted yields ascending addresses");
+        assert_eq!(order[0], order[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be positive")]
+    fn zero_sample_interval_is_rejected() {
+        let mut rt = rt();
+        rt.set_sampler(SimDuration::ZERO, Box::new(|_| {}));
+    }
+}
+
+#[cfg(test)]
+mod tests_support {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum TestMsg2 {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Wire for TestMsg2 {
+        fn wire_size(&self) -> usize {
+            24
+        }
+    }
+
+    #[derive(Default)]
+    pub struct Echo2 {
+        pub pings_seen: u32,
+    }
+
+    impl Node for Echo2 {
+        type Msg = TestMsg2;
+        type Timer = u8;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg2, u8>) {
+            ctx.set_timer(SimDuration::from_secs(5), 7);
+        }
+
+        fn on_message(&mut self, from: Addr, msg: TestMsg2, ctx: &mut Ctx<'_, TestMsg2, u8>) {
+            if let TestMsg2::Ping(n) = msg {
+                self.pings_seen += 1;
+                ctx.send(from, TestMsg2::Pong(n));
+            }
+        }
+
+        fn on_timer(&mut self, _t: u8, _ctx: &mut Ctx<'_, TestMsg2, u8>) {}
+    }
+
+    /// Runs a fixed lossy ping workload after applying `configure`, and
+    /// returns everything the simulation itself can observe. Used to prove
+    /// observability hooks do not perturb runs.
+    pub fn run_ping_workload(
+        seed: u64,
+        configure: impl FnOnce(&mut Runtime<Echo2, UniformLatency>),
+    ) -> (NetStats, u32, SimTime, String) {
+        let mut rt: Runtime<Echo2, UniformLatency> =
+            Runtime::new(UniformLatency::new(4, SimDuration::from_millis(50)), seed);
+        configure(&mut rt);
+        rt.set_loss_rate(0.3);
+        let a = rt.spawn(HostId(0), Echo2::default());
+        let b = rt.spawn(HostId(1), Echo2::default());
+        for i in 0..50 {
+            rt.invoke(a, |_n, ctx| ctx.send(b, TestMsg2::Ping(i)));
+        }
+        rt.run_to_quiescence();
+        let pings = rt.node(b).unwrap().pings_seen;
+        let snapshot = rt.metrics_mut().render_snapshot();
+        (rt.stats(), pings, rt.now(), snapshot)
     }
 }
 

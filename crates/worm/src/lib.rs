@@ -11,13 +11,21 @@
 //!
 //! * [`WormSim`] — the propagation engine.
 //! * [`Scenario`] / [`run_scenario`] — the five experiment configurations.
+//!
+//! For live observability, a [`Monitor`](verme_obs::Monitor) can be
+//! attached to a [`WormSim`] ([`attach_monitor`](WormSim::attach_monitor)):
+//! outbreak gauges are sampled on the simulated clock, detector rules run
+//! per sample, and [`detection_report`](WormSim::detection_report) pairs
+//! each section's first infection with its first covering alert — the
+//! detection-latency measurement behind the `extH` experiment.
 
 pub mod analysis;
 pub mod model;
 pub mod scenarios;
 
 pub use analysis::{analyze, logistic, CurveStats};
-pub use model::{WormParams, WormSim, WormState};
+pub use model::{SectionDetection, WormParams, WormSim, WormState};
 pub use scenarios::{
-    run_scenario, run_scenario_recorded, Scenario, ScenarioConfig, ScenarioResult,
+    run_scenario, run_scenario_instrumented, run_scenario_recorded, Instrumentation, Scenario,
+    ScenarioConfig, ScenarioResult,
 };

@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use verme_obs::monitor::Monitor;
 use verme_sim::trace::{CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind};
 use verme_sim::{Addr, EventQueue, SeedSource, SimDuration, SimTime, TimeSeries};
 
@@ -100,6 +101,35 @@ enum Ev {
     Alert { node: u32 },
 }
 
+/// Detection timing for one section of the overlay: when the worm first
+/// infected a node there versus when a monitor detector first covered it
+/// (a per-section alert, or an outbreak-wide alert — whichever is earlier).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SectionDetection {
+    /// The section index (from the map given to [`WormSim::set_sections`]).
+    pub section: u32,
+    /// When the section's first node was infected.
+    pub first_infection: SimTime,
+    /// When a detector first covered this section, if one ever fired.
+    pub first_alert: Option<SimTime>,
+}
+
+impl SectionDetection {
+    /// Detection latency: first alert minus first infection. `None` if no
+    /// alert covered the section; zero if the alert preceded the
+    /// infection (detection won the race).
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.first_alert.map(|a| a.saturating_since(self.first_infection))
+    }
+}
+
+/// The monitor attachment: where samples go and how often they are taken.
+struct MonSlot {
+    mon: Monitor,
+    interval: SimDuration,
+    next: SimTime,
+}
+
 /// The worm propagation simulator over a static overlay.
 ///
 /// # Example
@@ -140,6 +170,22 @@ pub struct WormSim {
     /// infection chain end to end.
     cause_of: Vec<Option<CauseId>>,
     next_cause: CauseId,
+    /// Per-node section index, when the overlay's layout is known.
+    sections: Option<Vec<u32>>,
+    /// Infected count per section (indexed by section).
+    section_infected: Vec<u32>,
+    /// First infection time per section.
+    section_first_infection: Vec<Option<SimTime>>,
+    /// Causal span of the most recent infection per section, attributed to
+    /// the alerts its gauge trips.
+    section_last_cause: Vec<Option<CauseId>>,
+    /// Time of the outbreak's first infection (the seed).
+    first_infection: Option<SimTime>,
+    /// Span of the most recent infection anywhere.
+    last_infection_cause: Option<CauseId>,
+    /// Guardian alerts raised so far (nodes entering the alerted set).
+    alerts_raised: u64,
+    monitor: Option<MonSlot>,
 }
 
 impl WormSim {
@@ -186,6 +232,14 @@ impl WormSim {
             recorder: None,
             cause_of: vec![None; n],
             next_cause: 0,
+            sections: None,
+            section_infected: Vec::new(),
+            section_first_infection: Vec::new(),
+            section_last_cause: Vec::new(),
+            first_infection: None,
+            last_infection_cause: None,
+            alerts_raised: 0,
+            monitor: None,
         }
     }
 
@@ -204,6 +258,146 @@ impl WormSim {
     /// tracing reached it.
     pub fn cause_of(&self, node: u32) -> Option<CauseId> {
         self.cause_of[node as usize]
+    }
+
+    /// Declares the overlay's section map: `sections[i]` is node `i`'s
+    /// section index. Enables per-section infection gauges (sampled into
+    /// an attached [`Monitor`]) and the per-section
+    /// [`detection_report`](WormSim::detection_report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not cover the population.
+    pub fn set_sections(&mut self, sections: Vec<u32>) {
+        assert_eq!(sections.len(), self.states.len(), "section map must cover the population");
+        let num = sections.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+        self.section_infected = vec![0; num];
+        self.section_first_infection = vec![None; num];
+        self.section_last_cause = vec![None; num];
+        // Account for nodes infected before the map was declared (seeds).
+        for (i, &s) in sections.iter().enumerate() {
+            if self.states[i].is_infected() {
+                self.section_infected[s as usize] += 1;
+                self.section_first_infection[s as usize]
+                    .get_or_insert(self.first_infection.unwrap_or(self.now));
+                self.section_last_cause[s as usize] = self.cause_of[i];
+            }
+        }
+        self.sections = Some(sections);
+    }
+
+    /// Attaches a live [`Monitor`]: every `interval` of simulated time the
+    /// outbreak gauges (`worm.infected`, `worm.immunized`, `worm.alerts`,
+    /// and — when [`set_sections`](WormSim::set_sections) was called —
+    /// `worm.section.<s>.infected` for each touched section) are sampled
+    /// into it, carrying the causal span of the infection that last moved
+    /// them. Sampling is read-only: an attached monitor never perturbs
+    /// the outbreak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn attach_monitor(&mut self, mon: Monitor, interval: SimDuration) {
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        self.monitor = Some(MonSlot { mon, interval, next: self.now + interval });
+    }
+
+    /// The attached monitor, if any.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref().map(|s| &s.mon)
+    }
+
+    /// Time of the outbreak's first infection (the first seed).
+    pub fn first_infection(&self) -> Option<SimTime> {
+        self.first_infection
+    }
+
+    /// First infection time of `section`, if the worm reached it and a
+    /// section map was declared.
+    pub fn section_first_infection(&self, section: u32) -> Option<SimTime> {
+        self.section_first_infection.get(section as usize).copied().flatten()
+    }
+
+    /// Infected count per section (empty without a section map).
+    pub fn section_infections(&self) -> &[u32] {
+        &self.section_infected
+    }
+
+    /// Guardian alerts raised so far (nodes that entered the alerted set).
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+
+    /// Per-section detection timing: for every section the worm reached,
+    /// its first infection time and the time the attached monitor's
+    /// detectors first covered it — via an alert on that section's own
+    /// gauge or an outbreak-wide alert (a `worm.*` gauge that is not
+    /// per-section), whichever came first. Empty without a monitor and a
+    /// section map. Sections are reported in ascending order.
+    pub fn detection_report(&self) -> Vec<SectionDetection> {
+        let Some(slot) = &self.monitor else {
+            return Vec::new();
+        };
+        let alerts = slot.mon.alerts();
+        let global_first = alerts
+            .iter()
+            .filter(|a| a.series.starts_with("worm.") && !a.series.starts_with("worm.section."))
+            .map(|a| a.at)
+            .min();
+        let mut out = Vec::new();
+        for (s, first) in self.section_first_infection.iter().enumerate() {
+            let Some(first_infection) = *first else {
+                continue;
+            };
+            let prefix = format!("worm.section.{s}.");
+            let section_first =
+                alerts.iter().filter(|a| a.series.starts_with(&prefix)).map(|a| a.at).min();
+            let first_alert = match (global_first, section_first) {
+                (Some(g), Some(l)) => Some(g.min(l)),
+                (g, l) => g.or(l),
+            };
+            out.push(SectionDetection { section: s as u32, first_infection, first_alert });
+        }
+        out
+    }
+
+    /// Fires every due sample point up to and including `t`, advancing the
+    /// clock to each sample point.
+    fn fire_samples_until(&mut self, t: SimTime) {
+        let (mon, interval, mut next) = match &self.monitor {
+            Some(s) => (s.mon.clone(), s.interval, s.next),
+            None => return,
+        };
+        while next <= t {
+            if self.now < next {
+                self.now = next;
+            }
+            self.sample_into(&mon);
+            next += interval;
+        }
+        if let Some(s) = &mut self.monitor {
+            s.next = next;
+        }
+    }
+
+    /// Takes one sample of every outbreak gauge.
+    fn sample_into(&self, mon: &Monitor) {
+        let at = self.now;
+        mon.observe("worm.infected", at, self.infected as f64, self.last_infection_cause);
+        mon.observe("worm.immunized", at, self.immunized as f64, None);
+        mon.observe("worm.alerts", at, self.alerts_raised as f64, None);
+        for (s, &count) in self.section_infected.iter().enumerate() {
+            // Sparse: a gauge is born when its section is first touched,
+            // which is also what lets prefix rules fire per section.
+            if count > 0 {
+                mon.observe(
+                    &format!("worm.section.{s}.infected"),
+                    at,
+                    count as f64,
+                    self.section_last_cause[s],
+                );
+            }
+        }
     }
 
     fn note(&self, node: u32, label: &'static str) {
@@ -321,12 +515,20 @@ impl WormSim {
     }
 
     /// Runs until the queue is empty or the clock passes `deadline`.
+    /// Monitor sample points due by `deadline` fire in timestamp order
+    /// with the outbreak's own events (samples precede same-time events).
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
+            if self.monitor.is_some() {
+                self.fire_samples_until(t);
+            }
             self.step();
+        }
+        if self.monitor.is_some() {
+            self.fire_samples_until(deadline);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -335,7 +537,12 @@ impl WormSim {
 
     /// Runs until no events remain (the outbreak has burnt out).
     pub fn run_to_quiescence(&mut self) {
-        while self.step() {}
+        while let Some(t) = self.queue.peek_time() {
+            if self.monitor.is_some() {
+                self.fire_samples_until(t);
+            }
+            self.step();
+        }
     }
 
     /// Time of the next pending event.
@@ -385,6 +592,7 @@ impl WormSim {
             return;
         }
         self.alerted[i] = true;
+        self.alerts_raised += 1;
         self.note(node, "worm.alerted");
         if self.states[i] == WormState::NotInfected {
             self.states[i] = WormState::Immune;
@@ -450,6 +658,18 @@ impl WormSim {
         self.states[node as usize] = WormState::Inactive;
         self.infected += 1;
         self.curve.push(self.now, self.infected as f64);
+        self.last_infection_cause = self.cause_of[node as usize];
+        if self.first_infection.is_none() {
+            self.first_infection = Some(self.now);
+        }
+        if let Some(secs) = &self.sections {
+            let s = secs[node as usize] as usize;
+            self.section_infected[s] += 1;
+            if self.section_first_infection[s].is_none() {
+                self.section_first_infection[s] = Some(self.now);
+            }
+            self.section_last_cause[s] = self.cause_of[node as usize];
+        }
     }
 }
 
@@ -799,5 +1019,139 @@ mod guardian_tests {
     fn guardian_map_length_is_checked() {
         let mut sim = WormSim::new(vec![vec![]], vec![true], WormParams::default(), 0);
         sim.set_guardians(vec![true, false], SimDuration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod monitor_tests {
+    use super::*;
+    use verme_obs::detect::Rule;
+
+    /// A ring of n nodes where each knows the next `deg` nodes.
+    fn ring_targets(n: usize, deg: usize) -> Vec<Vec<u32>> {
+        (0..n).map(|i| (1..=deg).map(|d| ((i + d) % n) as u32).collect()).collect()
+    }
+
+    /// Sections as contiguous blocks of `block` nodes.
+    fn block_sections(n: usize, block: usize) -> Vec<u32> {
+        (0..n).map(|i| (i / block) as u32).collect()
+    }
+
+    #[test]
+    fn sampler_feeds_gauges_and_sections() {
+        let n = 60;
+        let mon = Monitor::new(256);
+        let mut sim = WormSim::new(ring_targets(n, 3), vec![true; n], WormParams::default(), 1);
+        sim.set_sections(block_sections(n, 20));
+        sim.attach_monitor(mon.clone(), SimDuration::from_secs(1));
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.infected(), n);
+        // The global gauge tracked the outbreak to its end.
+        let (_, last) = mon.last_value("worm.infected").expect("gauge sampled");
+        assert_eq!(last, n as f64);
+        // All three sections were touched and got their own gauges.
+        for s in 0..3 {
+            let key = format!("worm.section.{s}.infected");
+            let (_, v) = mon.last_value(&key).unwrap_or_else(|| panic!("missing {key}"));
+            assert_eq!(v, 20.0);
+        }
+        // Samples carry the infection chain's causal span.
+        let pts = mon.series_points("worm.infected");
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn detectors_fire_and_latency_is_positive() {
+        let n = 120;
+        let mon = Monitor::new(256);
+        mon.add_rule("worm.section.", Rule::Threshold { min: 3.0 });
+        let mut sim = WormSim::new(ring_targets(n, 3), vec![true; n], WormParams::default(), 2);
+        sim.set_sections(block_sections(n, 30));
+        sim.attach_monitor(mon.clone(), SimDuration::from_secs(1));
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        let report = sim.detection_report();
+        assert_eq!(report.len(), 4, "all four sections were infected");
+        for d in &report {
+            assert!(d.first_alert.is_some(), "section {} undetected", d.section);
+            let lat = d.latency().unwrap();
+            assert!(!lat.is_zero(), "threshold of 3 cannot fire at the first infection");
+        }
+        // Sections are reported in ascending order and the seed's section
+        // is infected first.
+        assert_eq!(report[0].section, 0);
+        assert!(report.windows(2).all(|w| w[0].section < w[1].section));
+        // The alert's cause traces back to the outbreak's single chain.
+        let alert = mon.first_alert("worm.section.").unwrap();
+        assert_eq!(alert.cause, sim.cause_of(0), "alert attributes the infection chain");
+    }
+
+    #[test]
+    fn monitor_does_not_perturb_the_outbreak() {
+        let n = 80;
+        let run = |with_monitor: bool| {
+            let mut sim = WormSim::new(ring_targets(n, 4), vec![true; n], WormParams::default(), 7);
+            sim.set_sections(block_sections(n, 16));
+            if with_monitor {
+                let mon = Monitor::new(64);
+                mon.add_rule("worm.", Rule::Threshold { min: 1.0 });
+                sim.attach_monitor(mon, SimDuration::from_millis(250));
+            }
+            sim.seed_infection(0);
+            sim.run_to_quiescence();
+            (sim.now(), sim.curve().points().to_vec(), sim.scans_performed())
+        };
+        assert_eq!(run(false), run(true), "monitoring must be invisible to the outbreak");
+    }
+
+    #[test]
+    fn quiet_run_raises_no_alerts() {
+        let n = 40;
+        let mon = Monitor::new(64);
+        mon.add_rule("worm.", Rule::Threshold { min: 1.0 });
+        let mut sim = WormSim::new(ring_targets(n, 2), vec![true; n], WormParams::default(), 3);
+        sim.set_sections(block_sections(n, 10));
+        sim.attach_monitor(mon.clone(), SimDuration::from_secs(1));
+        // No seed: nothing happens, samples fire on the idle clock.
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(sim.infected(), 0);
+        assert!(mon.alerts().is_empty(), "no infection, no alert");
+        assert_eq!(mon.series_points("worm.infected").len(), 30);
+        assert!(sim.detection_report().is_empty());
+    }
+
+    #[test]
+    fn guardian_alert_gauge_detects_outbreaks() {
+        let n = 100;
+        let mon = Monitor::new(128);
+        mon.add_rule("worm.alerts", Rule::Threshold { min: 1.0 });
+        let mut sim = WormSim::new(ring_targets(n, 3), vec![true; n], WormParams::default(), 4);
+        let guardians: Vec<bool> = (0..n).map(|i| i % 10 == 5).collect();
+        sim.set_guardians(guardians, SimDuration::from_millis(50));
+        sim.set_sections(block_sections(n, 25));
+        sim.attach_monitor(mon.clone(), SimDuration::from_millis(500));
+        sim.seed_infection(0);
+        sim.run_to_quiescence();
+        assert!(sim.alerts_raised() > 0);
+        let first = mon.first_alert("worm.alerts").expect("guardian gauge fires");
+        assert!(first.at >= sim.first_infection().unwrap());
+    }
+
+    #[test]
+    fn sections_declared_after_seeding_count_the_seed() {
+        let mut sim = WormSim::new(vec![vec![1], vec![]], vec![true; 2], WormParams::default(), 5);
+        sim.seed_infection(0);
+        sim.set_sections(vec![3, 3]);
+        assert_eq!(sim.section_infections(), &[0, 0, 0, 1]);
+        assert!(sim.section_first_infection(3).is_some());
+        assert!(sim.section_first_infection(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "section map must cover")]
+    fn section_map_length_is_checked() {
+        let mut sim = WormSim::new(vec![vec![]], vec![true], WormParams::default(), 0);
+        sim.set_sections(vec![0, 1]);
     }
 }

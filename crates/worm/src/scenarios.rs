@@ -30,9 +30,10 @@ use verme_core::{SectionLayout, VermeStaticRing};
 use verme_crypto::NodeType;
 use verme_sim::{Addr, SeedSource, SimDuration, SimTime, TimeSeries};
 
+use verme_obs::Monitor;
 use verme_sim::FlightRecorder;
 
-use crate::model::{WormParams, WormSim};
+use crate::model::{SectionDetection, WormParams, WormSim};
 
 /// Which propagation experiment to run.
 #[derive(Clone, Debug, PartialEq)]
@@ -159,6 +160,10 @@ pub struct ScenarioResult {
     pub scans: u64,
     /// Infection collisions (two attackers racing for one victim).
     pub collisions: u64,
+    /// Per-section detection timing (first infection vs first covering
+    /// alert). Empty unless a [`Monitor`] was attached via
+    /// [`Instrumentation`].
+    pub detection: Vec<SectionDetection>,
 }
 
 impl ScenarioResult {
@@ -202,33 +207,84 @@ pub fn run_scenario_recorded(
     cfg: &ScenarioConfig,
     recorder: Option<&FlightRecorder>,
 ) -> ScenarioResult {
+    let inst = Instrumentation { recorder: recorder.cloned(), ..Instrumentation::default() };
+    run_scenario_instrumented(scenario, cfg, &inst)
+}
+
+/// Observers attached to a scenario run. Everything here is strictly
+/// read-only with respect to the outbreak: attaching any combination
+/// leaves the infection curve, scan count and collision count
+/// byte-identical to an unobserved run.
+#[derive(Default)]
+pub struct Instrumentation {
+    /// Flight recorder receiving cause-attributed infection milestones.
+    pub recorder: Option<FlightRecorder>,
+    /// Live monitor sampled on the simulated clock at the given interval.
+    /// Detector rules should be installed on it *before* the run; alerts
+    /// and gauge series are read from the same handle afterwards.
+    pub monitor: Option<(Monitor, SimDuration)>,
+}
+
+/// [`run_scenario`] with live observers attached: a flight recorder, a
+/// sampled [`Monitor`], or both. Every scenario also installs its
+/// overlay's section map, so a monitored run yields per-section
+/// `worm.section.<s>.infected` gauges and a populated
+/// [`ScenarioResult::detection`] report.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_scenario`].
+pub fn run_scenario_instrumented(
+    scenario: &Scenario,
+    cfg: &ScenarioConfig,
+    inst: &Instrumentation,
+) -> ScenarioResult {
     assert!(cfg.nodes > 1, "need a population");
     match scenario {
-        Scenario::ChordWorm => run_chord(cfg, recorder),
-        Scenario::VermeWorm => run_verme(cfg, SeedChoice::Vulnerable, recorder),
-        Scenario::SecureVerDiImpersonation => run_verme(cfg, SeedChoice::Impersonator, recorder),
+        Scenario::ChordWorm => run_chord(cfg, inst),
+        Scenario::VermeWorm => run_verme(cfg, SeedChoice::Vulnerable, inst),
+        Scenario::SecureVerDiImpersonation => run_verme(cfg, SeedChoice::Impersonator, inst),
         Scenario::FastVerDiImpersonation { lookups_per_sec } => {
-            run_fast_impersonation(cfg, *lookups_per_sec, recorder)
+            run_fast_impersonation(cfg, *lookups_per_sec, inst)
         }
         Scenario::CompromiseVerDi { node_lookup_rate_per_sec } => {
-            run_compromise(cfg, *node_lookup_rate_per_sec, recorder)
+            run_compromise(cfg, *node_lookup_rate_per_sec, inst)
         }
-        Scenario::VermeUnshiftedFingersAblation => run_verme_ablated(cfg, recorder),
+        Scenario::VermeUnshiftedFingersAblation => run_verme_ablated(cfg, inst),
         Scenario::ChordWithGuardians { guardian_fraction, alert_hop_delay_s } => {
-            run_chord_guardians(cfg, *guardian_fraction, *alert_hop_delay_s, recorder)
+            run_chord_guardians(cfg, *guardian_fraction, *alert_hop_delay_s, inst)
         }
-        Scenario::SybilImpersonation { identities } => run_sybil(cfg, *identities, recorder),
-        Scenario::SwarmRandomTracker => run_swarm(cfg, false, recorder),
-        Scenario::SwarmTypeAwareTracker => run_swarm(cfg, true, recorder),
+        Scenario::SybilImpersonation { identities } => run_sybil(cfg, *identities, inst),
+        Scenario::SwarmRandomTracker => run_swarm(cfg, false, inst),
+        Scenario::SwarmTypeAwareTracker => run_swarm(cfg, true, inst),
     }
 }
 
-/// Attaches `rec` (if any) to a freshly built worm model.
-fn maybe_record(sim: WormSim, rec: Option<&FlightRecorder>) -> WormSim {
-    match rec {
+/// Applies `inst` to a freshly built worm model and installs the
+/// overlay's section map (the partition the monitor reports against).
+fn instrument(sim: WormSim, inst: &Instrumentation, sections: Vec<u32>) -> WormSim {
+    let mut sim = match &inst.recorder {
         Some(r) => sim.with_recorder(r.clone()),
         None => sim,
+    };
+    sim.set_sections(sections);
+    if let Some((mon, interval)) = &inst.monitor {
+        sim.attach_monitor(mon.clone(), *interval);
     }
+    sim
+}
+
+/// Contiguous id-order section blocks for overlays without a native
+/// section structure (plain Chord, guardians): node `i` of `n` lands in
+/// block `i·sections/n`.
+fn block_sections(nodes: usize, sections: u128) -> Vec<u32> {
+    let s = sections.max(1);
+    (0..nodes).map(|i| ((i as u128 * s) / nodes as u128) as u32).collect()
+}
+
+/// Verme's native section map: each node's section in the typed layout.
+fn verme_sections(ring: &VermeStaticRing, nodes: usize) -> Vec<u32> {
+    (0..nodes).map(|i| ring.section_of_index(i) as u32).collect()
 }
 
 // ----------------------------------------------------------------------
@@ -313,6 +369,7 @@ fn result_from(sim: WormSim, vulnerable: usize, nodes: usize) -> ScenarioResult 
         nodes,
         scans: sim.scans_performed(),
         collisions: sim.collisions(),
+        detection: sim.detection_report(),
         curve: sim.curve().clone(),
     }
 }
@@ -324,7 +381,7 @@ fn result_from(sim: WormSim, vulnerable: usize, nodes: usize) -> ScenarioResult 
 /// Ablation: sectioned typed ids, but fingers resolved the plain Chord
 /// way (`successor(id + 2^i)`). Long fingers then land in *same-type*
 /// sections, and the worm crosses islands freely.
-fn run_verme_ablated(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResult {
+fn run_verme_ablated(cfg: &ScenarioConfig, inst: &Instrumentation) -> ScenarioResult {
     let layout = SectionLayout::with_sections(cfg.sections, 2);
     let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
     let n = cfg.nodes;
@@ -352,8 +409,11 @@ fn run_verme_ablated(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> Scen
     }
     let vulnerable: Vec<bool> = (0..n).map(|i| ring.type_of_index(i) == NodeType::A).collect();
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        verme_sections(&ring, n),
+    );
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let seed_node = ring.random_index_of_type(NodeType::A, &mut rng) as u32;
     sim.seed_infection(seed_node);
@@ -361,7 +421,7 @@ fn run_verme_ablated(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> Scen
     result_from(sim, vuln_count, cfg.nodes)
 }
 
-fn run_chord(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResult {
+fn run_chord(cfg: &ScenarioConfig, inst: &Instrumentation) -> ScenarioResult {
     let (targets, vulnerable) = build_chord_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
     assert!(vuln_count > 0, "no vulnerable machines");
@@ -373,8 +433,11 @@ fn run_chord(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResu
             break i as u32;
         }
     };
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        block_sections(cfg.nodes, cfg.sections),
+    );
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
     result_from(sim, vuln_count, cfg.nodes)
@@ -384,11 +447,7 @@ fn run_chord(cfg: &ScenarioConfig, rec: Option<&FlightRecorder>) -> ScenarioResu
 /// neighbor set; the worm follows those neighbor lists. Island size is
 /// derived from the configured section count so structured and
 /// unstructured runs are comparable.
-fn run_swarm(
-    cfg: &ScenarioConfig,
-    type_aware: bool,
-    rec: Option<&FlightRecorder>,
-) -> ScenarioResult {
+fn run_swarm(cfg: &ScenarioConfig, type_aware: bool, inst: &Instrumentation) -> ScenarioResult {
     use verme_core::tracker::{assign_random, assign_type_aware, TrackerConfig};
     let n = cfg.nodes;
     let types: Vec<NodeType> =
@@ -413,9 +472,12 @@ fn run_swarm(
             break i as u32;
         }
     };
-    let mut sim = maybe_record(
+    // The tracker's island partition *is* this overlay's section map.
+    let islands = assignment.island_of.clone();
+    let mut sim = instrument(
         WormSim::new(assignment.neighbors, vulnerable, cfg.params.clone(), cfg.seed),
-        rec,
+        inst,
+        islands,
     );
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
@@ -427,7 +489,7 @@ fn run_chord_guardians(
     cfg: &ScenarioConfig,
     fraction: f64,
     hop_delay_s: f64,
-    rec: Option<&FlightRecorder>,
+    inst: &Instrumentation,
 ) -> ScenarioResult {
     assert!((0.0..1.0).contains(&fraction), "guardian fraction must be in [0,1)");
     let (targets, vulnerable) = build_chord_view(cfg);
@@ -442,8 +504,11 @@ fn run_chord_guardians(
         }
     };
     let vuln_count = vulnerable.iter().zip(&guardians).filter(|&(&v, &g)| v && !g).count();
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        block_sections(cfg.nodes, cfg.sections),
+    );
     sim.set_guardians(guardians, SimDuration::from_secs_f64(hop_delay_s));
     sim.seed_infection(seed_node);
     sim.run_until(SimTime::ZERO + cfg.duration);
@@ -462,12 +527,15 @@ enum SeedChoice {
 fn run_verme(
     cfg: &ScenarioConfig,
     seed_choice: SeedChoice,
-    rec: Option<&FlightRecorder>,
+    inst: &Instrumentation,
 ) -> ScenarioResult {
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        verme_sections(&ring, cfg.nodes),
+    );
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let ty = match seed_choice {
         SeedChoice::Vulnerable => NodeType::A,
@@ -483,16 +551,15 @@ fn run_verme(
 /// once. Each contributes its own routing state's worth of type-A
 /// victims (its fingers' sections), so containment scales with the
 /// number of certificates the attacker could obtain.
-fn run_sybil(
-    cfg: &ScenarioConfig,
-    identities: usize,
-    rec: Option<&FlightRecorder>,
-) -> ScenarioResult {
+fn run_sybil(cfg: &ScenarioConfig, identities: usize, inst: &Instrumentation) -> ScenarioResult {
     assert!(identities > 0, "need at least one identity");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        verme_sections(&ring, cfg.nodes),
+    );
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
     let mut seeded = 0;
     let mut guard = 0;
@@ -511,13 +578,16 @@ fn run_sybil(
 fn run_fast_impersonation(
     cfg: &ScenarioConfig,
     lookups_per_sec: f64,
-    rec: Option<&FlightRecorder>,
+    inst: &Instrumentation,
 ) -> ScenarioResult {
     assert!(lookups_per_sec > 0.0, "harvest rate must be positive");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        verme_sections(&ring, cfg.nodes),
+    );
     let src = SeedSource::new(cfg.seed);
     let mut rng = src.stream("seed-node");
     let imp = ring.random_index_of_type(NodeType::B, &mut rng) as u32;
@@ -552,7 +622,7 @@ fn run_fast_impersonation(
 fn run_compromise(
     cfg: &ScenarioConfig,
     node_lookup_rate: f64,
-    rec: Option<&FlightRecorder>,
+    inst: &Instrumentation,
 ) -> ScenarioResult {
     assert!(node_lookup_rate > 0.0, "lookup rate must be positive");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
@@ -590,8 +660,11 @@ fn run_compromise(
     }
     let lambda: f64 = node_lookup_rate * clients.iter().map(|&(_, w)| w).sum::<f64>();
 
-    let mut sim =
-        maybe_record(WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed), rec);
+    let mut sim = instrument(
+        WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
+        inst,
+        verme_sections(&ring, cfg.nodes),
+    );
     sim.seed_infection(imp as u32);
 
     if clients.is_empty() || lambda <= 0.0 {
@@ -831,5 +904,71 @@ mod tests {
         let b = run_scenario(&Scenario::VermeWorm, &cfg);
         assert_eq!(a.infected, b.infected);
         assert_eq!(a.scans, b.scans);
+    }
+
+    #[test]
+    fn instrumented_run_does_not_perturb_the_outbreak() {
+        let cfg = small_cfg();
+        let plain = run_scenario(&Scenario::ChordWorm, &cfg);
+        let mon = Monitor::new(512);
+        mon.add_rule("worm.infected", verme_obs::Rule::Threshold { min: 5.0 });
+        let inst = Instrumentation {
+            recorder: Some(FlightRecorder::new(1024)),
+            monitor: Some((mon.clone(), SimDuration::from_secs(5))),
+        };
+        let observed = run_scenario_instrumented(&Scenario::ChordWorm, &cfg, &inst);
+        assert_eq!(plain.infected, observed.infected);
+        assert_eq!(plain.scans, observed.scans);
+        assert_eq!(plain.curve.points(), observed.curve.points());
+        assert!(!mon.alerts().is_empty(), "chord outbreak must trip the threshold");
+        assert!(!observed.detection.is_empty(), "section map must yield a detection report");
+        // An unmonitored run reports nothing.
+        assert!(plain.detection.is_empty());
+    }
+
+    #[test]
+    fn guardian_scenario_reports_per_section_detection_latency() {
+        let cfg = small_cfg();
+        let mon = Monitor::new(512);
+        mon.add_rule("worm.section.", verme_obs::Rule::Threshold { min: 1.0 });
+        let inst =
+            Instrumentation { recorder: None, monitor: Some((mon, SimDuration::from_secs(2))) };
+        let r = run_scenario_instrumented(
+            &Scenario::ChordWithGuardians { guardian_fraction: 0.02, alert_hop_delay_s: 1.0 },
+            &cfg,
+            &inst,
+        );
+        assert!(!r.detection.is_empty(), "chord worm must reach sections");
+        let covered = r.detection.iter().filter(|d| d.latency().is_some()).count();
+        assert!(covered > 0, "per-section threshold must cover infected sections");
+        // Sections are reported in ascending order with valid indices.
+        for w in r.detection.windows(2) {
+            assert!(w[0].section < w[1].section);
+        }
+        for d in &r.detection {
+            assert!((d.section as u128) < cfg.sections);
+        }
+    }
+
+    #[test]
+    fn verme_sections_match_the_native_layout() {
+        // A monitored Verme outbreak stays in one native section: exactly
+        // one per-section gauge should ever rise, and the detection
+        // report must name very few sections.
+        let cfg = small_cfg();
+        let mon = Monitor::new(512);
+        let inst = Instrumentation {
+            recorder: None,
+            monitor: Some((mon.clone(), SimDuration::from_secs(10))),
+        };
+        let r = run_scenario_instrumented(&Scenario::VermeWorm, &cfg, &inst);
+        assert!(r.infected >= 2);
+        let section_gauges =
+            mon.gauge_keys().into_iter().filter(|k| k.starts_with("worm.section.")).count();
+        assert!(
+            section_gauges <= 2,
+            "contained worm should touch at most a couple of sections, saw {section_gauges}"
+        );
+        assert_eq!(r.detection.len(), section_gauges);
     }
 }
