@@ -1,0 +1,293 @@
+//! End-to-end check of the replica-repair plane, run in CI.
+//!
+//! Complements `monitor_check` (the observability plane) with the
+//! durability guarantees this PR adds:
+//!
+//! 1. with repair enabled, a ring survives a targeted two-wave kill of a
+//!    block's entire original holder set — the repair plane re-replicates
+//!    between the waves, full replication is restored, and the
+//!    `dht.blocks.lost` monitor rule stays silent;
+//! 2. the identical fault script with repair disabled loses the block
+//!    outright, and the same monitor rule fires;
+//! 3. on a fault-free ring the repair plane is inert: a repair-enabled
+//!    run leaves the protocol metrics, network statistics and final
+//!    clock *byte-identical* to a repair-disabled run (the periodic
+//!    repair timer no-ops while the neighbor epoch is unchanged, so
+//!    enabling repair by default costs nothing until faults happen).
+//!
+//! Exits non-zero on the first broken guarantee.
+//!
+//! ```text
+//! cargo run -p verme-bench --release --bin durability_check
+//! ```
+
+use bytes::Bytes;
+use rand::Rng;
+
+use verme_bench::report::BenchTimer;
+use verme_bench::CliArgs;
+use verme_chord::{ChordConfig, Id, NodeHandle, StaticRing};
+use verme_dht::{DhashNode, DhtConfig, DhtNode, DurabilityCensus};
+use verme_obs::{Monitor, Registry, Rule};
+use verme_sim::runtime::UniformLatency;
+use verme_sim::{Addr, HostId, Runtime, SeedSource, SimDuration, SimTime};
+
+const NODES: usize = 64;
+const BLOCKS: usize = 8;
+const HOP: SimDuration = SimDuration::from_millis(20);
+
+fn config(repair: bool) -> DhtConfig {
+    DhtConfig {
+        repair_enabled: repair,
+        // Push the blind periodic re-replication far beyond the run so
+        // only the repair plane can restore the killed copies.
+        data_stabilize_interval: SimDuration::from_secs(3_600),
+        ..DhtConfig::default()
+    }
+}
+
+fn build_ring(seed: u64, cfg: &DhtConfig) -> (Runtime<DhashNode, UniformLatency>, Vec<Addr>) {
+    let mut idrng = SeedSource::new(seed).stream("ids");
+    let handles: Vec<NodeHandle> = (0..NODES)
+        .map(|i| NodeHandle::new(Id::random(&mut idrng), Addr::from_raw(i as u64 + 1)))
+        .collect();
+    let ring = StaticRing::new(handles);
+    let mut rt = Runtime::new(UniformLatency::new(NODES, HOP), seed);
+    let mut by_addr: Vec<(u64, usize)> = (0..NODES).map(|i| (ring.node(i).addr.raw(), i)).collect();
+    by_addr.sort_unstable();
+    let mut addrs = vec![Addr::NULL; NODES];
+    for (raw, pos) in by_addr {
+        let node = DhashNode::new(ring.build_node(pos, ChordConfig::default()), cfg.clone());
+        addrs[pos] = rt.spawn(HostId(raw as usize - 1), node);
+    }
+    (rt, addrs)
+}
+
+/// Seeds the standard blocks fault-free and returns the surviving keys.
+fn seed_blocks(rt: &mut Runtime<DhashNode, UniformLatency>, addrs: &[Addr], seed: u64) -> Vec<Id> {
+    let mut rng = SeedSource::new(seed).stream("workload");
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    let mut keys = Vec::with_capacity(BLOCKS);
+    for blkno in 0..BLOCKS {
+        let who = addrs[rng.gen_range(0..addrs.len())];
+        let mut value = vec![0u8; 512];
+        value[..8].copy_from_slice(&(blkno as u64).to_le_bytes());
+        let value = Bytes::from(value);
+        let key = verme_dht::block_key(&value);
+        rt.invoke(who, |n, ctx| n.start_put(value, ctx)).expect("alive");
+        rt.run_until(rt.now() + SimDuration::from_secs(5));
+        if rt.node_mut(who).expect("alive").take_op_outcomes().iter().any(|o| o.ok) {
+            keys.push(key);
+        }
+    }
+    keys
+}
+
+/// The live nodes currently holding `key`, in address order.
+fn holders(rt: &Runtime<DhashNode, UniformLatency>, addrs: &[Addr], key: Id) -> Vec<Addr> {
+    addrs
+        .iter()
+        .copied()
+        .filter(|&a| rt.is_alive(a) && rt.node(a).expect("alive").store().contains(key))
+        .collect()
+}
+
+/// Takes the durability census over the live population.
+fn census(
+    rt: &Runtime<DhashNode, UniformLatency>,
+    addrs: &[Addr],
+    keys: &[Id],
+    target: usize,
+) -> DurabilityCensus {
+    let stores: Vec<_> = addrs
+        .iter()
+        .copied()
+        .filter(|&a| rt.is_alive(a))
+        .map(|a| rt.node(a).expect("alive").store())
+        .collect();
+    DurabilityCensus::take(keys.iter().copied(), stores, target)
+}
+
+/// Feeds the durability gauges into the monitor, the same way a sampler
+/// hook would: under-replication and loss from the census, in-flight
+/// repair work summed over the live population.
+fn observe(
+    mon: &Monitor,
+    rt: &Runtime<DhashNode, UniformLatency>,
+    addrs: &[Addr],
+    keys: &[Id],
+    target: usize,
+) -> DurabilityCensus {
+    let c = census(rt, addrs, keys, target);
+    let inflight: usize = addrs
+        .iter()
+        .copied()
+        .filter(|&a| rt.is_alive(a))
+        .map(|a| rt.node(a).expect("alive").repair_inflight())
+        .sum();
+    mon.observe("dht.blocks.under_replicated", rt.now(), c.under_replicated as f64, None);
+    mon.observe("dht.blocks.lost", rt.now(), c.lost as f64, None);
+    mon.observe("dht.repair.inflight", rt.now(), inflight as f64, None);
+    c
+}
+
+/// Runs the two-wave holder kill against `keys[0]` and returns the final
+/// census: wave one crashes every holder but one, a repair window passes,
+/// wave two crashes the last original holder.
+fn run_kill_waves(
+    rt: &mut Runtime<DhashNode, UniformLatency>,
+    mon: &Monitor,
+    addrs: &[Addr],
+    keys: &[Id],
+    target: usize,
+) -> (DurabilityCensus, Vec<Addr>) {
+    let original = holders(rt, addrs, keys[0]);
+    assert!(original.len() >= 2, "seeding must replicate keys[0]");
+    for &a in &original[1..] {
+        rt.kill(a);
+    }
+    observe(mon, rt, addrs, keys, target);
+    // One repair window: epoch kicks fire 2 s after the overlay notices,
+    // plus the periodic 15 s timer; 60 s covers several rounds.
+    rt.run_until(rt.now() + SimDuration::from_secs(60));
+    observe(mon, rt, addrs, keys, target);
+    rt.kill(original[0]);
+    rt.run_until(rt.now() + SimDuration::from_secs(90));
+    (observe(mon, rt, addrs, keys, target), original)
+}
+
+/// A deterministic fingerprint of everything the protocol layer produced.
+fn fingerprint(rt: &Runtime<DhashNode, UniformLatency>) -> String {
+    let mut registry = Registry::new();
+    registry.register_all(verme_chord::keys::descriptors());
+    registry.register_all(verme_dht::keys::descriptors());
+    format!("{:?}|{:?}|{}", rt.now(), rt.stats(), registry.export_ndjson(rt.metrics()))
+}
+
+/// Drives the fault-free put/get workload used by the inertness check.
+fn drive_idle(rt: &mut Runtime<DhashNode, UniformLatency>, addrs: &[Addr], seed: u64) -> Vec<Id> {
+    let keys = seed_blocks(rt, addrs, seed);
+    let mut rng = SeedSource::new(seed).stream("idle-gets");
+    for i in 0..16usize {
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+        let who = addrs[rng.gen_range(0..addrs.len())];
+        let key = keys[i % keys.len()];
+        rt.invoke(who, |n, ctx| n.start_get(key, ctx)).expect("alive");
+    }
+    rt.run_until(rt.now() + SimDuration::from_secs(120));
+    keys
+}
+
+/// Runs one named check, printing a verdict line and counting failures.
+fn check(failures: &mut u32, name: &str, result: Result<String, String>) {
+    match result {
+        Ok(detail) => println!("ok   {name}: {detail}"),
+        Err(why) => {
+            *failures += 1;
+            println!("FAIL {name}: {why}");
+        }
+    }
+}
+
+fn main() {
+    let timer = BenchTimer::start("durability_check");
+    let args = CliArgs::parse();
+    let mut failures = 0u32;
+    let target = DhtConfig::default().replicas;
+
+    // ------------------------------------------------------------------
+    // 1. Repair keeps the block alive through both kill waves.
+    // ------------------------------------------------------------------
+    let cfg_on = config(true);
+    let (mut rt, addrs) = build_ring(args.seed, &cfg_on);
+    let keys = seed_blocks(&mut rt, &addrs, args.seed);
+    assert!(!keys.is_empty(), "no block survived fault-free seeding");
+    let mon = Monitor::new(1024);
+    mon.add_rule("dht.blocks.lost", Rule::Threshold { min: 1.0 });
+    let (after, original) = run_kill_waves(&mut rt, &mon, &addrs, &keys, target);
+    let on_events = rt.stats().messages_delivered;
+    check(&mut failures, "repair.restores", {
+        let delta = rt.metrics().counter_snapshot();
+        let rounds = delta.get(verme_dht::keys::REPAIR_ROUNDS).copied().unwrap_or(0);
+        let pushed = delta.get(verme_dht::keys::REPAIR_PUSHED).copied().unwrap_or(0);
+        if after.lost > 0 {
+            Err(format!("lost {} block(s) despite repair: {:?}", after.lost, after.holders))
+        } else if !after.fully_replicated() {
+            Err(format!(
+                "repair never restored full replication: {} under target {target}",
+                after.under_replicated
+            ))
+        } else if rounds == 0 || pushed == 0 {
+            Err(format!("kill waves triggered no repair work: rounds {rounds}, pushed {pushed}"))
+        } else if !mon.alerts().is_empty() {
+            Err(format!("loss rule fired on the repaired ring: {}", mon.alerts()[0].series))
+        } else {
+            Ok(format!(
+                "{} original holders killed, {rounds} rounds pushed {pushed} blocks, \
+                 all {} keys back at {target}+",
+                original.len(),
+                after.keys
+            ))
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 2. The identical script without repair loses the block and the
+    //    monitor rule catches it.
+    // ------------------------------------------------------------------
+    let cfg_off = config(false);
+    let (mut rt_off, addrs_off) = build_ring(args.seed, &cfg_off);
+    let keys_off = seed_blocks(&mut rt_off, &addrs_off, args.seed);
+    let mon_off = Monitor::new(1024);
+    mon_off.add_rule("dht.blocks.lost", Rule::Threshold { min: 1.0 });
+    let (after_off, _) = run_kill_waves(&mut rt_off, &mon_off, &addrs_off, &keys_off, target);
+    check(&mut failures, "norepair.loses", {
+        if after_off.lost == 0 {
+            Err("killing every holder somehow kept the block alive without repair".into())
+        } else if mon_off.alerts().is_empty() {
+            Err(format!("{} block(s) lost but the loss rule never fired", after_off.lost))
+        } else {
+            Ok(format!(
+                "{} block(s) lost, rule {} fired at {}",
+                after_off.lost,
+                mon_off.alerts()[0].rule,
+                mon_off.alerts()[0].at
+            ))
+        }
+    });
+
+    // ------------------------------------------------------------------
+    // 3. Fault-free, the repair plane is byte-for-byte inert.
+    // ------------------------------------------------------------------
+    let (mut rt_a, addrs_a) = build_ring(args.seed, &config(true));
+    drive_idle(&mut rt_a, &addrs_a, args.seed);
+    let print_on = fingerprint(&rt_a);
+    let (mut rt_b, addrs_b) = build_ring(args.seed, &config(false));
+    drive_idle(&mut rt_b, &addrs_b, args.seed);
+    check(&mut failures, "repair_idle.identical", {
+        let print_off = fingerprint(&rt_b);
+        if print_on == print_off {
+            Ok(format!("{} fingerprint bytes match", print_on.len()))
+        } else {
+            let at = print_on
+                .bytes()
+                .zip(print_off.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(print_on.len().min(print_off.len()));
+            let lo = at.saturating_sub(40);
+            Err(format!(
+                "repair-on fault-free run diverged at byte {at}: \
+                 on ..{:?} vs off ..{:?}",
+                &print_on[lo..(at + 40).min(print_on.len())],
+                &print_off[lo..(at + 40).min(print_off.len())]
+            ))
+        }
+    });
+
+    timer.finish(on_events + rt_off.stats().messages_delivered);
+    if failures > 0 {
+        eprintln!("{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

@@ -12,6 +12,9 @@
 //! * [`exth`] — detection-latency sweeps for the live monitoring plane
 //!   (extension H): guardian coverage and detector parameters vs the
 //!   outbreak's speed.
+//! * [`exti`] — data durability under churn (extension I): loss and
+//!   under-replication with the replica-repair plane off vs on at
+//!   several repair intervals.
 //! * [`report`] — `BENCH_<name>.json` wall-clock/event-rate summaries
 //!   every binary writes for CI regression tracking.
 //!
@@ -22,6 +25,7 @@
 pub mod ext;
 pub mod extg;
 pub mod exth;
+pub mod exti;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;

@@ -199,6 +199,7 @@ pub struct ChordNode {
     stab_waiting: Option<(u64, NodeHandle)>,
     pred_waiting: Option<u64>,
     outcomes: Vec<LookupOutcome>,
+    neighbor_epoch: u64,
 }
 
 impl ChordNode {
@@ -228,6 +229,7 @@ impl ChordNode {
             stab_waiting: None,
             pred_waiting: None,
             outcomes: Vec::new(),
+            neighbor_epoch: 0,
         }
     }
 
@@ -290,6 +292,16 @@ impl ChordNode {
     /// The node's successor list, nearest first.
     pub fn successor_list(&self) -> &[NodeHandle] {
         self.successors.as_slice()
+    }
+
+    /// Monotone counter bumped whenever this node's replica-relevant
+    /// neighborhood (successor list or predecessor) actually changes.
+    ///
+    /// Storage layers poll it to trigger prompt replica repair after a
+    /// join, crash, or graceful departure, without inspecting (or
+    /// copying) the lists themselves.
+    pub fn neighbor_epoch(&self) -> u64 {
+        self.neighbor_epoch
     }
 
     /// The node's finger table.
@@ -757,10 +769,14 @@ impl ChordNode {
 
     /// Purges a detected-dead address from all routing state.
     fn mark_dead(&mut self, addr: Addr) {
-        self.successors.remove_addr(addr);
+        let mut changed = self.successors.remove_addr(addr);
         self.fingers.remove_addr(addr);
         if self.predecessor.is_some_and(|p| p.addr == addr) {
             self.predecessor = None;
+            changed = true;
+        }
+        if changed {
+            self.neighbor_epoch += 1;
         }
     }
 
@@ -912,7 +928,9 @@ impl ChordNode {
             // would refill the list *backwards* and wedge this node in a
             // wrapped state that answers lookups for the dead arc.
             if let Some(f) = self.nearest_forward_finger() {
-                self.successors.integrate(f);
+                if self.successors.integrate(f) {
+                    self.neighbor_epoch += 1;
+                }
             }
         }
         let Some(s1) = self.successors.first() else {
@@ -949,6 +967,9 @@ impl ChordNode {
             }
         }
         fresh.integrate_all(&succs);
+        if fresh.as_slice() != self.successors.as_slice() {
+            self.neighbor_epoch += 1;
+        }
         self.successors = fresh;
         if let Some(new_s1) = self.successors.first() {
             self.send_counted(
@@ -983,7 +1004,11 @@ impl ChordNode {
         predecessor: Option<NodeHandle>,
     ) {
         self.mark_dead(node.addr);
-        self.successors.integrate_all(&successors);
+        for &h in &successors {
+            if self.successors.integrate(h) {
+                self.neighbor_epoch += 1;
+            }
+        }
         if let Some(p) = predecessor {
             if p.addr != self.me.addr {
                 self.handle_notify(p);
@@ -997,11 +1022,14 @@ impl ChordNode {
             Some(p) => node.id.in_open_open(p.id, self.id),
         };
         if adopt && node.id != self.id {
+            if self.predecessor != Some(node) {
+                self.neighbor_epoch += 1;
+            }
             self.predecessor = Some(node);
         }
         // Bootstrap case: a singleton learns its first peer via notify.
-        if self.successors.is_empty() && node.id != self.id {
-            self.successors.integrate(node);
+        if self.successors.is_empty() && node.id != self.id && self.successors.integrate(node) {
+            self.neighbor_epoch += 1;
         }
     }
 

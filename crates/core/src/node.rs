@@ -144,6 +144,7 @@ pub struct VermeNode<P: Payload = ()> {
     stab_waiting: Option<(u64, NodeHandle)>,
     pred_stab_waiting: Option<(u64, NodeHandle)>,
     denied: u64,
+    neighbor_epoch: u64,
 }
 
 impl<P: Payload> VermeNode<P> {
@@ -196,6 +197,7 @@ impl<P: Payload> VermeNode<P> {
             stab_waiting: None,
             pred_stab_waiting: None,
             denied: 0,
+            neighbor_epoch: 0,
         }
     }
 
@@ -278,6 +280,16 @@ impl<P: Payload> VermeNode<P> {
     /// The node's finger table.
     pub fn finger_table(&self) -> &FingerTable {
         &self.fingers
+    }
+
+    /// Monotone counter bumped whenever this node's replica-relevant
+    /// neighborhood (successor or predecessor list) actually changes.
+    ///
+    /// Storage layers poll it to trigger prompt replica repair after a
+    /// join, crash, or graceful departure, without inspecting (or
+    /// copying) the lists themselves.
+    pub fn neighbor_epoch(&self) -> u64 {
+        self.neighbor_epoch
     }
 
     /// The section layout this node runs under.
@@ -924,9 +936,12 @@ impl<P: Payload> VermeNode<P> {
     }
 
     fn mark_dead(&mut self, addr: Addr) {
-        self.successors.remove_addr(addr);
-        self.predecessors.remove_addr(addr);
+        let succ_gone = self.successors.remove_addr(addr);
+        let pred_gone = self.predecessors.remove_addr(addr);
         self.fingers.remove_addr(addr);
+        if succ_gone || pred_gone {
+            self.neighbor_epoch += 1;
+        }
     }
 
     /// The live finger nearest ahead of this node — the best emergency
@@ -952,7 +967,9 @@ impl<P: Payload> VermeNode<P> {
             // would refill the list *backwards* and wedge this node in a
             // wrapped state that answers lookups for the dead arc.
             if let Some(f) = self.nearest_forward_finger() {
-                self.successors.integrate(f);
+                if self.successors.integrate(f) {
+                    self.neighbor_epoch += 1;
+                }
             }
         }
         if let Some(s1) = self.successors.first() {
@@ -988,6 +1005,9 @@ impl<P: Payload> VermeNode<P> {
                     }
                 }
                 fresh.integrate_all(&succs);
+                if fresh.as_slice() != self.successors.as_slice() {
+                    self.neighbor_epoch += 1;
+                }
                 self.successors = fresh;
                 if let Some(new_s1) = self.successors.first() {
                     self.send_counted(
@@ -1006,6 +1026,9 @@ impl<P: Payload> VermeNode<P> {
                 let mut fresh = NeighborList::predecessors(self.id, self.cfg.num_predecessors);
                 fresh.integrate(p1);
                 fresh.integrate_all(&preds);
+                if fresh.as_slice() != self.predecessors.as_slice() {
+                    self.neighbor_epoch += 1;
+                }
                 self.predecessors = fresh;
             }
         }
@@ -1013,9 +1036,11 @@ impl<P: Payload> VermeNode<P> {
 
     fn handle_notify(&mut self, node: NodeHandle) {
         if node.id != self.id {
-            self.predecessors.integrate(node);
-            if self.successors.is_empty() {
-                self.successors.integrate(node);
+            if self.predecessors.integrate(node) {
+                self.neighbor_epoch += 1;
+            }
+            if self.successors.is_empty() && self.successors.integrate(node) {
+                self.neighbor_epoch += 1;
             }
         }
     }
@@ -1032,8 +1057,11 @@ impl<P: Payload> VermeNode<P> {
         self.mark_dead(node.addr);
         for h in successors.into_iter().chain(predecessors) {
             if h.addr != self.me.addr {
-                self.successors.integrate(h);
-                self.predecessors.integrate(h);
+                let s = self.successors.integrate(h);
+                let p = self.predecessors.integrate(h);
+                if s || p {
+                    self.neighbor_epoch += 1;
+                }
             }
         }
     }

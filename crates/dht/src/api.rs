@@ -38,6 +38,27 @@ pub mod keys {
     /// Bytes sent for background replication (excluded from Figure 7,
     /// matching the paper's accounting).
     pub const BYTES_REPLICATION: &str = "bytes.replication";
+    /// Repair rounds that actually probed (the neighborhood changed).
+    pub const REPAIR_ROUNDS: &str = "dht.repair.rounds";
+    /// Blocks re-replicated by the repair plane (probe-diff pushes and
+    /// pulls; excludes initial placement).
+    pub const REPAIR_PUSHED: &str = "dht.repair.pushed";
+    /// Read-repairs triggered on the get path (a fetch needed failover,
+    /// so the first-line replica set is incomplete).
+    pub const READ_REPAIR: &str = "dht.repair.read";
+    /// Blocks handed off to the next responsible holder on graceful
+    /// departure.
+    pub const HANDOFF_BLOCKS: &str = "dht.handoff.blocks";
+
+    /// Monitor gauge: stored keys with fewer live holders than the
+    /// replication target. Fed by harness samplers via
+    /// [`crate::repair::DurabilityCensus`], never by the nodes
+    /// themselves, so it has no registry descriptor.
+    pub const GAUGE_UNDER_REPLICATED: &str = "dht.blocks.under_replicated";
+    /// Monitor gauge: repair probes and read-repair operations in flight.
+    pub const GAUGE_REPAIR_INFLIGHT: &str = "dht.repair.inflight";
+    /// Monitor gauge: seeded keys with zero live holders (unrecoverable).
+    pub const GAUGE_BLOCKS_LOST: &str = "dht.blocks.lost";
 
     /// Descriptors for every DHT metric, for registry export.
     pub fn descriptors() -> &'static [verme_sim::MetricDesc] {
@@ -52,6 +73,10 @@ pub mod keys {
             MetricDesc::counter(OP_RECOVERED, "ops", "operations recovered by a retry"),
             MetricDesc::counter(BYTES_DATA, "bytes", "foreground data-plane traffic"),
             MetricDesc::counter(BYTES_REPLICATION, "bytes", "background replication traffic"),
+            MetricDesc::counter(REPAIR_ROUNDS, "rounds", "repair rounds that probed"),
+            MetricDesc::counter(REPAIR_PUSHED, "blocks", "blocks re-replicated by repair"),
+            MetricDesc::counter(READ_REPAIR, "ops", "read-repairs triggered on the get path"),
+            MetricDesc::counter(HANDOFF_BLOCKS, "blocks", "blocks handed off on graceful leave"),
         ];
         DESCS
     }
@@ -115,6 +140,15 @@ pub trait DhtNode: Node {
 
     /// Number of blocks stored locally (replica inspection for tests).
     fn stored_blocks(&self) -> usize;
+
+    /// The local block store (replica placement inspection for the
+    /// durability census and tests).
+    fn store(&self) -> &crate::block::BlockStore;
+
+    /// Repair work in flight on this node: outstanding repair probes plus
+    /// pending read-repair operations. Feeds the
+    /// [`keys::GAUGE_REPAIR_INFLIGHT`] monitor gauge.
+    fn repair_inflight(&self) -> usize;
 }
 
 /// Configuration shared by all DHT implementations.
@@ -135,6 +169,19 @@ pub struct DhtConfig {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles on each further retry.
     pub retry_backoff: SimDuration,
+    /// Enables the active repair plane: periodic diff-based repair
+    /// rounds, join/leave handoff, and read-repair. When false the node
+    /// behaves exactly as before the repair plane existed (blind
+    /// data-stabilization only).
+    pub repair_enabled: bool,
+    /// Interval between repair-round checks. A round only probes when
+    /// the overlay neighborhood changed since the previous round, so a
+    /// quiet ring sends no repair traffic at all.
+    pub repair_interval: SimDuration,
+    /// Budget: blocks re-pushed per repair exchange. Missing blocks
+    /// beyond the budget wait for the next round, bounding the
+    /// `bytes.replication` burst a repair round can cause.
+    pub repair_batch: usize,
 }
 
 impl Default for DhtConfig {
@@ -145,6 +192,9 @@ impl Default for DhtConfig {
             data_stabilize_interval: SimDuration::from_secs(60),
             max_retries: 3,
             retry_backoff: SimDuration::from_millis(500),
+            repair_enabled: true,
+            repair_interval: SimDuration::from_secs(15),
+            repair_batch: 8,
         }
     }
 }
@@ -174,6 +224,16 @@ impl DhtConfig {
             self.max_retries == 0 || !self.retry_backoff.is_zero(),
             "retry_backoff",
             "must be positive when retries are enabled",
+        )?;
+        ensure(
+            !self.repair_enabled || !self.repair_interval.is_zero(),
+            "repair_interval",
+            "must be positive when repair is enabled",
+        )?;
+        ensure(
+            !self.repair_enabled || self.repair_batch > 0,
+            "repair_batch",
+            "must be positive when repair is enabled",
         )
     }
 
@@ -202,6 +262,25 @@ pub struct PendingOp {
     pub started: SimTime,
     /// Retries consumed so far (0 = first attempt).
     pub attempt: u32,
+    /// Internal read-repair write: invisible to the harness (no
+    /// [`OpOutcome`]) and to the foreground Figure-7 metrics; its data
+    /// bytes are charged to [`keys::BYTES_REPLICATION`].
+    pub repair: bool,
+}
+
+/// What [`OpTable::finish`] resolved, for callers that react to
+/// completions (read-repair triggers, repair-key dedup).
+pub struct FinishedOp {
+    /// Get or put.
+    pub kind: OpKind,
+    /// The block key.
+    pub key: Id,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Retries the operation consumed.
+    pub attempt: u32,
+    /// Whether this was an internal read-repair write.
+    pub repair: bool,
 }
 
 /// The operation lifecycle shared by all four DHT implementations: id
@@ -241,9 +320,51 @@ impl OpTable {
         self.next_op += 1;
         ctx.begin_cause();
         ctx.emit(ProtoEvent::OpStart { op, kind: kind.label(), key: key.raw() });
-        self.pending.insert(op, PendingOp { kind, key, value, started: ctx.now(), attempt: 0 });
+        self.pending.insert(
+            op,
+            PendingOp { kind, key, value, started: ctx.now(), attempt: 0, repair: false },
+        );
         ctx.set_timer(cfg.op_deadline, deadline_timer(op));
         op
+    }
+
+    /// Registers an internal read-repair write: same lifecycle as
+    /// [`start`](OpTable::start) (deadline, retries, backoff), but the
+    /// completion never surfaces as an [`OpOutcome`] and moves no
+    /// foreground metrics — repair must stay invisible to Figure 7 and
+    /// to harnesses counting operation results.
+    pub fn start_repair<M, T>(
+        &mut self,
+        key: Id,
+        value: Bytes,
+        cfg: &DhtConfig,
+        ctx: &mut Ctx<'_, M, T>,
+        deadline_timer: impl FnOnce(u64) -> T,
+    ) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        ctx.begin_cause();
+        ctx.emit(ProtoEvent::OpStart { op, kind: "repair", key: key.raw() });
+        ctx.metrics().count(keys::READ_REPAIR, 1);
+        self.pending.insert(
+            op,
+            PendingOp {
+                kind: OpKind::Put,
+                key,
+                value: Some(value),
+                started: ctx.now(),
+                attempt: 0,
+                repair: true,
+            },
+        );
+        ctx.set_timer(cfg.op_deadline, deadline_timer(op));
+        op
+    }
+
+    /// Pending internal read-repair writes (the node-local share of the
+    /// [`keys::GAUGE_REPAIR_INFLIGHT`] gauge).
+    pub fn repairs_pending(&self) -> usize {
+        self.pending.values().filter(|p| p.repair).count()
     }
 
     /// The pending operation with this id, if still in flight.
@@ -278,25 +399,31 @@ impl OpTable {
             return;
         }
         p.attempt = next_attempt;
-        ctx.metrics().count(keys::OP_RETRIES, 1);
+        if !p.repair {
+            ctx.metrics().count(keys::OP_RETRIES, 1);
+        }
         ctx.emit(ProtoEvent::OpRetry { op, attempt: next_attempt });
         ctx.set_timer(backoff, retry_timer(op));
     }
 
     /// Completes (or fails) an operation: records latency and outcome
-    /// metrics and queues the [`OpOutcome`] for the harness.
+    /// metrics and queues the [`OpOutcome`] for the harness. Internal
+    /// read-repair writes finish silently (trace event only) and are
+    /// reported back to the caller via the returned [`FinishedOp`].
     pub fn finish<M, T>(
         &mut self,
         op: u64,
         ok: bool,
         value: Option<Bytes>,
         ctx: &mut Ctx<'_, M, T>,
-    ) {
-        let Some(p) = self.pending.remove(&op) else {
-            return;
-        };
+    ) -> Option<FinishedOp> {
+        let p = self.pending.remove(&op)?;
         let latency = ctx.now().saturating_since(p.started);
-        if ok {
+        if p.repair {
+            if ok {
+                ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+            }
+        } else if ok {
             if p.attempt > 0 {
                 ctx.metrics().count(keys::OP_RECOVERED, 1);
             }
@@ -314,7 +441,10 @@ impl OpTable {
             ctx.metrics().count(keys::OP_FAILED, 1);
         }
         ctx.emit(ProtoEvent::OpEnd { op, ok });
-        self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+        if !p.repair {
+            self.outcomes.push(OpOutcome { op, kind: p.kind, key: p.key, ok, value, latency });
+        }
+        Some(FinishedOp { kind: p.kind, key: p.key, ok, attempt: p.attempt, repair: p.repair })
     }
 
     /// Drains outcomes of operations that finished since the last call.

@@ -10,7 +10,7 @@
 //! observe the initiators that happen to use it as a relay, at the rate
 //! those neighbors issue requests — the Figure 8 Compromise curve.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bytes::Bytes;
 use rand::Rng;
@@ -42,6 +42,13 @@ pub enum CompMsg {
         key: Id,
         /// Block contents (puts only).
         value: Option<Bytes>,
+        /// Initiator's retry attempt: the relay rotates its replica
+        /// choice with it, so a dead first replica is not retried
+        /// forever.
+        attempt: u32,
+        /// True for internal read-repair writes (the relayed chain is
+        /// then background traffic).
+        repair: bool,
     },
     /// Relay → initiator: the fetched block.
     RelayGetReply {
@@ -79,6 +86,10 @@ pub enum CompMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+        /// Client's retry attempt (rotates the cross-copy target).
+        attempt: u32,
+        /// Read-repair write: the whole chain is background traffic.
+        repair: bool,
     },
     /// Store acknowledgment (after the cross-section copy).
     StoreAck {
@@ -95,6 +106,9 @@ pub enum CompMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+        /// True when sent by the repair plane (ack charged to
+        /// replication).
+        repair: bool,
     },
     /// Cross-copy acknowledgment.
     CrossCopyAck {
@@ -109,6 +123,35 @@ pub enum CompMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+    },
+    /// Repair probe: a replica anchor tells a peer which keys it should
+    /// hold (see [`crate::fast::FastMsg::RepairProbe`]).
+    RepairProbe {
+        /// Prober-local round number.
+        round: u64,
+        /// The prober's id (defines its section for orphan reports).
+        owner: Id,
+        /// Keys the prober anchors and holds.
+        keys: Vec<Id>,
+        /// True when probing the opposite-type replica point.
+        cross: bool,
+    },
+    /// Repair probe reply.
+    RepairNeed {
+        /// Round number echoed from the probe.
+        round: u64,
+        /// Probed keys this node does not hold (please push).
+        missing: Vec<Id>,
+        /// Keys this node holds in the prober's section that were not in
+        /// the probe (in-section probes only).
+        orphans: Vec<Id>,
+        /// Echoed from the probe: push via cross copy, not replicate.
+        cross: bool,
+    },
+    /// Pull request for orphaned blocks (answered with `Replicate`).
+    RepairPull {
+        /// Keys to send back.
+        keys: Vec<Id>,
     },
 }
 
@@ -141,6 +184,11 @@ impl Wire for CompMsg {
             CompMsg::CrossCopy { value, .. } => HDR + 8 + 16 + value.len(),
             CompMsg::CrossCopyAck { .. } => HDR + 9,
             CompMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+            CompMsg::RepairProbe { keys, .. } => HDR + 8 + 17 + 16 * keys.len(),
+            CompMsg::RepairNeed { missing, orphans, .. } => {
+                HDR + 9 + 16 * (missing.len() + orphans.len())
+            }
+            CompMsg::RepairPull { keys } => HDR + 16 * keys.len(),
         }
     }
 }
@@ -169,6 +217,12 @@ pub enum CompTimer {
     },
     /// Periodic background data stabilization.
     DataStabilize,
+    /// Periodic repair-round check (probes only if the overlay
+    /// neighborhood changed since the previous round).
+    Repair,
+    /// Short-fuse repair round scheduled right after a detected
+    /// neighborhood change (join, crash, or graceful leave).
+    RepairKick,
 }
 
 /// A relayed operation this node is executing on a client's behalf.
@@ -178,6 +232,11 @@ struct RelayJob {
     kind: OpKind,
     key: Id,
     value: Option<Bytes>,
+    /// Client's retry attempt: rotates the replica choice.
+    attempt: u32,
+    /// Read-repair write relayed on the client's behalf: the whole
+    /// chain (and our replies) is background traffic.
+    repair: bool,
 }
 
 struct CrossState {
@@ -185,6 +244,10 @@ struct CrossState {
     store_client: Addr,
     key: Id,
     value: Bytes,
+    /// Client's retry attempt: rotates the cross-copy target.
+    attempt: u32,
+    /// Read-repair write: the whole chain is background traffic.
+    repair: bool,
 }
 
 /// A record of a client observed by this node while acting as a relay —
@@ -209,9 +272,23 @@ pub struct CompromiseVerDiNode {
     jobs: HashMap<u64, RelayJob>,
     lookup_to_job: HashMap<u64, u64>,
     cross_lookups: HashMap<u64, CrossState>,
-    cross_waiting: HashMap<u64, (u64, Addr)>,
+    cross_waiting: HashMap<u64, (u64, Addr, bool)>,
+    /// Cross-section repair lookups in flight: lid → keys to probe.
+    lookup_to_repair: HashMap<u64, Vec<Id>>,
+    repairing: BTreeSet<Id>,
+    repair_round: u64,
+    probes_outstanding: usize,
+    /// Rotation cursor over anchored keys for the bounded cross-section
+    /// spot check.
+    cross_cursor: usize,
+    last_epoch: u64,
+    kick_armed: bool,
     observed: Vec<ObservedClient>,
 }
+
+/// Delay between a detected neighborhood change and the reactive repair
+/// round, coalescing the flurry of changes a single join/leave causes.
+const REPAIR_KICK_DELAY: SimDuration = SimDuration::from_secs(2);
 
 type CCtx<'a> = Ctx<'a, CompMsg, CompTimer>;
 
@@ -236,6 +313,13 @@ impl CompromiseVerDiNode {
             lookup_to_job: HashMap::new(),
             cross_lookups: HashMap::new(),
             cross_waiting: HashMap::new(),
+            lookup_to_repair: HashMap::new(),
+            repairing: BTreeSet::new(),
+            repair_round: 0,
+            probes_outstanding: 0,
+            cross_cursor: 0,
+            last_epoch: 0,
+            kick_armed: false,
             observed: Vec::new(),
         }
     }
@@ -271,6 +355,8 @@ impl CompromiseVerDiNode {
                 self.continue_job(job_id, o.answer, ctx);
             } else if let Some(cross) = self.cross_lookups.remove(&o.lid) {
                 self.continue_cross(cross, o.answer, ctx);
+            } else if let Some(probe_keys) = self.lookup_to_repair.remove(&o.lid) {
+                self.continue_repair_probe(probe_keys, o.answer, ctx);
             }
         }
         debug_assert!(self.overlay.take_answer_requests().is_empty());
@@ -288,7 +374,10 @@ impl CompromiseVerDiNode {
                 return;
             }
         };
-        let target = replicas[0];
+        // Rotate across the replica list with the client's retry attempt:
+        // a dead first replica would otherwise fail every retry the same
+        // way.
+        let target = replicas[job.attempt as usize % replicas.len()];
         match job.kind {
             OpKind::Get => {
                 let key = job.key;
@@ -297,7 +386,13 @@ impl CompromiseVerDiNode {
             OpKind::Put => {
                 let key = job.key;
                 let value = job.value.clone().expect("put jobs carry a value");
-                self.send_data(ctx, target.addr, CompMsg::Store { op: job_id, key, value });
+                let (attempt, repair) = (job.attempt, job.repair);
+                let msg = CompMsg::Store { op: job_id, key, value, attempt, repair };
+                if repair {
+                    self.send_background(ctx, target.addr, msg);
+                } else {
+                    self.send_data(ctx, target.addr, msg);
+                }
             }
         }
     }
@@ -310,7 +405,11 @@ impl CompromiseVerDiNode {
             OpKind::Get => CompMsg::RelayGetReply { rop: job.rop, value: None },
             OpKind::Put => CompMsg::RelayPutReply { rop: job.rop, ok: false },
         };
-        self.send_data(ctx, job.client, reply);
+        if job.repair {
+            self.send_background(ctx, job.client, reply);
+        } else {
+            self.send_data(ctx, job.client, reply);
+        }
     }
 
     fn continue_cross(
@@ -322,22 +421,52 @@ impl CompromiseVerDiNode {
         let replicas = match answer {
             Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
             _ => {
-                self.send_data(
-                    ctx,
-                    cross.store_client,
-                    CompMsg::StoreAck { op: cross.store_op, ok: false },
-                );
+                let nack = CompMsg::StoreAck { op: cross.store_op, ok: false };
+                if cross.repair {
+                    self.send_background(ctx, cross.store_client, nack);
+                } else {
+                    self.send_data(ctx, cross.store_client, nack);
+                }
                 return;
             }
         };
+        // Rotate with the client's retry attempt so a dead first replica
+        // in the paired section does not fail every retry the same way.
+        let target = replicas[cross.attempt as usize % replicas.len()];
         let xid = self.next_xid;
         self.next_xid += 1;
-        self.cross_waiting.insert(xid, (cross.store_op, cross.store_client));
-        self.send_data(
-            ctx,
-            replicas[0].addr,
-            CompMsg::CrossCopy { xid, key: cross.key, value: cross.value },
-        );
+        self.cross_waiting.insert(xid, (cross.store_op, cross.store_client, cross.repair));
+        let msg =
+            CompMsg::CrossCopy { xid, key: cross.key, value: cross.value, repair: cross.repair };
+        if cross.repair {
+            self.send_background(ctx, target.addr, msg);
+        } else {
+            self.send_data(ctx, target.addr, msg);
+        }
+    }
+
+    /// A cross-section repair lookup resolved: probe the paired anchor
+    /// with the keys whose opposite-type copies we are spot-checking.
+    fn continue_repair_probe(
+        &mut self,
+        probe_keys: Vec<Id>,
+        answer: Option<VermeAnswer>,
+        ctx: &mut CCtx<'_>,
+    ) {
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+                return;
+            }
+        };
+        let msg = CompMsg::RepairProbe {
+            round: self.repair_round,
+            owner: self.overlay.id(),
+            keys: probe_keys,
+            cross: true,
+        };
+        self.send_background(ctx, replicas[0].addr, msg);
     }
 
     /// Issues (or re-issues) the relayed operation for a pending op: picks
@@ -347,7 +476,8 @@ impl CompromiseVerDiNode {
         let Some(p) = self.ops.get(op) else {
             return;
         };
-        let (kind, key, value, attempt) = (p.kind, p.key, p.value.clone(), p.attempt);
+        let (kind, key, value, attempt, repair) =
+            (p.kind, p.key, p.value.clone(), p.attempt, p.repair);
         if self.cfg.max_retries > 0 {
             ctx.set_timer(self.cfg.attempt_timeout(), CompTimer::AttemptTimeout { op, attempt });
         }
@@ -366,8 +496,14 @@ impl CompromiseVerDiNode {
             kind,
             key,
             value,
+            attempt,
+            repair,
         };
-        self.send_data(ctx, relay.addr, msg);
+        if repair {
+            self.send_background(ctx, relay.addr, msg);
+        } else {
+            self.send_data(ctx, relay.addr, msg);
+        }
     }
 
     fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut CCtx<'_>) {
@@ -431,6 +567,178 @@ impl CompromiseVerDiNode {
         }
     }
 
+    fn send_background(&mut self, ctx: &mut CCtx<'_>, to: Addr, msg: CompMsg) {
+        ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// True if this node anchors `key` under either of its two replica
+    /// points — the filter deciding which stored blocks this node repairs.
+    fn anchors_key(&self, key: Id) -> bool {
+        let paired = self.overlay.layout().paired_replica_point(key);
+        self.is_replica_anchor(key) || self.is_replica_anchor(paired)
+    }
+
+    /// Completes an operation and clears read-repair bookkeeping.
+    fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut CCtx<'_>) {
+        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+            if f.repair {
+                self.repairing.remove(&f.key);
+            }
+        }
+    }
+
+    /// Arms a short-fuse repair round if the overlay neighborhood changed
+    /// since the last round. Called after every overlay interaction.
+    fn maybe_kick_repair(&mut self, ctx: &mut CCtx<'_>) {
+        if self.cfg.repair_enabled
+            && !self.kick_armed
+            && self.overlay.neighbor_epoch() != self.last_epoch
+        {
+            self.kick_armed = true;
+            ctx.set_timer(REPAIR_KICK_DELAY, CompTimer::RepairKick);
+        }
+    }
+
+    /// Runs one repair round: diffs anchored blocks against the current
+    /// in-section replica peers, and spot-checks a budgeted, rotating
+    /// slice of them against the opposite-type replica point. No-op when
+    /// the neighborhood is unchanged.
+    fn run_repair_round(&mut self, ctx: &mut CCtx<'_>) {
+        let epoch = self.overlay.neighbor_epoch();
+        if epoch == self.last_epoch && self.probes_outstanding == 0 {
+            return;
+        }
+        // An unchanged epoch with probes still unanswered means the last
+        // round lost a probe to a stale-dead target (a lookup can resolve
+        // to a node the responder's section has not purged yet). Re-probe
+        // until a full round completes cleanly; on a fault-free ring the
+        // epoch never moves and no probe is ever sent, so this retry path
+        // stays inert.
+        self.last_epoch = epoch;
+        ctx.begin_cause();
+        ctx.metrics().count(keys::REPAIR_ROUNDS, 1);
+        self.repair_round += 1;
+        let round = self.repair_round;
+        let me = self.overlay.id();
+        let layout = *self.overlay.layout();
+        let anchored: Vec<Id> =
+            self.store.iter().map(|(k, _)| *k).filter(|k| self.anchors_key(*k)).collect();
+        let targets: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        self.probes_outstanding = targets.len();
+        for addr in targets {
+            let msg =
+                CompMsg::RepairProbe { round, owner: me, keys: anchored.clone(), cross: false };
+            self.send_background(ctx, addr, msg);
+        }
+        // Cross-section spot check: one replica lookup per key, bounded
+        // by the batch budget and rotated across rounds so every anchored
+        // block is eventually verified against its paired point.
+        if !anchored.is_empty() {
+            let start = self.cross_cursor % anchored.len();
+            let take = self.cfg.repair_batch.min(anchored.len());
+            self.cross_cursor = (start + take) % anchored.len();
+            for i in 0..take {
+                let k = anchored[(start + i) % anchored.len()];
+                let pair = self.paired_point(k);
+                let lid = self.with_overlay(ctx, |overlay, ictx| {
+                    overlay.start_replica_lookup(pair, None, ictx)
+                });
+                self.lookup_to_repair.insert(lid, vec![k]);
+                self.probes_outstanding += 1;
+            }
+            self.drain_overlay(ctx);
+        }
+    }
+
+    /// Handles a repair probe: reports gaps, and (for in-section probes)
+    /// orphans — keys we hold in the prober's section that it did not
+    /// list.
+    fn handle_repair_probe(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        owner: Id,
+        probed: Vec<Id>,
+        cross: bool,
+        ctx: &mut CCtx<'_>,
+    ) {
+        let listed: BTreeSet<Id> = probed.iter().copied().collect();
+        let missing: Vec<Id> = probed.into_iter().filter(|k| !self.store.contains(*k)).collect();
+        let orphans: Vec<Id> = if cross {
+            Vec::new()
+        } else {
+            let layout = *self.overlay.layout();
+            self.store
+                .iter()
+                .map(|(k, _)| *k)
+                .filter(|k| layout.same_section(*k, owner) && !listed.contains(k))
+                .take(self.cfg.repair_batch)
+                .collect()
+        };
+        // Always answer — an empty reply still drains the prober's
+        // in-flight gauge.
+        self.send_background(
+            ctx,
+            from_addr,
+            CompMsg::RepairNeed { round, missing, orphans, cross },
+        );
+    }
+
+    /// Handles a probe reply: pushes the blocks the responder lacks
+    /// (budgeted; via cross copy for paired-section targets) and pulls
+    /// back orphans we should anchor but lost.
+    fn handle_repair_need(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        missing: Vec<Id>,
+        orphans: Vec<Id>,
+        cross: bool,
+        ctx: &mut CCtx<'_>,
+    ) {
+        if round == self.repair_round {
+            self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        }
+        let mut pushed = 0usize;
+        for k in missing {
+            if pushed >= self.cfg.repair_batch {
+                break;
+            }
+            let Some(v) = self.store.get(k).cloned() else {
+                continue;
+            };
+            if cross {
+                let xid = self.next_xid;
+                self.next_xid += 1;
+                self.send_background(
+                    ctx,
+                    from_addr,
+                    CompMsg::CrossCopy { xid, key: k, value: v, repair: true },
+                );
+            } else {
+                self.send_background(ctx, from_addr, CompMsg::Replicate { key: k, value: v });
+            }
+            ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+            pushed += 1;
+        }
+        let pulls: Vec<Id> = orphans
+            .into_iter()
+            .filter(|k| !self.store.contains(*k) && self.anchors_key(*k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        if !pulls.is_empty() {
+            self.send_background(ctx, from_addr, CompMsg::RepairPull { keys: pulls });
+        }
+    }
+
     fn start_op(&mut self, kind: OpKind, key: Id, value: Option<Bytes>, ctx: &mut CCtx<'_>) -> u64 {
         let op =
             self.ops.start(kind, key, value, &self.cfg, ctx, |op| CompTimer::OpDeadline { op });
@@ -456,6 +764,14 @@ impl DhtNode for CompromiseVerDiNode {
     fn stored_blocks(&self) -> usize {
         self.store.len()
     }
+
+    fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn repair_inflight(&self) -> usize {
+        self.probes_outstanding + self.ops.repairs_pending()
+    }
 }
 
 impl Node for CompromiseVerDiNode {
@@ -467,6 +783,13 @@ impl Node for CompromiseVerDiNode {
         let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
         let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
         ctx.set_timer(phase, CompTimer::DataStabilize);
+        if self.cfg.repair_enabled {
+            // Deliberately no random phase: repair must consume no rng
+            // draws, so a repair-enabled zero-fault run stays
+            // byte-identical to a repair-disabled one.
+            ctx.set_timer(self.cfg.repair_interval, CompTimer::Repair);
+        }
+        self.last_epoch = self.overlay.neighbor_epoch();
     }
 
     fn on_message(&mut self, from: Addr, msg: CompMsg, ctx: &mut CCtx<'_>) {
@@ -474,8 +797,9 @@ impl Node for CompromiseVerDiNode {
             CompMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
-            CompMsg::RelayRequest { rop, cert, statement, kind, key, value } => {
+            CompMsg::RelayRequest { rop, cert, statement, kind, key, value, attempt, repair } => {
                 // Verify the certificate and the vouching statement; an
                 // unverifiable request is dropped (§5.3.3).
                 if !cert.verify(self.overlay.verifier()) {
@@ -492,7 +816,10 @@ impl Node for CompromiseVerDiNode {
 
                 let job_id = self.next_job;
                 self.next_job += 1;
-                self.jobs.insert(job_id, RelayJob { client: from, rop, kind, key, value });
+                self.jobs.insert(
+                    job_id,
+                    RelayJob { client: from, rop, kind, key, value, attempt, repair },
+                );
                 // Fast-VerDi flow on the client's behalf, from *our* type
                 // vantage point.
                 let my_type = self.overlay.node_type();
@@ -509,7 +836,19 @@ impl Node for CompromiseVerDiNode {
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.ops.finish(rop, true, value, ctx);
+                    let (key, attempt) = (p.key, p.attempt);
+                    let val = value.clone().expect("verified value present");
+                    self.finish_op(rop, true, value, ctx);
+                    // Read-repair: the first attempt missed, so re-write
+                    // the block through the normal relayed put flow as
+                    // background traffic.
+                    if attempt > 0 && self.cfg.repair_enabled && !self.repairing.contains(&key) {
+                        self.repairing.insert(key);
+                        let rop = self.ops.start_repair(key, val, &self.cfg, ctx, |op| {
+                            CompTimer::OpDeadline { op }
+                        });
+                        self.issue_attempt(rop, ctx);
+                    }
                 } else {
                     // The relay's fetch came back empty or corrupt; retry
                     // through a (possibly different) relay.
@@ -518,7 +857,7 @@ impl Node for CompromiseVerDiNode {
             }
             CompMsg::RelayPutReply { rop, ok } => {
                 if ok {
-                    self.ops.finish(rop, true, None, ctx);
+                    self.finish_op(rop, true, None, ctx);
                 } else {
                     self.ops.fail_attempt(rop, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
                 }
@@ -536,9 +875,14 @@ impl Node for CompromiseVerDiNode {
                 let value = if ok { value } else { None };
                 self.send_data(ctx, job.client, CompMsg::RelayGetReply { rop: job.rop, value });
             }
-            CompMsg::Store { op, key, value } => {
+            CompMsg::Store { op, key, value, attempt, repair } => {
                 if !verify_block(key, &value) {
-                    self.send_data(ctx, from, CompMsg::StoreAck { op, ok: false });
+                    let nack = CompMsg::StoreAck { op, ok: false };
+                    if repair {
+                        self.send_background(ctx, from, nack);
+                    } else {
+                        self.send_data(ctx, from, nack);
+                    }
                     return;
                 }
                 self.store.put(key, value.clone());
@@ -547,8 +891,10 @@ impl Node for CompromiseVerDiNode {
                 let lid = self.with_overlay(ctx, |overlay, ictx| {
                     overlay.start_replica_lookup(pair, None, ictx)
                 });
-                self.cross_lookups
-                    .insert(lid, CrossState { store_op: op, store_client: from, key, value });
+                self.cross_lookups.insert(
+                    lid,
+                    CrossState { store_op: op, store_client: from, key, value, attempt, repair },
+                );
                 self.drain_overlay(ctx);
             }
             CompMsg::StoreAck { op, ok } => {
@@ -556,19 +902,34 @@ impl Node for CompromiseVerDiNode {
                 let Some(job) = self.jobs.remove(&op) else {
                     return;
                 };
-                self.send_data(ctx, job.client, CompMsg::RelayPutReply { rop: job.rop, ok });
+                let reply = CompMsg::RelayPutReply { rop: job.rop, ok };
+                if job.repair {
+                    self.send_background(ctx, job.client, reply);
+                } else {
+                    self.send_data(ctx, job.client, reply);
+                }
             }
-            CompMsg::CrossCopy { xid, key, value } => {
+            CompMsg::CrossCopy { xid, key, value, repair } => {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
                     self.replicate_in_section(key, &value, ctx);
                 }
-                self.send_data(ctx, from, CompMsg::CrossCopyAck { xid, ok });
+                let ack = CompMsg::CrossCopyAck { xid, ok };
+                if repair {
+                    self.send_background(ctx, from, ack);
+                } else {
+                    self.send_data(ctx, from, ack);
+                }
             }
             CompMsg::CrossCopyAck { xid, ok } => {
-                if let Some((op, client)) = self.cross_waiting.remove(&xid) {
-                    self.send_data(ctx, client, CompMsg::StoreAck { op, ok });
+                if let Some((op, client, repair)) = self.cross_waiting.remove(&xid) {
+                    let ack = CompMsg::StoreAck { op, ok };
+                    if repair {
+                        self.send_background(ctx, client, ack);
+                    } else {
+                        self.send_data(ctx, client, ack);
+                    }
                 }
             }
             CompMsg::Replicate { key, value } => {
@@ -576,10 +937,57 @@ impl Node for CompromiseVerDiNode {
                     self.store.put(key, value);
                 }
             }
+            CompMsg::RepairProbe { round, owner, keys: probed, cross } => {
+                self.handle_repair_probe(from, round, owner, probed, cross, ctx);
+            }
+            CompMsg::RepairNeed { round, missing, orphans, cross } => {
+                self.handle_repair_need(from, round, missing, orphans, cross, ctx);
+            }
+            CompMsg::RepairPull { keys: pulled } => {
+                let mut pushed = 0usize;
+                for k in pulled {
+                    if pushed >= self.cfg.repair_batch {
+                        break;
+                    }
+                    let Some(v) = self.store.get(k).cloned() else {
+                        continue;
+                    };
+                    self.send_background(ctx, from, CompMsg::Replicate { key: k, value: v });
+                    ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+                    pushed += 1;
+                }
+            }
         }
     }
 
     fn on_shutdown(&mut self, ctx: &mut CCtx<'_>) {
+        // Hinted handoff (graceful departures only): push every anchored
+        // block to the in-section heir outside the replica window.
+        if self.cfg.repair_enabled {
+            let layout = *self.overlay.layout();
+            let me = self.overlay.id();
+            let in_section: Vec<Addr> = self
+                .overlay
+                .successor_list()
+                .iter()
+                .filter(|h| layout.same_section(h.id, me))
+                .map(|h| h.addr)
+                .collect();
+            let heir = in_section.get(self.cfg.replicas / 2).or_else(|| in_section.last()).copied();
+            if let Some(heir) = heir {
+                ctx.begin_cause();
+                let anchored: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.anchors_key(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in anchored {
+                    ctx.metrics().count(keys::HANDOFF_BLOCKS, 1);
+                    self.send_background(ctx, heir, CompMsg::Replicate { key: k, value: v });
+                }
+            }
+        }
         self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
     }
 
@@ -588,9 +996,10 @@ impl Node for CompromiseVerDiNode {
             CompTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
             CompTimer::OpDeadline { op } => {
-                self.ops.finish(op, false, None, ctx);
+                self.finish_op(op, false, None, ctx);
             }
             CompTimer::AttemptTimeout { op, attempt } => {
                 if self.ops.attempt_matches(op, attempt) {
@@ -616,6 +1025,14 @@ impl Node for CompromiseVerDiNode {
                 }
                 ctx.set_timer(self.cfg.data_stabilize_interval, CompTimer::DataStabilize);
             }
+            CompTimer::Repair => {
+                self.run_repair_round(ctx);
+                ctx.set_timer(self.cfg.repair_interval, CompTimer::Repair);
+            }
+            CompTimer::RepairKick => {
+                self.kick_armed = false;
+                self.run_repair_round(ctx);
+            }
         }
     }
 }
@@ -637,6 +1054,8 @@ mod tests {
             kind: OpKind::Get,
             key: Id::new(9),
             value: None,
+            attempt: 0,
+            repair: false,
         };
         let put = CompMsg::RelayRequest {
             rop: 3,
@@ -645,6 +1064,8 @@ mod tests {
             kind: OpKind::Put,
             key: Id::new(9),
             value: Some(Bytes::from(vec![0u8; 8192])),
+            attempt: 0,
+            repair: false,
         };
         assert!(get.wire_size() >= Certificate::WIRE_SIZE + STATEMENT_BYTES);
         assert!(put.wire_size() > get.wire_size() + 8000);

@@ -7,7 +7,7 @@
 //! Background replication bytes are accounted separately
 //! ([`keys::BYTES_REPLICATION`]), matching the paper's Figure 7 footnote.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bytes::Bytes;
 use rand::Rng;
@@ -45,6 +45,9 @@ pub enum DhashMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+        /// True for internal read-repair writes: the ack is then charged
+        /// to replication, keeping Figure-7 foreground counters clean.
+        repair: bool,
     },
     /// Store acknowledgment.
     StoreAck {
@@ -59,6 +62,37 @@ pub enum DhashMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+    },
+    /// Repair probe: the responsible node tells a successor which keys
+    /// it should hold, plus the prober's responsibility range, so the
+    /// successor can report both gaps and orphans.
+    RepairProbe {
+        /// Prober-local round number (stale replies are ignored for the
+        /// in-flight gauge).
+        round: u64,
+        /// Start of the prober's responsibility range (its predecessor;
+        /// the prober's own id means the whole ring).
+        from: Id,
+        /// The prober's id (end of the range).
+        owner: Id,
+        /// Keys the prober is responsible for and holds.
+        keys: Vec<Id>,
+    },
+    /// Repair probe reply.
+    RepairNeed {
+        /// Round number echoed from the probe.
+        round: u64,
+        /// Probed keys this node does not hold (please push).
+        missing: Vec<Id>,
+        /// Keys this node holds inside the prober's range that were not
+        /// in the probe — the prober lost (or never had) them and should
+        /// pull them back.
+        orphans: Vec<Id>,
+    },
+    /// Pull request for orphaned blocks (answered with `Replicate`).
+    RepairPull {
+        /// Keys to send back.
+        keys: Vec<Id>,
     },
 }
 
@@ -75,6 +109,11 @@ impl Wire for DhashMsg {
             DhashMsg::Store { value, .. } => HDR + 8 + 16 + value.len(),
             DhashMsg::StoreAck { .. } => HDR + 9,
             DhashMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+            DhashMsg::RepairProbe { keys, .. } => HDR + 8 + 32 + 16 * keys.len(),
+            DhashMsg::RepairNeed { missing, orphans, .. } => {
+                HDR + 8 + 16 * (missing.len() + orphans.len())
+            }
+            DhashMsg::RepairPull { keys } => HDR + 16 * keys.len(),
         }
     }
 }
@@ -103,6 +142,12 @@ pub enum DhashTimer {
     },
     /// Periodic background data stabilization.
     DataStabilize,
+    /// Periodic repair-round check (probes only if the overlay
+    /// neighborhood changed since the previous round).
+    Repair,
+    /// Short-fuse repair round scheduled right after a detected
+    /// neighborhood change (join, crash, or graceful leave).
+    RepairKick,
 }
 
 /// A DHash node: a [`ChordNode`] plus the block store and data plane.
@@ -115,7 +160,16 @@ pub struct DhashNode {
     store: BlockStore,
     ops: OpTable,
     lookup_to_op: HashMap<u64, u64>,
+    repairing: BTreeSet<Id>,
+    repair_round: u64,
+    probes_outstanding: usize,
+    last_epoch: u64,
+    kick_armed: bool,
 }
+
+/// Delay between a detected neighborhood change and the reactive repair
+/// round, coalescing the flurry of changes a single join/leave causes.
+const REPAIR_KICK_DELAY: SimDuration = SimDuration::from_secs(2);
 
 type DCtx<'a> = Ctx<'a, DhashMsg, DhashTimer>;
 
@@ -135,6 +189,11 @@ impl DhashNode {
             store: BlockStore::new(),
             ops: OpTable::new(),
             lookup_to_op: HashMap::new(),
+            repairing: BTreeSet::new(),
+            repair_round: 0,
+            probes_outstanding: 0,
+            last_epoch: 0,
+            kick_armed: false,
         }
     }
 
@@ -181,7 +240,13 @@ impl DhashNode {
                 OpKind::Put => {
                     let key = p.key;
                     let value = p.value.clone().expect("puts carry a value");
-                    self.send_data(ctx, responsible.addr, DhashMsg::Store { op, key, value });
+                    let repair = p.repair;
+                    let msg = DhashMsg::Store { op, key, value, repair };
+                    if repair {
+                        self.send_background(ctx, responsible.addr, msg);
+                    } else {
+                        self.send_data(ctx, responsible.addr, msg);
+                    }
                 }
             }
         }
@@ -224,11 +289,135 @@ impl DhashNode {
         ctx.send(to, msg);
     }
 
+    fn send_background(&mut self, ctx: &mut DCtx<'_>, to: Addr, msg: DhashMsg) {
+        ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
     /// True if this node believes it is responsible for `key`.
     fn responsible_for(&self, key: Id) -> bool {
         match self.overlay.predecessor() {
             Some(p) => key.in_open_closed(p.id, self.overlay.id()),
             None => true,
+        }
+    }
+
+    /// Completes an operation and clears read-repair bookkeeping.
+    fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut DCtx<'_>) {
+        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+            if f.repair {
+                self.repairing.remove(&f.key);
+            }
+        }
+    }
+
+    /// Arms a short-fuse repair round if the overlay neighborhood changed
+    /// since the last round. Called after every overlay interaction.
+    fn maybe_kick_repair(&mut self, ctx: &mut DCtx<'_>) {
+        if self.cfg.repair_enabled
+            && !self.kick_armed
+            && self.overlay.neighbor_epoch() != self.last_epoch
+        {
+            self.kick_armed = true;
+            ctx.set_timer(REPAIR_KICK_DELAY, DhashTimer::RepairKick);
+        }
+    }
+
+    /// Runs one repair round: probes the current replica-set successors
+    /// with the keys this node is responsible for (and its range, so
+    /// responders can report orphans). No-op when the neighborhood is
+    /// unchanged — a quiet ring sends no repair traffic.
+    fn run_repair_round(&mut self, ctx: &mut DCtx<'_>) {
+        let epoch = self.overlay.neighbor_epoch();
+        if epoch == self.last_epoch && self.probes_outstanding == 0 {
+            return;
+        }
+        // An unchanged epoch with probes still unanswered means the last
+        // round lost a probe to a stale-dead target (a lookup can resolve
+        // to a node the responder's section has not purged yet). Re-probe
+        // until a full round completes cleanly; on a fault-free ring the
+        // epoch never moves and no probe is ever sent, so this retry path
+        // stays inert.
+        self.last_epoch = epoch;
+        ctx.begin_cause();
+        ctx.metrics().count(keys::REPAIR_ROUNDS, 1);
+        self.repair_round += 1;
+        let round = self.repair_round;
+        let owner = self.overlay.id();
+        let from = self.overlay.predecessor().map_or(owner, |p| p.id);
+        let mine: Vec<Id> =
+            self.store.iter().map(|(k, _)| *k).filter(|k| self.responsible_for(*k)).collect();
+        let targets: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .take(self.cfg.replicas.saturating_sub(1))
+            .map(|h| h.addr)
+            .collect();
+        self.probes_outstanding = targets.len();
+        for addr in targets {
+            let msg = DhashMsg::RepairProbe { round, from, owner, keys: mine.clone() };
+            self.send_background(ctx, addr, msg);
+        }
+    }
+
+    /// Handles a repair probe: reports the probed keys we lack, plus any
+    /// orphans — keys we hold inside the prober's responsibility range
+    /// that the prober did not list (it lost them, or just joined).
+    fn handle_repair_probe(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        from: Id,
+        owner: Id,
+        keys: Vec<Id>,
+        ctx: &mut DCtx<'_>,
+    ) {
+        let listed: BTreeSet<Id> = keys.iter().copied().collect();
+        let missing: Vec<Id> = keys.into_iter().filter(|k| !self.store.contains(*k)).collect();
+        let orphans: Vec<Id> = self
+            .store
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| (from == owner || k.in_open_closed(from, owner)) && !listed.contains(k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        // Always answer — an empty reply still drains the prober's
+        // in-flight gauge.
+        self.send_background(ctx, from_addr, DhashMsg::RepairNeed { round, missing, orphans });
+    }
+
+    /// Handles a probe reply: pushes the blocks the responder lacks
+    /// (budgeted) and pulls back orphans we lost.
+    fn handle_repair_need(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        missing: Vec<Id>,
+        orphans: Vec<Id>,
+        ctx: &mut DCtx<'_>,
+    ) {
+        if round == self.repair_round {
+            self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        }
+        let mut pushed = 0usize;
+        for k in missing {
+            if pushed >= self.cfg.repair_batch {
+                break;
+            }
+            if let Some(v) = self.store.get(k).cloned() {
+                self.send_background(ctx, from_addr, DhashMsg::Replicate { key: k, value: v });
+                ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+                pushed += 1;
+            }
+        }
+        let pulls: Vec<Id> = orphans
+            .into_iter()
+            .filter(|k| !self.store.contains(*k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        if !pulls.is_empty() {
+            self.send_background(ctx, from_addr, DhashMsg::RepairPull { keys: pulls });
         }
     }
 }
@@ -258,6 +447,14 @@ impl DhtNode for DhashNode {
     fn stored_blocks(&self) -> usize {
         self.store.len()
     }
+
+    fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn repair_inflight(&self) -> usize {
+        self.probes_outstanding + self.ops.repairs_pending()
+    }
 }
 
 impl Node for DhashNode {
@@ -269,6 +466,13 @@ impl Node for DhashNode {
         let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
         let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
         ctx.set_timer(phase, DhashTimer::DataStabilize);
+        if self.cfg.repair_enabled {
+            // Deliberately no random phase: the repair timer must not
+            // consume RNG draws, so a repair-enabled fault-free run stays
+            // byte-identical to a repair-disabled one.
+            self.last_epoch = self.overlay.neighbor_epoch();
+            ctx.set_timer(self.cfg.repair_interval, DhashTimer::Repair);
+        }
     }
 
     fn on_message(&mut self, from: Addr, msg: DhashMsg, ctx: &mut DCtx<'_>) {
@@ -276,6 +480,7 @@ impl Node for DhashNode {
             DhashMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
                 self.drain_overlay_outcomes(ctx);
+                self.maybe_kick_repair(ctx);
             }
             DhashMsg::Fetch { op, key } => {
                 let value = self.store.get(key).cloned();
@@ -287,24 +492,42 @@ impl Node for DhashNode {
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.ops.finish(op, true, value, ctx);
+                    let (key, attempt) = (p.key, p.attempt);
+                    let val = value.clone().expect("verified value present");
+                    self.finish_op(op, true, value, ctx);
+                    if attempt > 0 && self.cfg.repair_enabled && !self.repairing.contains(&key) {
+                        // The fetch needed failover, so the first-line
+                        // replica set is incomplete: re-store the block
+                        // through the normal put path (targeted
+                        // read-repair with the OpTable's retry/backoff).
+                        self.repairing.insert(key);
+                        let rop = self.ops.start_repair(key, val, &self.cfg, ctx, |op| {
+                            DhashTimer::OpDeadline { op }
+                        });
+                        self.issue_attempt(rop, ctx);
+                    }
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
             }
-            DhashMsg::Store { op, key, value } => {
+            DhashMsg::Store { op, key, value, repair } => {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
                     self.replicate_out(key, &value, ctx);
                 }
-                self.send_data(ctx, from, DhashMsg::StoreAck { op, ok });
+                let ack = DhashMsg::StoreAck { op, ok };
+                if repair {
+                    self.send_background(ctx, from, ack);
+                } else {
+                    self.send_data(ctx, from, ack);
+                }
             }
             DhashMsg::StoreAck { op, ok } => {
                 if ok {
-                    self.ops.finish(op, true, None, ctx);
+                    self.finish_op(op, true, None, ctx);
                 } else {
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
@@ -314,10 +537,50 @@ impl Node for DhashNode {
                     self.store.put(key, value);
                 }
             }
+            DhashMsg::RepairProbe { round, from: start, owner, keys: probed } => {
+                self.handle_repair_probe(from, round, start, owner, probed, ctx);
+            }
+            DhashMsg::RepairNeed { round, missing, orphans } => {
+                self.handle_repair_need(from, round, missing, orphans, ctx);
+            }
+            DhashMsg::RepairPull { keys: pulled } => {
+                for k in pulled.into_iter().take(self.cfg.repair_batch) {
+                    if let Some(v) = self.store.get(k).cloned() {
+                        self.send_background(ctx, from, DhashMsg::Replicate { key: k, value: v });
+                        ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+                    }
+                }
+            }
         }
     }
 
     fn on_shutdown(&mut self, ctx: &mut DCtx<'_>) {
+        if self.cfg.repair_enabled {
+            // Hinted handoff: this node's copies die with it, so push
+            // every block it is responsible for to the successor that
+            // newly enters the replica set once it is gone. The current
+            // replicas already hold their copies; this keeps the set at
+            // full strength without a detection round-trip (the node is
+            // gone before any reply could arrive). All handoff bytes are
+            // background replication, never Figure-7 foreground traffic.
+            let heir = {
+                let succs = self.overlay.successor_list();
+                succs.get(self.cfg.replicas.saturating_sub(1)).or_else(|| succs.last()).copied()
+            };
+            if let Some(heir) = heir {
+                ctx.begin_cause();
+                let mine: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.responsible_for(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in mine {
+                    ctx.metrics().count(keys::HANDOFF_BLOCKS, 1);
+                    self.send_background(ctx, heir.addr, DhashMsg::Replicate { key: k, value: v });
+                }
+            }
+        }
         self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
     }
 
@@ -326,9 +589,10 @@ impl Node for DhashNode {
             DhashTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
                 self.drain_overlay_outcomes(ctx);
+                self.maybe_kick_repair(ctx);
             }
             DhashTimer::OpDeadline { op } => {
-                self.ops.finish(op, false, None, ctx);
+                self.finish_op(op, false, None, ctx);
             }
             DhashTimer::AttemptTimeout { op, attempt } => {
                 if self.ops.attempt_matches(op, attempt) {
@@ -351,6 +615,14 @@ impl Node for DhashNode {
                     self.replicate_out(k, &v, ctx);
                 }
                 ctx.set_timer(self.cfg.data_stabilize_interval, DhashTimer::DataStabilize);
+            }
+            DhashTimer::Repair => {
+                self.run_repair_round(ctx);
+                ctx.set_timer(self.cfg.repair_interval, DhashTimer::Repair);
+            }
+            DhashTimer::RepairKick => {
+                self.kick_armed = false;
+                self.run_repair_round(ctx);
             }
         }
     }

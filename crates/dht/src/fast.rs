@@ -11,7 +11,7 @@
 //! replica addresses by issuing lookups — is exactly what the Figure 8
 //! worm experiment exploits.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bytes::Bytes;
 use rand::Rng;
@@ -51,6 +51,12 @@ pub enum FastMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+        /// Requester's retry attempt, so the responsible node rotates its
+        /// cross-copy target across the replica list on retry.
+        attempt: u32,
+        /// True for internal read-repair writes: the whole store/ack/
+        /// cross-copy chain is then charged to replication.
+        repair: bool,
     },
     /// Store acknowledgment (sent only after the cross-section copy).
     StoreAck {
@@ -68,6 +74,9 @@ pub enum FastMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+        /// True when sent by the repair plane (ack charged to
+        /// replication).
+        repair: bool,
     },
     /// Cross-copy acknowledgment.
     CrossCopyAck {
@@ -82,6 +91,36 @@ pub enum FastMsg {
         key: Id,
         /// Block contents.
         value: Bytes,
+    },
+    /// Repair probe: a replica anchor tells a peer which keys it should
+    /// hold. In-section probes also invite orphan reports; cross-section
+    /// probes only diff.
+    RepairProbe {
+        /// Prober-local round number.
+        round: u64,
+        /// The prober's id (defines its section for orphan reports).
+        owner: Id,
+        /// Keys the prober anchors and holds.
+        keys: Vec<Id>,
+        /// True when probing the opposite-type replica point.
+        cross: bool,
+    },
+    /// Repair probe reply.
+    RepairNeed {
+        /// Round number echoed from the probe.
+        round: u64,
+        /// Probed keys this node does not hold (please push).
+        missing: Vec<Id>,
+        /// Keys this node holds in the prober's section that were not in
+        /// the probe (in-section probes only).
+        orphans: Vec<Id>,
+        /// Echoed from the probe: push via cross copy, not replicate.
+        cross: bool,
+    },
+    /// Pull request for orphaned blocks (answered with `Replicate`).
+    RepairPull {
+        /// Keys to send back.
+        keys: Vec<Id>,
     },
 }
 
@@ -100,6 +139,11 @@ impl Wire for FastMsg {
             FastMsg::CrossCopy { value, .. } => HDR + 8 + 16 + value.len(),
             FastMsg::CrossCopyAck { .. } => HDR + 9,
             FastMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+            FastMsg::RepairProbe { keys, .. } => HDR + 8 + 17 + 16 * keys.len(),
+            FastMsg::RepairNeed { missing, orphans, .. } => {
+                HDR + 9 + 16 * (missing.len() + orphans.len())
+            }
+            FastMsg::RepairPull { keys } => HDR + 16 * keys.len(),
         }
     }
 }
@@ -128,6 +172,12 @@ pub enum FastTimer {
     },
     /// Periodic background data stabilization.
     DataStabilize,
+    /// Periodic repair-round check (probes only if the overlay
+    /// neighborhood changed since the previous round).
+    Repair,
+    /// Short-fuse repair round scheduled right after a detected
+    /// neighborhood change (join, crash, or graceful leave).
+    RepairKick,
 }
 
 /// The responsible node's state while it cross-copies a freshly stored
@@ -137,6 +187,10 @@ struct CrossState {
     client: Addr,
     key: Id,
     value: Bytes,
+    /// Client's retry attempt: rotates the cross-copy target.
+    attempt: u32,
+    /// Read-repair write: the whole chain is background traffic.
+    repair: bool,
 }
 
 /// A Fast-VerDi node: a bare [`VermeNode`] plus the direct data plane with
@@ -151,8 +205,22 @@ pub struct FastVerDiNode {
     /// Cross-copy lookups this node (as responsible) has in flight.
     lookup_to_cross: HashMap<u64, CrossState>,
     /// Cross copies awaiting acknowledgment, by xid.
-    cross_waiting: HashMap<u64, (u64, Addr)>,
+    cross_waiting: HashMap<u64, (u64, Addr, bool)>,
+    /// Cross-section repair lookups in flight: lid → keys to probe.
+    lookup_to_repair: HashMap<u64, Vec<Id>>,
+    repairing: BTreeSet<Id>,
+    repair_round: u64,
+    probes_outstanding: usize,
+    /// Rotation cursor over anchored keys for the bounded cross-section
+    /// spot check.
+    cross_cursor: usize,
+    last_epoch: u64,
+    kick_armed: bool,
 }
+
+/// Delay between a detected neighborhood change and the reactive repair
+/// round, coalescing the flurry of changes a single join/leave causes.
+const REPAIR_KICK_DELAY: SimDuration = SimDuration::from_secs(2);
 
 type FCtx<'a> = Ctx<'a, FastMsg, FastTimer>;
 
@@ -175,6 +243,13 @@ impl FastVerDiNode {
             lookup_to_op: HashMap::new(),
             lookup_to_cross: HashMap::new(),
             cross_waiting: HashMap::new(),
+            lookup_to_repair: HashMap::new(),
+            repairing: BTreeSet::new(),
+            repair_round: 0,
+            probes_outstanding: 0,
+            cross_cursor: 0,
+            last_epoch: 0,
+            kick_armed: false,
         }
     }
 
@@ -203,6 +278,8 @@ impl FastVerDiNode {
                 self.continue_op(op, o.answer, ctx);
             } else if let Some(cross) = self.lookup_to_cross.remove(&o.lid) {
                 self.continue_cross(cross, o.answer, ctx);
+            } else if let Some(probe_keys) = self.lookup_to_repair.remove(&o.lid) {
+                self.continue_repair_probe(probe_keys, o.answer, ctx);
             }
         }
         // Fast-VerDi never piggybacks, so answer requests cannot appear;
@@ -239,7 +316,9 @@ impl FastVerDiNode {
                 return;
             }
         };
-        let target = replicas[0];
+        // Rotate across the replica list on retry: a dead first replica
+        // would otherwise burn a full timeout on every attempt.
+        let target = replicas[p.attempt as usize % replicas.len()];
         match p.kind {
             OpKind::Get => {
                 let key = p.key;
@@ -248,7 +327,13 @@ impl FastVerDiNode {
             OpKind::Put => {
                 let key = p.key;
                 let value = p.value.clone().expect("puts carry a value");
-                self.send_data(ctx, target.addr, FastMsg::Store { op, key, value });
+                let (attempt, repair) = (p.attempt, p.repair);
+                let msg = FastMsg::Store { op, key, value, attempt, repair };
+                if repair {
+                    self.send_background(ctx, target.addr, msg);
+                } else {
+                    self.send_data(ctx, target.addr, msg);
+                }
             }
         }
     }
@@ -263,22 +348,52 @@ impl FastVerDiNode {
             Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
             _ => {
                 // Cannot reach the paired section: the put fails honestly.
-                self.send_data(
-                    ctx,
-                    cross.client,
-                    FastMsg::StoreAck { op: cross.client_op, ok: false },
-                );
+                let nack = FastMsg::StoreAck { op: cross.client_op, ok: false };
+                if cross.repair {
+                    self.send_background(ctx, cross.client, nack);
+                } else {
+                    self.send_data(ctx, cross.client, nack);
+                }
                 return;
             }
         };
+        // Rotate with the client's retry attempt so a dead first replica
+        // in the paired section does not fail every retry the same way.
+        let target = replicas[cross.attempt as usize % replicas.len()];
         let xid = self.next_xid;
         self.next_xid += 1;
-        self.cross_waiting.insert(xid, (cross.client_op, cross.client));
-        self.send_data(
-            ctx,
-            replicas[0].addr,
-            FastMsg::CrossCopy { xid, key: cross.key, value: cross.value },
-        );
+        self.cross_waiting.insert(xid, (cross.client_op, cross.client, cross.repair));
+        let msg =
+            FastMsg::CrossCopy { xid, key: cross.key, value: cross.value, repair: cross.repair };
+        if cross.repair {
+            self.send_background(ctx, target.addr, msg);
+        } else {
+            self.send_data(ctx, target.addr, msg);
+        }
+    }
+
+    /// A cross-section repair lookup resolved: probe the paired anchor
+    /// with the keys whose opposite-type copies we are spot-checking.
+    fn continue_repair_probe(
+        &mut self,
+        probe_keys: Vec<Id>,
+        answer: Option<VermeAnswer>,
+        ctx: &mut FCtx<'_>,
+    ) {
+        let replicas = match answer {
+            Some(VermeAnswer::Replicas { replicas }) if !replicas.is_empty() => replicas,
+            _ => {
+                self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+                return;
+            }
+        };
+        let msg = FastMsg::RepairProbe {
+            round: self.repair_round,
+            owner: self.overlay.id(),
+            keys: probe_keys,
+            cross: true,
+        };
+        self.send_background(ctx, replicas[0].addr, msg);
     }
 
     fn replicate_in_section(&mut self, key: Id, value: &Bytes, ctx: &mut FCtx<'_>) {
@@ -347,6 +462,178 @@ impl FastVerDiNode {
             key
         }
     }
+
+    fn send_background(&mut self, ctx: &mut FCtx<'_>, to: Addr, msg: FastMsg) {
+        ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// True if this node anchors `key` under either of its two replica
+    /// points — the filter deciding which stored blocks this node repairs.
+    fn anchors_key(&self, key: Id) -> bool {
+        let paired = self.overlay.layout().paired_replica_point(key);
+        self.is_replica_anchor(key) || self.is_replica_anchor(paired)
+    }
+
+    /// Completes an operation and clears read-repair bookkeeping.
+    fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut FCtx<'_>) {
+        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+            if f.repair {
+                self.repairing.remove(&f.key);
+            }
+        }
+    }
+
+    /// Arms a short-fuse repair round if the overlay neighborhood changed
+    /// since the last round. Called after every overlay interaction.
+    fn maybe_kick_repair(&mut self, ctx: &mut FCtx<'_>) {
+        if self.cfg.repair_enabled
+            && !self.kick_armed
+            && self.overlay.neighbor_epoch() != self.last_epoch
+        {
+            self.kick_armed = true;
+            ctx.set_timer(REPAIR_KICK_DELAY, FastTimer::RepairKick);
+        }
+    }
+
+    /// Runs one repair round: diffs anchored blocks against the current
+    /// in-section replica peers, and spot-checks a budgeted, rotating
+    /// slice of them against the opposite-type replica point. No-op when
+    /// the neighborhood is unchanged.
+    fn run_repair_round(&mut self, ctx: &mut FCtx<'_>) {
+        let epoch = self.overlay.neighbor_epoch();
+        if epoch == self.last_epoch && self.probes_outstanding == 0 {
+            return;
+        }
+        // An unchanged epoch with probes still unanswered means the last
+        // round lost a probe to a stale-dead target (a lookup can resolve
+        // to a node the responder's section has not purged yet). Re-probe
+        // until a full round completes cleanly; on a fault-free ring the
+        // epoch never moves and no probe is ever sent, so this retry path
+        // stays inert.
+        self.last_epoch = epoch;
+        ctx.begin_cause();
+        ctx.metrics().count(keys::REPAIR_ROUNDS, 1);
+        self.repair_round += 1;
+        let round = self.repair_round;
+        let me = self.overlay.id();
+        let layout = *self.overlay.layout();
+        let anchored: Vec<Id> =
+            self.store.iter().map(|(k, _)| *k).filter(|k| self.anchors_key(*k)).collect();
+        let targets: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        self.probes_outstanding = targets.len();
+        for addr in targets {
+            let msg =
+                FastMsg::RepairProbe { round, owner: me, keys: anchored.clone(), cross: false };
+            self.send_background(ctx, addr, msg);
+        }
+        // Cross-section spot check: one replica lookup per key, bounded
+        // by the batch budget and rotated across rounds so every anchored
+        // block is eventually verified against its paired point.
+        if !anchored.is_empty() {
+            let start = self.cross_cursor % anchored.len();
+            let take = self.cfg.repair_batch.min(anchored.len());
+            self.cross_cursor = (start + take) % anchored.len();
+            for i in 0..take {
+                let k = anchored[(start + i) % anchored.len()];
+                let pair = self.paired_point(k);
+                let lid = self.with_overlay(ctx, |overlay, ictx| {
+                    overlay.start_replica_lookup(pair, None, ictx)
+                });
+                self.lookup_to_repair.insert(lid, vec![k]);
+                self.probes_outstanding += 1;
+            }
+            self.drain_overlay(ctx);
+        }
+    }
+
+    /// Handles a repair probe: reports gaps, and (for in-section probes)
+    /// orphans — keys we hold in the prober's section that it did not
+    /// list.
+    fn handle_repair_probe(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        owner: Id,
+        probed: Vec<Id>,
+        cross: bool,
+        ctx: &mut FCtx<'_>,
+    ) {
+        let listed: BTreeSet<Id> = probed.iter().copied().collect();
+        let missing: Vec<Id> = probed.into_iter().filter(|k| !self.store.contains(*k)).collect();
+        let orphans: Vec<Id> = if cross {
+            Vec::new()
+        } else {
+            let layout = *self.overlay.layout();
+            self.store
+                .iter()
+                .map(|(k, _)| *k)
+                .filter(|k| layout.same_section(*k, owner) && !listed.contains(k))
+                .take(self.cfg.repair_batch)
+                .collect()
+        };
+        // Always answer — an empty reply still drains the prober's
+        // in-flight gauge.
+        self.send_background(
+            ctx,
+            from_addr,
+            FastMsg::RepairNeed { round, missing, orphans, cross },
+        );
+    }
+
+    /// Handles a probe reply: pushes the blocks the responder lacks
+    /// (budgeted; via cross copy for paired-section targets) and pulls
+    /// back orphans we should anchor but lost.
+    fn handle_repair_need(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        missing: Vec<Id>,
+        orphans: Vec<Id>,
+        cross: bool,
+        ctx: &mut FCtx<'_>,
+    ) {
+        if round == self.repair_round {
+            self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        }
+        let mut pushed = 0usize;
+        for k in missing {
+            if pushed >= self.cfg.repair_batch {
+                break;
+            }
+            let Some(v) = self.store.get(k).cloned() else {
+                continue;
+            };
+            if cross {
+                let xid = self.next_xid;
+                self.next_xid += 1;
+                self.send_background(
+                    ctx,
+                    from_addr,
+                    FastMsg::CrossCopy { xid, key: k, value: v, repair: true },
+                );
+            } else {
+                self.send_background(ctx, from_addr, FastMsg::Replicate { key: k, value: v });
+            }
+            ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+            pushed += 1;
+        }
+        let pulls: Vec<Id> = orphans
+            .into_iter()
+            .filter(|k| !self.store.contains(*k) && self.anchors_key(*k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        if !pulls.is_empty() {
+            self.send_background(ctx, from_addr, FastMsg::RepairPull { keys: pulls });
+        }
+    }
 }
 
 impl DhtNode for FastVerDiNode {
@@ -374,6 +661,14 @@ impl DhtNode for FastVerDiNode {
     fn stored_blocks(&self) -> usize {
         self.store.len()
     }
+
+    fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn repair_inflight(&self) -> usize {
+        self.probes_outstanding + self.ops.repairs_pending()
+    }
 }
 
 impl Node for FastVerDiNode {
@@ -385,6 +680,13 @@ impl Node for FastVerDiNode {
         let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
         let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
         ctx.set_timer(phase, FastTimer::DataStabilize);
+        if self.cfg.repair_enabled {
+            // Deliberately no random phase: repair must consume no rng
+            // draws, so a repair-enabled zero-fault run stays
+            // byte-identical to a repair-disabled one.
+            ctx.set_timer(self.cfg.repair_interval, FastTimer::Repair);
+        }
+        self.last_epoch = self.overlay.neighbor_epoch();
     }
 
     fn on_message(&mut self, from: Addr, msg: FastMsg, ctx: &mut FCtx<'_>) {
@@ -392,6 +694,7 @@ impl Node for FastVerDiNode {
             FastMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
             FastMsg::Fetch { op, key } => {
                 let value = self.store.get(key).cloned();
@@ -403,16 +706,33 @@ impl Node for FastVerDiNode {
                 };
                 let ok = value.as_ref().is_some_and(|v| verify_block(p.key, v));
                 if ok {
-                    self.ops.finish(op, true, value, ctx);
+                    let (key, attempt) = (p.key, p.attempt);
+                    let val = value.clone().expect("verified value present");
+                    self.finish_op(op, true, value, ctx);
+                    // Read-repair: the first-line replica missed (we only
+                    // succeeded on a retry), so re-write the block through
+                    // the normal put flow as background traffic.
+                    if attempt > 0 && self.cfg.repair_enabled && !self.repairing.contains(&key) {
+                        self.repairing.insert(key);
+                        let rop = self.ops.start_repair(key, val, &self.cfg, ctx, |op| {
+                            FastTimer::OpDeadline { op }
+                        });
+                        self.issue_attempt(rop, ctx);
+                    }
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }
-            FastMsg::Store { op, key, value } => {
+            FastMsg::Store { op, key, value, attempt, repair } => {
                 if !verify_block(key, &value) {
-                    self.send_data(ctx, from, FastMsg::StoreAck { op, ok: false });
+                    let nack = FastMsg::StoreAck { op, ok: false };
+                    if repair {
+                        self.send_background(ctx, from, nack);
+                    } else {
+                        self.send_data(ctx, from, nack);
+                    }
                     return;
                 }
                 self.store.put(key, value.clone());
@@ -423,28 +743,40 @@ impl Node for FastVerDiNode {
                 let lid = self.with_overlay(ctx, |overlay, ictx| {
                     overlay.start_replica_lookup(pair, None, ictx)
                 });
-                self.lookup_to_cross
-                    .insert(lid, CrossState { client_op: op, client: from, key, value });
+                self.lookup_to_cross.insert(
+                    lid,
+                    CrossState { client_op: op, client: from, key, value, attempt, repair },
+                );
                 self.drain_overlay(ctx);
             }
             FastMsg::StoreAck { op, ok } => {
                 if ok {
-                    self.ops.finish(op, true, None, ctx);
+                    self.finish_op(op, true, None, ctx);
                 } else {
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }
-            FastMsg::CrossCopy { xid, key, value } => {
+            FastMsg::CrossCopy { xid, key, value, repair } => {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
                     self.replicate_in_section(key, &value, ctx);
                 }
-                self.send_data(ctx, from, FastMsg::CrossCopyAck { xid, ok });
+                let ack = FastMsg::CrossCopyAck { xid, ok };
+                if repair {
+                    self.send_background(ctx, from, ack);
+                } else {
+                    self.send_data(ctx, from, ack);
+                }
             }
             FastMsg::CrossCopyAck { xid, ok } => {
-                if let Some((client_op, client)) = self.cross_waiting.remove(&xid) {
-                    self.send_data(ctx, client, FastMsg::StoreAck { op: client_op, ok });
+                if let Some((client_op, client, repair)) = self.cross_waiting.remove(&xid) {
+                    let ack = FastMsg::StoreAck { op: client_op, ok };
+                    if repair {
+                        self.send_background(ctx, client, ack);
+                    } else {
+                        self.send_data(ctx, client, ack);
+                    }
                 }
             }
             FastMsg::Replicate { key, value } => {
@@ -452,10 +784,60 @@ impl Node for FastVerDiNode {
                     self.store.put(key, value);
                 }
             }
+            FastMsg::RepairProbe { round, owner, keys: probed, cross } => {
+                self.handle_repair_probe(from, round, owner, probed, cross, ctx);
+            }
+            FastMsg::RepairNeed { round, missing, orphans, cross } => {
+                self.handle_repair_need(from, round, missing, orphans, cross, ctx);
+            }
+            FastMsg::RepairPull { keys: pulled } => {
+                let mut pushed = 0usize;
+                for k in pulled {
+                    if pushed >= self.cfg.repair_batch {
+                        break;
+                    }
+                    let Some(v) = self.store.get(k).cloned() else {
+                        continue;
+                    };
+                    self.send_background(ctx, from, FastMsg::Replicate { key: k, value: v });
+                    ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+                    pushed += 1;
+                }
+            }
         }
     }
 
     fn on_shutdown(&mut self, ctx: &mut FCtx<'_>) {
+        // Hinted handoff (graceful departures only): push every block this
+        // node anchors to its in-section heir — the first live in-section
+        // successor *outside* the current replica window, which inherits
+        // anchor duty once we are gone. Fire-and-forget: the node is dead
+        // before any reply could arrive.
+        if self.cfg.repair_enabled {
+            let layout = *self.overlay.layout();
+            let me = self.overlay.id();
+            let in_section: Vec<Addr> = self
+                .overlay
+                .successor_list()
+                .iter()
+                .filter(|h| layout.same_section(h.id, me))
+                .map(|h| h.addr)
+                .collect();
+            let heir = in_section.get(self.cfg.replicas / 2).or_else(|| in_section.last()).copied();
+            if let Some(heir) = heir {
+                ctx.begin_cause();
+                let anchored: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.anchors_key(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in anchored {
+                    ctx.metrics().count(keys::HANDOFF_BLOCKS, 1);
+                    self.send_background(ctx, heir, FastMsg::Replicate { key: k, value: v });
+                }
+            }
+        }
         self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
     }
 
@@ -464,9 +846,10 @@ impl Node for FastVerDiNode {
             FastTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
             FastTimer::OpDeadline { op } => {
-                self.ops.finish(op, false, None, ctx);
+                self.finish_op(op, false, None, ctx);
             }
             FastTimer::AttemptTimeout { op, attempt } => {
                 if self.ops.attempt_matches(op, attempt) {
@@ -492,6 +875,14 @@ impl Node for FastVerDiNode {
                 }
                 ctx.set_timer(self.cfg.data_stabilize_interval, FastTimer::DataStabilize);
             }
+            FastTimer::Repair => {
+                self.run_repair_round(ctx);
+                ctx.set_timer(self.cfg.repair_interval, FastTimer::Repair);
+            }
+            FastTimer::RepairKick => {
+                self.kick_armed = false;
+                self.run_repair_round(ctx);
+            }
         }
     }
 }
@@ -504,11 +895,17 @@ mod tests {
     fn wire_sizes_scale_with_block_size() {
         let big = Bytes::from(vec![0u8; 8192]);
         let small = Bytes::from(vec![0u8; 16]);
-        let sb = FastMsg::Store { op: 1, key: Id::new(1), value: big.clone() };
-        let ss = FastMsg::Store { op: 1, key: Id::new(1), value: small };
+        let sb = FastMsg::Store {
+            op: 1,
+            key: Id::new(1),
+            value: big.clone(),
+            attempt: 0,
+            repair: false,
+        };
+        let ss = FastMsg::Store { op: 1, key: Id::new(1), value: small, attempt: 0, repair: false };
         assert!(sb.wire_size() > ss.wire_size() + 8000);
         assert!(FastMsg::StoreAck { op: 1, ok: true }.wire_size() < 64);
-        let cc = FastMsg::CrossCopy { xid: 1, key: Id::new(1), value: big };
+        let cc = FastMsg::CrossCopy { xid: 1, key: Id::new(1), value: big, repair: false };
         assert!(cc.wire_size() > 8192);
     }
 }

@@ -20,6 +20,7 @@ pub mod compromise;
 pub mod dhash;
 pub mod fast;
 pub mod fragments;
+pub mod repair;
 pub mod secure;
 
 pub use api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
@@ -31,4 +32,5 @@ pub use fragments::{
     decode as decode_fragments, encode as encode_fragments, prepare_fragmented, reassemble,
     Fragment, Manifest,
 };
+pub use repair::DurabilityCensus;
 pub use secure::{SecureMsg, SecurePayload, SecureTimer, SecureVerDiNode};

@@ -13,7 +13,7 @@
 //! replica point (§5.3.2, "data does not need to be replicated in two
 //! sections").
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use bytes::Bytes;
 use rand::Rng;
@@ -77,6 +77,32 @@ pub enum SecureMsg {
         /// Block contents.
         value: Bytes,
     },
+    /// Repair probe: a replica anchor tells an in-section peer which keys
+    /// it should hold. Secure-VerDi stores at a single replica point
+    /// (§5.3.2), so there is no cross-section variant.
+    RepairProbe {
+        /// Prober-local round number.
+        round: u64,
+        /// The prober's id (defines its section for orphan reports).
+        owner: Id,
+        /// Keys the prober anchors and holds.
+        keys: Vec<Id>,
+    },
+    /// Repair probe reply.
+    RepairNeed {
+        /// Round number echoed from the probe.
+        round: u64,
+        /// Probed keys this node does not hold (please push).
+        missing: Vec<Id>,
+        /// Keys this node holds in the prober's section that were not in
+        /// the probe.
+        orphans: Vec<Id>,
+    },
+    /// Pull request for orphaned blocks (answered with `Replicate`).
+    RepairPull {
+        /// Keys to send back.
+        keys: Vec<Id>,
+    },
 }
 
 const HDR: usize = verme_chord::proto::HEADER_BYTES;
@@ -86,6 +112,11 @@ impl Wire for SecureMsg {
         match self {
             SecureMsg::Overlay(m) => m.wire_size(),
             SecureMsg::Replicate { value, .. } => HDR + 16 + value.len(),
+            SecureMsg::RepairProbe { keys, .. } => HDR + 8 + 16 + 16 * keys.len(),
+            SecureMsg::RepairNeed { missing, orphans, .. } => {
+                HDR + 8 + 16 * (missing.len() + orphans.len())
+            }
+            SecureMsg::RepairPull { keys } => HDR + 16 * keys.len(),
         }
     }
 }
@@ -114,6 +145,12 @@ pub enum SecureTimer {
     },
     /// Periodic background data stabilization.
     DataStabilize,
+    /// Periodic repair-round check (probes only if the overlay
+    /// neighborhood changed since the previous round).
+    Repair,
+    /// Short-fuse repair round scheduled right after a detected
+    /// neighborhood change (join, crash, or graceful leave).
+    RepairKick,
 }
 
 /// A Secure-VerDi node: a payload-carrying [`VermeNode`] plus the block
@@ -124,7 +161,16 @@ pub struct SecureVerDiNode {
     store: BlockStore,
     ops: OpTable,
     lookup_to_op: HashMap<u64, u64>,
+    repairing: BTreeSet<Id>,
+    repair_round: u64,
+    probes_outstanding: usize,
+    last_epoch: u64,
+    kick_armed: bool,
 }
+
+/// Delay between a detected neighborhood change and the reactive repair
+/// round, coalescing the flurry of changes a single join/leave causes.
+const REPAIR_KICK_DELAY: SimDuration = SimDuration::from_secs(2);
 
 type SCtx<'a> = Ctx<'a, SecureMsg, SecureTimer>;
 
@@ -144,6 +190,11 @@ impl SecureVerDiNode {
             store: BlockStore::new(),
             ops: OpTable::new(),
             lookup_to_op: HashMap::new(),
+            repairing: BTreeSet::new(),
+            repair_round: 0,
+            probes_outstanding: 0,
+            last_epoch: 0,
+            kick_armed: false,
         }
     }
 
@@ -203,13 +254,29 @@ impl SecureVerDiNode {
             };
             match o.app {
                 Some(SecurePayload::GetResp { value }) => {
-                    let key = self.ops.get(op).map(|p| p.key);
+                    let (key, attempt) = match self.ops.get(op) {
+                        Some(p) => (Some(p.key), p.attempt),
+                        None => (None, 0),
+                    };
                     let ok = match (&value, key) {
                         (Some(v), Some(k)) => verify_block(k, v),
                         _ => false,
                     };
                     if ok {
-                        self.ops.finish(op, true, value, ctx);
+                        let key = key.expect("ok implies key");
+                        let val = value.clone().expect("ok implies value");
+                        self.finish_op(op, true, value, ctx);
+                        // Read-repair: the first attempt missed, so
+                        // re-write the block through the normal
+                        // piggybacked put flow (no client outcome).
+                        if attempt > 0 && self.cfg.repair_enabled && !self.repairing.contains(&key)
+                        {
+                            self.repairing.insert(key);
+                            let rop = self.ops.start_repair(key, val, &self.cfg, ctx, |op| {
+                                SecureTimer::OpDeadline { op }
+                            });
+                            self.issue_attempt(rop, ctx);
+                        }
                     } else {
                         // The replica lacked (or corrupted) the block; retry
                         // end to end — repair may have moved it meanwhile.
@@ -218,7 +285,7 @@ impl SecureVerDiNode {
                 }
                 Some(SecurePayload::PutResp { ok }) => {
                     if ok {
-                        self.ops.finish(op, true, None, ctx);
+                        self.finish_op(op, true, None, ctx);
                     } else {
                         self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
                     }
@@ -298,6 +365,131 @@ impl SecureVerDiNode {
             ctx.send(addr, msg);
         }
     }
+
+    fn send_background(&mut self, ctx: &mut SCtx<'_>, to: Addr, msg: SecureMsg) {
+        ctx.metrics().count(keys::BYTES_REPLICATION, msg.wire_size() as u64);
+        ctx.send(to, msg);
+    }
+
+    /// Completes an operation and clears read-repair bookkeeping.
+    fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
+        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+            if f.repair {
+                self.repairing.remove(&f.key);
+            }
+        }
+    }
+
+    /// Arms a short-fuse repair round if the overlay neighborhood changed
+    /// since the last round. Called after every overlay interaction.
+    fn maybe_kick_repair(&mut self, ctx: &mut SCtx<'_>) {
+        if self.cfg.repair_enabled
+            && !self.kick_armed
+            && self.overlay.neighbor_epoch() != self.last_epoch
+        {
+            self.kick_armed = true;
+            ctx.set_timer(REPAIR_KICK_DELAY, SecureTimer::RepairKick);
+        }
+    }
+
+    /// Runs one repair round: diffs anchored blocks against the current
+    /// in-section replica peers. Secure-VerDi stores at a single replica
+    /// point, so repair is purely in-section. No-op when the neighborhood
+    /// is unchanged.
+    fn run_repair_round(&mut self, ctx: &mut SCtx<'_>) {
+        let epoch = self.overlay.neighbor_epoch();
+        if epoch == self.last_epoch && self.probes_outstanding == 0 {
+            return;
+        }
+        // An unchanged epoch with probes still unanswered means the last
+        // round lost a probe to a stale-dead target (a lookup can resolve
+        // to a node the responder's section has not purged yet). Re-probe
+        // until a full round completes cleanly; on a fault-free ring the
+        // epoch never moves and no probe is ever sent, so this retry path
+        // stays inert.
+        self.last_epoch = epoch;
+        ctx.begin_cause();
+        ctx.metrics().count(keys::REPAIR_ROUNDS, 1);
+        self.repair_round += 1;
+        let round = self.repair_round;
+        let me = self.overlay.id();
+        let layout = *self.overlay.layout();
+        let anchored: Vec<Id> =
+            self.store.iter().map(|(k, _)| *k).filter(|k| self.is_replica_anchor(*k)).collect();
+        let targets: Vec<Addr> = self
+            .overlay
+            .successor_list()
+            .iter()
+            .filter(|h| layout.same_section(h.id, me))
+            .take(self.cfg.replicas / 2)
+            .map(|h| h.addr)
+            .collect();
+        self.probes_outstanding = targets.len();
+        for addr in targets {
+            let msg = SecureMsg::RepairProbe { round, owner: me, keys: anchored.clone() };
+            self.send_background(ctx, addr, msg);
+        }
+    }
+
+    /// Handles a repair probe: reports gaps and orphans — keys we hold in
+    /// the prober's section that it did not list.
+    fn handle_repair_probe(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        owner: Id,
+        probed: Vec<Id>,
+        ctx: &mut SCtx<'_>,
+    ) {
+        let listed: BTreeSet<Id> = probed.iter().copied().collect();
+        let missing: Vec<Id> = probed.into_iter().filter(|k| !self.store.contains(*k)).collect();
+        let layout = *self.overlay.layout();
+        let orphans: Vec<Id> = self
+            .store
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| layout.same_section(*k, owner) && !listed.contains(k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        // Always answer — an empty reply still drains the prober's
+        // in-flight gauge.
+        self.send_background(ctx, from_addr, SecureMsg::RepairNeed { round, missing, orphans });
+    }
+
+    /// Handles a probe reply: pushes the blocks the responder lacks
+    /// (budgeted) and pulls back orphans we should anchor but lost.
+    fn handle_repair_need(
+        &mut self,
+        from_addr: Addr,
+        round: u64,
+        missing: Vec<Id>,
+        orphans: Vec<Id>,
+        ctx: &mut SCtx<'_>,
+    ) {
+        if round == self.repair_round {
+            self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        }
+        let mut pushed = 0usize;
+        for k in missing {
+            if pushed >= self.cfg.repair_batch {
+                break;
+            }
+            let Some(v) = self.store.get(k).cloned() else {
+                continue;
+            };
+            self.send_background(ctx, from_addr, SecureMsg::Replicate { key: k, value: v });
+            ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+            pushed += 1;
+        }
+        let pulls: Vec<Id> = orphans
+            .into_iter()
+            .filter(|k| !self.store.contains(*k) && self.is_replica_anchor(*k))
+            .take(self.cfg.repair_batch)
+            .collect();
+        if !pulls.is_empty() {
+            self.send_background(ctx, from_addr, SecureMsg::RepairPull { keys: pulls });
+        }
+    }
 }
 
 impl DhtNode for SecureVerDiNode {
@@ -325,6 +517,14 @@ impl DhtNode for SecureVerDiNode {
     fn stored_blocks(&self) -> usize {
         self.store.len()
     }
+
+    fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    fn repair_inflight(&self) -> usize {
+        self.probes_outstanding + self.ops.repairs_pending()
+    }
 }
 
 impl Node for SecureVerDiNode {
@@ -336,6 +536,13 @@ impl Node for SecureVerDiNode {
         let phase_ns = self.cfg.data_stabilize_interval.as_nanos().max(1);
         let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..phase_ns));
         ctx.set_timer(phase, SecureTimer::DataStabilize);
+        if self.cfg.repair_enabled {
+            // Deliberately no random phase: repair must consume no rng
+            // draws, so a repair-enabled zero-fault run stays
+            // byte-identical to a repair-disabled one.
+            ctx.set_timer(self.cfg.repair_interval, SecureTimer::Repair);
+        }
+        self.last_epoch = self.overlay.neighbor_epoch();
     }
 
     fn on_message(&mut self, from: Addr, msg: SecureMsg, ctx: &mut SCtx<'_>) {
@@ -343,16 +550,64 @@ impl Node for SecureVerDiNode {
             SecureMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
             SecureMsg::Replicate { key, value } => {
                 if verify_block(key, &value) {
                     self.store.put(key, value);
                 }
             }
+            SecureMsg::RepairProbe { round, owner, keys: probed } => {
+                self.handle_repair_probe(from, round, owner, probed, ctx);
+            }
+            SecureMsg::RepairNeed { round, missing, orphans } => {
+                self.handle_repair_need(from, round, missing, orphans, ctx);
+            }
+            SecureMsg::RepairPull { keys: pulled } => {
+                let mut pushed = 0usize;
+                for k in pulled {
+                    if pushed >= self.cfg.repair_batch {
+                        break;
+                    }
+                    let Some(v) = self.store.get(k).cloned() else {
+                        continue;
+                    };
+                    self.send_background(ctx, from, SecureMsg::Replicate { key: k, value: v });
+                    ctx.metrics().count(keys::REPAIR_PUSHED, 1);
+                    pushed += 1;
+                }
+            }
         }
     }
 
     fn on_shutdown(&mut self, ctx: &mut SCtx<'_>) {
+        // Hinted handoff (graceful departures only): push every anchored
+        // block to the in-section heir outside the replica window.
+        if self.cfg.repair_enabled {
+            let layout = *self.overlay.layout();
+            let me = self.overlay.id();
+            let in_section: Vec<Addr> = self
+                .overlay
+                .successor_list()
+                .iter()
+                .filter(|h| layout.same_section(h.id, me))
+                .map(|h| h.addr)
+                .collect();
+            let heir = in_section.get(self.cfg.replicas / 2).or_else(|| in_section.last()).copied();
+            if let Some(heir) = heir {
+                ctx.begin_cause();
+                let anchored: Vec<(Id, Bytes)> = self
+                    .store
+                    .iter()
+                    .filter(|(k, _)| self.is_replica_anchor(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in anchored {
+                    ctx.metrics().count(keys::HANDOFF_BLOCKS, 1);
+                    self.send_background(ctx, heir, SecureMsg::Replicate { key: k, value: v });
+                }
+            }
+        }
         self.with_overlay(ctx, |overlay, ictx| overlay.on_shutdown(ictx));
     }
 
@@ -361,9 +616,10 @@ impl Node for SecureVerDiNode {
             SecureTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));
                 self.drain_overlay(ctx);
+                self.maybe_kick_repair(ctx);
             }
             SecureTimer::OpDeadline { op } => {
-                self.ops.finish(op, false, None, ctx);
+                self.finish_op(op, false, None, ctx);
             }
             SecureTimer::AttemptTimeout { op, attempt } => {
                 if self.ops.attempt_matches(op, attempt) {
@@ -384,6 +640,14 @@ impl Node for SecureVerDiNode {
                     self.replicate_in_section(k, &v, ctx);
                 }
                 ctx.set_timer(self.cfg.data_stabilize_interval, SecureTimer::DataStabilize);
+            }
+            SecureTimer::Repair => {
+                self.run_repair_round(ctx);
+                ctx.set_timer(self.cfg.repair_interval, SecureTimer::Repair);
+            }
+            SecureTimer::RepairKick => {
+                self.kick_armed = false;
+                self.run_repair_round(ctx);
             }
         }
     }

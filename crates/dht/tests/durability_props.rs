@@ -1,0 +1,225 @@
+//! Property tests for the replica-repair plane: after an arbitrary churn
+//! script (crashes and graceful leaves) followed by a quiet convergence
+//! window, every surviving block sits on the placement the ring geometry
+//! demands — recomputed here independently of the protocol state.
+//!
+//! The blind periodic data stabilization is pushed beyond the horizon in
+//! every run, so the placements checked are the repair plane's work:
+//! epoch-kicked repair rounds, orphan pulls, hinted handoff, and the
+//! cross-section spot check.
+//!
+//! Placement oracles:
+//!
+//! * DHash — the first `min(replicas, live)` live nodes clockwise from
+//!   the key (successor-set placement) must all hold it.
+//! * Fast-VerDi — for each of the key's two replica points, the live
+//!   in-section anchor (first member at/after the point, or the last
+//!   member before it in the §5.2 corner) and its next `replicas / 2`
+//!   live in-section followers must all hold it.
+//!
+//! Stale extra copies on nodes that *used* to be in a replica set are
+//! permitted: repair re-replicates but never garbage-collects.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use verme_chord::{ChordConfig, Id, StaticRing};
+use verme_core::{SectionLayout, VermeConfig, VermeStaticRing};
+use verme_crypto::CertificateAuthority;
+use verme_dht::{block_key, DhashNode, DhtConfig, DhtNode, FastVerDiNode};
+use verme_sim::runtime::UniformLatency;
+use verme_sim::{Addr, HostId, Runtime, SeedSource, SimDuration, SimTime};
+
+const N: usize = 48;
+const BLOCKS: usize = 3;
+const HOP: SimDuration = SimDuration::from_millis(20);
+
+/// One scripted departure: which live node (by index into the live set,
+/// sorted by address) and how it goes.
+#[derive(Clone, Debug)]
+struct ChurnEvent {
+    victim: u8,
+    graceful: bool,
+}
+
+fn churn_script() -> impl Strategy<Value = Vec<ChurnEvent>> {
+    prop::collection::vec((any::<u8>(), any::<bool>()), 1..6).prop_map(|v| {
+        v.into_iter().map(|(victim, graceful)| ChurnEvent { victim, graceful }).collect()
+    })
+}
+
+fn repair_cfg() -> DhtConfig {
+    DhtConfig { data_stabilize_interval: SimDuration::from_secs(3_600), ..DhtConfig::default() }
+}
+
+fn layout() -> SectionLayout {
+    SectionLayout::with_sections(8, 2)
+}
+
+/// Seeds blocks fault-free, applies the churn script ten simulated
+/// seconds apart, then leaves a quiet convergence window.
+fn drive<Nd: DhtNode>(
+    rt: &mut Runtime<Nd, UniformLatency>,
+    addrs: &[Addr],
+    script: &[ChurnEvent],
+) -> Vec<Id> {
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    let mut keys = Vec::new();
+    for tag in 0..BLOCKS as u8 {
+        let value = Bytes::from(vec![tag; 1024]);
+        let key = block_key(&value);
+        let who = addrs[(tag as usize * 17) % addrs.len()];
+        rt.invoke(who, |n, ctx| n.start_put(value, ctx)).unwrap();
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+        assert!(
+            rt.node_mut(who).unwrap().take_op_outcomes().iter().any(|o| o.ok),
+            "fault-free put failed"
+        );
+        keys.push(key);
+    }
+    for ev in script {
+        let mut live: Vec<Addr> = addrs.iter().copied().filter(|&a| rt.is_alive(a)).collect();
+        live.sort_unstable_by_key(|a| a.raw());
+        let target = live[ev.victim as usize % live.len()];
+        if ev.graceful {
+            rt.shutdown(target);
+        } else {
+            rt.kill(target);
+        }
+        rt.run_until(rt.now() + SimDuration::from_secs(10));
+    }
+    // Quiet window: stabilization purges the dead (30 s cadence, 2×
+    // hop-timeout detection), then repair rounds re-replicate (15 s
+    // cadence with retry-until-quiescent).
+    rt.run_until(rt.now() + SimDuration::from_secs(240));
+    keys
+}
+
+proptest! {
+    /// DHash: every surviving key ends up on the full live successor set.
+    #[test]
+    fn dhash_repair_converges_to_successor_placement(
+        seed in 0u64..1_000_000,
+        script in churn_script(),
+    ) {
+        let cfg = repair_cfg();
+        let mut rng = SeedSource::new(seed).stream("ids");
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                verme_chord::NodeHandle::new(Id::random(&mut rng), Addr::from_raw(i as u64 + 1))
+            })
+            .collect();
+        let ring = StaticRing::new(handles);
+        let mut rt = Runtime::new(UniformLatency::new(N, HOP), seed);
+        let mut by_addr: Vec<(u64, usize)> =
+            (0..N).map(|i| (ring.node(i).addr.raw(), i)).collect();
+        by_addr.sort_unstable();
+        let mut addrs = vec![Addr::NULL; N];
+        for (raw, pos) in by_addr {
+            let node = DhashNode::new(ring.build_node(pos, ChordConfig::default()), cfg.clone());
+            addrs[pos] = rt.spawn(HostId(raw as usize - 1), node);
+        }
+
+        let keys = drive(&mut rt, &addrs, &script);
+
+        let live: Vec<(Id, Addr)> = addrs
+            .iter()
+            .copied()
+            .filter(|&a| rt.is_alive(a))
+            .map(|a| (rt.node(a).unwrap().overlay().id(), a))
+            .collect();
+        for key in keys {
+            let holders = live
+                .iter()
+                .filter(|&&(_, a)| rt.node(a).unwrap().store().contains(key))
+                .count();
+            if holders == 0 {
+                // The script can assassinate a full replica set faster
+                // than repair rounds run; a lost key has no placement to
+                // check. (The extI bench measures how rare this is.)
+                continue;
+            }
+            let mut expected = live.clone();
+            expected.sort_unstable_by_key(|&(id, _)| key.distance_to(id));
+            expected.truncate(cfg.replicas.min(live.len()));
+            for (id, a) in expected {
+                prop_assert!(
+                    rt.node(a).unwrap().store().contains(key),
+                    "node {id:?} is in key {key:?}'s successor set but lacks the block \
+                     ({holders} holders, script {script:?})"
+                );
+            }
+        }
+    }
+
+    /// Fast-VerDi: every surviving key ends up on both typed replica
+    /// sets — anchor plus in-section followers at each replica point.
+    #[test]
+    fn fast_verdi_repair_converges_to_typed_placement(
+        seed in 0u64..1_000_000,
+        script in churn_script(),
+    ) {
+        let cfg = repair_cfg();
+        let lay = layout();
+        let ring = VermeStaticRing::generate(lay, N, seed);
+        let mut ca = CertificateAuthority::new(seed);
+        let mut rt = Runtime::new(UniformLatency::new(N, HOP), seed);
+        let mut addrs = Vec::with_capacity(N);
+        for i in 0..N {
+            let overlay = ring.build_node(i, VermeConfig::new(lay), &mut ca);
+            addrs.push(rt.spawn(HostId(i), FastVerDiNode::new(overlay, cfg.clone())));
+        }
+
+        let keys = drive(&mut rt, &addrs, &script);
+
+        let live: Vec<(Id, Addr)> = addrs
+            .iter()
+            .copied()
+            .filter(|&a| rt.is_alive(a))
+            .map(|a| (rt.node(a).unwrap().overlay().id(), a))
+            .collect();
+        for key in keys {
+            let holders = live
+                .iter()
+                .filter(|&&(_, a)| rt.node(a).unwrap().store().contains(key))
+                .count();
+            if holders == 0 {
+                continue;
+            }
+            for point in [key, lay.paired_replica_point(key)] {
+                // Live members of the point's section, ascending: the
+                // section arc is contiguous, so raw-id order is ring
+                // order within it.
+                let mut members: Vec<(Id, Addr)> = live
+                    .iter()
+                    .copied()
+                    .filter(|&(id, _)| lay.same_section(id, point))
+                    .collect();
+                if members.is_empty() {
+                    continue; // the whole typed section died
+                }
+                members.sort_unstable_by_key(|&(id, _)| id.raw());
+                let anchor_pos = members
+                    .iter()
+                    .position(|&(id, _)| id.raw() >= point.raw())
+                    // §5.2 corner: the point is past every member, so the
+                    // last member before it anchors — with no in-section
+                    // followers after it.
+                    .unwrap_or(members.len() - 1);
+                let expected: Vec<(Id, Addr)> = members
+                    .iter()
+                    .copied()
+                    .skip(anchor_pos)
+                    .take(1 + cfg.replicas / 2)
+                    .collect();
+                for (id, a) in expected {
+                    prop_assert!(
+                        rt.node(a).unwrap().store().contains(key),
+                        "node {id:?} is in key {key:?}'s replica set at point {point:?} \
+                         but lacks the block ({holders} holders, script {script:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! question about the host machine, not the simulated world. It therefore
 //! measures real [`std::time::Instant`] durations and keeps its results in
 //! its own [`EventProfile`] struct, never in the shared
-//! [`MetricsSink`](crate::MetricsSink): wall-clock numbers differ from run
+//! [`MetricsSink`]: wall-clock numbers differ from run
 //! to run, and letting them leak into the deterministic metrics space would
 //! break byte-identical reproducibility. Harnesses that want the numbers in
 //! the exporter pipeline call [`EventProfile::export_into`] explicitly,

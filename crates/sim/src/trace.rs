@@ -101,7 +101,8 @@ pub enum ProtoEvent {
     OpStart {
         /// Initiator-local operation id.
         op: u64,
-        /// Operation kind label (`"get"` or `"put"`).
+        /// Operation kind label (`"get"`, `"put"`, or `"repair"` for
+        /// internal read-repair writes).
         kind: &'static str,
         /// The block key.
         key: u128,
