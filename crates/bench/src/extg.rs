@@ -226,6 +226,7 @@ fn run_dhash_cell(
                 !o.is_joined() || o.successor_list().first().is_some_and(|s| rt.is_alive(s.addr))
             })
         }),
+        corrupt: Box::new(|_, _, _| {}),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, burst_size, cell_seed)
@@ -272,6 +273,7 @@ fn run_fast_cell(
                 !o.is_joined() || o.successor_list().first().is_some_and(|s| rt.is_alive(s.addr))
             })
         }),
+        corrupt: Box::new(|_, _, _| {}),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, burst_size, cell_seed)

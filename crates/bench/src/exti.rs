@@ -284,6 +284,7 @@ fn run_dhash_cell(
                 !o.is_joined() || o.successor_list().first().is_some_and(|s| rt.is_alive(s.addr))
             })
         }),
+        corrupt: Box::new(|_, _, _| {}),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed)
@@ -323,6 +324,7 @@ fn run_fast_cell(params: &ExtIParams, churn_rate: f64, arm: RepairArm, cell_seed
                 !o.is_joined() || o.successor_list().first().is_some_and(|s| rt.is_alive(s.addr))
             })
         }),
+        corrupt: Box::new(|_, _, _| {}),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed)

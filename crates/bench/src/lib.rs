@@ -15,6 +15,9 @@
 //! * [`exti`] — data durability under churn (extension I): loss and
 //!   under-replication with the replica-repair plane off vs on at
 //!   several repair intervals.
+//! * [`extk`] — lookup degradation under a Byzantine routing adversary
+//!   (extension K): failed/hijacked fractions vs the adversary share
+//!   for all four variants, with the honest defenses enabled.
 //! * [`report`] — `BENCH_<name>.json` wall-clock/event-rate summaries
 //!   every binary writes for CI regression tracking.
 //!
@@ -26,6 +29,7 @@ pub mod ext;
 pub mod extg;
 pub mod exth;
 pub mod exti;
+pub mod extk;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;

@@ -1,0 +1,280 @@
+//! Routing behaviour policies: honest nodes and Byzantine adversaries
+//! share one node state machine.
+//!
+//! A [`Behaviour`] is consulted by the node at the two points where a
+//! malicious participant can deviate without forking the protocol code:
+//!
+//! * **Relaying a lookup** ([`Behaviour::route`]) — the node has computed
+//!   its honest greedy next hop and asks the policy whether to forward
+//!   honestly, absorb the lookup after acking it ([`RouteAction::Drop`]),
+//!   forward it to a wrong-direction or random peer
+//!   ([`RouteAction::Divert`]), or answer it itself with a forged result
+//!   ([`RouteAction::Hijack`]).
+//! * **Answering a stabilization probe** ([`Behaviour::advertise`]) — the
+//!   node is about to send its successor/predecessor lists and may rewrite
+//!   them, poisoning the asker's routing table.
+//!
+//! The honest policy is the unit: it is never even consulted (nodes gate
+//! every call on [`Behaviour::is_byzantine`]), draws no randomness, and
+//! allocates nothing — a run where every node is [`Honest`] is
+//! byte-identical to one built before this module existed.
+//!
+//! [`Byzantine`] deliberately carries its **own** seeded RNG rather than
+//! drawing from the node's `ctx.rng()`: adversarial draws must not shift
+//! the honest protocol's random phases, so an attack can be toggled
+//! without perturbing the rest of the schedule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::id::Id;
+use crate::ring::NodeHandle;
+
+/// What a relay decides to do with a lookup it was asked to forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteAction {
+    /// Forward to the honest greedy next hop.
+    Honest,
+    /// Ack the hop, then absorb the lookup (the initiator's deadline
+    /// fires; upstream never reroutes because the hop looked alive).
+    Drop,
+    /// Forward to this peer instead of the greedy next hop.
+    Divert(NodeHandle),
+    /// Answer the lookup directly with a forged result naming the
+    /// adversary as responsible.
+    Hijack,
+}
+
+/// A routing policy, consulted at the deviation points above.
+pub trait Behaviour: Send {
+    /// Decides what to do with a lookup for `key` whose honest next hop
+    /// is `next`; `candidates` are the relay's other known peers (for
+    /// diversion targets).
+    fn route(&mut self, key: Id, next: NodeHandle, candidates: &[NodeHandle]) -> RouteAction {
+        let _ = (key, next, candidates);
+        RouteAction::Honest
+    }
+
+    /// Rewrites the successor/predecessor lists this node (`me`) is about
+    /// to advertise to a stabilizing neighbor.
+    fn advertise(
+        &mut self,
+        me: NodeHandle,
+        successors: &mut Vec<NodeHandle>,
+        predecessors: &mut Vec<NodeHandle>,
+    ) {
+        let _ = (me, successors, predecessors);
+    }
+
+    /// True for adversarial policies. Nodes gate every policy call on
+    /// this, so the honest path stays byte-identical to a build without
+    /// behaviours at all.
+    fn is_byzantine(&self) -> bool {
+        false
+    }
+}
+
+/// The honest policy: never deviates, never consulted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Honest;
+
+impl Behaviour for Honest {}
+
+/// Parameters of the scripted Byzantine adversary.
+///
+/// The three fractions partition the unit interval; whatever remains
+/// (`1 - drop - misroute - hijack`) is routed honestly, letting a cell
+/// dial the adversary from a pure dropper to a pure hijacker.
+#[derive(Clone, Copy, Debug)]
+pub struct ByzantineConfig {
+    /// Probability a relayed lookup is acked and then absorbed.
+    pub drop_fraction: f64,
+    /// Probability a relayed lookup is diverted to a random known peer
+    /// (wrong direction included).
+    pub misroute_fraction: f64,
+    /// Probability a relayed lookup is answered with a forged result
+    /// naming the adversary as responsible.
+    pub hijack_fraction: f64,
+    /// Rewrite advertised neighbor lists during stabilization, rebinding
+    /// every advertised peer to a fabricated identifier.
+    pub poison: bool,
+    /// Seed for the adversary's private RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ByzantineConfig {
+    fn default() -> Self {
+        ByzantineConfig {
+            drop_fraction: 0.25,
+            misroute_fraction: 0.25,
+            hijack_fraction: 0.4,
+            poison: true,
+            seed: 0,
+        }
+    }
+}
+
+impl ByzantineConfig {
+    /// Validates the fractions.
+    ///
+    /// # Errors
+    ///
+    /// Fractions must each lie in `[0, 1]` and sum to at most 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let fs = [self.drop_fraction, self.misroute_fraction, self.hijack_fraction];
+        if fs.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err("behaviour fractions must lie in [0, 1]".into());
+        }
+        if fs.iter().sum::<f64>() > 1.0 + 1e-9 {
+            return Err("behaviour fractions must sum to at most 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The scripted Byzantine adversary: drops, misroutes, or hijacks relayed
+/// lookups and poisons stabilization advertisements, all from a private
+/// deterministic RNG stream.
+pub struct Byzantine {
+    cfg: ByzantineConfig,
+    rng: StdRng,
+}
+
+impl Byzantine {
+    /// Creates an adversary from its config (seeding the private stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(cfg: ByzantineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid Byzantine config: {e}");
+        }
+        Byzantine { rng: StdRng::seed_from_u64(cfg.seed), cfg }
+    }
+}
+
+impl Behaviour for Byzantine {
+    fn route(&mut self, _key: Id, _next: NodeHandle, candidates: &[NodeHandle]) -> RouteAction {
+        let r: f64 = self.rng.gen();
+        let c = &self.cfg;
+        if r < c.drop_fraction {
+            RouteAction::Drop
+        } else if r < c.drop_fraction + c.misroute_fraction {
+            if candidates.is_empty() {
+                RouteAction::Drop
+            } else {
+                RouteAction::Divert(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+        } else if r < c.drop_fraction + c.misroute_fraction + c.hijack_fraction {
+            RouteAction::Hijack
+        } else {
+            RouteAction::Honest
+        }
+    }
+
+    fn advertise(
+        &mut self,
+        me: NodeHandle,
+        successors: &mut Vec<NodeHandle>,
+        predecessors: &mut Vec<NodeHandle>,
+    ) {
+        if !self.cfg.poison {
+            return;
+        }
+        // Rebind every advertised peer to a fabricated identifier: the
+        // asker that integrates these unchecked now holds pointers whose
+        // addresses answer for ring arcs they do not own. Keeping the
+        // real addresses (rather than inventing unreachable ones) is the
+        // nastier attack — traffic still flows, just to the wrong owners —
+        // and it is exactly the lie an addr→id binding check can catch.
+        for h in successors.iter_mut().chain(predecessors.iter_mut()) {
+            if h.addr != me.addr {
+                h.id = Id::new(self.rng.gen());
+            }
+        }
+    }
+
+    fn is_byzantine(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::Addr;
+
+    fn h(id: u128, addr: u64) -> NodeHandle {
+        NodeHandle::new(Id::new(id), Addr::from_raw(addr))
+    }
+
+    #[test]
+    fn honest_is_inert() {
+        let mut b = Honest;
+        assert!(!b.is_byzantine());
+        assert_eq!(b.route(Id::new(5), h(1, 1), &[h(2, 2)]), RouteAction::Honest);
+        let me = h(9, 9);
+        let mut succs = vec![h(1, 1)];
+        let mut preds = vec![h(2, 2)];
+        b.advertise(me, &mut succs, &mut preds);
+        assert_eq!(succs, vec![h(1, 1)]);
+        assert_eq!(preds, vec![h(2, 2)]);
+    }
+
+    #[test]
+    fn byzantine_decisions_are_deterministic_per_seed() {
+        let cfg = ByzantineConfig { seed: 7, ..ByzantineConfig::default() };
+        let run = || {
+            let mut b = Byzantine::new(cfg);
+            let cands = [h(1, 1), h(2, 2), h(3, 3)];
+            (0..64).map(|i| b.route(Id::new(i), h(10, 10), &cands)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        assert!(Byzantine::new(cfg).is_byzantine());
+    }
+
+    #[test]
+    fn byzantine_mixes_all_actions() {
+        let mut b = Byzantine::new(ByzantineConfig { seed: 3, ..ByzantineConfig::default() });
+        let cands = [h(1, 1), h(2, 2)];
+        let mut seen_drop = false;
+        let mut seen_divert = false;
+        let mut seen_hijack = false;
+        for i in 0..256 {
+            match b.route(Id::new(i), h(10, 10), &cands) {
+                RouteAction::Drop => seen_drop = true,
+                RouteAction::Divert(d) => {
+                    seen_divert = true;
+                    assert!(cands.contains(&d));
+                }
+                RouteAction::Hijack => seen_hijack = true,
+                RouteAction::Honest => {}
+            }
+        }
+        assert!(seen_drop && seen_divert && seen_hijack);
+    }
+
+    #[test]
+    fn poisoned_advertisement_rebinds_ids_but_keeps_addrs() {
+        let mut b = Byzantine::new(ByzantineConfig { seed: 1, ..ByzantineConfig::default() });
+        let me = h(9, 9);
+        let orig = vec![h(1, 1), h(2, 2), h(3, 3)];
+        let mut succs = orig.clone();
+        let mut preds: Vec<NodeHandle> = Vec::new();
+        b.advertise(me, &mut succs, &mut preds);
+        assert_eq!(succs.len(), orig.len());
+        for (p, o) in succs.iter().zip(&orig) {
+            assert_eq!(p.addr, o.addr, "addresses survive poisoning");
+            assert_ne!(p.id, o.id, "ids are rebound");
+        }
+    }
+
+    #[test]
+    fn fractions_are_validated() {
+        let bad =
+            ByzantineConfig { drop_fraction: 0.8, hijack_fraction: 0.8, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(ByzantineConfig::default().validate().is_ok());
+    }
+}

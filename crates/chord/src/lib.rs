@@ -18,12 +18,14 @@
 //! The Verme overlay in `verme-core` reuses [`id`] and [`ring`] and mirrors
 //! the [`node`] structure with its type-aware modifications.
 
+pub mod behaviour;
 pub mod id;
 pub mod node;
 pub mod proto;
 pub mod ring;
 pub mod static_ring;
 
+pub use behaviour::{Behaviour, Byzantine, ByzantineConfig, Honest, RouteAction};
 pub use id::Id;
 pub use node::{keys, ChordNode, NodeHealth};
 pub use proto::{ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult};

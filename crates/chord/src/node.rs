@@ -12,6 +12,7 @@ use rand::Rng;
 
 use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime};
 
+use crate::behaviour::{Behaviour, Honest, RouteAction};
 use crate::id::Id;
 use crate::proto::{
     ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult,
@@ -38,6 +39,9 @@ pub mod keys {
     pub const BYTES_MAINT: &str = "bytes.maint";
     /// Hop-level timeouts that triggered rerouting.
     pub const HOP_REROUTES: &str = "lookup.hop_reroutes";
+    /// Advertised neighbor entries rejected by the addr→id binding sanity
+    /// check (routing-table poisoning attempts that were caught).
+    pub const RING_POISONED: &str = "ring.poisoned_entries";
 
     /// Registry descriptors for every metric a Chord node records.
     pub fn descriptors() -> &'static [verme_sim::MetricDesc] {
@@ -51,6 +55,7 @@ pub mod keys {
             MetricDesc::counter(BYTES_LOOKUP, "bytes", "lookup traffic sent"),
             MetricDesc::counter(BYTES_MAINT, "bytes", "maintenance traffic sent"),
             MetricDesc::counter(HOP_REROUTES, "ops", "hop timeouts that triggered rerouting"),
+            MetricDesc::counter(RING_POISONED, "entries", "poisoned advertisements rejected"),
         ];
         DESCS
     }
@@ -200,6 +205,10 @@ pub struct ChordNode {
     pred_waiting: Option<u64>,
     outcomes: Vec<LookupOutcome>,
     neighbor_epoch: u64,
+    /// Routing policy. [`Honest`] by default; every consultation is gated
+    /// on [`Behaviour::is_byzantine`], so the default draws no randomness
+    /// and changes no message flow.
+    behaviour: Box<dyn Behaviour>,
 }
 
 impl ChordNode {
@@ -230,6 +239,7 @@ impl ChordNode {
             pred_waiting: None,
             outcomes: Vec::new(),
             neighbor_epoch: 0,
+            behaviour: Box::new(Honest),
         }
     }
 
@@ -342,11 +352,45 @@ impl ChordNode {
         out
     }
 
+    /// Replaces this node's routing policy (adversary injection). The
+    /// default is [`Honest`].
+    pub fn set_behaviour(&mut self, behaviour: Box<dyn Behaviour>) {
+        self.behaviour = behaviour;
+    }
+
+    /// True when this node runs an adversarial routing policy.
+    pub fn is_byzantine(&self) -> bool {
+        self.behaviour.is_byzantine()
+    }
+
+    /// The greedy first hop this node would route a lookup for `key`
+    /// through, skipping `exclude` (suspected-misroute failover).
+    pub fn route_first_hop_excluding(&self, key: Id, exclude: &[Addr]) -> Option<NodeHandle> {
+        if exclude.is_empty() {
+            closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+        } else {
+            self.route_excluding(key, exclude)
+        }
+    }
+
     /// Injects an application lookup for `key`. Returns the lookup's local
     /// sequence number. Results are recorded in the metrics sink.
     pub fn start_lookup(&mut self, key: Id, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) -> u64 {
+        self.start_lookup_excluding(key, &[], ctx)
+    }
+
+    /// Like [`ChordNode::start_lookup`], but never routes the first hop
+    /// through an address in `avoid` — the OpTable's suspected-misroute
+    /// escalation path. An empty `avoid` is byte-identical to
+    /// [`ChordNode::start_lookup`].
+    pub fn start_lookup_excluding(
+        &mut self,
+        key: Id,
+        avoid: &[Addr],
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) -> u64 {
         ctx.metrics().count(keys::LOOKUP_ISSUED, 1);
-        self.begin_lookup(key, LookupKind::App, ctx)
+        self.begin_lookup_avoiding(key, LookupKind::App, avoid, ctx)
     }
 
     /// Drains the outcomes of application lookups that finished since the
@@ -363,6 +407,16 @@ impl ChordNode {
         &mut self,
         key: Id,
         kind: LookupKind,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) -> u64 {
+        self.begin_lookup_avoiding(key, kind, &[], ctx)
+    }
+
+    fn begin_lookup_avoiding(
+        &mut self,
+        key: Id,
+        kind: LookupKind,
+        avoid: &[Addr],
         ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
     ) -> u64 {
         let seq = self.next_seq;
@@ -400,7 +454,12 @@ impl ChordNode {
             self.complete_lookup(seq, result, 0, ctx);
             return seq;
         } else {
-            closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+            // Suspected-misroute escalation may exclude first hops; fall
+            // back to the unrestricted greedy hop rather than failing
+            // outright if the exclusion leaves no route. With an empty
+            // `avoid` this is exactly the plain greedy hop.
+            self.route_first_hop_excluding(key, avoid)
+                .or_else(|| closest_preceding_hop(self.id, &self.fingers, &self.successors, key))
                 .map(|h| (h.addr, Some(h.id)))
         };
         let Some((first_hop, first_hop_id)) = first_hop else {
@@ -605,12 +664,39 @@ impl ChordNode {
             );
             return;
         }
-        let Some(next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+        let Some(mut next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
         else {
             // Routing state too sparse to make progress; drop (the
             // initiator's deadline will fire).
             return;
         };
+        if self.behaviour.is_byzantine() {
+            let candidates = self.route_candidates();
+            match self.behaviour.route(key, next, &candidates) {
+                RouteAction::Honest => {}
+                // Acked above, so upstream never reroutes around us; the
+                // initiator's deadline is the only recourse.
+                RouteAction::Drop => return,
+                RouteAction::Divert(h) => next = h,
+                RouteAction::Hijack => {
+                    // Forge an authoritative answer naming this node as
+                    // the key's owner; the data layer's block verification
+                    // is what unmasks it (`dht.lookups.hijacked`).
+                    let result = LookupResult { predecessor: self.me, successors: vec![self.me] };
+                    let reply_to = match mode {
+                        LookupMode::Transitive => origin.addr,
+                        _ => from,
+                    };
+                    self.send_counted(
+                        ctx,
+                        reply_to,
+                        ChordMsg::LookupReply { lid, result, hops },
+                        bytes_key,
+                    );
+                    return;
+                }
+            }
+        }
         self.forwards.insert(
             lid,
             ForwardState {
@@ -738,6 +824,62 @@ impl ChordNode {
         }
     }
 
+    /// Every distinct routing-table peer — the diversion-target pool a
+    /// Byzantine relay picks misroute victims from.
+    fn route_candidates(&self) -> Vec<NodeHandle> {
+        let mut out: Vec<NodeHandle> = Vec::new();
+        for h in self.fingers.distinct().into_iter().chain(self.successors.iter().copied()) {
+            if h.addr != self.me.addr && !out.iter().any(|o| o.addr == h.addr) {
+                out.push(h);
+            }
+        }
+        out
+    }
+
+    /// The identifier this node's own routing state binds `addr` to, if
+    /// any — ground truth for the advertisement sanity check.
+    fn known_binding(&self, addr: Addr) -> Option<Id> {
+        if addr == self.me.addr {
+            return Some(self.id);
+        }
+        self.successors
+            .iter()
+            .copied()
+            .chain(self.predecessor)
+            .chain(self.fingers.distinct())
+            .find(|h| h.addr == addr)
+            .map(|h| h.id)
+    }
+
+    /// Drops advertised entries that rebind an address this node already
+    /// knows to a different identifier, or that bind one address to two
+    /// identifiers within the same advertisement — the two lies a
+    /// poisoning adversary must tell to redirect ring arcs. Honest
+    /// advertisements never conflict (addr→id bindings are global
+    /// constants in a run), so on a clean ring this filter passes
+    /// everything through untouched and records nothing.
+    fn sanitize_advert(
+        &self,
+        list: Vec<NodeHandle>,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
+    ) -> Vec<NodeHandle> {
+        let mut clean: Vec<NodeHandle> = Vec::with_capacity(list.len());
+        let mut rejected = 0u64;
+        for h in list {
+            let conflict = self.known_binding(h.addr).is_some_and(|id| id != h.id)
+                || clean.iter().any(|c| c.addr == h.addr && c.id != h.id);
+            if conflict {
+                rejected += 1;
+            } else {
+                clean.push(h);
+            }
+        }
+        if rejected > 0 {
+            ctx.metrics().count(keys::RING_POISONED, rejected);
+        }
+        clean
+    }
+
     fn route_excluding(&self, key: Id, exclude: &[Addr]) -> Option<NodeHandle> {
         let mut best: Option<NodeHandle> = None;
         let mut best_rank = 0u128;
@@ -792,7 +934,7 @@ impl ChordNode {
         maint: bool,
         ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
     ) {
-        let step = if let Some(result) = self.local_answer(key) {
+        let mut step = if let Some(result) = self.local_answer(key) {
             IterStep::Done(result)
         } else {
             let mut cands: Vec<NodeHandle> = self
@@ -807,6 +949,26 @@ impl ChordNode {
             cands.truncate(3);
             IterStep::Forward(cands)
         };
+        if self.behaviour.is_byzantine() && !matches!(step, IterStep::Done(_)) {
+            let candidates = self.route_candidates();
+            let honest_next = match &step {
+                IterStep::Forward(c) => c.first().copied().unwrap_or(self.me),
+                IterStep::Done(_) => self.me,
+            };
+            match self.behaviour.route(key, honest_next, &candidates) {
+                RouteAction::Honest => {}
+                // No reply: the initiator's hop timeout reroutes around us
+                // (iterative initiators keep control of the traversal).
+                RouteAction::Drop => return,
+                RouteAction::Divert(h) => step = IterStep::Forward(vec![h]),
+                RouteAction::Hijack => {
+                    step = IterStep::Done(LookupResult {
+                        predecessor: self.me,
+                        successors: vec![self.me],
+                    });
+                }
+            }
+        }
         let bytes_key = if maint { keys::BYTES_MAINT } else { keys::BYTES_LOOKUP };
         self.send_counted(ctx, from, ChordMsg::NextHop { lid, step }, bytes_key);
     }
@@ -956,6 +1118,21 @@ impl ChordNode {
             return;
         }
         self.stab_waiting = None;
+        // Successor-advertisement sanity check: drop entries whose
+        // addr→id binding contradicts what we already know before they
+        // reach the list (routing-table poisoning defense).
+        let before = succs.len();
+        let succs = self.sanitize_advert(succs, ctx);
+        let mut advert_poisoned = succs.len() < before;
+        let predecessor = predecessor
+            .filter(|p| self.known_binding(p.addr).is_none_or(|id| id == p.id))
+            .or_else(|| {
+                if predecessor.is_some() {
+                    ctx.metrics().count(keys::RING_POISONED, 1);
+                    advert_poisoned = true;
+                }
+                None
+            });
         // Rebuild the successor list from the live successor's view: this
         // is Chord's `successor_list = s1 + s1.list` rule, and it flushes
         // stale entries promptly.
@@ -967,6 +1144,16 @@ impl ChordNode {
             }
         }
         fresh.integrate_all(&succs);
+        // A poisoning successor must not be able to *shrink* this list:
+        // rejecting its rebound entries would otherwise flush the very
+        // knowledge the binding check depends on, and the next poisoned
+        // advert — now naming addresses we no longer know — would slip
+        // through. On evidence of poisoning, refill from the previously
+        // vetted entries. Honest advertisements never trigger this (their
+        // bindings never conflict), so clean runs are untouched.
+        if advert_poisoned {
+            fresh.integrate_all(self.successors.as_slice());
+        }
         if fresh.as_slice() != self.successors.as_slice() {
             self.neighbor_epoch += 1;
         }
@@ -1115,11 +1302,16 @@ impl Node for ChordNode {
             }
             ChordMsg::NextHop { lid, step } => self.handle_next_hop(lid, step, ctx),
             ChordMsg::GetNeighbors { token } => {
-                let reply = ChordMsg::Neighbors {
-                    token,
-                    predecessor: self.predecessor,
-                    successors: self.successors.as_slice().to_vec(),
-                };
+                let mut successors = self.successors.as_slice().to_vec();
+                let mut predecessor = self.predecessor;
+                if self.behaviour.is_byzantine() {
+                    // Stabilization is the poisoning channel: the asker
+                    // rebuilds its successor list from this reply.
+                    let mut preds: Vec<NodeHandle> = predecessor.into_iter().collect();
+                    self.behaviour.advertise(self.me, &mut successors, &mut preds);
+                    predecessor = preds.first().copied();
+                }
+                let reply = ChordMsg::Neighbors { token, predecessor, successors };
                 self.send_counted(ctx, from, reply, keys::BYTES_MAINT);
             }
             ChordMsg::Neighbors { token, predecessor, successors } => {

@@ -19,7 +19,10 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use verme_chord::node::keys;
-use verme_chord::{closest_preceding_hop, FingerTable, Id, NeighborList, NodeHandle};
+use verme_chord::{
+    closest_preceding_hop, Behaviour, FingerTable, Honest, Id, NeighborList, NodeHandle,
+    RouteAction,
+};
 use verme_crypto::{CaVerifier, Certificate, KeyPair, NodeType, Sealed};
 use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime, Wire};
 
@@ -145,6 +148,9 @@ pub struct VermeNode<P: Payload = ()> {
     pred_stab_waiting: Option<(u64, NodeHandle)>,
     denied: u64,
     neighbor_epoch: u64,
+    /// Routing policy: [`Honest`] by default. Every call is gated on
+    /// [`Behaviour::is_byzantine`], so honest runs never consult it.
+    behaviour: Box<dyn Behaviour>,
 }
 
 impl<P: Payload> VermeNode<P> {
@@ -198,6 +204,7 @@ impl<P: Payload> VermeNode<P> {
             pred_stab_waiting: None,
             denied: 0,
             neighbor_epoch: 0,
+            behaviour: Box::new(Honest),
         }
     }
 
@@ -313,6 +320,27 @@ impl<P: Payload> VermeNode<P> {
         closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
     }
 
+    /// As [`route_first_hop`](VermeNode::route_first_hop), but refusing
+    /// the listed addresses — the redundant-path and suspicion machinery
+    /// uses this to force a disjoint first hop.
+    pub fn route_first_hop_excluding(&self, key: Id, exclude: &[Addr]) -> Option<NodeHandle> {
+        if exclude.is_empty() {
+            self.route_first_hop(key)
+        } else {
+            self.route_excluding(key, exclude)
+        }
+    }
+
+    /// Installs a routing [`Behaviour`] policy (Byzantine scripting).
+    pub fn set_behaviour(&mut self, behaviour: Box<dyn Behaviour>) {
+        self.behaviour = behaviour;
+    }
+
+    /// True if this node runs an adversarial routing policy.
+    pub fn is_byzantine(&self) -> bool {
+        self.behaviour.is_byzantine()
+    }
+
     /// Signs a statement with this node's key (Compromise-VerDi's
     /// operation vouching, §5.3.3).
     pub fn sign_statement<T: verme_crypto::StatementDigest>(
@@ -381,8 +409,30 @@ impl<P: Payload> VermeNode<P> {
         piggyback: Option<P>,
         ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
     ) -> VermeLookupId {
+        self.start_replica_lookup_excluding(key, piggyback, &[], ctx)
+    }
+
+    /// As [`start_replica_lookup`](VermeNode::start_replica_lookup), but
+    /// the first hop avoids the listed addresses. Secure-VerDi's
+    /// redundant-path fan-out issues its extra lookups through this so
+    /// each copy leaves on a disjoint first hop, and the OpTable's
+    /// suspicion machinery routes retries around hops it distrusts.
+    pub fn start_replica_lookup_excluding(
+        &mut self,
+        key: Id,
+        piggyback: Option<P>,
+        avoid: &[Addr],
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> VermeLookupId {
         ctx.metrics().count(keys::LOOKUP_ISSUED, 1);
-        self.begin_lookup(key, LookupPurpose::Replicas, piggyback, keys::BYTES_LOOKUP, ctx)
+        self.begin_lookup_avoiding(
+            key,
+            LookupPurpose::Replicas,
+            piggyback,
+            keys::BYTES_LOOKUP,
+            avoid,
+            ctx,
+        )
     }
 
     /// Starts a random-key measurement lookup (the Figure 5 workload).
@@ -409,6 +459,19 @@ impl<P: Payload> VermeNode<P> {
         purpose: LookupPurpose,
         piggyback: Option<P>,
         bytes_key: &'static str,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> VermeLookupId {
+        self.begin_lookup_avoiding(key, purpose, piggyback, bytes_key, &[], ctx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn begin_lookup_avoiding(
+        &mut self,
+        key: Id,
+        purpose: LookupPurpose,
+        piggyback: Option<P>,
+        bytes_key: &'static str,
+        avoid: &[Addr],
         ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
     ) -> VermeLookupId {
         let lid: VermeLookupId = ctx.rng().gen();
@@ -443,7 +506,8 @@ impl<P: Payload> VermeNode<P> {
             self.complete_lookup(lid, Some(answer), None, 0, ctx);
             return lid;
         } else {
-            closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+            self.route_first_hop_excluding(key, avoid)
+                .or_else(|| closest_preceding_hop(self.id, &self.fingers, &self.successors, key))
                 .map(|h| (h.addr, Some(h)))
         };
         let Some((hop, hop_handle)) = first_hop else {
@@ -740,10 +804,46 @@ impl<P: Payload> VermeNode<P> {
             self.send_reply(lid, answer, None, &cert, from, hops, bytes_key, ctx);
             return;
         }
-        let Some(next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
+        let Some(mut next) = closest_preceding_hop(self.id, &self.fingers, &self.successors, key)
         else {
             return;
         };
+        if self.behaviour.is_byzantine() {
+            let candidates = self.known_peers();
+            match self.behaviour.route(key, next, &candidates) {
+                RouteAction::Honest => {}
+                // Absorb after the ack above: upstream believes the hop is
+                // alive, so only the initiator's deadline catches it.
+                RouteAction::Drop => return,
+                RouteAction::Divert(h) => next = h,
+                RouteAction::Hijack => {
+                    // Forge a reply naming this node as responsible. The
+                    // initiator's certificate travels in the Lookup, so a
+                    // Byzantine relay can seal a perfectly valid-looking
+                    // envelope — certificates authenticate *initiators*,
+                    // not answers (DESIGN.md §7f). Only a data-layer
+                    // integrity check unmasks the hijack.
+                    let answer = match purpose {
+                        LookupPurpose::Join => {
+                            VermeAnswer::Join { predecessor: self.me, successors: vec![self.me] }
+                        }
+                        LookupPurpose::Finger => VermeAnswer::Finger { node: self.me },
+                        LookupPurpose::Replicas => {
+                            if piggyback.is_some() {
+                                // Piggybacked replies are opaque; an empty
+                                // forged answer body fails the caller's
+                                // payload check instead.
+                                VermeAnswer::Opaque
+                            } else {
+                                VermeAnswer::Replicas { replicas: vec![self.me] }
+                            }
+                        }
+                    };
+                    self.send_reply(lid, answer, None, &cert, from, hops, bytes_key, ctx);
+                    return;
+                }
+            }
+        }
         let piggyback_size = piggyback.as_ref().map_or(0, |p| p.wire_size());
         self.forwards.insert(
             lid,
@@ -935,6 +1035,49 @@ impl<P: Payload> VermeNode<P> {
         best
     }
 
+    /// The id this node believes `addr` is bound to, if it knows the
+    /// address at all.
+    fn known_binding(&self, addr: Addr) -> Option<Id> {
+        if addr == self.me.addr {
+            return Some(self.id);
+        }
+        self.successors
+            .iter()
+            .chain(self.predecessors.iter())
+            .copied()
+            .chain(self.fingers.distinct())
+            .find(|h| h.addr == addr)
+            .map(|h| h.id)
+    }
+
+    /// Drops advertised entries whose addr→id binding conflicts with this
+    /// node's own routing state, or with another entry in the same
+    /// advertisement — the poisoning adversary rebinds real addresses to
+    /// fabricated identifiers, and honest bindings never change within a
+    /// run, so any conflict is a lie. Rejections are counted under
+    /// `ring.poisoned_entries`.
+    fn sanitize_advert(
+        &self,
+        list: Vec<NodeHandle>,
+        ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
+    ) -> Vec<NodeHandle> {
+        let mut clean: Vec<NodeHandle> = Vec::with_capacity(list.len());
+        let mut rejected = 0u64;
+        for h in list {
+            let known_conflict = self.known_binding(h.addr).is_some_and(|id| id != h.id);
+            let intra_conflict = clean.iter().any(|c| c.addr == h.addr && c.id != h.id);
+            if known_conflict || intra_conflict {
+                rejected += 1;
+            } else {
+                clean.push(h);
+            }
+        }
+        if rejected > 0 {
+            ctx.metrics().count(keys::RING_POISONED, rejected);
+        }
+        clean
+    }
+
     fn mark_dead(&mut self, addr: Addr) {
         let succ_gone = self.successors.remove_addr(addr);
         let pred_gone = self.predecessors.remove_addr(addr);
@@ -993,6 +1136,8 @@ impl<P: Payload> VermeNode<P> {
         preds: Vec<NodeHandle>,
         ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
     ) {
+        let succs = self.sanitize_advert(succs, ctx);
+        let preds = self.sanitize_advert(preds, ctx);
         if let Some((expect, s1)) = self.stab_waiting {
             if expect == token {
                 self.stab_waiting = None;
@@ -1158,11 +1303,12 @@ impl<P: Payload> Node for VermeNode<P> {
                 self.handle_reply(lid, body, body_size, hops, ctx);
             }
             VermeMsg::GetNeighbors { token } => {
-                let reply = VermeMsg::Neighbors {
-                    token,
-                    successors: self.successors.as_slice().to_vec(),
-                    predecessors: self.predecessors.as_slice().to_vec(),
-                };
+                let mut successors = self.successors.as_slice().to_vec();
+                let mut predecessors = self.predecessors.as_slice().to_vec();
+                if self.behaviour.is_byzantine() {
+                    self.behaviour.advertise(self.me, &mut successors, &mut predecessors);
+                }
+                let reply = VermeMsg::Neighbors { token, successors, predecessors };
                 self.send_counted(ctx, from, reply, keys::BYTES_MAINT);
             }
             VermeMsg::Neighbors { token, successors, predecessors } => {

@@ -325,6 +325,33 @@ impl VermeStaticRing {
         }
     }
 
+    /// The `k` member indices of type `ty` nearest (by circular id
+    /// distance) to the midpoint of `target_section`, nearest first.
+    ///
+    /// This is the eclipse-cluster placement used by the adversary
+    /// experiments: an attacker concentrating Sybil identities around one
+    /// section corrupts exactly these positions, saturating the routing
+    /// entries that point into the section. Draws no randomness — the
+    /// same ring and arguments always yield the same cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` members have type `ty` or the section is
+    /// out of range.
+    pub fn eclipse_cluster(&self, target_section: u128, ty: NodeType, k: usize) -> Vec<usize> {
+        let width = 1u128 << self.layout.section_bits();
+        let mid = self.layout.section_start(target_section).raw().wrapping_add(width / 2);
+        let mut of_type: Vec<usize> =
+            (0..self.sorted.len()).filter(|&i| self.type_of_index(i) == ty).collect();
+        assert!(of_type.len() >= k, "only {} members of type {ty}, need {k}", of_type.len());
+        of_type.sort_by_key(|&i| {
+            let d = self.sorted[i].id.raw().wrapping_sub(mid);
+            d.min(0u128.wrapping_sub(d))
+        });
+        of_type.truncate(k);
+        of_type
+    }
+
     /// A uniformly random member index of the given type.
     ///
     /// # Panics
@@ -482,6 +509,33 @@ mod tests {
         let a = (0..200).filter(|&i| ring.type_of_index(i) == NodeType::A).count();
         assert_eq!(a, 60);
         ring.assert_type_safety();
+    }
+
+    #[test]
+    fn eclipse_cluster_is_deterministic_nearest_first_and_typed() {
+        let ring = small();
+        let a = ring.eclipse_cluster(3, NodeType::A, 8);
+        let b = ring.eclipse_cluster(3, NodeType::A, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let width = 1u128 << ring.layout().section_bits();
+        let mid = ring.layout().section_start(3).raw().wrapping_add(width / 2);
+        let dist = |i: usize| {
+            let d = ring.node(i).id.raw().wrapping_sub(mid);
+            d.min(0u128.wrapping_sub(d))
+        };
+        for (x, y) in a.iter().zip(a.iter().skip(1)) {
+            assert!(dist(*x) <= dist(*y), "cluster not ordered nearest-first");
+        }
+        for &i in &a {
+            assert_eq!(ring.type_of_index(i), NodeType::A);
+        }
+        let furthest = dist(*a.last().unwrap());
+        for i in 0..ring.len() {
+            if ring.type_of_index(i) == NodeType::A && !a.contains(&i) {
+                assert!(dist(i) >= furthest, "excluded a closer type-A member");
+            }
+        }
     }
 
     #[test]

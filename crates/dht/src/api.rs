@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use verme_chord::Id;
-use verme_sim::{Ctx, Node, ProtoEvent, SimDuration, SimTime};
+use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime};
 
 /// Metric keys recorded by DHT nodes.
 pub mod keys {
@@ -49,6 +49,13 @@ pub mod keys {
     /// Blocks handed off to the next responsible holder on graceful
     /// departure.
     pub const HANDOFF_BLOCKS: &str = "dht.handoff.blocks";
+    /// Lookups answered with a forged routing result, unmasked when the
+    /// fetched data failed verification (hash mismatch, missing block
+    /// from a node claiming responsibility, unopenable sealed reply).
+    pub const LOOKUPS_HIJACKED: &str = "dht.lookups.hijacked";
+    /// Retries forced onto a different first hop after the same hop
+    /// failed twice in a row (suspected misrouter).
+    pub const SUSPECT_REROUTES: &str = "dht.op.suspect_reroutes";
 
     /// Monitor gauge: stored keys with fewer live holders than the
     /// replication target. Fed by harness samplers via
@@ -77,6 +84,12 @@ pub mod keys {
             MetricDesc::counter(REPAIR_PUSHED, "blocks", "blocks re-replicated by repair"),
             MetricDesc::counter(READ_REPAIR, "ops", "read-repairs triggered on the get path"),
             MetricDesc::counter(HANDOFF_BLOCKS, "blocks", "blocks handed off on graceful leave"),
+            MetricDesc::counter(LOOKUPS_HIJACKED, "lookups", "forged lookup answers unmasked"),
+            MetricDesc::counter(
+                SUSPECT_REROUTES,
+                "retries",
+                "retries rerouted around suspect hops",
+            ),
         ];
         DESCS
     }
@@ -182,6 +195,16 @@ pub struct DhtConfig {
     /// beyond the budget wait for the next round, bounding the
     /// `bytes.replication` burst a repair round can cause.
     pub repair_batch: usize,
+    /// Redundant-path lookup fan-out (Secure-VerDi only): each attempt
+    /// issues this many lookups with pairwise-disjoint first hops and
+    /// takes the first verified answer. The default of 1 preserves the
+    /// pre-adversary-plane behavior byte-for-byte.
+    pub lookup_fanout: usize,
+    /// Enables the per-hop suspicion counter: an attempt that fails twice
+    /// in a row through the same first hop blacklists that hop for the
+    /// operation's remaining retries and skips the backoff (deadline
+    /// escalation). Off by default so honest runs stay byte-identical.
+    pub hop_suspicion: bool,
 }
 
 impl Default for DhtConfig {
@@ -195,6 +218,8 @@ impl Default for DhtConfig {
             repair_enabled: true,
             repair_interval: SimDuration::from_secs(15),
             repair_batch: 8,
+            lookup_fanout: 1,
+            hop_suspicion: false,
         }
     }
 }
@@ -234,7 +259,8 @@ impl DhtConfig {
             !self.repair_enabled || self.repair_batch > 0,
             "repair_batch",
             "must be positive when repair is enabled",
-        )
+        )?;
+        ensure((1..=4).contains(&self.lookup_fanout), "lookup_fanout", "must be between 1 and 4")
     }
 
     /// Per-attempt timeout: the deadline split evenly across the maximum
@@ -266,6 +292,16 @@ pub struct PendingOp {
     /// [`OpOutcome`]) and to the foreground Figure-7 metrics; its data
     /// bytes are charged to [`keys::BYTES_REPLICATION`].
     pub repair: bool,
+    /// First hop the current attempt routed through, recorded by the
+    /// variant via [`OpTable::note_first_hop`] (suspicion tracking).
+    pub last_hop: Option<Addr>,
+    /// The first hop of the most recent *failed* attempt.
+    pub prev_failed_hop: Option<Addr>,
+    /// Consecutive failed attempts through `prev_failed_hop`.
+    pub hop_strikes: u32,
+    /// Hops this operation refuses to route through (suspected
+    /// misrouters, blacklisted after two identical bad hops).
+    pub avoid: Vec<Addr>,
 }
 
 /// What [`OpTable::finish`] resolved, for callers that react to
@@ -322,7 +358,18 @@ impl OpTable {
         ctx.emit(ProtoEvent::OpStart { op, kind: kind.label(), key: key.raw() });
         self.pending.insert(
             op,
-            PendingOp { kind, key, value, started: ctx.now(), attempt: 0, repair: false },
+            PendingOp {
+                kind,
+                key,
+                value,
+                started: ctx.now(),
+                attempt: 0,
+                repair: false,
+                last_hop: None,
+                prev_failed_hop: None,
+                hop_strikes: 0,
+                avoid: Vec::new(),
+            },
         );
         ctx.set_timer(cfg.op_deadline, deadline_timer(op));
         op
@@ -355,6 +402,10 @@ impl OpTable {
                 started: ctx.now(),
                 attempt: 0,
                 repair: true,
+                last_hop: None,
+                prev_failed_hop: None,
+                hop_strikes: 0,
+                avoid: Vec::new(),
             },
         );
         ctx.set_timer(cfg.op_deadline, deadline_timer(op));
@@ -378,6 +429,20 @@ impl OpTable {
         self.pending.get(&op).is_some_and(|p| p.attempt == attempt)
     }
 
+    /// Records the first hop the current attempt routed through, for the
+    /// per-hop suspicion counter. Call at issue time, before the attempt
+    /// can fail.
+    pub fn note_first_hop(&mut self, op: u64, hop: Option<Addr>) {
+        if let Some(p) = self.pending.get_mut(&op) {
+            p.last_hop = hop;
+        }
+    }
+
+    /// The hops this operation currently refuses to route through.
+    pub fn avoid(&self, op: u64) -> &[Addr] {
+        self.pending.get(&op).map_or(&[], |p| p.avoid.as_slice())
+    }
+
     /// One attempt failed (lookup failure, missing block, negative ack,
     /// attempt timeout). Retries with exponential backoff while the retry
     /// budget and the per-request deadline allow; fails the op otherwise.
@@ -392,7 +457,29 @@ impl OpTable {
             return;
         };
         let next_attempt = p.attempt + 1;
-        let backoff = cfg.backoff_for(next_attempt);
+        let mut backoff = cfg.backoff_for(next_attempt);
+        if cfg.hop_suspicion {
+            // Per-hop suspicion: two consecutive failures through the
+            // same first hop blacklist it for this operation's remaining
+            // retries, and the retry fires immediately — against a
+            // persistent misrouter, backing off onto the same route would
+            // just burn the deadline.
+            if let Some(h) = p.last_hop {
+                if p.prev_failed_hop == Some(h) {
+                    p.hop_strikes += 1;
+                } else {
+                    p.prev_failed_hop = Some(h);
+                    p.hop_strikes = 1;
+                }
+                if p.hop_strikes >= 2 && !p.avoid.contains(&h) {
+                    p.avoid.push(h);
+                    backoff = SimDuration::from_millis(0);
+                    if !p.repair {
+                        ctx.metrics().count(keys::SUSPECT_REROUTES, 1);
+                    }
+                }
+            }
+        }
         let deadline = p.started + cfg.op_deadline;
         if next_attempt > cfg.max_retries || ctx.now() + backoff >= deadline {
             self.finish(op, false, None, ctx);

@@ -329,6 +329,11 @@ impl CompromiseVerDiNode {
         &self.overlay
     }
 
+    /// Mutable access to the overlay (behaviour installation).
+    pub fn overlay_mut(&mut self) -> &mut VermeNode<()> {
+        &mut self.overlay
+    }
+
     /// The local block store.
     pub fn store(&self) -> &BlockStore {
         &self.store
@@ -481,13 +486,23 @@ impl CompromiseVerDiNode {
         if self.cfg.max_retries > 0 {
             ctx.set_timer(self.cfg.attempt_timeout(), CompTimer::AttemptTimeout { op, attempt });
         }
-        let Some(relay) = self.overlay.route_first_hop(key) else {
-            // No live opposite-type finger right now; maybe one appears
-            // after repair, so this counts as a failed attempt, not a
-            // failed operation.
-            self.ops.fail_attempt(op, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
-            return;
+        let avoid: Vec<Addr> =
+            if self.cfg.hop_suspicion { self.ops.avoid(op).to_vec() } else { Vec::new() };
+        let relay = match self.overlay.route_first_hop_excluding(key, &avoid) {
+            Some(r) => r,
+            None => {
+                // No live opposite-type finger right now; maybe one appears
+                // after repair, so this counts as a failed attempt, not a
+                // failed operation.
+                self.ops.fail_attempt(op, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
+                return;
+            }
         };
+        if self.cfg.hop_suspicion {
+            // The relay IS the first hop here: the suspicion counter
+            // rotates away from a relay that keeps eating operations.
+            self.ops.note_first_hop(op, Some(relay.addr));
+        }
         let statement = self.overlay.sign_statement((key.raw(), op));
         let msg = CompMsg::RelayRequest {
             rop: op,
@@ -851,7 +866,11 @@ impl Node for CompromiseVerDiNode {
                     }
                 } else {
                     // The relay's fetch came back empty or corrupt; retry
-                    // through a (possibly different) relay.
+                    // through a (possibly different) relay. With defenses
+                    // armed this counts as a suspected hijack.
+                    if self.cfg.hop_suspicion {
+                        ctx.metrics().count(keys::LOOKUPS_HIJACKED, 1);
+                    }
                     self.ops.fail_attempt(rop, &self.cfg, ctx, |op| CompTimer::RetryOp { op });
                 }
             }

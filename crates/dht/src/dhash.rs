@@ -202,6 +202,11 @@ impl DhashNode {
         &self.overlay
     }
 
+    /// Mutable access to the overlay (behaviour installation).
+    pub fn overlay_mut(&mut self) -> &mut ChordNode {
+        &mut self.overlay
+    }
+
     /// The local block store.
     pub fn store(&self) -> &BlockStore {
         &self.store
@@ -259,7 +264,14 @@ impl DhashNode {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
-        let seq = self.with_overlay(ctx, |overlay, ictx| overlay.start_lookup(key, ictx));
+        let avoid: Vec<Addr> =
+            if self.cfg.hop_suspicion { self.ops.avoid(op).to_vec() } else { Vec::new() };
+        if self.cfg.hop_suspicion {
+            let hop = self.overlay.route_first_hop_excluding(key, &avoid).map(|h| h.addr);
+            self.ops.note_first_hop(op, hop);
+        }
+        let seq = self
+            .with_overlay(ctx, |overlay, ictx| overlay.start_lookup_excluding(key, &avoid, ictx));
         self.lookup_to_op.insert(seq, op);
         if self.cfg.max_retries > 0 {
             ctx.set_timer(self.cfg.attempt_timeout(), DhashTimer::AttemptTimeout { op, attempt });
@@ -509,6 +521,12 @@ impl Node for DhashNode {
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
+                    // With defenses armed, a verification failure after a
+                    // completed lookup is a suspected hijack: the routing
+                    // layer named a responsible node that cannot prove it.
+                    if self.cfg.hop_suspicion {
+                        ctx.metrics().count(keys::LOOKUPS_HIJACKED, 1);
+                    }
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| DhashTimer::RetryOp { op });
                 }
             }

@@ -258,6 +258,11 @@ impl FastVerDiNode {
         &self.overlay
     }
 
+    /// Mutable access to the overlay (behaviour installation).
+    pub fn overlay_mut(&mut self) -> &mut VermeNode<()> {
+        &mut self.overlay
+    }
+
     /// The local block store.
     pub fn store(&self) -> &BlockStore {
         &self.store
@@ -296,8 +301,15 @@ impl FastVerDiNode {
         let (key, attempt) = (p.key, p.attempt);
         let my_type = self.overlay.node_type();
         let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
-        let lid = self
-            .with_overlay(ctx, |overlay, ictx| overlay.start_replica_lookup(adjusted, None, ictx));
+        let avoid: Vec<Addr> =
+            if self.cfg.hop_suspicion { self.ops.avoid(op).to_vec() } else { Vec::new() };
+        if self.cfg.hop_suspicion {
+            let hop = self.overlay.route_first_hop_excluding(adjusted, &avoid).map(|h| h.addr);
+            self.ops.note_first_hop(op, hop);
+        }
+        let lid = self.with_overlay(ctx, |overlay, ictx| {
+            overlay.start_replica_lookup_excluding(adjusted, None, &avoid, ictx)
+        });
         self.lookup_to_op.insert(lid, op);
         if self.cfg.max_retries > 0 {
             ctx.set_timer(self.cfg.attempt_timeout(), FastTimer::AttemptTimeout { op, attempt });
@@ -722,6 +734,11 @@ impl Node for FastVerDiNode {
                 } else {
                     // The replica lacked (or corrupted) the block; retry
                     // end to end — repair may have moved it meanwhile.
+                    // With defenses armed, a verification failure after a
+                    // completed lookup is a suspected hijack.
+                    if self.cfg.hop_suspicion {
+                        ctx.metrics().count(keys::LOOKUPS_HIJACKED, 1);
+                    }
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| FastTimer::RetryOp { op });
                 }
             }

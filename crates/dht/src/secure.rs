@@ -153,6 +153,20 @@ pub enum SecureTimer {
     RepairKick,
 }
 
+/// Fan-out bookkeeping for one operation's current attempt.
+#[derive(Clone, Debug)]
+struct FanoutState {
+    /// Sibling lookups of the current attempt still in flight.
+    inflight: u32,
+    /// Siblings issued for this attempt so far (initial fan-out plus
+    /// replacements); capped at twice the configured fan-out.
+    spawned: u32,
+    /// First hops this attempt has already routed over (plus any the
+    /// suspicion counter blacklisted); replacements route around all of
+    /// them.
+    used: Vec<Addr>,
+}
+
 /// A Secure-VerDi node: a payload-carrying [`VermeNode`] plus the block
 /// store. There is no separate data plane — data rides the lookups.
 pub struct SecureVerDiNode {
@@ -160,7 +174,14 @@ pub struct SecureVerDiNode {
     cfg: DhtConfig,
     store: BlockStore,
     ops: OpTable,
-    lookup_to_op: HashMap<u64, u64>,
+    /// Maps an in-flight overlay lookup to `(op, attempt)` — the attempt
+    /// tag lets stale fan-out siblings of a superseded attempt be told
+    /// apart from the current one.
+    lookup_to_op: HashMap<u64, (u64, u32)>,
+    /// Fan-out bookkeeping for each operation's *current* attempt. The
+    /// attempt only fails once every sibling has failed and no
+    /// replacement path is left to try.
+    fanout_inflight: HashMap<u64, FanoutState>,
     repairing: BTreeSet<Id>,
     repair_round: u64,
     probes_outstanding: usize,
@@ -190,6 +211,7 @@ impl SecureVerDiNode {
             store: BlockStore::new(),
             ops: OpTable::new(),
             lookup_to_op: HashMap::new(),
+            fanout_inflight: HashMap::new(),
             repairing: BTreeSet::new(),
             repair_round: 0,
             probes_outstanding: 0,
@@ -201,6 +223,11 @@ impl SecureVerDiNode {
     /// The underlying Verme overlay node.
     pub fn overlay(&self) -> &VermeNode<SecurePayload> {
         &self.overlay
+    }
+
+    /// Mutable access to the overlay (behaviour installation).
+    pub fn overlay_mut(&mut self) -> &mut VermeNode<SecurePayload> {
+        &mut self.overlay
     }
 
     /// The local block store.
@@ -249,9 +276,10 @@ impl SecureVerDiNode {
         }
         // 2. Completions of operations we initiated.
         for o in self.overlay.take_outcomes() {
-            let Some(op) = self.lookup_to_op.remove(&o.lid) else {
+            let Some((op, attempt_of_lookup)) = self.lookup_to_op.remove(&o.lid) else {
                 continue;
             };
+            let answer_present = o.answer.is_some();
             match o.app {
                 Some(SecurePayload::GetResp { value }) => {
                     let (key, attempt) = match self.ops.get(op) {
@@ -280,28 +308,49 @@ impl SecureVerDiNode {
                     } else {
                         // The replica lacked (or corrupted) the block; retry
                         // end to end — repair may have moved it meanwhile.
-                        self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
+                        // With defenses armed, a completed lookup whose data
+                        // fails verification is a suspected hijack.
+                        if self.cfg.hop_suspicion && self.ops.get(op).is_some() {
+                            ctx.metrics().count(keys::LOOKUPS_HIJACKED, 1);
+                        }
+                        self.fail_sibling(op, attempt_of_lookup, ctx);
                     }
                 }
                 Some(SecurePayload::PutResp { ok }) => {
                     if ok {
                         self.finish_op(op, true, None, ctx);
                     } else {
-                        self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
+                        self.fail_sibling(op, attempt_of_lookup, ctx);
                     }
                 }
-                _ => self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op }),
+                _ => {
+                    // A reply arrived (the lookup "completed") but carried
+                    // no usable payload — the forged-envelope signature of
+                    // a hijack, since honest responsible nodes always
+                    // attach a response.
+                    if self.cfg.hop_suspicion && answer_present && self.ops.get(op).is_some() {
+                        ctx.metrics().count(keys::LOOKUPS_HIJACKED, 1);
+                    }
+                    self.fail_sibling(op, attempt_of_lookup, ctx);
+                }
             }
         }
     }
 
     /// Issues (or re-issues) the piggybacked lookup for a pending
     /// operation and arms the per-attempt timer.
+    ///
+    /// With `lookup_fanout > 1` each attempt sends redundant copies whose
+    /// first hops are pairwise disjoint (and disjoint from any hops the
+    /// suspicion counter has blacklisted): a Byzantine relay on one path
+    /// cannot absorb the operation, because an independent copy routes
+    /// around it. The first verified answer wins; stale siblings resolve
+    /// against an already-finished operation and are ignored.
     fn issue_attempt(&mut self, op: u64, ctx: &mut SCtx<'_>) {
         let Some(p) = self.ops.get(op) else {
             return;
         };
-        let (key, attempt) = (p.key, p.attempt);
+        let (key, attempt, repair) = (p.key, p.attempt, p.repair);
         let payload = match p.kind {
             OpKind::Get => SecurePayload::GetReq { key },
             OpKind::Put => {
@@ -309,10 +358,37 @@ impl SecureVerDiNode {
                 SecurePayload::PutReq { key, value }
             }
         };
-        let lid = self.with_overlay(ctx, |overlay, ictx| {
-            overlay.start_replica_lookup(key, Some(payload), ictx)
-        });
-        self.lookup_to_op.insert(lid, op);
+        let avoid: Vec<Addr> =
+            if self.cfg.hop_suspicion { self.ops.avoid(op).to_vec() } else { Vec::new() };
+        if self.cfg.hop_suspicion {
+            let hop = self.overlay.route_first_hop_excluding(key, &avoid).map(|h| h.addr);
+            self.ops.note_first_hop(op, hop);
+        }
+        // Repair writes stay single-path: they are background traffic and
+        // already retried by their own OpTable lifecycle.
+        let fanout = if repair { 1 } else { self.cfg.lookup_fanout.max(1) };
+        let mut exclude = avoid;
+        let mut issued = 0u32;
+        for i in 0..fanout {
+            let hop = self.overlay.route_first_hop_excluding(key, &exclude).map(|h| h.addr);
+            if i > 0 && hop.is_none() {
+                break; // No disjoint route left to fan out over.
+            }
+            let pb = payload.clone();
+            let lid = self.with_overlay(ctx, |overlay, ictx| {
+                overlay.start_replica_lookup_excluding(key, Some(pb), &exclude, ictx)
+            });
+            self.lookup_to_op.insert(lid, (op, attempt));
+            issued += 1;
+            match hop {
+                Some(h) => exclude.push(h),
+                None => break,
+            }
+        }
+        self.fanout_inflight.insert(
+            op,
+            FanoutState { inflight: issued.max(1), spawned: issued.max(1), used: exclude },
+        );
         if self.cfg.max_retries > 0 {
             ctx.set_timer(self.cfg.attempt_timeout(), SecureTimer::AttemptTimeout { op, attempt });
         }
@@ -371,8 +447,80 @@ impl SecureVerDiNode {
         ctx.send(to, msg);
     }
 
+    /// Records one failed fan-out sibling of an operation's attempt. The
+    /// attempt itself only fails once the *last* in-flight sibling of the
+    /// current attempt has failed — a forged reply racing ahead of an
+    /// honest copy must not burn the attempt while that copy is still in
+    /// flight. Siblings of a superseded attempt are ignored outright.
+    ///
+    /// A sibling that failed *fast* (a detected forgery, not a timeout)
+    /// bought information with most of the attempt's deadline still left,
+    /// so when fan-out is configured we spend it: a replacement copy is
+    /// launched over a first hop this attempt has not routed through yet,
+    /// keeping the redundancy budget full instead of counting down to the
+    /// attempt's death. Total spawns per attempt are capped at three
+    /// times the configured fan-out, bounding the traffic an adversary
+    /// can extract.
+    fn fail_sibling(&mut self, op: u64, attempt: u32, ctx: &mut SCtx<'_>) {
+        if self.ops.get(op).is_none() {
+            self.fanout_inflight.remove(&op);
+            return;
+        }
+        if !self.ops.attempt_matches(op, attempt) {
+            return; // Stale sibling of an earlier attempt.
+        }
+        let mut state = self.fanout_inflight.remove(&op).unwrap_or(FanoutState {
+            inflight: 1,
+            spawned: 1,
+            used: Vec::new(),
+        });
+        state.inflight = state.inflight.saturating_sub(1);
+        if self.cfg.lookup_fanout > 1 && state.spawned < 3 * self.cfg.lookup_fanout as u32 {
+            if let Some((key, payload)) = self.op_payload(op) {
+                if let Some(hop) =
+                    self.overlay.route_first_hop_excluding(key, &state.used).map(|h| h.addr)
+                {
+                    let exclude = state.used.clone();
+                    let lid = self.with_overlay(ctx, |overlay, ictx| {
+                        overlay.start_replica_lookup_excluding(key, Some(payload), &exclude, ictx)
+                    });
+                    self.lookup_to_op.insert(lid, (op, attempt));
+                    state.used.push(hop);
+                    state.spawned += 1;
+                    state.inflight += 1;
+                    self.fanout_inflight.insert(op, state);
+                    return;
+                }
+            }
+        }
+        if state.inflight == 0 {
+            self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
+        } else {
+            self.fanout_inflight.insert(op, state);
+        }
+    }
+
+    /// The lookup key and piggyback payload re-issuing `op` would carry.
+    /// `None` for finished operations and for repair writes, which stay
+    /// single-path by design.
+    fn op_payload(&self, op: u64) -> Option<(Id, SecurePayload)> {
+        let p = self.ops.get(op)?;
+        if p.repair {
+            return None;
+        }
+        let payload = match p.kind {
+            OpKind::Get => SecurePayload::GetReq { key: p.key },
+            OpKind::Put => SecurePayload::PutReq {
+                key: p.key,
+                value: p.value.clone().expect("puts carry a value"),
+            },
+        };
+        Some((p.key, payload))
+    }
+
     /// Completes an operation and clears read-repair bookkeeping.
     fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
+        self.fanout_inflight.remove(&op);
         if let Some(f) = self.ops.finish(op, ok, value, ctx) {
             if f.repair {
                 self.repairing.remove(&f.key);
@@ -623,6 +771,8 @@ impl Node for SecureVerDiNode {
             }
             SecureTimer::AttemptTimeout { op, attempt } => {
                 if self.ops.attempt_matches(op, attempt) {
+                    // The whole attempt timed out: every sibling is dead.
+                    self.fanout_inflight.remove(&op);
                     self.ops.fail_attempt(op, &self.cfg, ctx, |op| SecureTimer::RetryOp { op });
                 }
             }

@@ -1,0 +1,135 @@
+//! Property tests for the routing-invariant checkers as hijack
+//! detectors: a path a Byzantine relay has tampered with — answering
+//! from an identifier that regresses on the key (Chord) or crossing
+//! sections between same-type nodes (Verme) — is always flagged, while
+//! the honest path it was derived from passes clean.
+
+use proptest::prelude::*;
+
+use verme_obs::{check_chord_monotone, check_verme_opposite_types, HopRecord, LookupPath};
+use verme_sim::SimTime;
+
+fn hop(to_id: u128, idx: u32) -> HopRecord {
+    HopRecord {
+        at: SimTime::ZERO,
+        to: verme_sim::Addr::from_raw(idx as u64 + 1),
+        to_id,
+        hop: idx,
+        from_type: None,
+        to_type: None,
+        from_section: None,
+        to_section: None,
+        after_reroute: false,
+    }
+}
+
+fn path(origin_id: u128, key: u128, hops: Vec<HopRecord>) -> LookupPath {
+    LookupPath {
+        cause: None,
+        op: 1,
+        key,
+        origin_id,
+        kind: "app",
+        started_at: SimTime::ZERO,
+        hops,
+        reroutes: 0,
+        ended_at: None,
+        ok: None,
+        reported_hops: None,
+    }
+}
+
+/// An honest greedy Chord path: strictly decreasing clockwise distances
+/// to the key, expressed as the distances themselves (deduped, sorted
+/// descending, all below the origin's own distance).
+fn chord_distances() -> impl Strategy<Value = (u128, u128, Vec<u128>)> {
+    (any::<u128>(), any::<u128>(), prop::collection::vec(0u128..u64::MAX as u128, 1..8)).prop_map(
+        |(key, origin_gap, dists)| {
+            let mut v = dists;
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.dedup();
+            // Origin sits strictly behind every hop.
+            let origin_dist = v[0].saturating_add(1 + (origin_gap >> 64));
+            (key, origin_dist, v)
+        },
+    )
+}
+
+fn chord_path(key: u128, origin_dist: u128, dists: &[u128]) -> LookupPath {
+    let origin_id = key.wrapping_sub(origin_dist);
+    let hops = dists.iter().enumerate().map(|(i, &d)| hop(key.wrapping_sub(d), i as u32)).collect();
+    path(origin_id, key, hops)
+}
+
+/// An honest Verme path: every cross-section hop connects opposite
+/// types, intra-section steps keep the type.
+fn verme_hop(idx: u32, fs: u128, ts: u128, ft: u8, tt: u8) -> HopRecord {
+    HopRecord {
+        from_type: Some(ft),
+        to_type: Some(tt),
+        from_section: Some(fs),
+        to_section: Some(ts),
+        ..hop(idx as u128, idx)
+    }
+}
+
+proptest! {
+    /// Honest greedy paths pass; a hijacker answering in place of the
+    /// true owner — its identifier fails to progress on the key — is
+    /// flagged at exactly the hop it forged.
+    #[test]
+    fn chord_monotone_flags_hijacked_hops(
+        (key, origin_dist, dists) in chord_distances(),
+        victim in 0usize..1_000,
+        regress in 0u128..1_000_000,
+    ) {
+        let honest = chord_path(key, origin_dist, &dists);
+        prop_assert!(check_chord_monotone(std::slice::from_ref(&honest)).is_empty());
+
+        // Forge hop `victim`: the adversary answers from an id at or
+        // behind the previous hop's clockwise distance.
+        let i = victim % dists.len();
+        let prev = if i == 0 { origin_dist } else { dists[i - 1] };
+        let mut forged = honest;
+        forged.hops[i].to_id = key.wrapping_sub(prev.saturating_add(regress));
+        let violations = check_chord_monotone(&[forged]);
+        prop_assert!(!violations.is_empty(), "forged hop {i} escaped the checker");
+        prop_assert!(violations.iter().any(|v| v.hop == i as u32));
+    }
+
+    /// Honest Verme paths alternate types across sections; an eclipse
+    /// cluster pulling a cross-section hop onto one of its own same-type
+    /// members is flagged.
+    #[test]
+    fn verme_opposite_type_flags_eclipse_hops(
+        sections in prop::collection::vec(0u128..64, 2..8),
+        start_type in 0u8..2,
+        victim in 0usize..1_000,
+    ) {
+        // Build the honest path: type flips on every section change.
+        let mut hops = Vec::new();
+        let mut ty = start_type;
+        let mut cross = Vec::new(); // indices of cross-section hops
+        for (i, w) in sections.windows(2).enumerate() {
+            let (fs, ts) = (w[0], w[1]);
+            let next_ty = if fs == ts { ty } else { 1 - ty };
+            if fs != ts {
+                cross.push(i);
+            }
+            hops.push(verme_hop(i as u32, fs, ts, ty, next_ty));
+            ty = next_ty;
+        }
+        prop_assume!(!cross.is_empty());
+        let honest = path(0, 0, hops);
+        prop_assert!(check_verme_opposite_types(std::slice::from_ref(&honest)).is_empty());
+
+        // Forge one cross-section hop to land on a same-type node.
+        let i = cross[victim % cross.len()];
+        let mut forged = honest;
+        let ft = forged.hops[i].from_type.unwrap();
+        forged.hops[i].to_type = Some(ft);
+        let violations = check_verme_opposite_types(&[forged]);
+        prop_assert!(!violations.is_empty(), "same-type cross hop {i} escaped the checker");
+        prop_assert!(violations.iter().any(|v| v.hop == i as u32));
+    }
+}

@@ -60,6 +60,8 @@ pub mod keys {
     pub const LEAVE_GRACEFUL: &str = "fault.leave_graceful";
     /// Counter: nodes killed by correlated bursts.
     pub const BURST_KILL: &str = "fault.burst_kill";
+    /// Counter: nodes flipped to a Byzantine routing behaviour.
+    pub const BYZANTINE: &str = "fault.byzantine";
     /// Histogram: milliseconds from the end of a kill burst until the
     /// `ring_converged` hook first reported true.
     pub const RECONVERGE_MS: &str = "fault.reconverge_ms";
@@ -72,6 +74,7 @@ pub mod keys {
             MetricDesc::counter(LEAVE_CRASH, "nodes", "churn departures executed as crashes"),
             MetricDesc::counter(LEAVE_GRACEFUL, "nodes", "churn departures executed gracefully"),
             MetricDesc::counter(BURST_KILL, "nodes", "nodes killed by correlated bursts"),
+            MetricDesc::counter(BYZANTINE, "nodes", "nodes flipped to Byzantine behaviour"),
             MetricDesc::histogram(RECONVERGE_MS, "ms", "kill-burst end to ring reconvergence"),
         ];
         DESCS
@@ -132,6 +135,21 @@ pub enum Fault {
         /// Latency multiplier (> 0); e.g. `10.0` for a 10× slowdown.
         factor: f64,
     },
+    /// Flips every node matched by `selector` (resolved through
+    /// [`FaultHooks::select_victims`], the same language kill bursts use)
+    /// to a scripted Byzantine routing behaviour at `at`. The `attack`
+    /// string is protocol-interpreted by [`FaultHooks::corrupt`] — e.g.
+    /// `"misroute:0.5"` or `"poison"` — so the runner stays
+    /// protocol-agnostic, exactly as it is for victim selection.
+    Byzantine {
+        /// When the nodes turn adversarial.
+        at: SimTime,
+        /// Protocol-interpreted node filter, e.g. `"frac:0.2"` or
+        /// `"section:3"`.
+        selector: String,
+        /// Protocol-interpreted attack script.
+        attack: String,
+    },
     /// Cuts the network in two: messages between `side` hosts and the rest
     /// are dropped for `duration`, then connectivity is restored.
     Partition {
@@ -164,6 +182,35 @@ impl FaultPlan {
     #[must_use]
     pub fn with(mut self, fault: Fault) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Adversarial churn timed against the repair plane: one
+    /// [`Fault::KillBurst`] per repair round, each phased to land just
+    /// after the round's reactive kick window (`kick_delay` past the
+    /// round boundary, plus a small margin) — so every burst's damage
+    /// sits unrepaired for nearly a full `repair_interval` instead of
+    /// being caught by the kick the previous burst triggered. This is
+    /// the worst-case phase an adversary who knows the repair cadence
+    /// can pick; compare against uniformly-timed [`Fault::Churn`] at the
+    /// same kill rate to price the timing advantage.
+    pub fn with_repair_phased_kills(
+        mut self,
+        start: SimTime,
+        repair_interval: SimDuration,
+        kick_delay: SimDuration,
+        rounds: u32,
+        selector: &str,
+    ) -> Self {
+        for i in 0..rounds {
+            let at =
+                start + repair_interval * u64::from(i) + kick_delay + SimDuration::from_millis(250);
+            self = self.with(Fault::KillBurst {
+                at,
+                window: SimDuration::from_millis(50),
+                selector: selector.to_string(),
+            });
+        }
         self
     }
 
@@ -211,6 +258,14 @@ impl FaultPlan {
                         return err("latency-spike duration must be non-zero".into());
                     }
                 }
+                Fault::Byzantine { selector, attack, .. } => {
+                    if selector.is_empty() {
+                        return err("byzantine selector must be non-empty".into());
+                    }
+                    if attack.is_empty() {
+                        return err("byzantine attack must be non-empty".into());
+                    }
+                }
                 Fault::Partition { side, duration, .. } => {
                     if side.is_empty() {
                         return err("partition side must be non-empty".into());
@@ -235,6 +290,10 @@ pub type VictimSelector<N, L> = Box<dyn FnMut(&Runtime<N, L>, &str, &[Addr]) -> 
 /// True once the overlay's routing structure is consistent again; polled
 /// after each kill burst to measure reconvergence time.
 pub type ConvergencePredicate<N, L> = Box<dyn FnMut(&Runtime<N, L>) -> bool>;
+/// Installs a Byzantine behaviour (described by the attack string) on the
+/// listed nodes. Must be deterministic given the same runtime state,
+/// attack, and address order.
+pub type CorruptHook<N, L> = Box<dyn FnMut(&mut Runtime<N, L>, &str, &[Addr])>;
 
 /// Protocol bindings the [`FaultRunner`] calls back into.
 ///
@@ -248,6 +307,8 @@ pub struct FaultHooks<N: Node, L: LatencyModel> {
     pub select_victims: VictimSelector<N, L>,
     /// When the overlay counts as healed after a burst.
     pub ring_converged: ConvergencePredicate<N, L>,
+    /// How to turn selected nodes Byzantine ([`Fault::Byzantine`]).
+    pub corrupt: CorruptHook<N, L>,
 }
 
 impl<N: Node, L: LatencyModel> FaultHooks<N, L> {
@@ -259,6 +320,7 @@ impl<N: Node, L: LatencyModel> FaultHooks<N, L> {
             join: Box::new(|_, _| None),
             select_victims: Box::new(|_, _, _| Vec::new()),
             ring_converged: Box::new(|_| true),
+            corrupt: Box::new(|_, _, _| {}),
         }
     }
 }
@@ -294,6 +356,8 @@ pub struct FaultReport {
     pub leaves_graceful: u64,
     /// Replacement nodes joined.
     pub joins: u64,
+    /// Nodes flipped Byzantine by [`Fault::Byzantine`] entries.
+    pub byzantine: u64,
     /// One entry per executed [`Fault::KillBurst`], in execution order.
     pub bursts: Vec<BurstImpact>,
 }
@@ -323,6 +387,8 @@ enum Action {
     PartitionStart { fault_idx: usize },
     /// Heal the partition.
     PartitionEnd,
+    /// Flip the selected nodes to a Byzantine behaviour.
+    ByzantineStart { fault_idx: usize },
 }
 
 /// Executes a [`FaultPlan`] against a [`Runtime`].
@@ -388,6 +454,9 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 }
                 Fault::Partition { at, .. } => {
                     agenda.schedule(at, Action::PartitionStart { fault_idx });
+                }
+                Fault::Byzantine { at, .. } => {
+                    agenda.schedule(at, Action::ByzantineStart { fault_idx });
                 }
             }
         }
@@ -520,6 +589,20 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 self.agenda.schedule(rt.now() + duration, Action::PartitionEnd);
             }
             Action::PartitionEnd => rt.set_partition(None),
+            Action::ByzantineStart { fault_idx } => {
+                let Fault::Byzantine { selector, attack, .. } =
+                    self.plan.faults()[fault_idx].clone()
+                else {
+                    unreachable!("byzantine action for non-byzantine fault");
+                };
+                self.prune_dead(rt);
+                let targets = (self.hooks.select_victims)(rt, &selector, &self.population);
+                (self.hooks.corrupt)(rt, &attack, &targets);
+                self.report.byzantine += targets.len() as u64;
+                if !targets.is_empty() {
+                    rt.metrics_mut().count(keys::BYZANTINE, targets.len() as u64);
+                }
+            }
         }
     }
 
@@ -710,6 +793,28 @@ mod tests {
     }
 
     #[test]
+    fn repair_phased_kills_follow_the_round_boundaries() {
+        let interval = SimDuration::from_secs(15);
+        let kick = SimDuration::from_secs(2);
+        let plan =
+            FaultPlan::new().with_repair_phased_kills(secs(30), interval, kick, 3, "frac:0.05");
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.faults().len(), 3);
+        for (i, f) in plan.faults().iter().enumerate() {
+            let Fault::KillBurst { at, selector, .. } = f else {
+                panic!("expected a kill burst, got {f:?}");
+            };
+            let boundary = secs(30) + interval * i as u64;
+            assert!(
+                *at > boundary + kick && *at < boundary + interval,
+                "burst {i} at {at:?} must land after round {i}'s kick window \
+                 and before the next boundary"
+            );
+            assert_eq!(selector, "frac:0.05");
+        }
+    }
+
+    #[test]
     fn validate_rejects_bad_parameters() {
         let bad_rate = FaultPlan::new().with(Fault::Churn {
             start: SimTime::ZERO,
@@ -751,6 +856,7 @@ mod tests {
             }),
             select_victims: Box::new(|_, _, _| Vec::new()),
             ring_converged: Box::new(|_| true),
+            corrupt: Box::new(|_, _, _| {}),
         };
         let mut runner =
             FaultRunner::new(plan, hooks, SeedSource::new(7), addrs).expect("valid plan");
@@ -781,6 +887,7 @@ mod tests {
             }),
             // Healed once the population is back under ping load for a bit.
             ring_converged: Box::new(|rt| rt.now() >= secs(20)),
+            corrupt: Box::new(|_, _, _| {}),
         };
         let mut runner =
             FaultRunner::new(plan, hooks, SeedSource::new(11), addrs).expect("valid plan");
@@ -815,6 +922,7 @@ mod tests {
                 pop.iter().copied().take(n).collect()
             }),
             ring_converged: Box::new(|rt| rt.now() >= secs(10)),
+            corrupt: Box::new(|_, _, _| {}),
         };
         let mut runner = FaultRunner::new(plan, hooks, SeedSource::new(5), addrs)
             .expect("valid plan")

@@ -125,6 +125,7 @@ fn run(seed: u64) -> (FaultReport, String) {
             pop.iter().copied().take(n).collect()
         }),
         ring_converged: Box::new(|rt| rt.now() >= secs(30)),
+        corrupt: Box::new(|_, _, _| {}),
     };
 
     let mut runner =

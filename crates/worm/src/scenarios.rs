@@ -551,6 +551,13 @@ fn run_verme(
 /// once. Each contributes its own routing state's worth of type-A
 /// victims (its fingers' sections), so containment scales with the
 /// number of certificates the attacker could obtain.
+///
+/// Placement is *eclipse-style*, not uniform: a Sybil attacker does not
+/// scatter its identities randomly — it concentrates them around one
+/// victim section so their combined routing state saturates the entries
+/// pointing into it ([`VermeStaticRing::eclipse_cluster`]). The target
+/// section is drawn once per seed; the cluster itself is deterministic
+/// given the ring.
 fn run_sybil(cfg: &ScenarioConfig, identities: usize, inst: &Instrumentation) -> ScenarioResult {
     assert!(identities > 0, "need at least one identity");
     let (ring, targets, vulnerable) = build_verme_view(cfg);
@@ -561,15 +568,10 @@ fn run_sybil(cfg: &ScenarioConfig, identities: usize, inst: &Instrumentation) ->
         verme_sections(&ring, cfg.nodes),
     );
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
-    let mut seeded = 0;
-    let mut guard = 0;
-    while seeded < identities && guard < identities * 1000 {
-        guard += 1;
-        let i = ring.random_index_of_type(NodeType::B, &mut rng) as u32;
-        if !sim.state(i).is_infected() {
-            sim.seed_infection(i);
-            seeded += 1;
-        }
+    let target_section = rng.gen_range(0..ring.layout().num_sections());
+    let avail = (0..ring.len()).filter(|&i| ring.type_of_index(i) == NodeType::B).count();
+    for i in ring.eclipse_cluster(target_section, NodeType::B, identities.min(avail)) {
+        sim.seed_infection(i as u32);
     }
     sim.run_until(SimTime::ZERO + cfg.duration);
     result_from(sim, vuln_count, cfg.nodes)
@@ -841,16 +843,19 @@ mod tests {
         let cfg = small_cfg();
         let one = run_scenario(&Scenario::SybilImpersonation { identities: 1 }, &cfg);
         let ten = run_scenario(&Scenario::SybilImpersonation { identities: 10 }, &cfg);
+        // Eclipse-style placement clusters the identities around one
+        // section, so their finger tables overlap heavily: extra
+        // certificates buy *depth* around the victim section, not the
+        // near-linear breadth uniform placement would give. Degradation
+        // is still monotone in the identity count, just sub-linear.
         assert!(
-            ten.infected > 3 * one.infected,
-            "ten identities should reach several times more ({} vs {})",
+            ten.infected > one.infected,
+            "more identities should reach more ({} vs {})",
             ten.infected,
             one.infected
         );
         // A single identity stays bounded at its own O(log n) neighbor
-        // sections. (At this small scale — 32 vulnerable sections — ten
-        // identities' fingers cover nearly the whole ring, which is
-        // exactly the §6.1 point: certificates must be rate-limited.)
+        // sections — the §6.1 point: certificates must be rate-limited.
         assert!(one.infected < one.vulnerable / 4, "{}/{}", one.infected, one.vulnerable);
     }
 
