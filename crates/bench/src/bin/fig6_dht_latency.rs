@@ -5,15 +5,66 @@
 //! cargo run -p verme-bench --release --bin fig6_dht_latency            # quick
 //! cargo run -p verme-bench --release --bin fig6_dht_latency -- --full  # paper scale
 //! ```
+//!
+//! With `--load <profile>` (e.g. `zipf@10`, `bursty@5`) the figure is
+//! rerun under a `verme-load` real-traffic workload instead of the
+//! scripted closed-loop lookups: open-loop arrivals at the profile's
+//! native rate, Zipf key popularity, and the profile's read/write mix.
 
 use crossbeam::channel;
+use verme_bench::extl::{run_point, ExtLParams};
 use verme_bench::fig67::{run_fig67, DhtSystem, Fig67Params};
 use verme_bench::report::BenchTimer;
 use verme_bench::CliArgs;
+use verme_load::LoadProfile;
+
+/// The `--load` variant of the figure: client-observed op latency for
+/// each system under the named workload profile, serving features off
+/// (the plain figure measures the protocols, not the cache).
+fn run_loaded_figure(args: &CliArgs, spec: &str) -> u64 {
+    let mut params =
+        if args.full { ExtLParams::full(args.seed) } else { ExtLParams::quick(args.seed) };
+    params.profile = LoadProfile::parse(spec).expect("--load profile spec");
+    let rate = params.profile.arrival.mean_rate();
+    println!(
+        "# Figure 6 (loaded) — client-observed DHT op latency under `{}`",
+        params.profile.name
+    );
+    println!(
+        "# mode: {} | rate: {rate:.1} ops/s | window: {:.0} s | seed: {}",
+        if args.full { "paper" } else { "quick" },
+        params.window.as_secs_f64(),
+        args.seed
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "system", "mean (ms)", "p50 (ms)", "p99 (ms)", "done", "failed"
+    );
+    let mut events = 0;
+    for sys in DhtSystem::ALL {
+        let p = run_point(sys, &params, rate, false);
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>8}",
+            sys.label(),
+            p.mean_ms,
+            p.p50_ms,
+            p.p99_ms,
+            p.completed,
+            p.failed
+        );
+        events += p.events;
+    }
+    events
+}
 
 fn main() {
     let timer = BenchTimer::start("fig6_dht_latency");
     let args = CliArgs::parse();
+    if let Some(spec) = args.load.clone() {
+        let events = run_loaded_figure(&args, &spec);
+        timer.finish(events);
+        return;
+    }
     let reps = args.reps.unwrap_or(if args.full { 4 } else { 2 });
     println!("# Figure 6 — DHT operation latency (ms)");
     println!(

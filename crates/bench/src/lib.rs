@@ -15,6 +15,9 @@
 //! * [`exti`] — data durability under churn (extension I): loss and
 //!   under-replication with the replica-repair plane off vs on at
 //!   several repair intervals.
+//! * [`extl`] — latency vs offered load under the `verme-load` workload
+//!   plane (extension L): open-loop Zipf traffic against each variant,
+//!   serving-side cache/coalescing/memoization off vs on.
 //! * [`extk`] — lookup degradation under a Byzantine routing adversary
 //!   (extension K): failed/hijacked fractions vs the adversary share
 //!   for all four variants, with the honest defenses enabled.
@@ -30,6 +33,7 @@ pub mod extg;
 pub mod exth;
 pub mod exti;
 pub mod extk;
+pub mod extl;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;
@@ -51,6 +55,9 @@ pub struct CliArgs {
     pub trace: Option<String>,
     /// Attach the live monitor and print its run-health report.
     pub monitor: bool,
+    /// A `verme-load` workload profile spec (e.g. `zipf@10`, `bursty`),
+    /// for the binaries that can replay real-traffic workloads.
+    pub load: Option<String>,
 }
 
 impl CliArgs {
@@ -60,8 +67,15 @@ impl CliArgs {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> CliArgs {
-        let mut out =
-            CliArgs { full: false, seed: 42, reps: None, hours: None, trace: None, monitor: false };
+        let mut out = CliArgs {
+            full: false,
+            seed: 42,
+            reps: None,
+            hours: None,
+            trace: None,
+            monitor: false,
+            load: None,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -90,9 +104,13 @@ impl CliArgs {
                 "--trace" => {
                     out.trace = Some(args.next().expect("--trace requires a file path"));
                 }
+                "--load" => {
+                    out.load = Some(args.next().expect("--load requires a profile spec"));
+                }
                 other => panic!(
                     "unknown argument {other}; usage: \
-                     [--full] [--seed N] [--reps N] [--hours H] [--trace FILE] [--monitor]"
+                     [--full] [--seed N] [--reps N] [--hours H] [--trace FILE] [--monitor] \
+                     [--load PROFILE]"
                 ),
             }
         }

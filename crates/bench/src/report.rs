@@ -49,6 +49,11 @@ impl BenchTimer {
             ("events_per_sec".into(), Json::Float(rate)),
         ]);
         let path = bench_json_path(&self.name);
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
         match std::fs::write(&path, doc.to_json() + "\n") {
             Ok(()) => eprintln!(
                 "# bench: {:.2} s wall, {events_processed} events ({rate:.0}/s) -> {path}",
@@ -59,13 +64,17 @@ impl BenchTimer {
     }
 }
 
-/// Where `BENCH_<name>.json` lands: `$BENCH_DIR` if set, else the
-/// current directory.
+/// Where `BENCH_<name>.json` lands: `$VERME_BENCH_DIR` if set, else the
+/// legacy `$BENCH_DIR`, else the current directory.
 pub fn bench_json_path(name: &str) -> String {
     let file = format!("BENCH_{name}.json");
-    match std::env::var("BENCH_DIR") {
-        Ok(dir) if !dir.is_empty() => format!("{}/{file}", dir.trim_end_matches('/')),
-        _ => file,
+    let dir = std::env::var("VERME_BENCH_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .or_else(|| std::env::var("BENCH_DIR").ok().filter(|d| !d.is_empty()));
+    match dir {
+        Some(dir) => format!("{}/{file}", dir.trim_end_matches('/')),
+        None => file,
     }
 }
 
@@ -73,8 +82,9 @@ pub fn bench_json_path(name: &str) -> String {
 mod tests {
     use super::*;
 
-    // One test for both behaviors: BENCH_DIR is process-global state, so
-    // splitting these would race under the parallel test runner.
+    // One test for all the env behaviors: the BENCH_DIR variables are
+    // process-global state, so splitting these would race under the
+    // parallel test runner.
     #[test]
     fn bench_file_is_valid_json_with_expected_fields() {
         let dir = std::env::temp_dir().join(format!("verme-bench-report-{}", std::process::id()));
@@ -82,13 +92,18 @@ mod tests {
         std::env::set_var("BENCH_DIR", &dir);
         let t = BenchTimer::start("unit_test");
         t.finish(12345);
-        std::env::remove_var("BENCH_DIR");
         let raw = std::fs::read_to_string(dir.join("BENCH_unit_test.json")).unwrap();
         let doc = verme_obs::parse(&raw).unwrap();
         assert_eq!(doc.get("name").and_then(Json::as_str), Some("unit_test"));
         assert_eq!(doc.get("events_processed").and_then(Json::as_u64), Some(12345));
         assert!(doc.get("wall_time_s").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(doc.get("events_per_sec").and_then(Json::as_f64).is_some());
+        // VERME_BENCH_DIR wins over the legacy BENCH_DIR when both are set.
+        std::env::set_var("VERME_BENCH_DIR", "/tmp/verme-preferred");
+        assert_eq!(bench_json_path("x"), "/tmp/verme-preferred/BENCH_x.json");
+        std::env::remove_var("VERME_BENCH_DIR");
+        assert_eq!(bench_json_path("x"), format!("{}/BENCH_x.json", dir.display()));
+        std::env::remove_var("BENCH_DIR");
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(bench_json_path("x"), "BENCH_x.json");
     }

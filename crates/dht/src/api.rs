@@ -56,6 +56,19 @@ pub mod keys {
     /// Retries forced onto a different first hop after the same hop
     /// failed twice in a row (suspected misrouter).
     pub const SUSPECT_REROUTES: &str = "dht.op.suspect_reroutes";
+    /// Gets answered from the local hot-block cache (no attempt issued).
+    pub const CACHE_HITS: &str = "dht.cache.hits";
+    /// Gets that consulted the hot-block cache and missed.
+    pub const CACHE_MISSES: &str = "dht.cache.misses";
+    /// Cache entries dropped because the block moved underneath them
+    /// (repair push, replicate, handoff, or an incoming store).
+    pub const CACHE_INVALIDATIONS: &str = "dht.cache.invalidations";
+    /// Gets parked behind an in-flight get for the same key instead of
+    /// issuing their own upstream fetch.
+    pub const GETS_COALESCED: &str = "dht.gets.coalesced";
+    /// Get attempts that skipped the overlay lookup because a fresh
+    /// memoized lookup result named the responsible node.
+    pub const LOOKUP_MEMO_HITS: &str = "dht.lookup.memo_hits";
 
     /// Monitor gauge: stored keys with fewer live holders than the
     /// replication target. Fed by harness samplers via
@@ -90,6 +103,15 @@ pub mod keys {
                 "retries",
                 "retries rerouted around suspect hops",
             ),
+            MetricDesc::counter(CACHE_HITS, "ops", "gets answered from the hot-block cache"),
+            MetricDesc::counter(CACHE_MISSES, "ops", "gets that missed the hot-block cache"),
+            MetricDesc::counter(
+                CACHE_INVALIDATIONS,
+                "blocks",
+                "cache entries dropped on block movement",
+            ),
+            MetricDesc::counter(GETS_COALESCED, "ops", "gets coalesced onto an in-flight fetch"),
+            MetricDesc::counter(LOOKUP_MEMO_HITS, "ops", "get attempts served by the lookup memo"),
         ];
         DESCS
     }
@@ -205,6 +227,33 @@ pub struct DhtConfig {
     /// operation's remaining retries and skips the backoff (deadline
     /// escalation). Off by default so honest runs stay byte-identical.
     pub hop_suspicion: bool,
+    /// Enables the client-side hot-block cache: successful gets fill it,
+    /// later gets for the same key are answered locally. Content
+    /// addressing makes cached values always hash-valid; invalidation on
+    /// block movement (store/replicate/repair) keeps the cache from
+    /// masking placement changes. Off by default: cache-off runs are
+    /// byte-identical to pre-plane output.
+    pub cache_enabled: bool,
+    /// Hot-block cache capacity in blocks; least-recently-used entries
+    /// are evicted beyond it.
+    pub cache_capacity: usize,
+    /// Enables request coalescing: a get for a key with a get already in
+    /// flight parks behind the leader and shares its single upstream
+    /// fetch. Off by default.
+    pub coalesce_gets: bool,
+    /// Enables lookup-result memoization: the responsible address
+    /// resolved by a get lookup is remembered for `memo_ttl` and reused
+    /// by later first attempts, skipping the overlay lookup. Retries
+    /// always drop the memo and re-resolve. Secure-VerDi is exempt — its
+    /// certified lookups (§5.3.2) must not be bypassed. Off by default.
+    pub memo_enabled: bool,
+    /// Time-to-live of a memoized lookup result.
+    pub memo_ttl: SimDuration,
+    /// Per-fetch service time modeling the serving node's disk/CPU cost.
+    /// Fetches for blocks queue FIFO on the serving node, which is what
+    /// makes offered load saturate. Zero (the default) disables the
+    /// queue entirely and preserves pre-plane behavior byte-for-byte.
+    pub fetch_service_time: SimDuration,
 }
 
 impl Default for DhtConfig {
@@ -220,6 +269,12 @@ impl Default for DhtConfig {
             repair_batch: 8,
             lookup_fanout: 1,
             hop_suspicion: false,
+            cache_enabled: false,
+            cache_capacity: 128,
+            coalesce_gets: false,
+            memo_enabled: false,
+            memo_ttl: SimDuration::from_secs(30),
+            fetch_service_time: SimDuration::ZERO,
         }
     }
 }
@@ -260,7 +315,17 @@ impl DhtConfig {
             "repair_batch",
             "must be positive when repair is enabled",
         )?;
-        ensure((1..=4).contains(&self.lookup_fanout), "lookup_fanout", "must be between 1 and 4")
+        ensure((1..=4).contains(&self.lookup_fanout), "lookup_fanout", "must be between 1 and 4")?;
+        ensure(
+            !self.cache_enabled || self.cache_capacity > 0,
+            "cache_capacity",
+            "must be positive when the cache is enabled",
+        )?;
+        ensure(
+            !self.memo_enabled || !self.memo_ttl.is_zero(),
+            "memo_ttl",
+            "must be positive when memoization is enabled",
+        )
     }
 
     /// Per-attempt timeout: the deadline split evenly across the maximum

@@ -22,6 +22,7 @@ use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
+use crate::serving::ServingPlane;
 
 /// Compromise-VerDi wire messages.
 #[derive(Clone, Debug)]
@@ -223,6 +224,17 @@ pub enum CompTimer {
     /// Short-fuse repair round scheduled right after a detected
     /// neighborhood change (join, crash, or graceful leave).
     RepairKick,
+    /// A queued fetch finished its service slot; send the reply to the
+    /// requesting relay. Only armed when `fetch_service_time` is
+    /// non-zero.
+    ServeFetch {
+        /// Relay-job id from the request, echoed into the reply.
+        op: u64,
+        /// Block key to read at service completion.
+        key: Id,
+        /// The relay awaiting the reply.
+        client: Addr,
+    },
 }
 
 /// A relayed operation this node is executing on a client's behalf.
@@ -269,6 +281,7 @@ pub struct CompromiseVerDiNode {
     next_job: u64,
     next_xid: u64,
     ops: OpTable,
+    serving: ServingPlane,
     jobs: HashMap<u64, RelayJob>,
     lookup_to_job: HashMap<u64, u64>,
     cross_lookups: HashMap<u64, CrossState>,
@@ -309,6 +322,7 @@ impl CompromiseVerDiNode {
             next_job: 0,
             next_xid: 0,
             ops: OpTable::new(),
+            serving: ServingPlane::new(),
             jobs: HashMap::new(),
             lookup_to_job: HashMap::new(),
             cross_lookups: HashMap::new(),
@@ -386,6 +400,12 @@ impl CompromiseVerDiNode {
         match job.kind {
             OpKind::Get => {
                 let key = job.key;
+                if self.cfg.memo_enabled && job.attempt == 0 {
+                    // Relay-side memo: remember which replica this key
+                    // resolved to, so the next relayed first attempt can
+                    // skip the lookup entirely.
+                    self.serving.memo_put(key, target.addr, ctx.now(), self.cfg.memo_ttl);
+                }
                 self.send_data(ctx, target.addr, CompMsg::Fetch { op: job_id, key });
             }
             OpKind::Put => {
@@ -594,12 +614,36 @@ impl CompromiseVerDiNode {
         self.is_replica_anchor(key) || self.is_replica_anchor(paired)
     }
 
-    /// Completes an operation and clears read-repair bookkeeping.
+    /// Completes an operation, clears read-repair bookkeeping, settles
+    /// coalesced waiters with the leader's result, and fills the cache.
     fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut CCtx<'_>) {
-        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+        if let Some(f) = self.ops.finish(op, ok, value.clone(), ctx) {
             if f.repair {
                 self.repairing.remove(&f.key);
             }
+            if f.kind == OpKind::Get && !f.repair {
+                if self.cfg.coalesce_gets {
+                    // Every parked get observes the leader's outcome —
+                    // success, deadline, or retry exhaustion alike — so
+                    // no waiter is ever lost.
+                    for w in self.serving.finish_leader(f.key, op) {
+                        self.finish_op(w, ok, value.clone(), ctx);
+                    }
+                }
+                if self.cfg.cache_enabled && ok {
+                    if let Some(v) = value {
+                        self.serving.cache_fill(f.key, v, self.cfg.cache_capacity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops a block from the hot cache after it moved underneath us
+    /// (repair push, replication, cross-copy, or an incoming store).
+    fn invalidate_cached(&mut self, key: Id, ctx: &mut CCtx<'_>) {
+        if self.cfg.cache_enabled && self.serving.cache_invalidate(key) {
+            ctx.metrics().count(keys::CACHE_INVALIDATIONS, 1);
         }
     }
 
@@ -757,6 +801,30 @@ impl CompromiseVerDiNode {
     fn start_op(&mut self, kind: OpKind, key: Id, value: Option<Bytes>, ctx: &mut CCtx<'_>) -> u64 {
         let op =
             self.ops.start(kind, key, value, &self.cfg, ctx, |op| CompTimer::OpDeadline { op });
+        if kind == OpKind::Get {
+            if self.cfg.cache_enabled {
+                if let Some(v) = self.serving.cache_lookup(key) {
+                    // Content addressing guarantees the value is the
+                    // value; answer locally without involving a relay.
+                    // The already-armed deadline timer finds the op gone
+                    // and no-ops.
+                    ctx.metrics().count(keys::CACHE_HITS, 1);
+                    self.finish_op(op, true, Some(v), ctx);
+                    return op;
+                }
+                ctx.metrics().count(keys::CACHE_MISSES, 1);
+            }
+            if self.cfg.coalesce_gets {
+                if let Some(leader) = self.serving.leader_for(key) {
+                    // Park behind the in-flight get: exactly one relayed
+                    // request is issued for the key.
+                    ctx.metrics().count(keys::GETS_COALESCED, 1);
+                    self.serving.add_waiter(leader, op);
+                    return op;
+                }
+                self.serving.set_leader(key, op);
+            }
+        }
         self.issue_attempt(op, ctx);
         op
     }
@@ -835,6 +903,23 @@ impl Node for CompromiseVerDiNode {
                     job_id,
                     RelayJob { client: from, rop, kind, key, value, attempt, repair },
                 );
+                if self.cfg.memo_enabled && kind == OpKind::Get {
+                    if attempt == 0 {
+                        if let Some(addr) = self.serving.memo_get(key, ctx.now()) {
+                            // Relay-side memo hit: fetch directly from the
+                            // remembered replica, skipping the overlay
+                            // lookup. A failed fetch fails the job and the
+                            // client's retry drops the memo below.
+                            ctx.metrics().count(keys::LOOKUP_MEMO_HITS, 1);
+                            self.send_data(ctx, addr, CompMsg::Fetch { op: job_id, key });
+                            return;
+                        }
+                    } else {
+                        // A retried relay request means the first answer
+                        // failed: never trust the memo, re-resolve.
+                        self.serving.memo_invalidate(key);
+                    }
+                }
                 // Fast-VerDi flow on the client's behalf, from *our* type
                 // vantage point.
                 let my_type = self.overlay.node_type();
@@ -882,8 +967,17 @@ impl Node for CompromiseVerDiNode {
                 }
             }
             CompMsg::Fetch { op, key } => {
-                let value = self.store.get(key).cloned();
-                self.send_data(ctx, from, CompMsg::FetchReply { op, value });
+                if self.cfg.fetch_service_time.is_zero() {
+                    let value = self.store.get(key).cloned();
+                    self.send_data(ctx, from, CompMsg::FetchReply { op, value });
+                } else {
+                    // FIFO service queue: the reply leaves once every
+                    // earlier fetch has been served. The store is read at
+                    // service completion, not admission.
+                    let delay =
+                        self.serving.enqueue_service(ctx.now(), self.cfg.fetch_service_time);
+                    ctx.set_timer(delay, CompTimer::ServeFetch { op, key, client: from });
+                }
             }
             CompMsg::FetchReply { op, value } => {
                 // `op` is one of our relay-job ids.
@@ -905,6 +999,7 @@ impl Node for CompromiseVerDiNode {
                     return;
                 }
                 self.store.put(key, value.clone());
+                self.invalidate_cached(key, ctx);
                 self.replicate_in_section(key, &value, ctx);
                 let pair = self.paired_point(key);
                 let lid = self.with_overlay(ctx, |overlay, ictx| {
@@ -932,6 +1027,7 @@ impl Node for CompromiseVerDiNode {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
+                    self.invalidate_cached(key, ctx);
                     self.replicate_in_section(key, &value, ctx);
                 }
                 let ack = CompMsg::CrossCopyAck { xid, ok };
@@ -954,6 +1050,7 @@ impl Node for CompromiseVerDiNode {
             CompMsg::Replicate { key, value } => {
                 if verify_block(key, &value) {
                     self.store.put(key, value);
+                    self.invalidate_cached(key, ctx);
                 }
             }
             CompMsg::RepairProbe { round, owner, keys: probed, cross } => {
@@ -1051,6 +1148,10 @@ impl Node for CompromiseVerDiNode {
             CompTimer::RepairKick => {
                 self.kick_armed = false;
                 self.run_repair_round(ctx);
+            }
+            CompTimer::ServeFetch { op, key, client } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, client, CompMsg::FetchReply { op, value });
             }
         }
     }

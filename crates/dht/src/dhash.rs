@@ -17,6 +17,7 @@ use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
+use crate::serving::ServingPlane;
 
 /// DHash wire messages: the overlay's own messages plus the data plane.
 #[derive(Clone, Debug)]
@@ -148,6 +149,16 @@ pub enum DhashTimer {
     /// Short-fuse repair round scheduled right after a detected
     /// neighborhood change (join, crash, or graceful leave).
     RepairKick,
+    /// A queued fetch finished its service slot; send the reply. Only
+    /// armed when `fetch_service_time` is non-zero.
+    ServeFetch {
+        /// Requester's operation id, echoed into the reply.
+        op: u64,
+        /// Block key to read at service completion.
+        key: Id,
+        /// Where to send the reply.
+        client: Addr,
+    },
 }
 
 /// A DHash node: a [`ChordNode`] plus the block store and data plane.
@@ -159,6 +170,7 @@ pub struct DhashNode {
     cfg: DhtConfig,
     store: BlockStore,
     ops: OpTable,
+    serving: ServingPlane,
     lookup_to_op: HashMap<u64, u64>,
     repairing: BTreeSet<Id>,
     repair_round: u64,
@@ -188,6 +200,7 @@ impl DhashNode {
             cfg,
             store: BlockStore::new(),
             ops: OpTable::new(),
+            serving: ServingPlane::new(),
             lookup_to_op: HashMap::new(),
             repairing: BTreeSet::new(),
             repair_round: 0,
@@ -240,6 +253,9 @@ impl DhashNode {
             match p.kind {
                 OpKind::Get => {
                     let key = p.key;
+                    if self.cfg.memo_enabled {
+                        self.serving.memo_put(key, responsible.addr, ctx.now(), self.cfg.memo_ttl);
+                    }
                     self.send_data(ctx, responsible.addr, DhashMsg::Fetch { op, key });
                 }
                 OpKind::Put => {
@@ -264,6 +280,29 @@ impl DhashNode {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
+        if self.cfg.memo_enabled && p.kind == OpKind::Get {
+            if attempt == 0 {
+                if let Some(addr) = self.serving.memo_get(key, ctx.now()) {
+                    // A fresh memoized lookup result: skip the overlay
+                    // lookup and fetch directly. The attempt timer still
+                    // guards the fetch, and a failed attempt drops the
+                    // memo below before re-resolving.
+                    ctx.metrics().count(keys::LOOKUP_MEMO_HITS, 1);
+                    if self.cfg.max_retries > 0 {
+                        ctx.set_timer(
+                            self.cfg.attempt_timeout(),
+                            DhashTimer::AttemptTimeout { op, attempt },
+                        );
+                    }
+                    self.send_data(ctx, addr, DhashMsg::Fetch { op, key });
+                    return;
+                }
+            } else {
+                // Retries never trust the memo: the block (or the ring)
+                // moved, so re-resolve from scratch.
+                self.serving.memo_invalidate(key);
+            }
+        }
         let avoid: Vec<Addr> =
             if self.cfg.hop_suspicion { self.ops.avoid(op).to_vec() } else { Vec::new() };
         if self.cfg.hop_suspicion {
@@ -314,12 +353,36 @@ impl DhashNode {
         }
     }
 
-    /// Completes an operation and clears read-repair bookkeeping.
+    /// Completes an operation, clears read-repair bookkeeping, settles
+    /// coalesced waiters with the leader's result, and fills the cache.
     fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut DCtx<'_>) {
-        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+        if let Some(f) = self.ops.finish(op, ok, value.clone(), ctx) {
             if f.repair {
                 self.repairing.remove(&f.key);
             }
+            if f.kind == OpKind::Get && !f.repair {
+                if self.cfg.coalesce_gets {
+                    // Every parked get observes the leader's outcome —
+                    // success, deadline, or retry exhaustion alike — so
+                    // no waiter is ever lost.
+                    for w in self.serving.finish_leader(f.key, op) {
+                        self.finish_op(w, ok, value.clone(), ctx);
+                    }
+                }
+                if self.cfg.cache_enabled && ok {
+                    if let Some(v) = value {
+                        self.serving.cache_fill(f.key, v, self.cfg.cache_capacity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops a block from the hot cache after it moved underneath us
+    /// (repair push, replication, or an incoming store).
+    fn invalidate_cached(&mut self, key: Id, ctx: &mut DCtx<'_>) {
+        if self.cfg.cache_enabled && self.serving.cache_invalidate(key) {
+            ctx.metrics().count(keys::CACHE_INVALIDATIONS, 1);
         }
     }
 
@@ -448,6 +511,27 @@ impl DhtNode for DhashNode {
         let op = self
             .ops
             .start(OpKind::Get, key, None, &self.cfg, ctx, |op| DhashTimer::OpDeadline { op });
+        if self.cfg.cache_enabled {
+            if let Some(v) = self.serving.cache_lookup(key) {
+                // Content addressing guarantees the value is the value;
+                // answer locally. The already-armed deadline timer finds
+                // the op gone and no-ops.
+                ctx.metrics().count(keys::CACHE_HITS, 1);
+                self.finish_op(op, true, Some(v), ctx);
+                return op;
+            }
+            ctx.metrics().count(keys::CACHE_MISSES, 1);
+        }
+        if self.cfg.coalesce_gets {
+            if let Some(leader) = self.serving.leader_for(key) {
+                // Park behind the in-flight get: exactly one upstream
+                // fetch is issued for the key.
+                ctx.metrics().count(keys::GETS_COALESCED, 1);
+                self.serving.add_waiter(leader, op);
+                return op;
+            }
+            self.serving.set_leader(key, op);
+        }
         self.issue_attempt(op, ctx);
         op
     }
@@ -495,8 +579,17 @@ impl Node for DhashNode {
                 self.maybe_kick_repair(ctx);
             }
             DhashMsg::Fetch { op, key } => {
-                let value = self.store.get(key).cloned();
-                self.send_data(ctx, from, DhashMsg::FetchReply { op, value });
+                if self.cfg.fetch_service_time.is_zero() {
+                    let value = self.store.get(key).cloned();
+                    self.send_data(ctx, from, DhashMsg::FetchReply { op, value });
+                } else {
+                    // FIFO service queue: the reply leaves once every
+                    // earlier fetch has been served. The store is read at
+                    // service completion, not admission.
+                    let delay =
+                        self.serving.enqueue_service(ctx.now(), self.cfg.fetch_service_time);
+                    ctx.set_timer(delay, DhashTimer::ServeFetch { op, key, client: from });
+                }
             }
             DhashMsg::FetchReply { op, value } => {
                 let Some(p) = self.ops.get(op) else {
@@ -534,6 +627,7 @@ impl Node for DhashNode {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
+                    self.invalidate_cached(key, ctx);
                     self.replicate_out(key, &value, ctx);
                 }
                 let ack = DhashMsg::StoreAck { op, ok };
@@ -553,6 +647,7 @@ impl Node for DhashNode {
             DhashMsg::Replicate { key, value } => {
                 if verify_block(key, &value) {
                     self.store.put(key, value);
+                    self.invalidate_cached(key, ctx);
                 }
             }
             DhashMsg::RepairProbe { round, from: start, owner, keys: probed } => {
@@ -641,6 +736,10 @@ impl Node for DhashNode {
             DhashTimer::RepairKick => {
                 self.kick_armed = false;
                 self.run_repair_round(ctx);
+            }
+            DhashTimer::ServeFetch { op, key, client } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, client, DhashMsg::FetchReply { op, value });
             }
         }
     }

@@ -22,6 +22,7 @@ use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
+use crate::serving::ServingPlane;
 
 /// Fast-VerDi wire messages.
 #[derive(Clone, Debug)]
@@ -178,6 +179,16 @@ pub enum FastTimer {
     /// Short-fuse repair round scheduled right after a detected
     /// neighborhood change (join, crash, or graceful leave).
     RepairKick,
+    /// A queued fetch finished its service slot; send the reply. Only
+    /// armed when `fetch_service_time` is non-zero.
+    ServeFetch {
+        /// Requester's operation id, echoed into the reply.
+        op: u64,
+        /// Block key to read at service completion.
+        key: Id,
+        /// Where to send the reply.
+        client: Addr,
+    },
 }
 
 /// The responsible node's state while it cross-copies a freshly stored
@@ -200,6 +211,7 @@ pub struct FastVerDiNode {
     cfg: DhtConfig,
     store: BlockStore,
     ops: OpTable,
+    serving: ServingPlane,
     next_xid: u64,
     lookup_to_op: HashMap<u64, u64>,
     /// Cross-copy lookups this node (as responsible) has in flight.
@@ -239,6 +251,7 @@ impl FastVerDiNode {
             cfg,
             store: BlockStore::new(),
             ops: OpTable::new(),
+            serving: ServingPlane::new(),
             next_xid: 0,
             lookup_to_op: HashMap::new(),
             lookup_to_cross: HashMap::new(),
@@ -299,6 +312,27 @@ impl FastVerDiNode {
             return;
         };
         let (key, attempt) = (p.key, p.attempt);
+        if self.cfg.memo_enabled && p.kind == OpKind::Get {
+            if attempt == 0 {
+                if let Some(addr) = self.serving.memo_get(key, ctx.now()) {
+                    // A fresh memoized replica address: skip the overlay
+                    // lookup and fetch directly. The attempt timer still
+                    // guards the fetch; a retry drops the memo below.
+                    ctx.metrics().count(keys::LOOKUP_MEMO_HITS, 1);
+                    if self.cfg.max_retries > 0 {
+                        ctx.set_timer(
+                            self.cfg.attempt_timeout(),
+                            FastTimer::AttemptTimeout { op, attempt },
+                        );
+                    }
+                    self.send_data(ctx, addr, FastMsg::Fetch { op, key });
+                    return;
+                }
+            } else {
+                // Retries never trust the memo: re-resolve from scratch.
+                self.serving.memo_invalidate(key);
+            }
+        }
         let my_type = self.overlay.node_type();
         let adjusted = self.overlay.layout().replica_point_avoiding(key, my_type);
         let avoid: Vec<Addr> =
@@ -334,6 +368,9 @@ impl FastVerDiNode {
         match p.kind {
             OpKind::Get => {
                 let key = p.key;
+                if self.cfg.memo_enabled && p.attempt == 0 {
+                    self.serving.memo_put(key, target.addr, ctx.now(), self.cfg.memo_ttl);
+                }
                 self.send_data(ctx, target.addr, FastMsg::Fetch { op, key });
             }
             OpKind::Put => {
@@ -487,12 +524,36 @@ impl FastVerDiNode {
         self.is_replica_anchor(key) || self.is_replica_anchor(paired)
     }
 
-    /// Completes an operation and clears read-repair bookkeeping.
+    /// Completes an operation, clears read-repair bookkeeping, settles
+    /// coalesced waiters with the leader's result, and fills the cache.
     fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut FCtx<'_>) {
-        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+        if let Some(f) = self.ops.finish(op, ok, value.clone(), ctx) {
             if f.repair {
                 self.repairing.remove(&f.key);
             }
+            if f.kind == OpKind::Get && !f.repair {
+                if self.cfg.coalesce_gets {
+                    // Every parked get observes the leader's outcome —
+                    // success, deadline, or retry exhaustion alike — so
+                    // no waiter is ever lost.
+                    for w in self.serving.finish_leader(f.key, op) {
+                        self.finish_op(w, ok, value.clone(), ctx);
+                    }
+                }
+                if self.cfg.cache_enabled && ok {
+                    if let Some(v) = value {
+                        self.serving.cache_fill(f.key, v, self.cfg.cache_capacity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops a block from the hot cache after it moved underneath us
+    /// (repair push, replication, cross-copy, or an incoming store).
+    fn invalidate_cached(&mut self, key: Id, ctx: &mut FCtx<'_>) {
+        if self.cfg.cache_enabled && self.serving.cache_invalidate(key) {
+            ctx.metrics().count(keys::CACHE_INVALIDATIONS, 1);
         }
     }
 
@@ -662,6 +723,27 @@ impl DhtNode for FastVerDiNode {
         let op = self
             .ops
             .start(OpKind::Get, key, None, &self.cfg, ctx, |op| FastTimer::OpDeadline { op });
+        if self.cfg.cache_enabled {
+            if let Some(v) = self.serving.cache_lookup(key) {
+                // Content addressing guarantees the value is the value;
+                // answer locally. The already-armed deadline timer finds
+                // the op gone and no-ops.
+                ctx.metrics().count(keys::CACHE_HITS, 1);
+                self.finish_op(op, true, Some(v), ctx);
+                return op;
+            }
+            ctx.metrics().count(keys::CACHE_MISSES, 1);
+        }
+        if self.cfg.coalesce_gets {
+            if let Some(leader) = self.serving.leader_for(key) {
+                // Park behind the in-flight get: exactly one upstream
+                // fetch is issued for the key.
+                ctx.metrics().count(keys::GETS_COALESCED, 1);
+                self.serving.add_waiter(leader, op);
+                return op;
+            }
+            self.serving.set_leader(key, op);
+        }
         self.issue_attempt(op, ctx);
         op
     }
@@ -709,8 +791,17 @@ impl Node for FastVerDiNode {
                 self.maybe_kick_repair(ctx);
             }
             FastMsg::Fetch { op, key } => {
-                let value = self.store.get(key).cloned();
-                self.send_data(ctx, from, FastMsg::FetchReply { op, value });
+                if self.cfg.fetch_service_time.is_zero() {
+                    let value = self.store.get(key).cloned();
+                    self.send_data(ctx, from, FastMsg::FetchReply { op, value });
+                } else {
+                    // FIFO service queue: the reply leaves once every
+                    // earlier fetch has been served. The store is read at
+                    // service completion, not admission.
+                    let delay =
+                        self.serving.enqueue_service(ctx.now(), self.cfg.fetch_service_time);
+                    ctx.set_timer(delay, FastTimer::ServeFetch { op, key, client: from });
+                }
             }
             FastMsg::FetchReply { op, value } => {
                 let Some(p) = self.ops.get(op) else {
@@ -753,6 +844,7 @@ impl Node for FastVerDiNode {
                     return;
                 }
                 self.store.put(key, value.clone());
+                self.invalidate_cached(key, ctx);
                 self.replicate_in_section(key, &value, ctx);
                 // §5.3.1: before acking the client, copy the block to the
                 // responsible node of the opposite-type replica point.
@@ -777,6 +869,7 @@ impl Node for FastVerDiNode {
                 let ok = verify_block(key, &value);
                 if ok {
                     self.store.put(key, value.clone());
+                    self.invalidate_cached(key, ctx);
                     self.replicate_in_section(key, &value, ctx);
                 }
                 let ack = FastMsg::CrossCopyAck { xid, ok };
@@ -799,6 +892,7 @@ impl Node for FastVerDiNode {
             FastMsg::Replicate { key, value } => {
                 if verify_block(key, &value) {
                     self.store.put(key, value);
+                    self.invalidate_cached(key, ctx);
                 }
             }
             FastMsg::RepairProbe { round, owner, keys: probed, cross } => {
@@ -899,6 +993,10 @@ impl Node for FastVerDiNode {
             FastTimer::RepairKick => {
                 self.kick_armed = false;
                 self.run_repair_round(ctx);
+            }
+            FastTimer::ServeFetch { op, key, client } => {
+                let value = self.store.get(key).cloned();
+                self.send_data(ctx, client, FastMsg::FetchReply { op, value });
             }
         }
     }

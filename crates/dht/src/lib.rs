@@ -22,6 +22,7 @@ pub mod fast;
 pub mod fragments;
 pub mod repair;
 pub mod secure;
+pub mod serving;
 
 pub use api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome};
 pub use block::{block_key, verify_block, BlockStore};
@@ -34,3 +35,4 @@ pub use fragments::{
 };
 pub use repair::DurabilityCensus;
 pub use secure::{SecureMsg, SecurePayload, SecureTimer, SecureVerDiNode};
+pub use serving::ServingPlane;

@@ -24,6 +24,7 @@ use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{verify_block, BlockStore};
+use crate::serving::ServingPlane;
 
 /// The operation payload piggybacked inside Secure-VerDi lookups and
 /// their sealed replies.
@@ -151,6 +152,15 @@ pub enum SecureTimer {
     /// Short-fuse repair round scheduled right after a detected
     /// neighborhood change (join, crash, or graceful leave).
     RepairKick,
+    /// A queued piggybacked get finished its service slot; read the
+    /// store and answer the lookup. Only armed when `fetch_service_time`
+    /// is non-zero.
+    ServeGet {
+        /// The lookup awaiting its sealed answer.
+        lid: u64,
+        /// Block key to read at service completion.
+        key: Id,
+    },
 }
 
 /// Fan-out bookkeeping for one operation's current attempt.
@@ -174,6 +184,12 @@ pub struct SecureVerDiNode {
     cfg: DhtConfig,
     store: BlockStore,
     ops: OpTable,
+    /// Client-side serving state: hot-block cache, coalescing, and the
+    /// piggybacked-get service queue. Lookup memoization is deliberately
+    /// NOT used here: Secure-VerDi's whole point is that every operation
+    /// rides a certified lookup (§5.3.2), and a memoized direct fetch
+    /// would bypass exactly the certification the variant pays for.
+    serving: ServingPlane,
     /// Maps an in-flight overlay lookup to `(op, attempt)` — the attempt
     /// tag lets stale fan-out siblings of a superseded attempt be told
     /// apart from the current one.
@@ -210,6 +226,7 @@ impl SecureVerDiNode {
             cfg,
             store: BlockStore::new(),
             ops: OpTable::new(),
+            serving: ServingPlane::new(),
             lookup_to_op: HashMap::new(),
             fanout_inflight: HashMap::new(),
             repairing: BTreeSet::new(),
@@ -255,12 +272,22 @@ impl SecureVerDiNode {
         for req in requests {
             let resp = match req.payload {
                 SecurePayload::GetReq { key } => {
+                    if !self.cfg.fetch_service_time.is_zero() {
+                        // FIFO service queue: defer the sealed answer
+                        // until every earlier get has been served. The
+                        // store is read at service completion.
+                        let delay =
+                            self.serving.enqueue_service(ctx.now(), self.cfg.fetch_service_time);
+                        ctx.set_timer(delay, SecureTimer::ServeGet { lid: req.lid, key });
+                        continue;
+                    }
                     SecurePayload::GetResp { value: self.store.get(key).cloned() }
                 }
                 SecurePayload::PutReq { key, value } => {
                     let ok = verify_block(key, &value);
                     if ok {
                         self.store.put(key, value.clone());
+                        self.invalidate_cached(key, ctx);
                         self.replicate_in_section(key, &value, ctx);
                     }
                     SecurePayload::PutResp { ok }
@@ -521,10 +548,33 @@ impl SecureVerDiNode {
     /// Completes an operation and clears read-repair bookkeeping.
     fn finish_op(&mut self, op: u64, ok: bool, value: Option<Bytes>, ctx: &mut SCtx<'_>) {
         self.fanout_inflight.remove(&op);
-        if let Some(f) = self.ops.finish(op, ok, value, ctx) {
+        if let Some(f) = self.ops.finish(op, ok, value.clone(), ctx) {
             if f.repair {
                 self.repairing.remove(&f.key);
             }
+            if f.kind == OpKind::Get && !f.repair {
+                if self.cfg.coalesce_gets {
+                    // Every parked get observes the leader's outcome —
+                    // success, deadline, or retry exhaustion alike — so
+                    // no waiter is ever lost.
+                    for w in self.serving.finish_leader(f.key, op) {
+                        self.finish_op(w, ok, value.clone(), ctx);
+                    }
+                }
+                if self.cfg.cache_enabled && ok {
+                    if let Some(v) = value {
+                        self.serving.cache_fill(f.key, v, self.cfg.cache_capacity);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops a block from the hot cache after it moved underneath us
+    /// (repair push, replication, or an incoming piggybacked put).
+    fn invalidate_cached(&mut self, key: Id, ctx: &mut SCtx<'_>) {
+        if self.cfg.cache_enabled && self.serving.cache_invalidate(key) {
+            ctx.metrics().count(keys::CACHE_INVALIDATIONS, 1);
         }
     }
 
@@ -654,6 +704,28 @@ impl DhtNode for SecureVerDiNode {
         let op = self
             .ops
             .start(OpKind::Get, key, None, &self.cfg, ctx, |op| SecureTimer::OpDeadline { op });
+        if self.cfg.cache_enabled {
+            if let Some(v) = self.serving.cache_lookup(key) {
+                // Content addressing guarantees the value is the value,
+                // and a locally cached block needs no certified lookup.
+                // The already-armed deadline timer finds the op gone and
+                // no-ops.
+                ctx.metrics().count(keys::CACHE_HITS, 1);
+                self.finish_op(op, true, Some(v), ctx);
+                return op;
+            }
+            ctx.metrics().count(keys::CACHE_MISSES, 1);
+        }
+        if self.cfg.coalesce_gets {
+            if let Some(leader) = self.serving.leader_for(key) {
+                // Park behind the in-flight get: exactly one piggybacked
+                // lookup is issued for the key.
+                ctx.metrics().count(keys::GETS_COALESCED, 1);
+                self.serving.add_waiter(leader, op);
+                return op;
+            }
+            self.serving.set_leader(key, op);
+        }
         self.issue_attempt(op, ctx);
         op
     }
@@ -798,6 +870,12 @@ impl Node for SecureVerDiNode {
             SecureTimer::RepairKick => {
                 self.kick_armed = false;
                 self.run_repair_round(ctx);
+            }
+            SecureTimer::ServeGet { lid, key } => {
+                let resp = SecurePayload::GetResp { value: self.store.get(key).cloned() };
+                // send_answer returns false if the relay state already
+                // expired; the initiator's retry covers that case.
+                self.with_overlay(ctx, |overlay, ictx| overlay.send_answer(lid, Some(resp), ictx));
             }
         }
     }

@@ -1,0 +1,230 @@
+//! Property tests for serving-side get coalescing (PR-7 workload plane).
+//!
+//! Two invariants, checked over random seeds and scripted churn:
+//!
+//! * **Single fetch, shared value** — when K gets for one key are in
+//!   flight at a node, exactly one rides the overlay (the leader); the
+//!   other K−1 park as waiters and every one of them observes the value
+//!   the leader fetched, with `dht.gets.coalesced` counting exactly K−1.
+//! * **No lost wakeups** — however the leader's operation ends (reply,
+//!   retry exhaustion, deadline after its target died), every waiter
+//!   receives an outcome. A node that issues G gets always collects G
+//!   outcomes, even when scripted kills land mid-flight.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use verme_chord::{ChordConfig, Id, StaticRing};
+use verme_core::{SectionLayout, VermeConfig, VermeStaticRing};
+use verme_crypto::CertificateAuthority;
+use verme_dht::{block_key, keys, DhashNode, DhtConfig, DhtNode, FastVerDiNode, SecureVerDiNode};
+use verme_sim::runtime::UniformLatency;
+use verme_sim::{Addr, HostId, Runtime, SeedSource, SimDuration, SimTime};
+
+const N: usize = 48;
+const HOP: SimDuration = SimDuration::from_millis(20);
+
+fn coalescing_cfg() -> DhtConfig {
+    DhtConfig { coalesce_gets: true, ..DhtConfig::default() }
+}
+
+fn layout() -> SectionLayout {
+    SectionLayout::with_sections(8, 2)
+}
+
+fn spawn_dhash(seed: u64, cfg: DhtConfig) -> (Runtime<DhashNode, UniformLatency>, Vec<Addr>) {
+    let mut rng = SeedSource::new(seed).stream("ids");
+    let handles: Vec<_> = (0..N)
+        .map(|i| verme_chord::NodeHandle::new(Id::random(&mut rng), Addr::from_raw(i as u64 + 1)))
+        .collect();
+    let ring = StaticRing::new(handles);
+    let mut rt = Runtime::new(UniformLatency::new(N, HOP), seed);
+    let mut by_addr: Vec<(u64, usize)> = (0..N).map(|i| (ring.node(i).addr.raw(), i)).collect();
+    by_addr.sort_unstable();
+    let mut addrs = vec![Addr::NULL; N];
+    for (raw, pos) in by_addr {
+        let node = DhashNode::new(ring.build_node(pos, ChordConfig::default()), cfg.clone());
+        addrs[pos] = rt.spawn(HostId(raw as usize - 1), node);
+    }
+    (rt, addrs)
+}
+
+fn spawn_fast(seed: u64, cfg: DhtConfig) -> (Runtime<FastVerDiNode, UniformLatency>, Vec<Addr>) {
+    let lay = layout();
+    let ring = VermeStaticRing::generate(lay, N, seed);
+    let mut ca = CertificateAuthority::new(seed);
+    let mut rt = Runtime::new(UniformLatency::new(N, HOP), seed);
+    let mut addrs = Vec::with_capacity(N);
+    for i in 0..N {
+        let overlay = ring.build_node(i, VermeConfig::new(lay), &mut ca);
+        addrs.push(rt.spawn(HostId(i), FastVerDiNode::new(overlay, cfg.clone())));
+    }
+    (rt, addrs)
+}
+
+fn spawn_secure(
+    seed: u64,
+    cfg: DhtConfig,
+) -> (Runtime<SecureVerDiNode, UniformLatency>, Vec<Addr>) {
+    let lay = layout();
+    let ring = VermeStaticRing::generate(lay, N, seed);
+    let mut ca = CertificateAuthority::new(seed);
+    let mut rt = Runtime::new(UniformLatency::new(N, HOP), seed);
+    let mut addrs = Vec::with_capacity(N);
+    for i in 0..N {
+        let overlay = ring.build_node(i, VermeConfig::new(lay), &mut ca);
+        addrs.push(rt.spawn(HostId(i), SecureVerDiNode::new(overlay, cfg.clone())));
+    }
+    (rt, addrs)
+}
+
+/// Puts one block fault-free and drains the put outcome so later reads
+/// of the client's outcome queue see only the gets under test.
+fn seed_block<Nd: DhtNode>(rt: &mut Runtime<Nd, UniformLatency>, addrs: &[Addr]) -> (Id, Bytes) {
+    rt.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    let value = Bytes::from(vec![7u8; 1024]);
+    let key = block_key(&value);
+    let who = addrs[0];
+    let v = value.clone();
+    rt.invoke(who, |n, ctx| n.start_put(v, ctx)).unwrap();
+    rt.run_until(rt.now() + SimDuration::from_secs(20));
+    assert!(
+        rt.node_mut(who).unwrap().take_op_outcomes().iter().any(|o| o.ok),
+        "fault-free seeding put failed"
+    );
+    // Let background replication settle before the churn scripts run.
+    rt.run_until(rt.now() + SimDuration::from_secs(5));
+    (key, value)
+}
+
+/// Issues `total` simultaneous gets for `key` at `client`, runs to
+/// quiescence, and checks the shared-value + coalesce-count invariants.
+fn check_shared_value<Nd: DhtNode>(
+    rt: &mut Runtime<Nd, UniformLatency>,
+    client: Addr,
+    key: Id,
+    value: &Bytes,
+    total: usize,
+) -> Result<(), TestCaseError> {
+    for _ in 0..total {
+        rt.invoke(client, |n, ctx| n.start_get(key, ctx)).unwrap();
+    }
+    rt.run_until(rt.now() + SimDuration::from_secs(60));
+    let outs = rt.node_mut(client).unwrap().take_op_outcomes();
+    prop_assert_eq!(outs.len(), total, "every get must resolve exactly once");
+    for o in &outs {
+        prop_assert!(o.ok, "fault-free coalesced get failed");
+        prop_assert_eq!(o.value.as_ref(), Some(value), "waiter saw a different value");
+    }
+    let coalesced = rt.metrics().counter(keys::GETS_COALESCED);
+    prop_assert_eq!(coalesced, total as u64 - 1, "exactly one get may ride the overlay");
+    Ok(())
+}
+
+/// A churn round: issue a burst of gets, then kill a scripted node.
+#[derive(Clone, Debug)]
+struct Round {
+    gets: usize,
+    victim: u8,
+}
+
+fn rounds() -> impl Strategy<Value = Vec<Round>> {
+    prop::collection::vec((1usize..5, any::<u8>()), 1..4)
+        .prop_map(|v| v.into_iter().map(|(gets, victim)| Round { gets, victim }).collect())
+}
+
+/// Runs the churn script and checks that no get's wakeup is ever lost:
+/// the client collects one outcome per issued get, and every successful
+/// outcome carries the fetched block.
+fn check_no_lost_wakeups<Nd: DhtNode>(
+    rt: &mut Runtime<Nd, UniformLatency>,
+    addrs: &[Addr],
+    client: Addr,
+    key: Id,
+    value: &Bytes,
+    script: &[Round],
+) -> Result<(), TestCaseError> {
+    let mut issued = 0usize;
+    for round in script {
+        for _ in 0..round.gets {
+            rt.invoke(client, |n, ctx| n.start_get(key, ctx)).unwrap();
+            issued += 1;
+        }
+        // Kill a scripted node (never the client) while the burst is in
+        // flight, so leaders die, targets die, and deadlines fire.
+        let mut live: Vec<Addr> =
+            addrs.iter().copied().filter(|&a| a != client && rt.is_alive(a)).collect();
+        live.sort_unstable_by_key(|a| a.raw());
+        rt.kill(live[round.victim as usize % live.len()]);
+        rt.run_until(rt.now() + SimDuration::from_secs(5));
+    }
+    // Past every retry and operation deadline.
+    rt.run_until(rt.now() + SimDuration::from_secs(180));
+    let outs = rt.node_mut(client).unwrap().take_op_outcomes();
+    prop_assert_eq!(outs.len(), issued, "a waiter's wakeup was lost under churn");
+    for o in &outs {
+        if o.ok {
+            prop_assert_eq!(o.value.as_ref(), Some(value), "waiter saw a different value");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// DHash: K simultaneous gets → one overlay fetch, K identical values.
+    #[test]
+    fn dhash_waiters_share_the_single_fetched_value(
+        seed in 0u64..1_000_000,
+        extra in 1usize..6,
+    ) {
+        let (mut rt, addrs) = spawn_dhash(seed, coalescing_cfg());
+        let (key, value) = seed_block(&mut rt, &addrs);
+        check_shared_value(&mut rt, addrs[5], key, &value, extra + 1)?;
+    }
+
+    /// Fast-VerDi: same invariant on the typed-section data path.
+    #[test]
+    fn fast_verdi_waiters_share_the_single_fetched_value(
+        seed in 0u64..1_000_000,
+        extra in 1usize..6,
+    ) {
+        let (mut rt, addrs) = spawn_fast(seed, coalescing_cfg());
+        let (key, value) = seed_block(&mut rt, &addrs);
+        check_shared_value(&mut rt, addrs[5], key, &value, extra + 1)?;
+    }
+
+    /// Secure-VerDi: same invariant on the piggybacked-lookup path.
+    #[test]
+    fn secure_verdi_waiters_share_the_single_fetched_value(
+        seed in 0u64..1_000_000,
+        extra in 1usize..6,
+    ) {
+        let (mut rt, addrs) = spawn_secure(seed, coalescing_cfg());
+        let (key, value) = seed_block(&mut rt, &addrs);
+        check_shared_value(&mut rt, addrs[5], key, &value, extra + 1)?;
+    }
+
+    /// DHash: scripted mid-flight kills never lose a waiter's wakeup.
+    #[test]
+    fn dhash_no_lost_wakeups_under_churn(
+        seed in 0u64..1_000_000,
+        script in rounds(),
+    ) {
+        let (mut rt, addrs) = spawn_dhash(seed, coalescing_cfg());
+        let (key, value) = seed_block(&mut rt, &addrs);
+        let client = addrs[5];
+        check_no_lost_wakeups(&mut rt, &addrs, client, key, &value, &script)?;
+    }
+
+    /// Fast-VerDi: the same churn script on the typed replica sets.
+    #[test]
+    fn fast_verdi_no_lost_wakeups_under_churn(
+        seed in 0u64..1_000_000,
+        script in rounds(),
+    ) {
+        let (mut rt, addrs) = spawn_fast(seed, coalescing_cfg());
+        let (key, value) = seed_block(&mut rt, &addrs);
+        let client = addrs[5];
+        check_no_lost_wakeups(&mut rt, &addrs, client, key, &value, &script)?;
+    }
+}

@@ -1,0 +1,247 @@
+//! Open-loop arrival processes on the virtual clock.
+//!
+//! Open-loop means request times are drawn up front and do not depend on
+//! completion of earlier requests — the generator keeps offering load even
+//! when the serving side saturates, which is exactly what exposes queueing
+//! collapse in the latency-vs-offered-load curves. All processes are
+//! sampled from a caller-supplied RNG, so a fixed seed yields a fixed
+//! schedule.
+
+use rand::Rng;
+use verme_sim::rng::exp_duration;
+use verme_sim::time::SimDuration;
+
+/// How request instants are spread over the measurement horizon.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate (requests per second).
+    Poisson { rate: f64 },
+    /// Two-state burst model: exponentially distributed ON phases emitting
+    /// Poisson arrivals at `rate_on`, alternating with OFF phases at
+    /// `rate_off` (commonly zero — pure silence between bursts).
+    OnOff { rate_on: f64, rate_off: f64, mean_on_secs: f64, mean_off_secs: f64 },
+    /// Poisson arrivals whose instantaneous rate follows a sinusoidal
+    /// day/night cycle: `base_rate * (1 + amplitude * sin(2πt/period))`,
+    /// sampled by thinning against the peak rate.
+    Diurnal { base_rate: f64, amplitude: f64, period_secs: f64 },
+}
+
+impl ArrivalProcess {
+    /// Long-run mean rate in requests per second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff { rate_on, rate_off, mean_on_secs, mean_off_secs } => {
+                let cycle = mean_on_secs + mean_off_secs;
+                (rate_on * mean_on_secs + rate_off * mean_off_secs) / cycle
+            }
+            ArrivalProcess::Diurnal { base_rate, .. } => base_rate,
+        }
+    }
+
+    /// Returns the same process shape with every rate scaled by `factor`
+    /// (phase lengths and the diurnal period are left untouched). Used to
+    /// split an aggregate offered load evenly across client sessions.
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        match *self {
+            ArrivalProcess::Poisson { rate } => ArrivalProcess::Poisson { rate: rate * factor },
+            ArrivalProcess::OnOff { rate_on, rate_off, mean_on_secs, mean_off_secs } => {
+                ArrivalProcess::OnOff {
+                    rate_on: rate_on * factor,
+                    rate_off: rate_off * factor,
+                    mean_on_secs,
+                    mean_off_secs,
+                }
+            }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period_secs } => {
+                ArrivalProcess::Diurnal { base_rate: base_rate * factor, amplitude, period_secs }
+            }
+        }
+    }
+
+    /// Validates the parameterization, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(v: f64, what: &str) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{what} must be finite and positive, got {v}"))
+            }
+        }
+        fn non_neg(v: f64, what: &str) -> Result<(), String> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{what} must be finite and non-negative, got {v}"))
+            }
+        }
+        match *self {
+            ArrivalProcess::Poisson { rate } => pos(rate, "poisson rate"),
+            ArrivalProcess::OnOff { rate_on, rate_off, mean_on_secs, mean_off_secs } => {
+                pos(rate_on, "on-phase rate")?;
+                non_neg(rate_off, "off-phase rate")?;
+                pos(mean_on_secs, "mean on-phase length")?;
+                pos(mean_off_secs, "mean off-phase length")
+            }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period_secs } => {
+                pos(base_rate, "diurnal base rate")?;
+                pos(period_secs, "diurnal period")?;
+                if (0.0..=1.0).contains(&amplitude) {
+                    Ok(())
+                } else {
+                    Err(format!("diurnal amplitude must be within [0, 1], got {amplitude}"))
+                }
+            }
+        }
+    }
+
+    /// Draws every arrival instant in `[0, horizon)`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process fails [`ArrivalProcess::validate`].
+    pub fn arrivals(&self, rng: &mut impl Rng, horizon: SimDuration) -> Vec<SimDuration> {
+        if let Err(why) = self.validate() {
+            panic!("invalid arrival process: {why}");
+        }
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = SimDuration::ZERO;
+                loop {
+                    t += exp_duration(rng, 1.0 / rate);
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::OnOff { rate_on, rate_off, mean_on_secs, mean_off_secs } => {
+                let mut phase_start = SimDuration::ZERO;
+                let mut on = true;
+                while phase_start < horizon {
+                    let mean = if on { mean_on_secs } else { mean_off_secs };
+                    let phase_end = phase_start + exp_duration(rng, mean);
+                    let rate = if on { rate_on } else { rate_off };
+                    if rate > 0.0 {
+                        let mut t = phase_start;
+                        loop {
+                            t += exp_duration(rng, 1.0 / rate);
+                            if t >= phase_end || t >= horizon {
+                                break;
+                            }
+                            out.push(t);
+                        }
+                    }
+                    phase_start = phase_end;
+                    on = !on;
+                }
+            }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period_secs } => {
+                // Lewis–Shedler thinning: draw candidates at the peak rate
+                // and accept each with probability rate(t) / peak.
+                let peak = base_rate * (1.0 + amplitude);
+                let mut t = SimDuration::ZERO;
+                loop {
+                    t += exp_duration(rng, 1.0 / peak);
+                    if t >= horizon {
+                        break;
+                    }
+                    let phase = 2.0 * std::f64::consts::PI * t.as_secs_f64() / period_secs;
+                    let accept = (1.0 + amplitude * phase.sin()) / (1.0 + amplitude);
+                    let coin: f64 = rng.gen();
+                    if coin < accept {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SeedSource;
+
+    fn rng(seed: u64) -> impl Rng {
+        SeedSource::new(seed).stream("arrival-test")
+    }
+
+    #[test]
+    fn poisson_hits_mean_rate() {
+        let p = ArrivalProcess::Poisson { rate: 10.0 };
+        let got = p.arrivals(&mut rng(1), SimDuration::from_secs(200));
+        // 2000 expected; a seeded run is deterministic so a wide band is safe.
+        assert!((1600..=2400).contains(&got.len()), "got {} arrivals", got.len());
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "arrivals not sorted");
+    }
+
+    #[test]
+    fn on_off_is_burstier_than_poisson() {
+        let rate = 10.0;
+        let horizon = SimDuration::from_secs(400);
+        let poisson = ArrivalProcess::Poisson { rate };
+        let bursty = ArrivalProcess::OnOff {
+            rate_on: 4.0 * rate,
+            rate_off: 0.0,
+            mean_on_secs: 5.0,
+            mean_off_secs: 15.0,
+        };
+        assert!((bursty.mean_rate() - rate).abs() < 1e-9);
+        // Bucket into seconds and compare variance of per-second counts:
+        // the on/off process must be visibly overdispersed.
+        let dispersion = |events: &[SimDuration]| {
+            let secs = horizon.as_secs_f64() as usize;
+            let mut counts = vec![0f64; secs];
+            for e in events {
+                counts[(e.as_secs_f64() as usize).min(secs - 1)] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / secs as f64;
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / secs as f64;
+            var / mean
+        };
+        let d_poisson = dispersion(&poisson.arrivals(&mut rng(2), horizon));
+        let d_bursty = dispersion(&bursty.arrivals(&mut rng(2), horizon));
+        assert!(
+            d_bursty > 2.0 * d_poisson,
+            "on/off not overdispersed: poisson {d_poisson:.2} vs bursty {d_bursty:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_in_first_half_period() {
+        let p = ArrivalProcess::Diurnal { base_rate: 20.0, amplitude: 0.9, period_secs: 100.0 };
+        let got = p.arrivals(&mut rng(3), SimDuration::from_secs(100));
+        // sin is positive on the first half-period, negative on the second.
+        let half = SimDuration::from_secs(50);
+        let first = got.iter().filter(|t| **t < half).count();
+        let second = got.len() - first;
+        assert!(first > second + second / 2, "diurnal modulation missing: {first} vs {second}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = ArrivalProcess::OnOff {
+            rate_on: 30.0,
+            rate_off: 1.0,
+            mean_on_secs: 2.0,
+            mean_off_secs: 6.0,
+        };
+        let a = p.arrivals(&mut rng(7), SimDuration::from_secs(60));
+        let b = p.arrivals(&mut rng(7), SimDuration::from_secs(60));
+        assert_eq!(a, b);
+        let c = p.arrivals(&mut rng(8), SimDuration::from_secs(60));
+        assert_ne!(a, c, "different seeds produced identical schedules");
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Diurnal { base_rate: 5.0, amplitude: 1.5, period_secs: 60.0 }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the Zipf/alias-table sampler and the schedule
+//! generator: same-seed determinism, rank-frequency monotonicity, and
+//! exponent → skew monotonicity (the satellite checklist of Issue 7).
+
+use proptest::prelude::*;
+
+use verme_load::{generate_schedule, ArrivalProcess, LoadProfile, ZipfSampler};
+use verme_sim::{SeedSource, SimDuration};
+
+fn draws(sampler: &ZipfSampler, seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = SeedSource::new(seed).stream("zipf-prop");
+    (0..n).map(|_| sampler.sample(&mut rng)).collect()
+}
+
+/// Empirical share of samples landing in ranks `[0, cut)`.
+fn head_share(samples: &[usize], cut: usize) -> f64 {
+    samples.iter().filter(|r| **r < cut).count() as f64 / samples.len() as f64
+}
+
+proptest! {
+    /// Same seed, same sample sequence — and a different seed diverges
+    /// somewhere in a modest prefix (overwhelmingly likely with >1 rank).
+    #[test]
+    fn sampler_same_seed_determinism(
+        seed in 0u64..1_000_000,
+        ranks in 2usize..512,
+        exp_milli in 0u32..2_500,
+    ) {
+        let sampler = ZipfSampler::new(ranks, exp_milli as f64 / 1_000.0);
+        let a = draws(&sampler, seed, 256);
+        let b = draws(&sampler, seed, 256);
+        prop_assert_eq!(&a, &b);
+        // A rebuilt sampler is byte-equivalent too: construction is pure.
+        let rebuilt = ZipfSampler::new(ranks, exp_milli as f64 / 1_000.0);
+        prop_assert_eq!(&a, &draws(&rebuilt, seed, 256));
+    }
+
+    /// Rank-frequency monotonicity: aggregated over coarse rank bands,
+    /// lower (hotter) bands never draw fewer samples than higher bands.
+    /// Bands absorb the sampling noise that individual adjacent ranks
+    /// would show; the band ordering itself is exact for a Zipf law.
+    #[test]
+    fn rank_frequency_monotone_over_bands(
+        seed in 0u64..1_000_000,
+        exp_milli in 600u32..2_000,
+    ) {
+        let ranks = 64usize;
+        let sampler = ZipfSampler::new(ranks, exp_milli as f64 / 1_000.0);
+        let samples = draws(&sampler, seed, 8_000);
+        // Geometric bands: [0,1), [1,4), [4,16), [16,64).
+        let edges = [0usize, 1, 4, 16, 64];
+        let mut per_rank_mean = Vec::new();
+        for w in edges.windows(2) {
+            let count = samples.iter().filter(|r| (w[0]..w[1]).contains(*r)).count();
+            per_rank_mean.push(count as f64 / (w[1] - w[0]) as f64);
+        }
+        for pair in per_rank_mean.windows(2) {
+            prop_assert!(
+                pair[0] >= pair[1],
+                "hotter band drew less: {:?}", per_rank_mean
+            );
+        }
+    }
+
+    /// Exponent → skew monotone: raising the exponent concentrates more
+    /// mass on the head of the rank distribution.
+    #[test]
+    fn exponent_to_skew_monotone(
+        seed in 0u64..1_000_000,
+        low_milli in 0u32..900,
+        gap_milli in 600u32..1_500,
+    ) {
+        let ranks = 128usize;
+        let low = low_milli as f64 / 1_000.0;
+        let high = (low_milli + gap_milli) as f64 / 1_000.0;
+        let head = ranks / 8;
+        let share_low = head_share(&draws(&ZipfSampler::new(ranks, low), seed, 6_000), head);
+        let share_high = head_share(&draws(&ZipfSampler::new(ranks, high), seed, 6_000), head);
+        prop_assert!(
+            share_high > share_low,
+            "skew not monotone in exponent: head share {share_low:.3} @ s={low} vs {share_high:.3} @ s={high}"
+        );
+    }
+
+    /// The full schedule generator is a pure function of (profile, seed,
+    /// horizon), for every arrival-process shape.
+    #[test]
+    fn schedule_same_seed_determinism(
+        seed in 0u64..1_000_000,
+        which in 0usize..4,
+        rate_deci in 10u32..400,
+    ) {
+        let rate = rate_deci as f64 / 10.0;
+        let profile = match which {
+            0 => LoadProfile::zipf_poisson(rate),
+            1 => LoadProfile::uniform_poisson(rate),
+            2 => LoadProfile::zipf_bursty(rate),
+            _ => LoadProfile::zipf_diurnal(rate),
+        };
+        let horizon = SimDuration::from_secs(20);
+        let a = generate_schedule(&profile, &SeedSource::new(seed), horizon);
+        let b = generate_schedule(&profile, &SeedSource::new(seed), horizon);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arrival streams never leave the horizon and stay sorted, for all
+    /// three process shapes.
+    #[test]
+    fn arrivals_sorted_and_bounded(
+        seed in 0u64..1_000_000,
+        which in 0usize..3,
+    ) {
+        let process = match which {
+            0 => ArrivalProcess::Poisson { rate: 15.0 },
+            1 => ArrivalProcess::OnOff {
+                rate_on: 40.0, rate_off: 0.5, mean_on_secs: 3.0, mean_off_secs: 9.0,
+            },
+            _ => ArrivalProcess::Diurnal {
+                base_rate: 15.0, amplitude: 0.7, period_secs: 30.0,
+            },
+        };
+        let horizon = SimDuration::from_secs(25);
+        let mut rng = SeedSource::new(seed).stream("arrivals-prop");
+        let got = process.arrivals(&mut rng, horizon);
+        prop_assert!(got.iter().all(|t| *t < horizon));
+        prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
