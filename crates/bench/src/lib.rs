@@ -21,6 +21,9 @@
 //! * [`extk`] — lookup degradation under a Byzantine routing adversary
 //!   (extension K): failed/hijacked fractions vs the adversary share
 //!   for all four variants, with the honest defenses enabled.
+//! * [`extm`] — ring-maintenance safety (extension M): legacy vs
+//!   Zave-corrected maintenance under churn plus arc kill bursts, with
+//!   the continuous ring-invariant assertor attached.
 //! * [`report`] — `BENCH_<name>.json` wall-clock/event-rate summaries
 //!   every binary writes for CI regression tracking.
 //!
@@ -34,6 +37,7 @@ pub mod exth;
 pub mod exti;
 pub mod extk;
 pub mod extl;
+pub mod extm;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;

@@ -13,6 +13,8 @@
 //! * [`ring`] — successor/predecessor lists and finger tables.
 //! * [`proto`] — wire messages, modes, configuration.
 //! * [`node`] — the [`ChordNode`] state machine.
+//! * [`maintain`] — Zave-corrected maintenance rules, the inductive ring
+//!   invariant, and the small-ring model checker.
 //! * [`static_ring`] — instant construction of converged rings.
 //!
 //! The Verme overlay in `verme-core` reuses [`id`] and [`ring`] and mirrors
@@ -20,6 +22,7 @@
 
 pub mod behaviour;
 pub mod id;
+pub mod maintain;
 pub mod node;
 pub mod proto;
 pub mod ring;
@@ -27,6 +30,10 @@ pub mod static_ring;
 
 pub use behaviour::{Behaviour, Byzantine, ByzantineConfig, Honest, RouteAction};
 pub use id::Id;
+pub use maintain::{
+    check_ring, rectify_decision, MaintenanceMode, RectifyDecision, RingReport, RingStance,
+    Violation, ViolationKind,
+};
 pub use node::{keys, ChordNode, NodeHealth};
 pub use proto::{ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult};
 pub use ring::{closest_preceding_hop, FingerTable, NeighborList, NodeHandle};

@@ -1,0 +1,906 @@
+//! Bounded model checking of ring maintenance on small rings.
+//!
+//! A deterministic abstraction of the join/fail/stabilize state machine,
+//! exhaustively enumerated by the `ring_check` CI bin. Identifiers are
+//! ring positions `0..slots`; each maintenance action is one atomic
+//! transition (Zave's atomic-action model): the message exchanges inside
+//! one stabilization round collapse into a single step, and the notify it
+//! ends with is applied synchronously at the receiver.
+//!
+//! Faithfulness notes:
+//!
+//! * **Joins** route through *claimants*: any live node whose local arc
+//!   claim (`(a, head(a.succs)]`, or everything for a bare singleton)
+//!   covers the joiner answers with its own — possibly stale — successor
+//!   list, exactly like `local_answer`. Every claimant is branched on, so
+//!   the enumeration covers answers from nodes that have not yet absorbed
+//!   a concurrent join.
+//! * **Fingers** are an oracle toggled by [`ModelParams::finger_oracle`]:
+//!   on, an emptied successor list reseeds to the true nearest live node
+//!   (a fresh finger table); off, the reseed finds nothing (the fingers
+//!   died with the successor arc), which is the regime where the legacy
+//!   backwards notify-refill fires.
+//! * **Failures** are guarded by [`ModelParams::guard_redundancy`] —
+//!   Zave's standing assumption that a failure never wipes a node's last
+//!   live successor entry. Turning the guard off explores the
+//!   assumption-violating states bursts create in the wire simulator.
+//! * Dead nodes never revive and joins are monotone, so the state space
+//!   is finite; rotation symmetry (the rules only use circular distance)
+//!   quotients it further.
+
+use std::collections::{HashSet, VecDeque};
+
+use super::{check_ring, MaintenanceMode, RingReport, RingStance, Violation};
+
+/// Which overlay variant the model runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Plain Chord: a single predecessor pointer.
+    Chord,
+    /// The Verme section variant: a symmetric predecessor *list*
+    /// maintained like the successor list.
+    Section,
+}
+
+impl Variant {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Chord => "chord",
+            Variant::Section => "section",
+        }
+    }
+}
+
+/// Model-checker configuration.
+#[derive(Clone, Debug)]
+pub struct ModelParams {
+    /// Identifier-universe size (ring positions `0..slots`), ≤ 8.
+    pub slots: usize,
+    /// Successor-list (and section predecessor-list) capacity.
+    pub list_len: usize,
+    /// Overlay variant.
+    pub variant: Variant,
+    /// Maintenance rules under test.
+    pub mode: MaintenanceMode,
+    /// Enforce the redundancy assumption on fail transitions.
+    pub guard_redundancy: bool,
+    /// Whether the forward-finger reseed oracle finds a live node.
+    pub finger_oracle: bool,
+    /// Maximum fail events along any execution (counted as dead slots).
+    pub max_fails: usize,
+    /// Hard cap on distinct canonical states before bailing out.
+    pub max_states: usize,
+    /// Also check eventual convergence from every reachable state.
+    pub check_convergence: bool,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum Status {
+    Unborn,
+    Joining,
+    Active,
+    Dead,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct MNode {
+    status: Status,
+    /// Chord predecessor pointer.
+    pred: Option<u8>,
+    /// Section predecessor list, nearest (counter-clockwise) first.
+    preds: Vec<u8>,
+    /// Successor list, nearest (clockwise) first.
+    succs: Vec<u8>,
+    /// True once the node ever held a successor entry — distinguishes a
+    /// bootstrap singleton (may adopt a notify candidate into an empty
+    /// list) from a wedged node (must not adopt backwards).
+    seeded: bool,
+}
+
+impl MNode {
+    fn unborn() -> Self {
+        MNode {
+            status: Status::Unborn,
+            pred: None,
+            preds: Vec::new(),
+            succs: Vec::new(),
+            seeded: false,
+        }
+    }
+}
+
+/// One global model state: slot `i` holds node `i`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ModelState {
+    nodes: Vec<MNode>,
+}
+
+/// One transition, for violation traces.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ModelEvent {
+    /// Node `0` starts joining (acquires nothing yet).
+    JoinStart(u8),
+    /// Joining node `.0` completes its join through claimant `.1`.
+    JoinFinish(u8, u8),
+    /// Node `.0` fails.
+    Fail(u8),
+    /// Node `.0` runs one full stabilization round.
+    Stabilize(u8),
+}
+
+/// Outcome of one exhaustive enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct ModelOutcome {
+    /// Distinct canonical states reached.
+    pub states: usize,
+    /// Transitions taken (including ones landing on known states).
+    pub transitions: usize,
+    /// Total states that violated the invariant.
+    pub violation_states: usize,
+    /// A sample of violations: the event entering the state, the clause.
+    pub samples: Vec<(ModelEvent, Violation)>,
+    /// States from which deterministic stabilization failed to reach the
+    /// ideal ring (only counted when `check_convergence` is set).
+    pub convergence_failures: usize,
+    /// True when `max_states` truncated the enumeration.
+    pub truncated: bool,
+}
+
+impl ModelOutcome {
+    /// True when the enumeration proved the invariant and (if checked)
+    /// convergence, without truncation.
+    pub fn proven(&self) -> bool {
+        !self.truncated && self.violation_states == 0 && self.convergence_failures == 0
+    }
+}
+
+fn dist(n: usize, a: u8, b: u8) -> usize {
+    (b as usize + n - a as usize) % n
+}
+
+fn in_oo(n: usize, a: u8, x: u8, b: u8) -> bool {
+    let to_x = dist(n, a, x);
+    let to_b = dist(n, a, b);
+    if to_b == 0 {
+        to_x != 0
+    } else {
+        to_x != 0 && to_x < to_b
+    }
+}
+
+impl ModelState {
+    /// The initial state: slot 0 is a bare singleton, the rest unborn.
+    pub fn initial(params: &ModelParams) -> Self {
+        let mut nodes = vec![MNode::unborn(); params.slots];
+        nodes[0].status = Status::Active;
+        ModelState { nodes }
+    }
+
+    /// A converged ring over exactly the `live` slots (ideal lists),
+    /// everything else unborn — the starting point for scripted traces.
+    pub fn ideal(params: &ModelParams, live: &[u8]) -> Self {
+        let mut st = ModelState { nodes: vec![MNode::unborn(); params.slots] };
+        for &i in live {
+            st.nodes[i as usize].status = Status::Active;
+        }
+        let m = live.len();
+        let want = params.list_len.min(m.saturating_sub(1));
+        let n = params.slots;
+        for &i in live {
+            let mut succs = Vec::new();
+            let mut cur = i;
+            while succs.len() < want {
+                cur = st.nearest_active_cw(cur).expect("m >= 2 here");
+                succs.push(cur);
+            }
+            let node = &mut st.nodes[i as usize];
+            node.succs = succs;
+            node.seeded = m > 1;
+            if m > 1 {
+                let prev = (1..n)
+                    .map(|d| ((i as usize + n - d) % n) as u8)
+                    .find(|&x| live.contains(&x))
+                    .expect("m >= 2 here");
+                match params.variant {
+                    Variant::Chord => st.nodes[i as usize].pred = Some(prev),
+                    Variant::Section => {
+                        let mut preds = Vec::new();
+                        let mut cur = i;
+                        while preds.len() < want {
+                            cur = (1..n)
+                                .map(|d| ((cur as usize + n - d) % n) as u8)
+                                .find(|&x| live.contains(&x))
+                                .expect("m >= 2 here");
+                            preds.push(cur);
+                        }
+                        st.nodes[i as usize].preds = preds;
+                    }
+                }
+            }
+        }
+        st
+    }
+
+    fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn active(&self, i: u8) -> bool {
+        self.nodes[i as usize].status == Status::Active
+    }
+
+    fn actives(&self) -> Vec<u8> {
+        (0..self.n() as u8).filter(|&i| self.active(i)).collect()
+    }
+
+    fn dead_count(&self) -> usize {
+        self.nodes.iter().filter(|m| m.status == Status::Dead).count()
+    }
+
+    /// The true nearest live node clockwise from `from` (exclusive), the
+    /// forward-finger oracle.
+    fn nearest_active_cw(&self, from: u8) -> Option<u8> {
+        let n = self.n();
+        (1..n).map(|d| ((from as usize + d) % n) as u8).find(|&x| self.active(x))
+    }
+
+    /// Sorts `items` by clockwise distance from `owner`, dropping the
+    /// owner and duplicates, truncating to `cap` — `NeighborList`
+    /// integration for successor lists.
+    fn sort_cw(&self, owner: u8, items: &[u8], cap: usize) -> Vec<u8> {
+        let n = self.n();
+        let mut v: Vec<u8> = items.iter().copied().filter(|&x| x != owner).collect();
+        v.sort_by_key(|&x| dist(n, owner, x));
+        v.dedup();
+        v.truncate(cap);
+        v
+    }
+
+    /// As [`sort_cw`](Self::sort_cw) but counter-clockwise (predecessor
+    /// lists, nearest predecessor first).
+    fn sort_ccw(&self, owner: u8, items: &[u8], cap: usize) -> Vec<u8> {
+        let n = self.n();
+        let mut v: Vec<u8> = items.iter().copied().filter(|&x| x != owner).collect();
+        v.sort_by_key(|&x| dist(n, x, owner));
+        v.dedup();
+        v.truncate(cap);
+        v
+    }
+
+    /// Zave's *ordered* list update — `NeighborList::adopt_chain`: keep
+    /// `chain` in advertisement order, dropping entries that do not
+    /// strictly advance from `owner` (clockwise when `cw`). Unlike the
+    /// legacy rank-sorted merge, a stale entry deep in a peer's tail can
+    /// never leapfrog ahead of fresher knowledge, so dead residue flushes
+    /// one position per round instead of recirculating forever.
+    fn adopt_chain(&self, owner: u8, chain: &[u8], cap: usize, cw: bool) -> Vec<u8> {
+        let n = self.n();
+        let d = |x: u8| if cw { dist(n, owner, x) } else { dist(n, x, owner) };
+        let mut out: Vec<u8> = Vec::new();
+        for &x in chain {
+            if out.len() >= cap {
+                break;
+            }
+            if x == owner {
+                continue;
+            }
+            if out.last().is_some_and(|&l| d(l) >= d(x)) {
+                continue;
+            }
+            out.push(x);
+        }
+        out
+    }
+
+    /// Live nodes whose local arc claim covers joining node `i` — the
+    /// possible answerers of `i`'s join lookup, per `local_answer`.
+    fn claimants(&self, i: u8) -> Vec<u8> {
+        self.actives()
+            .into_iter()
+            .filter(|&a| {
+                a != i
+                    && match self.nodes[a as usize].succs.first() {
+                        None => true, // Bare singleton answers everything.
+                        Some(&s1) => {
+                            // key ∈ (a, s1]: open-closed on the circle.
+                            let n = self.n();
+                            dist(n, a, i) <= dist(n, a, s1) && i != a
+                        }
+                    }
+            })
+            .collect()
+    }
+
+    /// The corrected/legacy notify rule, applied synchronously at `s`
+    /// for candidate `c`.
+    fn notify(&mut self, s: u8, c: u8, params: &ModelParams) {
+        if s == c {
+            return;
+        }
+        let n = self.n();
+        match params.variant {
+            Variant::Chord => {
+                let node = &self.nodes[s as usize];
+                let adopt = match params.mode {
+                    MaintenanceMode::Legacy => match node.pred {
+                        None => true,
+                        Some(p) => in_oo(n, p, c, s),
+                    },
+                    MaintenanceMode::Corrected => match node.pred {
+                        None => true,
+                        Some(p) if p == c => false,
+                        Some(p) if in_oo(n, p, c, s) => true,
+                        // Rectify: probe the incumbent, adopt on timeout.
+                        Some(p) => !self.active(p),
+                    },
+                };
+                if adopt {
+                    self.nodes[s as usize].pred = Some(c);
+                }
+            }
+            Variant::Section => {
+                let mut preds = self.nodes[s as usize].preds.clone();
+                preds.push(c);
+                self.nodes[s as usize].preds = self.sort_ccw(s, &preds, params.list_len);
+            }
+        }
+        if self.nodes[s as usize].succs.is_empty() {
+            let refill = match params.mode {
+                // The legacy hazard: refill backwards from the notifier.
+                MaintenanceMode::Legacy => Some(c),
+                MaintenanceMode::Corrected => {
+                    if params.finger_oracle {
+                        self.nearest_active_cw(s)
+                    } else if !self.nodes[s as usize].seeded {
+                        Some(c) // True bootstrap singleton.
+                    } else {
+                        None // Wedged: never adopt backwards.
+                    }
+                }
+            };
+            if let Some(f) = refill {
+                if f != s {
+                    self.nodes[s as usize].succs = vec![f];
+                    self.nodes[s as usize].seeded = true;
+                }
+            }
+        }
+    }
+
+    fn join_finish(&mut self, i: u8, a: u8, params: &ModelParams) {
+        let answer_succs = self.nodes[a as usize].succs.clone();
+        let mut list = self.sort_cw(i, &answer_succs, params.list_len);
+        if list.is_empty() {
+            // Degenerate: the only other node answered with itself.
+            list = vec![a];
+        }
+        let node = &mut self.nodes[i as usize];
+        node.succs = list;
+        node.seeded = true;
+        node.status = Status::Active;
+        match params.mode {
+            MaintenanceMode::Legacy => match params.variant {
+                Variant::Chord => self.nodes[i as usize].pred = Some(a),
+                Variant::Section => {
+                    self.nodes[i as usize].preds = self.sort_ccw(i, &[a], params.list_len);
+                }
+            },
+            // Two-phase join: the predecessor side fills in later through
+            // rectify, driven by notifies.
+            MaintenanceMode::Corrected => {}
+        }
+        if let Some(&s1) = self.nodes[i as usize].succs.first() {
+            if self.active(s1) {
+                self.notify(s1, i, params);
+            }
+        }
+    }
+
+    fn stabilize(&mut self, i: u8, params: &ModelParams) {
+        // Predecessor liveness.
+        match params.variant {
+            Variant::Chord => {
+                if let Some(p) = self.nodes[i as usize].pred {
+                    if !self.active(p) {
+                        self.nodes[i as usize].pred = None;
+                    }
+                }
+            }
+            Variant::Section => {
+                // Prune dead heads, then rebuild from p1's view.
+                while let Some(&p1) = self.nodes[i as usize].preds.first() {
+                    if self.active(p1) {
+                        break;
+                    }
+                    self.nodes[i as usize].preds.remove(0);
+                }
+                if let Some(&p1) = self.nodes[i as usize].preds.first() {
+                    let mut cands = vec![p1];
+                    cands.extend_from_slice(&self.nodes[p1 as usize].preds);
+                    self.nodes[i as usize].preds = match params.mode {
+                        MaintenanceMode::Legacy => self.sort_ccw(i, &cands, params.list_len),
+                        MaintenanceMode::Corrected => {
+                            self.adopt_chain(i, &cands, params.list_len, false)
+                        }
+                    };
+                }
+            }
+        }
+        // Successor head pruning (the StabTimeout walk).
+        while let Some(&s1) = self.nodes[i as usize].succs.first() {
+            if self.active(s1) {
+                break;
+            }
+            self.nodes[i as usize].succs.remove(0);
+        }
+        // Emptied list: the forward-finger reseed (both modes, PR-1).
+        if self.nodes[i as usize].succs.is_empty() {
+            if !params.finger_oracle {
+                return; // Fingers died with the arc: stay wedged.
+            }
+            match self.nearest_active_cw(i) {
+                Some(f) => {
+                    self.nodes[i as usize].succs = vec![f];
+                    self.nodes[i as usize].seeded = true;
+                }
+                None => return, // Singleton.
+            }
+        }
+        let s1 = self.nodes[i as usize].succs[0];
+        // Rebuild from s1's view: `succs = (s1.pred if between) + s1 +
+        // s1.list`, integrated without liveness filtering — exactly
+        // `handle_neighbors`.
+        let adv_pred = match params.variant {
+            Variant::Chord => self.nodes[s1 as usize].pred,
+            Variant::Section => self.nodes[s1 as usize].preds.first().copied(),
+        };
+        let mut cands = Vec::new();
+        if let Some(p) = adv_pred {
+            if in_oo(self.n(), i, p, s1) {
+                cands.push(p);
+            }
+        }
+        cands.push(s1);
+        cands.extend_from_slice(&self.nodes[s1 as usize].succs);
+        self.nodes[i as usize].succs = match params.mode {
+            // Legacy: pool and re-sort — stale tails recirculate.
+            MaintenanceMode::Legacy => self.sort_cw(i, &cands, params.list_len),
+            MaintenanceMode::Corrected => self.adopt_chain(i, &cands, params.list_len, true),
+        };
+        if !self.nodes[i as usize].succs.is_empty() {
+            self.nodes[i as usize].seeded = true;
+        }
+        if let Some(&new_s1) = self.nodes[i as usize].succs.first() {
+            if self.active(new_s1) {
+                self.notify(new_s1, i, params);
+            }
+        }
+    }
+
+    /// Fail guard: `i` may die only if at least one live node remains
+    /// and (when guarded) every other live node keeps ≥ 1 live entry.
+    fn may_fail(&self, i: u8, params: &ModelParams) -> bool {
+        if self.dead_count() >= params.max_fails {
+            return false;
+        }
+        if self.nodes[i as usize].status == Status::Joining {
+            return true; // No ring obligations yet.
+        }
+        let actives = self.actives();
+        if actives.len() <= 1 {
+            return false;
+        }
+        if !params.guard_redundancy {
+            return true;
+        }
+        // The assumption protects nodes that would be orphaned: if `j`
+        // names `i` at all, some other live entry must survive.
+        actives.iter().all(|&j| {
+            let succs = &self.nodes[j as usize].succs;
+            j == i || !succs.contains(&i) || succs.iter().any(|&x| x != i && self.active(x))
+        })
+    }
+
+    fn fail(&mut self, i: u8) {
+        // A dying node leaves no residue of its own: in particular a
+        // mid-join death drops its bootstrap bookkeeping entirely, so
+        // this transition is exact (the satellite fix in ChordNode
+        // clears `bootstrap` the same way).
+        self.nodes[i as usize] = MNode { status: Status::Dead, ..MNode::unborn() };
+    }
+
+    /// Every enabled transition from this state.
+    pub fn transitions(&self, params: &ModelParams) -> Vec<(ModelEvent, ModelState)> {
+        let mut out = Vec::new();
+        let has_active = !self.actives().is_empty();
+        for i in 0..self.n() as u8 {
+            match self.nodes[i as usize].status {
+                Status::Unborn if has_active => {
+                    let mut st = self.clone();
+                    st.nodes[i as usize].status = Status::Joining;
+                    out.push((ModelEvent::JoinStart(i), st));
+                }
+                Status::Joining => {
+                    for a in self.claimants(i) {
+                        let mut st = self.clone();
+                        st.join_finish(i, a, params);
+                        out.push((ModelEvent::JoinFinish(i, a), st));
+                    }
+                    if self.may_fail(i, params) {
+                        let mut st = self.clone();
+                        st.fail(i);
+                        out.push((ModelEvent::Fail(i), st));
+                    }
+                }
+                Status::Active => {
+                    let mut st = self.clone();
+                    st.stabilize(i, params);
+                    out.push((ModelEvent::Stabilize(i), st));
+                    if self.may_fail(i, params) {
+                        let mut st = self.clone();
+                        st.fail(i);
+                        out.push((ModelEvent::Fail(i), st));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Applies one event if it is enabled in this state, returning
+    /// whether anything happened. Disabled events (an unborn node
+    /// stabilizing, a fail the redundancy guard rejects, a claimant that
+    /// does not cover the joiner) leave the state untouched — the public
+    /// driver for scripted traces and property tests.
+    pub fn apply(&mut self, ev: ModelEvent, params: &ModelParams) -> bool {
+        let valid = |i: u8| (i as usize) < self.n();
+        match ev {
+            ModelEvent::JoinStart(i) => {
+                if valid(i)
+                    && self.nodes[i as usize].status == Status::Unborn
+                    && !self.actives().is_empty()
+                {
+                    self.nodes[i as usize].status = Status::Joining;
+                    return true;
+                }
+            }
+            ModelEvent::JoinFinish(i, a) => {
+                if valid(i)
+                    && self.nodes[i as usize].status == Status::Joining
+                    && self.claimants(i).contains(&a)
+                {
+                    self.join_finish(i, a, params);
+                    return true;
+                }
+            }
+            ModelEvent::Fail(i) => {
+                if valid(i)
+                    && matches!(self.nodes[i as usize].status, Status::Joining | Status::Active)
+                    && self.may_fail(i, params)
+                {
+                    self.fail(i);
+                    return true;
+                }
+            }
+            ModelEvent::Stabilize(i) => {
+                if valid(i) && self.active(i) {
+                    self.stabilize(i, params);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Global snapshot for the invariant checker. Slot indices map
+    /// directly to `u128` identifiers (order-preserving, so circular
+    /// distances agree).
+    pub fn stances(&self) -> Vec<RingStance> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m.status, Status::Active | Status::Joining))
+            .map(|(i, m)| RingStance {
+                id: i as u128,
+                joined: m.status == Status::Active,
+                successors: m.succs.iter().map(|&x| x as u128).collect(),
+                predecessors: match m.pred {
+                    Some(p) => vec![p as u128],
+                    None => m.preds.iter().map(|&x| x as u128).collect(),
+                },
+            })
+            .collect()
+    }
+
+    /// Evaluates the inductive invariant on this state.
+    pub fn check(&self) -> RingReport {
+        check_ring(&self.stances())
+    }
+
+    /// Canonical serialization under identifier rotation.
+    fn canonical(&self) -> Vec<u8> {
+        let n = self.n();
+        let mut best: Option<Vec<u8>> = None;
+        for k in 0..n {
+            let mut buf = Vec::with_capacity(n * 8);
+            for j in 0..n {
+                // The node occupying slot j after rotating ids by +k sat
+                // at slot (j - k) mod n before.
+                let m = &self.nodes[(j + n - k) % n];
+                let rot = |x: u8| ((x as usize + k) % n) as u8;
+                buf.push(match m.status {
+                    Status::Unborn => 0,
+                    Status::Joining => 1,
+                    Status::Active => 2,
+                    Status::Dead => 3,
+                });
+                buf.push(m.seeded as u8);
+                buf.push(m.pred.map(|p| rot(p) + 1).unwrap_or(0));
+                buf.push(m.preds.len() as u8);
+                buf.extend(m.preds.iter().map(|&x| rot(x)));
+                buf.push(m.succs.len() as u8);
+                buf.extend(m.succs.iter().map(|&x| rot(x)));
+            }
+            if best.as_ref().is_none_or(|b| buf < *b) {
+                best = Some(buf);
+            }
+        }
+        best.expect("at least one rotation")
+    }
+
+    /// Runs deterministic maintenance rounds (finish pending joins via
+    /// the lowest claimant, then stabilize every live node in slot
+    /// order) until a fixpoint, and checks the fixpoint is the ideal
+    /// ring over the surviving nodes.
+    pub fn converges(&self, params: &ModelParams) -> Result<(), String> {
+        let mut st = self.clone();
+        let n = st.n();
+        for _ in 0..(4 * n + 8) {
+            let prev = st.clone();
+            for i in 0..n as u8 {
+                if st.nodes[i as usize].status == Status::Joining {
+                    if let Some(&a) = st.claimants(i).first() {
+                        st.join_finish(i, a, params);
+                    }
+                }
+            }
+            for i in 0..n as u8 {
+                if st.active(i) {
+                    st.stabilize(i, params);
+                }
+            }
+            if st == prev {
+                return st.is_ideal(params);
+            }
+        }
+        Err("no fixpoint within the round budget".into())
+    }
+
+    fn is_ideal(&self, params: &ModelParams) -> Result<(), String> {
+        let n = self.n();
+        let actives = self.actives();
+        let m = actives.len();
+        let want = params.list_len.min(m.saturating_sub(1));
+        for &i in &actives {
+            let mut expect = Vec::new();
+            let mut cur = i;
+            while expect.len() < want {
+                cur = self.nearest_active_cw(cur).expect("m >= 2 here");
+                expect.push(cur);
+            }
+            let node = &self.nodes[i as usize];
+            if node.succs != expect {
+                return Err(format!("node {i}: successors {:?}, ideal {expect:?}", node.succs));
+            }
+            match params.variant {
+                Variant::Chord => {
+                    let true_pred =
+                        (1..n).map(|d| ((i as usize + n - d) % n) as u8).find(|&x| self.active(x));
+                    let want_pred = if m > 1 { true_pred } else { None };
+                    if node.pred != want_pred {
+                        return Err(format!(
+                            "node {i}: predecessor {:?}, ideal {want_pred:?}",
+                            node.pred
+                        ));
+                    }
+                }
+                Variant::Section => {
+                    let mut expect_p = Vec::new();
+                    let mut cur = i;
+                    while expect_p.len() < want {
+                        cur = (1..n)
+                            .map(|d| ((cur as usize + n - d) % n) as u8)
+                            .find(|&x| self.active(x))
+                            .expect("m >= 2 here");
+                        expect_p.push(cur);
+                    }
+                    if node.preds != expect_p {
+                        return Err(format!(
+                            "node {i}: predecessors {:?}, ideal {expect_p:?}",
+                            node.preds
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively enumerates every reachable state under `params`,
+/// checking the invariant (and optionally convergence) at each one.
+pub fn explore(params: &ModelParams) -> ModelOutcome {
+    let mut out = ModelOutcome::default();
+    let initial = ModelState::initial(params);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    seen.insert(initial.canonical());
+    let mut queue: VecDeque<ModelState> = VecDeque::new();
+    queue.push_back(initial);
+    out.states = 1;
+    while let Some(st) = queue.pop_front() {
+        if seen.len() >= params.max_states {
+            out.truncated = true;
+            break;
+        }
+        for (ev, next) in st.transitions(params) {
+            out.transitions += 1;
+            if !seen.insert(next.canonical()) {
+                continue;
+            }
+            out.states += 1;
+            let report = next.check();
+            if !report.ok() {
+                out.violation_states += 1;
+                if out.samples.len() < 8 {
+                    out.samples.push((ev, report.violations[0].clone()));
+                }
+            }
+            if params.check_convergence && next.converges(params).is_err() {
+                out.convergence_failures += 1;
+            }
+            queue.push_back(next);
+        }
+    }
+    out
+}
+
+/// Like [`explore`], but tracks paths and returns the first invariant
+/// violation found together with the event trace reaching it — the
+/// diagnostic companion to the yes/no answer of [`explore`].
+pub fn explore_trace(params: &ModelParams) -> Option<(Vec<ModelEvent>, ModelState, Violation)> {
+    let initial = ModelState::initial(params);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    seen.insert(initial.canonical());
+    let mut queue: VecDeque<(ModelState, Vec<ModelEvent>)> = VecDeque::new();
+    queue.push_back((initial, Vec::new()));
+    while let Some((st, path)) = queue.pop_front() {
+        if seen.len() >= params.max_states {
+            return None;
+        }
+        for (ev, next) in st.transitions(params) {
+            if !seen.insert(next.canonical()) {
+                continue;
+            }
+            let mut next_path = path.clone();
+            next_path.push(ev);
+            let report = next.check();
+            if let Some(v) = report.violations.first() {
+                return Some((next_path, next, v.clone()));
+            }
+            queue.push_back((next, next_path));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(variant: Variant, mode: MaintenanceMode) -> ModelParams {
+        ModelParams {
+            slots: 4,
+            list_len: 2,
+            variant,
+            mode,
+            guard_redundancy: true,
+            finger_oracle: true,
+            max_fails: 4,
+            max_states: 200_000,
+            check_convergence: false,
+        }
+    }
+
+    #[test]
+    fn ring_of_two_forms_and_converges() {
+        let p = params(Variant::Chord, MaintenanceMode::Corrected);
+        let mut st = ModelState::initial(&p);
+        st.nodes[2].status = Status::Joining;
+        st.join_finish(2, 0, &p);
+        assert!(st.converges(&p).is_ok(), "{:?}", st.converges(&p));
+    }
+
+    #[test]
+    fn corrected_small_ring_is_safe() {
+        for variant in [Variant::Chord, Variant::Section] {
+            let p = params(variant, MaintenanceMode::Corrected);
+            let out = explore(&p);
+            assert!(!out.truncated);
+            assert_eq!(out.violation_states, 0, "{variant:?}: {:?}", out.samples);
+        }
+    }
+
+    /// The scripted double-wedge trace: a converged 8-ring loses two
+    /// whole arcs at once ({2,3} and {6,7}, each spanning a full
+    /// successor list, fingers dead too). Nodes 1 and 5 prune to empty;
+    /// the stabilizations of 0 and 4 then notify them. Under legacy
+    /// rules each notify refills *backwards*, closing the two disjoint
+    /// 2-cycles {0,1} and {4,5} — a partitioned ring.
+    fn wedge_trace(mode: MaintenanceMode) -> (ModelParams, ModelState) {
+        let p = ModelParams {
+            slots: 8,
+            guard_redundancy: false,
+            finger_oracle: false,
+            ..params(Variant::Chord, mode)
+        };
+        let mut st = ModelState::ideal(&p, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let script = [
+            ModelEvent::Fail(2),
+            ModelEvent::Fail(3),
+            ModelEvent::Fail(6),
+            ModelEvent::Fail(7),
+            ModelEvent::Stabilize(1), // List [2, 3] prunes to empty: wedged.
+            ModelEvent::Stabilize(5), // List [6, 7] prunes to empty: wedged.
+            ModelEvent::Stabilize(0), // 0 keeps s1 = 1 and notifies it.
+            ModelEvent::Stabilize(4), // 4 keeps s1 = 5 and notifies it.
+        ];
+        for ev in script {
+            assert!(st.apply(ev, &p), "{ev:?} must be enabled");
+        }
+        (p, st)
+    }
+
+    #[test]
+    fn legacy_double_refill_partitions_the_ring() {
+        let (_, st) = wedge_trace(MaintenanceMode::Legacy);
+        let report = st.check();
+        assert!(
+            report.violations.iter().any(|v| v.kind == super::super::ViolationKind::MultipleRings),
+            "expected a multiple-rings violation, got {report:?}"
+        );
+    }
+
+    #[test]
+    fn corrected_wedges_safely_on_the_same_trace() {
+        let (_, st) = wedge_trace(MaintenanceMode::Corrected);
+        let report = st.check();
+        assert!(report.ok(), "corrected arm violated: {:?}", report.violations);
+        assert_eq!(report.wedged, 2, "nodes 1 and 5 should be wedged, not wrong");
+    }
+
+    #[test]
+    fn corrected_stays_safe_even_unguarded() {
+        let p = ModelParams {
+            guard_redundancy: false,
+            finger_oracle: false,
+            ..params(Variant::Chord, MaintenanceMode::Corrected)
+        };
+        let out = explore(&p);
+        assert!(!out.truncated);
+        assert_eq!(out.violation_states, 0, "{:?}", out.samples);
+    }
+
+    #[test]
+    fn rotation_canonicalization_identifies_rotated_states() {
+        let p = params(Variant::Chord, MaintenanceMode::Corrected);
+        let mut a = ModelState::initial(&p);
+        a.nodes[1].status = Status::Joining;
+        let mut b = ModelState::initial(&p);
+        b.nodes[0] = MNode::unborn();
+        b.nodes[2].status = Status::Active;
+        b.nodes[3].status = Status::Joining;
+        assert_eq!(a.canonical(), b.canonical());
+    }
+}

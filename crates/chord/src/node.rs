@@ -14,6 +14,7 @@ use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime};
 
 use crate::behaviour::{Behaviour, Honest, RouteAction};
 use crate::id::Id;
+use crate::maintain::{rectify_decision, MaintenanceMode, RectifyDecision, RingStance};
 use crate::proto::{
     ChordConfig, ChordMsg, ChordTimer, IterStep, LookupId, LookupMode, LookupResult,
 };
@@ -203,6 +204,13 @@ pub struct ChordNode {
     forwards: HashMap<LookupId, ForwardState>,
     stab_waiting: Option<(u64, NodeHandle)>,
     pred_waiting: Option<u64>,
+    /// In-flight rectify probe: the incumbent predecessor is being pinged
+    /// with this token; adopt the candidate on timeout (corrected mode).
+    rectify_waiting: Option<(u64, NodeHandle)>,
+    /// True once the successor list has ever held an entry — separates a
+    /// bootstrap singleton (may seed its list from a notify) from a node
+    /// whose list was emptied by failures (must only reseed *forward*).
+    ever_had_successor: bool,
     outcomes: Vec<LookupOutcome>,
     neighbor_epoch: u64,
     /// Routing policy. [`Honest`] by default; every consultation is gated
@@ -237,6 +245,8 @@ impl ChordNode {
             forwards: HashMap::new(),
             stab_waiting: None,
             pred_waiting: None,
+            rectify_waiting: None,
+            ever_had_successor: false,
             outcomes: Vec::new(),
             neighbor_epoch: 0,
             behaviour: Box::new(Honest),
@@ -273,6 +283,7 @@ impl ChordNode {
         let mut node = ChordNode::first(id, cfg);
         node.predecessor = predecessor;
         node.successors.integrate_all(successors);
+        node.ever_had_successor = !node.successors.is_empty();
         for &(i, h) in fingers {
             node.fingers.set(i, Some(h));
         }
@@ -317,6 +328,22 @@ impl ChordNode {
     /// The node's finger table.
     pub fn finger_table(&self) -> &FingerTable {
         &self.fingers
+    }
+
+    /// This node's ring pointers for the global invariant checker
+    /// ([`check_ring`](crate::check_ring)).
+    pub fn ring_stance(&self) -> RingStance {
+        RingStance {
+            id: self.id.raw(),
+            joined: self.joined,
+            successors: self.successors.iter().map(|h| h.id.raw()).collect(),
+            predecessors: self.predecessor.iter().map(|p| p.id.raw()).collect(),
+        }
+    }
+
+    /// Which maintenance rules this node runs.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.cfg.maintenance
     }
 
     /// Samples this node's [`NodeHealth`] gauges.
@@ -589,8 +616,20 @@ impl ChordNode {
                     fresh.integrate(result.predecessor);
                 }
                 self.successors = fresh;
-                self.predecessor = Some(result.predecessor);
+                self.note_seeded();
+                if self.cfg.maintenance == MaintenanceMode::Legacy {
+                    // Legacy one-phase join: trust the answerer to be our
+                    // predecessor. The corrected protocol leaves the
+                    // predecessor unset — it fills in through rectify once
+                    // the true predecessor's stabilization notifies us
+                    // (Zave's two-phase join).
+                    self.predecessor = Some(result.predecessor);
+                }
                 self.joined = true;
+                // The bootstrap address has served its purpose; drop it so
+                // a later crash leaves no residue of the join (keeps the
+                // model checker's fail transitions exact).
+                self.bootstrap = None;
                 if let Some(s1) = self.successors.first() {
                     self.send_counted(
                         ctx,
@@ -1093,6 +1132,7 @@ impl ChordNode {
                 if self.successors.integrate(f) {
                     self.neighbor_epoch += 1;
                 }
+                self.note_seeded();
             }
         }
         let Some(s1) = self.successors.first() else {
@@ -1133,17 +1173,37 @@ impl ChordNode {
                 }
                 None
             });
-        // Rebuild the successor list from the live successor's view: this
-        // is Chord's `successor_list = s1 + s1.list` rule, and it flushes
-        // stale entries promptly.
+        // Rebuild the successor list from the live successor's view.
         let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
-        fresh.integrate(s1);
-        if let Some(p) = predecessor {
-            if p.id.in_open_open(self.id, s1.id) {
-                fresh.integrate(p);
+        match self.cfg.maintenance {
+            MaintenanceMode::Legacy => {
+                // Legacy rule: pool `{s1, s1.pred, s1.list}` and re-sort
+                // by circular distance. A dead entry deep in the peer's
+                // tail can leapfrog to the head of this list and the two
+                // ring neighbors then feed it back to each other forever.
+                fresh.integrate(s1);
+                if let Some(p) = predecessor {
+                    if p.id.in_open_open(self.id, s1.id) {
+                        fresh.integrate(p);
+                    }
+                }
+                fresh.integrate_all(&succs);
+            }
+            MaintenanceMode::Corrected => {
+                // Zave's ordered update: `(s1.pred?) · s1 · s1.list`,
+                // adopted positionally — stale tails are flushed one slot
+                // per round instead of resorted back in.
+                let mut chain = Vec::with_capacity(succs.len() + 2);
+                if let Some(p) = predecessor {
+                    if p.id.in_open_open(self.id, s1.id) {
+                        chain.push(p);
+                    }
+                }
+                chain.push(s1);
+                chain.extend_from_slice(&succs);
+                fresh.adopt_chain(&chain);
             }
         }
-        fresh.integrate_all(&succs);
         // A poisoning successor must not be able to *shrink* this list:
         // rejecting its rebound entries would otherwise flush the very
         // knowledge the binding check depends on, and the next poisoned
@@ -1158,6 +1218,7 @@ impl ChordNode {
             self.neighbor_epoch += 1;
         }
         self.successors = fresh;
+        self.note_seeded();
         if let Some(new_s1) = self.successors.first() {
             self.send_counted(
                 ctx,
@@ -1189,6 +1250,7 @@ impl ChordNode {
         node: NodeHandle,
         successors: Vec<NodeHandle>,
         predecessor: Option<NodeHandle>,
+        ctx: &mut Ctx<'_, ChordMsg, ChordTimer>,
     ) {
         self.mark_dead(node.addr);
         for &h in &successors {
@@ -1196,27 +1258,87 @@ impl ChordNode {
                 self.neighbor_epoch += 1;
             }
         }
+        self.note_seeded();
         if let Some(p) = predecessor {
             if p.addr != self.me.addr {
-                self.handle_notify(p);
+                self.handle_notify(p, ctx);
             }
         }
     }
 
-    fn handle_notify(&mut self, node: NodeHandle) {
-        let adopt = match self.predecessor {
-            None => true,
-            Some(p) => node.id.in_open_open(p.id, self.id),
-        };
-        if adopt && node.id != self.id {
-            if self.predecessor != Some(node) {
-                self.neighbor_epoch += 1;
+    fn handle_notify(&mut self, node: NodeHandle, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        match self.cfg.maintenance {
+            MaintenanceMode::Legacy => {
+                // Legacy rule: adopt only candidates inside `(pred, self)`.
+                // A stale dead incumbent silently strands the true
+                // predecessor — Zave's counterexample.
+                let adopt = match self.predecessor {
+                    None => true,
+                    Some(p) => node.id.in_open_open(p.id, self.id),
+                };
+                if adopt && node.id != self.id {
+                    if self.predecessor != Some(node) {
+                        self.neighbor_epoch += 1;
+                    }
+                    self.predecessor = Some(node);
+                }
             }
-            self.predecessor = Some(node);
+            MaintenanceMode::Corrected => {
+                let incumbent = self.predecessor.map(|p| p.id.raw());
+                match rectify_decision(self.id.raw(), incumbent, node.id.raw()) {
+                    RectifyDecision::Adopt => {
+                        if self.predecessor != Some(node) {
+                            self.neighbor_epoch += 1;
+                        }
+                        self.predecessor = Some(node);
+                    }
+                    RectifyDecision::Keep => {}
+                    RectifyDecision::ProbePred => {
+                        // Rectify: the candidate is behind the incumbent.
+                        // Probe the incumbent and fall back to the
+                        // candidate if the probe times out, so a dead
+                        // incumbent cannot strand the predecessor pointer.
+                        let p = self.predecessor.expect("probe implies an incumbent");
+                        let token = self.fresh_token();
+                        self.rectify_waiting = Some((token, node));
+                        self.send_counted(ctx, p.addr, ChordMsg::Ping { token }, keys::BYTES_MAINT);
+                        ctx.set_timer(
+                            self.cfg.hop_timeout * 2,
+                            ChordTimer::RectifyTimeout { token },
+                        );
+                    }
+                }
+            }
         }
-        // Bootstrap case: a singleton learns its first peer via notify.
-        if self.successors.is_empty() && node.id != self.id && self.successors.integrate(node) {
-            self.neighbor_epoch += 1;
+        if self.successors.is_empty() && node.id != self.id {
+            match self.cfg.maintenance {
+                // Legacy hazard: refill the emptied list *backwards* from
+                // the notifier — the wrapped state that partitions rings.
+                MaintenanceMode::Legacy => {
+                    if self.successors.integrate(node) {
+                        self.neighbor_epoch += 1;
+                    }
+                }
+                MaintenanceMode::Corrected => {
+                    if let Some(f) = self.nearest_forward_finger() {
+                        // Forward-only reseed, same rule as stabilization.
+                        if self.successors.integrate(f) {
+                            self.neighbor_epoch += 1;
+                        }
+                        self.note_seeded();
+                    } else if !self.ever_had_successor {
+                        // True bootstrap: a ring creator learns its first
+                        // peer through the joiner's notify.
+                        if self.successors.integrate(node) {
+                            self.neighbor_epoch += 1;
+                        }
+                        self.note_seeded();
+                    }
+                    // Otherwise: stay wedged rather than wrap backwards;
+                    // the finger reseed (or a fresh finger) will repair
+                    // forward.
+                }
+            }
         }
     }
 
@@ -1255,6 +1377,15 @@ impl ChordNode {
     fn fresh_token(&mut self) -> u64 {
         self.next_token += 1;
         self.next_token
+    }
+
+    /// Latches [`ever_had_successor`](Self::ever_had_successor) once the
+    /// successor list is non-empty. A pure field write: legacy-mode
+    /// message flow is unchanged by it.
+    fn note_seeded(&mut self) {
+        if !self.successors.is_empty() {
+            self.ever_had_successor = true;
+        }
     }
 
     fn send_counted(
@@ -1317,9 +1448,9 @@ impl Node for ChordNode {
             ChordMsg::Neighbors { token, predecessor, successors } => {
                 self.handle_neighbors(token, predecessor, successors, ctx);
             }
-            ChordMsg::Notify { node } => self.handle_notify(node),
+            ChordMsg::Notify { node } => self.handle_notify(node, ctx),
             ChordMsg::Leaving { node, successors, predecessor } => {
-                self.handle_leaving(node, successors, predecessor);
+                self.handle_leaving(node, successors, predecessor, ctx);
             }
             ChordMsg::Ping { token } => {
                 self.send_counted(ctx, from, ChordMsg::Pong { token }, keys::BYTES_MAINT);
@@ -1327,6 +1458,11 @@ impl Node for ChordNode {
             ChordMsg::Pong { token } => {
                 if self.pred_waiting == Some(token) {
                     self.pred_waiting = None;
+                }
+                if self.rectify_waiting.is_some_and(|(t, _)| t == token) {
+                    // The incumbent predecessor answered the rectify
+                    // probe: it is alive, keep it and drop the candidate.
+                    self.rectify_waiting = None;
                 }
             }
         }
@@ -1371,6 +1507,22 @@ impl Node for ChordNode {
                 if self.pred_waiting == Some(token) {
                     self.pred_waiting = None;
                     self.predecessor = None;
+                }
+            }
+            ChordTimer::RectifyTimeout { token } => {
+                if let Some((expect, cand)) = self.rectify_waiting {
+                    if expect == token {
+                        // The incumbent never answered: it is dead. Purge
+                        // it and adopt the waiting candidate.
+                        self.rectify_waiting = None;
+                        if let Some(p) = self.predecessor {
+                            self.mark_dead(p.addr);
+                        }
+                        if cand.id != self.id && self.predecessor != Some(cand) {
+                            self.predecessor = Some(cand);
+                            self.neighbor_epoch += 1;
+                        }
+                    }
                 }
             }
             ChordTimer::HopTimeout { lid, attempt } => self.handle_hop_timeout(lid, attempt, ctx),

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use verme_sim::{Addr, SimDuration, Wire};
 
 use crate::id::Id;
+use crate::maintain::MaintenanceMode;
 use crate::ring::NodeHandle;
 
 /// How a lookup traverses the overlay (paper §4.5 / §7.1.2).
@@ -206,6 +207,12 @@ pub enum ChordTimer {
         /// Ping token.
         token: u64,
     },
+    /// Rectify probe `token` timed out: the incumbent predecessor is
+    /// dead, adopt the waiting notify candidate (corrected mode only).
+    RectifyTimeout {
+        /// Probe token.
+        token: u64,
+    },
     /// No `HopAck` for a forwarded lookup: downstream hop is dead.
     HopTimeout {
         /// The affected lookup.
@@ -245,6 +252,9 @@ pub struct ChordConfig {
     pub max_hop_attempts: u32,
     /// Overall per-lookup deadline; a lookup that misses it is failed.
     pub lookup_deadline: SimDuration,
+    /// Which ring-maintenance rules to run ([`MaintenanceMode::Corrected`]
+    /// by default; `Legacy` is the Ext. M comparison arm).
+    pub maintenance: MaintenanceMode,
 }
 
 impl Default for ChordConfig {
@@ -257,6 +267,7 @@ impl Default for ChordConfig {
             hop_timeout: SimDuration::from_millis(500),
             max_hop_attempts: 4,
             lookup_deadline: SimDuration::from_secs(8),
+            maintenance: MaintenanceMode::default(),
         }
     }
 }

@@ -127,6 +127,29 @@ impl NeighborList {
         }
     }
 
+    /// Zave's *ordered* list update: adopts `chain` in advertisement
+    /// order, keeping only entries that strictly advance around the
+    /// circle past everything already adopted. On an empty list this is
+    /// exactly `head · butlast(head.list)` — a stale entry deep in a
+    /// peer's tail can never leapfrog ahead of fresher knowledge (as the
+    /// rank-sorted [`integrate`](Self::integrate) merge would let it) and
+    /// gets flushed one position per stabilization round instead.
+    pub fn adopt_chain<'a>(&mut self, chain: impl IntoIterator<Item = &'a NodeHandle>) {
+        for h in chain {
+            if self.entries.len() >= self.capacity {
+                break;
+            }
+            if h.id == self.owner {
+                continue;
+            }
+            let rank = self.rank(h.id);
+            if self.entries.last().is_some_and(|l| self.rank(l.id) >= rank) {
+                continue;
+            }
+            self.entries.push(*h);
+        }
+    }
+
     /// Removes the entry with the given address (a detected failure).
     /// Returns true if an entry was removed.
     pub fn remove_addr(&mut self, addr: Addr) -> bool {
@@ -323,6 +346,26 @@ mod tests {
         }
         let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
         assert_eq!(ids, vec![95, 90, 80]);
+    }
+
+    #[test]
+    fn adopt_chain_keeps_advertisement_order_and_drops_leapfrogs() {
+        // Owner 100 adopting successor 300's view [300, 150, 400]: the
+        // stale 150 sits *behind* 300 from the owner's vantage, so the
+        // ordered update drops it instead of promoting it to the head
+        // (which the rank-sorted merge would do).
+        let mut l = NeighborList::successors(Id::new(100), 3);
+        l.adopt_chain(&[h(300), h(150), h(400), h(100), h(400)]);
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        assert_eq!(ids, vec![300, 400]);
+    }
+
+    #[test]
+    fn adopt_chain_truncates_at_capacity() {
+        let mut l = NeighborList::successors(Id::new(0), 2);
+        l.adopt_chain(&[h(10), h(20), h(30)]);
+        let ids: Vec<u128> = l.iter().map(|x| x.id.raw()).collect();
+        assert_eq!(ids, vec![10, 20]);
     }
 
     #[test]

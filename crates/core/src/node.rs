@@ -20,8 +20,8 @@ use rand::Rng;
 
 use verme_chord::node::keys;
 use verme_chord::{
-    closest_preceding_hop, Behaviour, FingerTable, Honest, Id, NeighborList, NodeHandle,
-    RouteAction,
+    closest_preceding_hop, Behaviour, FingerTable, Honest, Id, MaintenanceMode, NeighborList,
+    NodeHandle, RingStance, RouteAction,
 };
 use verme_crypto::{CaVerifier, Certificate, KeyPair, NodeType, Sealed};
 use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime, Wire};
@@ -146,6 +146,10 @@ pub struct VermeNode<P: Payload = ()> {
     outcomes: Vec<VermeOutcome<P>>,
     stab_waiting: Option<(u64, NodeHandle)>,
     pred_stab_waiting: Option<(u64, NodeHandle)>,
+    /// True once the successor list has ever held an entry — separates a
+    /// bootstrap singleton (may seed its list from a notify) from a node
+    /// whose list was emptied by failures (must only reseed *forward*).
+    ever_had_successor: bool,
     denied: u64,
     neighbor_epoch: u64,
     /// Routing policy: [`Honest`] by default. Every call is gated on
@@ -202,6 +206,7 @@ impl<P: Payload> VermeNode<P> {
             outcomes: Vec::new(),
             stab_waiting: None,
             pred_stab_waiting: None,
+            ever_had_successor: false,
             denied: 0,
             neighbor_epoch: 0,
             behaviour: Box::new(Honest),
@@ -242,6 +247,7 @@ impl<P: Payload> VermeNode<P> {
     ) -> Self {
         let mut node = VermeNode::first(cfg, cert, crypto_keys, verifier);
         node.successors.integrate_all(successors);
+        node.ever_had_successor = !node.successors.is_empty();
         node.predecessors.integrate_all(predecessors);
         for &(i, h) in fingers {
             node.fingers.set(i, Some(h));
@@ -348,6 +354,23 @@ impl<P: Payload> VermeNode<P> {
         statement: T,
     ) -> verme_crypto::SignedStatement<T> {
         verme_crypto::SignedStatement::sign(&self.crypto_keys, statement)
+    }
+
+    /// This node's ring pointers for the global invariant checker
+    /// ([`check_ring`](verme_chord::check_ring)); the whole predecessor
+    /// list is contributed, nearest first.
+    pub fn ring_stance(&self) -> RingStance {
+        RingStance {
+            id: self.id.raw(),
+            joined: self.joined,
+            successors: self.successors.iter().map(|h| h.id.raw()).collect(),
+            predecessors: self.predecessors.iter().map(|h| h.id.raw()).collect(),
+        }
+    }
+
+    /// Which maintenance rules this node runs.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.cfg.maintenance
     }
 
     /// Samples this node's [`NodeHealth`](verme_chord::NodeHealth)
@@ -589,8 +612,20 @@ impl<P: Payload> VermeNode<P> {
                     fresh.integrate(*predecessor);
                 }
                 self.successors = fresh;
-                self.predecessors.integrate(*predecessor);
+                self.note_seeded();
+                if self.cfg.maintenance == MaintenanceMode::Legacy {
+                    // Legacy one-phase join: trust the answerer as our
+                    // nearest predecessor. The corrected protocol leaves
+                    // the predecessor list empty — it fills in through
+                    // notifies once the true predecessors stabilize
+                    // (Zave's two-phase join).
+                    self.predecessors.integrate(*predecessor);
+                }
                 self.joined = true;
+                // Drop the bootstrap address so a later crash leaves no
+                // residue of the join (keeps the model checker's fail
+                // transitions exact).
+                self.bootstrap = None;
                 if let Some(s1) = self.successors.first() {
                     self.send_counted(
                         ctx,
@@ -1113,6 +1148,7 @@ impl<P: Payload> VermeNode<P> {
                 if self.successors.integrate(f) {
                     self.neighbor_epoch += 1;
                 }
+                self.note_seeded();
             }
         }
         if let Some(s1) = self.successors.first() {
@@ -1142,18 +1178,38 @@ impl<P: Payload> VermeNode<P> {
             if expect == token {
                 self.stab_waiting = None;
                 let mut fresh = NeighborList::successors(self.id, self.cfg.num_successors);
-                fresh.integrate(s1);
-                // s1's best predecessor might sit between us and s1.
-                if let Some(p) = preds.first() {
-                    if p.id.in_open_open(self.id, s1.id) {
-                        fresh.integrate(*p);
+                match self.cfg.maintenance {
+                    MaintenanceMode::Legacy => {
+                        // Legacy rule: pool and re-sort — a stale entry in
+                        // s1's tail can leapfrog to this list's head and
+                        // persist through mutual recontamination.
+                        fresh.integrate(s1);
+                        // s1's best predecessor might sit between us and s1.
+                        if let Some(p) = preds.first() {
+                            if p.id.in_open_open(self.id, s1.id) {
+                                fresh.integrate(*p);
+                            }
+                        }
+                        fresh.integrate_all(&succs);
+                    }
+                    MaintenanceMode::Corrected => {
+                        // Zave's ordered update, as in `verme-chord`.
+                        let mut chain = Vec::with_capacity(succs.len() + 2);
+                        if let Some(p) = preds.first() {
+                            if p.id.in_open_open(self.id, s1.id) {
+                                chain.push(*p);
+                            }
+                        }
+                        chain.push(s1);
+                        chain.extend_from_slice(&succs);
+                        fresh.adopt_chain(&chain);
                     }
                 }
-                fresh.integrate_all(&succs);
                 if fresh.as_slice() != self.successors.as_slice() {
                     self.neighbor_epoch += 1;
                 }
                 self.successors = fresh;
+                self.note_seeded();
                 if let Some(new_s1) = self.successors.first() {
                     self.send_counted(
                         ctx,
@@ -1169,8 +1225,19 @@ impl<P: Payload> VermeNode<P> {
             if expect == token {
                 self.pred_stab_waiting = None;
                 let mut fresh = NeighborList::predecessors(self.id, self.cfg.num_predecessors);
-                fresh.integrate(p1);
-                fresh.integrate_all(&preds);
+                match self.cfg.maintenance {
+                    MaintenanceMode::Legacy => {
+                        fresh.integrate(p1);
+                        fresh.integrate_all(&preds);
+                    }
+                    MaintenanceMode::Corrected => {
+                        // Ordered update, mirrored counter-clockwise.
+                        let mut chain = Vec::with_capacity(preds.len() + 1);
+                        chain.push(p1);
+                        chain.extend_from_slice(&preds);
+                        fresh.adopt_chain(&chain);
+                    }
+                }
                 if fresh.as_slice() != self.predecessors.as_slice() {
                     self.neighbor_epoch += 1;
                 }
@@ -1181,11 +1248,42 @@ impl<P: Payload> VermeNode<P> {
 
     fn handle_notify(&mut self, node: NodeHandle) {
         if node.id != self.id {
+            // The symmetric predecessor list absorbs every notifier (both
+            // modes); stabilization prunes dead entries, so the legacy
+            // stale-incumbent hazard does not apply to the list side.
             if self.predecessors.integrate(node) {
                 self.neighbor_epoch += 1;
             }
-            if self.successors.is_empty() && self.successors.integrate(node) {
-                self.neighbor_epoch += 1;
+            if self.successors.is_empty() {
+                match self.cfg.maintenance {
+                    // Legacy hazard: refill the emptied list *backwards*
+                    // from the notifier — the wrapped state that
+                    // partitions rings.
+                    MaintenanceMode::Legacy => {
+                        if self.successors.integrate(node) {
+                            self.neighbor_epoch += 1;
+                        }
+                    }
+                    MaintenanceMode::Corrected => {
+                        if let Some(f) = self.nearest_forward_finger() {
+                            // Forward-only reseed, same rule as
+                            // stabilization.
+                            if self.successors.integrate(f) {
+                                self.neighbor_epoch += 1;
+                            }
+                            self.note_seeded();
+                        } else if !self.ever_had_successor {
+                            // True bootstrap: a ring creator learns its
+                            // first peer through the joiner's notify.
+                            if self.successors.integrate(node) {
+                                self.neighbor_epoch += 1;
+                            }
+                            self.note_seeded();
+                        }
+                        // Otherwise: stay wedged rather than wrap
+                        // backwards; the finger reseed repairs forward.
+                    }
+                }
             }
         }
     }
@@ -1209,6 +1307,7 @@ impl<P: Payload> VermeNode<P> {
                 }
             }
         }
+        self.note_seeded();
     }
 
     // ------------------------------------------------------------------
@@ -1253,6 +1352,15 @@ impl<P: Payload> VermeNode<P> {
     fn fresh_token(&mut self) -> u64 {
         self.next_token += 1;
         self.next_token
+    }
+
+    /// Latches [`ever_had_successor`](Self::ever_had_successor) once the
+    /// successor list is non-empty. A pure field write: legacy-mode
+    /// message flow is unchanged by it.
+    fn note_seeded(&mut self) {
+        if !self.successors.is_empty() {
+            self.ever_had_successor = true;
+        }
     }
 
     fn send_counted(

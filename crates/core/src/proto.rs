@@ -18,7 +18,7 @@
 //! Messages are generic over a piggyback payload `P` so that Secure-VerDi
 //! can carry DHT operations (and their data) inside the lookup itself.
 
-use verme_chord::{Id, NodeHandle};
+use verme_chord::{Id, MaintenanceMode, NodeHandle};
 use verme_crypto::{Certificate, NodeType, Sealed};
 use verme_sim::{SimDuration, Wire};
 
@@ -299,6 +299,9 @@ pub struct VermeConfig {
     pub max_hop_attempts: u32,
     /// Overall per-lookup deadline.
     pub lookup_deadline: SimDuration,
+    /// Which ring-maintenance rules to run (corrected by default;
+    /// `Legacy` is the Ext. M comparison arm).
+    pub maintenance: MaintenanceMode,
 }
 
 impl VermeConfig {
@@ -314,6 +317,7 @@ impl VermeConfig {
             hop_timeout: SimDuration::from_millis(500),
             max_hop_attempts: 4,
             lookup_deadline: SimDuration::from_secs(8),
+            maintenance: MaintenanceMode::default(),
         }
     }
 

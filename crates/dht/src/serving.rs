@@ -3,7 +3,7 @@
 //! service queue.
 //!
 //! One [`ServingPlane`] lives inside each DHT node, next to its
-//! [`OpTable`](crate::OpTable). Every structure is a `BTreeMap`, so
+//! [`OpTable`](crate::api::OpTable). Every structure is a `BTreeMap`, so
 //! iteration order — and therefore the simulation — is deterministic.
 //! All four features are config-gated off by default; a node whose
 //! config leaves them off never touches this state on the hot path and

@@ -19,6 +19,9 @@
 //!   log-bucketed streaming histograms for live sampling.
 //! * [`detect`] — threshold / rate-of-change / EWMA detector rules and the
 //!   typed, cause-attributed [`Alert`] stream.
+//! * [`ring`] — metric keys, descriptors and monitor rules for the
+//!   continuous ring-invariant assertor (`ring.invariant.violations`,
+//!   `ring.appendage_nodes`, `ring.wedged`).
 //! * [`monitor`] — the live [`Monitor`]: a clock-driven gauge store fed by
 //!   sampler hooks, evaluating detectors per sample and rendering
 //!   plain-text run-health reports.
@@ -50,6 +53,7 @@ pub mod invariant;
 pub mod json;
 pub mod monitor;
 pub mod path;
+pub mod ring;
 pub mod window;
 
 pub use detect::{Alert, DetectorState, Rule};

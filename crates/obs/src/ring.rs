@@ -1,0 +1,68 @@
+//! Ring-maintenance invariant observability.
+//!
+//! The continuous invariant assertor (a `verme-sim` step assertor built
+//! over `verme_chord::check_ring`) records its verdicts under the keys in
+//! this module; the helpers here give monitors and exporters one place to
+//! learn about them. Keeping the key definitions in the *consumer* crate
+//! preserves the layering: `verme-chord` computes reports, `verme-obs`
+//! names, registers, and alerts on them.
+
+use verme_sim::MetricDesc;
+
+use crate::detect::Rule;
+use crate::monitor::Monitor;
+
+/// Hard invariant violations found by the continuous assertor (counter).
+/// Any non-zero value on the corrected protocol is a bug.
+pub const INVARIANT_VIOLATIONS: &str = "ring.invariant.violations";
+
+/// Live nodes off the principal ring cycle at each assertion point
+/// (histogram). Non-zero transients are normal: freshly joined nodes are
+/// appendages until a predecessor's stabilization absorbs them.
+pub const APPENDAGE_NODES: &str = "ring.appendage_nodes";
+
+/// Joined nodes with no live successor entry at each assertion point
+/// (histogram). A burst that outruns the successor list legitimately
+/// wedges survivors until the forward-finger reseed repairs them.
+pub const WEDGED: &str = "ring.wedged";
+
+/// Registry descriptors for the assertor's metrics.
+pub fn descriptors() -> &'static [MetricDesc] {
+    const DESCS: &[MetricDesc] = &[
+        MetricDesc::counter(INVARIANT_VIOLATIONS, "violations", "ring invariant violations"),
+        MetricDesc::histogram(APPENDAGE_NODES, "nodes", "live nodes off the principal cycle"),
+        MetricDesc::histogram(WEDGED, "nodes", "joined nodes with no live successor"),
+    ];
+    DESCS
+}
+
+/// Arms `monitor` with the ring-safety rule: any observation of at least
+/// one invariant violation raises a typed alert. Feed the monitor the
+/// run's cumulative `ring.invariant.violations` counter from a sampler.
+pub fn arm_monitor(monitor: &Monitor) {
+    monitor.add_rule(INVARIANT_VIOLATIONS, Rule::Threshold { min: 1.0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SimTime;
+
+    #[test]
+    fn descriptors_cover_every_key() {
+        let names: Vec<&str> = descriptors().iter().map(|d| d.name).collect();
+        assert_eq!(names, vec![INVARIANT_VIOLATIONS, APPENDAGE_NODES, WEDGED]);
+    }
+
+    #[test]
+    fn armed_monitor_alerts_on_first_violation() {
+        let mon = Monitor::new(16);
+        arm_monitor(&mon);
+        mon.observe(INVARIANT_VIOLATIONS, SimTime::ZERO, 0.0, None);
+        assert!(mon.alerts().is_empty());
+        mon.observe(INVARIANT_VIOLATIONS, SimTime::ZERO, 1.0, None);
+        let alerts = mon.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].series, INVARIANT_VIOLATIONS);
+    }
+}

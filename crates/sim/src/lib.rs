@@ -65,7 +65,8 @@ pub use metrics::{Counter, Histogram, MetricDesc, MetricKind, MetricsSink, Summa
 pub use profile::{EventClass, EventProfile};
 pub use rng::SeedSource;
 pub use runtime::{
-    Addr, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, SampleView, Sampler, Wire,
+    Addr, AssertorVerdict, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, SampleView, Sampler,
+    StepAssertor, Wire,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{tee, CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind, Tracer};

@@ -352,6 +352,32 @@ struct SamplerSlot<N: Node> {
     hook: Sampler<N>,
 }
 
+/// What a [`StepAssertor`] asks the runtime to record after evaluating a
+/// step: counter increments and histogram samples, applied to the run's
+/// [`MetricsSink`] once the read-only view is
+/// released. Keeping the hook itself read-only means an assertor can
+/// never perturb protocol state — assertor-on runs are message-for-message
+/// identical to assertor-off runs, only their metric export differs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AssertorVerdict {
+    /// `(key, increment)` counter bumps; zero increments are skipped.
+    pub counts: Vec<(&'static str, u64)>,
+    /// `(key, value)` histogram samples.
+    pub records: Vec<(&'static str, f64)>,
+}
+
+impl AssertorVerdict {
+    /// A verdict that records nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// A per-step invariant hook: called after **every** processed event with
+/// a read-only [`SampleView`] of the post-event global state. See
+/// [`Runtime::set_step_assertor`](Runtime::set_step_assertor).
+pub type StepAssertor<N> = Box<dyn FnMut(&SampleView<'_, N>) -> AssertorVerdict>;
+
 /// The discrete-event node runtime.
 ///
 /// Owns the clock, the event queue, all live nodes, and the latency model.
@@ -405,6 +431,7 @@ pub struct Runtime<N: Node, L = Box<dyn LatencyModel>> {
     partition: Option<HashSet<HostId>>,
     tracer: Option<Tracer>,
     sampler: Option<SamplerSlot<N>>,
+    assertor: Option<StepAssertor<N>>,
     profile: Option<EventProfile>,
 }
 
@@ -428,6 +455,7 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             partition: None,
             tracer: None,
             sampler: None,
+            assertor: None,
             profile: None,
         }
     }
@@ -471,6 +499,57 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
     /// Removes the sampling hook, if any.
     pub fn clear_sampler(&mut self) {
         self.sampler = None;
+    }
+
+    /// Installs a continuous invariant assertor: after **every** processed
+    /// event (message delivery or timer — in particular after every
+    /// stabilization, notify, and rectify step), the hook observes the
+    /// post-event global state through a read-only [`SampleView`] and
+    /// returns an [`AssertorVerdict`] of metrics to record. The runtime
+    /// applies the verdict to the metrics sink after the view is dropped.
+    ///
+    /// Because the hook cannot mutate nodes, the network, or the RNG, a
+    /// run with an assertor installed delivers exactly the same messages
+    /// in exactly the same order as one without — only metric export
+    /// differs. With no assertor installed the event loop pays a single
+    /// `Option` check per step, keeping assertor-off runs byte-identical
+    /// to pre-hook builds. Expensive checks should cheap-skip internally
+    /// (e.g. fingerprint ring state and re-evaluate only on change).
+    pub fn set_step_assertor(&mut self, hook: StepAssertor<N>) {
+        self.assertor = Some(hook);
+    }
+
+    /// Removes the step assertor, if any.
+    pub fn clear_step_assertor(&mut self) {
+        self.assertor = None;
+    }
+
+    /// Fires the step assertor against the current state, then applies
+    /// its verdict to the metrics sink.
+    fn fire_assertor(&mut self) {
+        // Take the slot so the hook can borrow the rest of `self` freely.
+        let Some(mut hook) = self.assertor.take() else {
+            return;
+        };
+        let verdict = {
+            let view = SampleView {
+                now: self.now,
+                metrics: &self.metrics,
+                stats: self.stats,
+                pending: self.queue.len(),
+                nodes: &self.nodes,
+            };
+            hook(&view)
+        };
+        for (key, n) in verdict.counts {
+            if n > 0 {
+                self.metrics.count(key, n);
+            }
+        }
+        for (key, v) in verdict.records {
+            self.metrics.record(key, v);
+        }
+        self.assertor = Some(hook);
     }
 
     /// Fires every due sample point up to and including `t`, advancing the
@@ -724,6 +803,9 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         if let (Some(p), Some(t0)) = (self.profile.as_mut(), started) {
             p.record(class, t0.elapsed(), queue_depth);
         }
+        if self.assertor.is_some() {
+            self.fire_assertor();
+        }
         true
     }
 
@@ -930,6 +1012,37 @@ mod tests {
         assert_eq!(stats.bytes_sent, 48);
         // One 50 ms hop each way.
         assert_eq!(rt.now(), SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn step_assertor_fires_per_event_and_records_without_perturbing() {
+        let drive = |with_assertor: bool| {
+            let mut rt = rt();
+            if with_assertor {
+                rt.set_step_assertor(Box::new(|view| {
+                    let total: u32 = view.nodes().map(|(_, n)| n.pings_seen).sum();
+                    AssertorVerdict {
+                        counts: vec![("assert.steps", 1)],
+                        records: vec![("assert.pings", f64::from(total))],
+                    }
+                }));
+            }
+            let a = rt.spawn(HostId(0), Echo::default());
+            let b = rt.spawn(HostId(1), Echo::default());
+            rt.invoke(a, |_n, ctx| ctx.send(b, TestMsg::Ping(9)));
+            rt.run_to_quiescence();
+            rt
+        };
+        let plain = drive(false);
+        let hooked = drive(true);
+        // The assertor observed every processed event (2 deliveries + 2
+        // spawn timers) and its verdicts landed in the metrics...
+        assert_eq!(hooked.metrics().counter("assert.steps"), 4);
+        assert_eq!(hooked.metrics().histogram("assert.pings").map(|h| h.count()), Some(4));
+        // ...while the simulation itself ran identically.
+        assert_eq!(plain.stats(), hooked.stats());
+        assert_eq!(plain.now(), hooked.now());
+        assert_eq!(plain.metrics().counter("pings"), hooked.metrics().counter("pings"));
     }
 
     #[test]
