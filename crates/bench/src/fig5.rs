@@ -158,7 +158,10 @@ fn drive<N, L, FSpawn, FLookup>(
     let end = SimTime::ZERO + params.sim_time;
 
     let mut agenda: EventQueue<DriverEv> = EventQueue::new();
-    let alive: Vec<Addr> = rt.alive_addrs().collect();
+    // alive_addrs iterates a HashMap; sort so every process draws the
+    // same lookup/death schedule from the same seed.
+    let mut alive: Vec<Addr> = rt.alive_addrs().collect();
+    alive.sort_unstable_by_key(|a| a.raw());
     for &addr in &alive {
         agenda
             .schedule(SimTime::ZERO + exp_duration(&mut rng, lookup_s), DriverEv::Lookup { addr });
@@ -194,10 +197,11 @@ fn drive<N, L, FSpawn, FLookup>(
                 // A replacement joins immediately through a random alive
                 // node, keeping the population constant (p2psim-style
                 // churn).
-                let candidates: Vec<Addr> = rt.alive_addrs().collect();
+                let mut candidates: Vec<Addr> = rt.alive_addrs().collect();
                 if candidates.is_empty() {
                     continue;
                 }
+                candidates.sort_unstable_by_key(|a| a.raw());
                 let bootstrap = candidates[rng.gen_range(0..candidates.len())];
                 let fresh = spawn_replacement(rt, host, bootstrap);
                 agenda.schedule(

@@ -25,7 +25,11 @@
 //!   Zave-corrected maintenance under churn plus arc kill bursts, with
 //!   the continuous ring-invariant assertor attached.
 //! * [`report`] — `BENCH_<name>.json` wall-clock/event-rate summaries
-//!   every binary writes for CI regression tracking.
+//!   every binary writes for CI regression tracking, now with peak RSS
+//!   and optional per-subsystem span-profiler breakdowns.
+//! * [`perf`] — the perf-regression gate: parses the checked-in
+//!   `BENCH_baselines.json` floors and checks measured workloads against
+//!   them (the `perf_check` CI bin's logic).
 //!
 //! The `src/bin/` binaries print each figure's table at paper scale
 //! (`--full`) or a laptop-quick scale (default); the `benches/` criterion
@@ -41,6 +45,7 @@ pub mod extm;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;
+pub mod perf;
 pub mod plot;
 pub mod report;
 

@@ -14,6 +14,18 @@
 use std::time::Instant;
 
 use verme_obs::Json;
+use verme_sim::SpanProfile;
+
+/// Peak resident-set size of this process in bytes: Linux `VmHWM` from
+/// `/proc/self/status`, `None` anywhere the file (or the field) is not
+/// available.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: "VmHWM:     12345 kB".
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
 
 /// Measures one binary's end-to-end run and writes its summary file.
 pub struct BenchTimer {
@@ -39,15 +51,56 @@ impl BenchTimer {
     /// across same-seed runs (the workspace determinism invariant), and
     /// wall-clock time is not deterministic.
     pub fn finish(self, events_processed: u64) {
+        self.finish_with_profile(events_processed, None)
+    }
+
+    /// [`finish`](BenchTimer::finish), plus a per-subsystem attribution
+    /// breakdown from a span-profiler session: self/total wall and call
+    /// counts per `Subsystem × Op` scope, the attributed fraction of this
+    /// timer's wall clock, and the explicit unattributed remainder.
+    pub fn finish_with_profile(self, events_processed: u64, profile: Option<&SpanProfile>) {
         let wall = self.started.elapsed();
         let wall_s = wall.as_secs_f64();
         let rate = if wall_s > 0.0 { events_processed as f64 / wall_s } else { 0.0 };
-        let doc = Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("wall_time_s".into(), Json::Float(wall_s)),
             ("events_processed".into(), Json::UInt(events_processed as u128)),
             ("events_per_sec".into(), Json::Float(rate)),
-        ]);
+            (
+                "peak_rss_bytes".into(),
+                match peak_rss_bytes() {
+                    Some(b) => Json::UInt(b as u128),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        if let Some(p) = profile {
+            let attributed_s = p.attributed_total().as_secs_f64();
+            let frac = if wall_s > 0.0 { (attributed_s / wall_s).min(1.0) } else { 0.0 };
+            fields.push(("attributed_wall_s".into(), Json::Float(attributed_s)));
+            fields.push((
+                "unattributed_wall_s".into(),
+                Json::Float((wall_s - attributed_s).max(0.0)),
+            ));
+            fields.push(("attributed_frac".into(), Json::Float(frac)));
+            let subsystems = p
+                .scope_totals()
+                .into_iter()
+                .map(|(scope, n)| {
+                    (
+                        scope.name().to_string(),
+                        Json::Obj(vec![
+                            ("calls".into(), Json::UInt(n.calls as u128)),
+                            ("self_us".into(), Json::UInt(n.self_wall.as_micros())),
+                            ("total_us".into(), Json::UInt(n.total.as_micros())),
+                        ]),
+                    )
+                })
+                .collect();
+            fields.push(("subsystems".into(), Json::Obj(subsystems)));
+        }
+        let doc = Json::Obj(fields);
         let path = bench_json_path(&self.name);
         if let Some(parent) = std::path::Path::new(&path).parent() {
             if !parent.as_os_str().is_empty() {
@@ -98,6 +151,32 @@ mod tests {
         assert_eq!(doc.get("events_processed").and_then(Json::as_u64), Some(12345));
         assert!(doc.get("wall_time_s").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(doc.get("events_per_sec").and_then(Json::as_f64).is_some());
+        // Peak RSS is always present: an integer on Linux, null elsewhere.
+        let rss = doc.get("peak_rss_bytes").expect("peak_rss_bytes field");
+        assert!(rss.as_u64().is_some() || rss.is_null(), "bad peak_rss_bytes: {rss:?}");
+        if cfg!(target_os = "linux") {
+            assert!(rss.as_u64().unwrap() > 0, "VmHWM should be readable on Linux");
+        }
+
+        // A profiled finish adds the per-subsystem breakdown.
+        verme_sim::span_profiler_enable();
+        let t = BenchTimer::start("unit_test_prof");
+        {
+            let _s = verme_sim::ProfScope::enter(verme_sim::Scope::WormRun);
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let profile = verme_sim::span_profiler_disable().unwrap();
+        t.finish_with_profile(7, Some(&profile));
+        let raw = std::fs::read_to_string(dir.join("BENCH_unit_test_prof.json")).unwrap();
+        let doc = verme_obs::parse(&raw).unwrap();
+        let frac = doc.get("attributed_frac").and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&frac), "attributed_frac out of range: {frac}");
+        assert!(doc.get("unattributed_wall_s").and_then(Json::as_f64).unwrap() >= 0.0);
+        let subs = doc.get("subsystems").expect("subsystems object");
+        let worm = subs.get("worm.run").expect("worm.run row");
+        assert_eq!(worm.get("calls").and_then(Json::as_u64), Some(1));
+        assert!(worm.get("self_us").and_then(Json::as_u64).is_some());
+        assert!(worm.get("total_us").and_then(Json::as_u64).is_some());
         // VERME_BENCH_DIR wins over the legacy BENCH_DIR when both are set.
         std::env::set_var("VERME_BENCH_DIR", "/tmp/verme-preferred");
         assert_eq!(bench_json_path("x"), "/tmp/verme-preferred/BENCH_x.json");

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime};
+use verme_sim::{Addr, Ctx, Node, ProfScope, ProtoEvent, Scope, SimDuration, SimTime};
 
 use crate::behaviour::{Behaviour, Honest, RouteAction};
 use crate::id::Id;
@@ -1420,6 +1420,14 @@ impl Node for ChordNode {
     }
 
     fn on_message(&mut self, from: Addr, msg: ChordMsg, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        let _span = ProfScope::enter(match &msg {
+            ChordMsg::Lookup { .. }
+            | ChordMsg::HopAck { .. }
+            | ChordMsg::LookupReply { .. }
+            | ChordMsg::GetNextHop { .. }
+            | ChordMsg::NextHop { .. } => Scope::ChordLookupRelay,
+            _ => Scope::ChordStabilize,
+        });
         match msg {
             ChordMsg::Lookup { lid, key, origin, mode, hops, maint } => {
                 self.handle_lookup(from, lid, key, origin, mode, hops, maint, ctx);
@@ -1486,6 +1494,12 @@ impl Node for ChordNode {
     }
 
     fn on_timer(&mut self, timer: ChordTimer, ctx: &mut Ctx<'_, ChordMsg, ChordTimer>) {
+        let _span = ProfScope::enter(match &timer {
+            ChordTimer::HopTimeout { .. }
+            | ChordTimer::LookupDeadline { .. }
+            | ChordTimer::RelayGc { .. } => Scope::ChordLookupRelay,
+            _ => Scope::ChordStabilize,
+        });
         match timer {
             ChordTimer::Stabilize => {
                 // Each maintenance tick is its own causal span; without

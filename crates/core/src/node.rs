@@ -24,7 +24,7 @@ use verme_chord::{
     NodeHandle, RingStance, RouteAction,
 };
 use verme_crypto::{CaVerifier, Certificate, KeyPair, NodeType, Sealed};
-use verme_sim::{Addr, Ctx, Node, ProtoEvent, SimDuration, SimTime, Wire};
+use verme_sim::{Addr, Ctx, Node, ProfScope, ProtoEvent, Scope, SimDuration, SimTime, Wire};
 
 use crate::layout::SectionLayout;
 use crate::proto::{
@@ -1398,6 +1398,12 @@ impl<P: Payload> Node for VermeNode<P> {
         msg: VermeMsg<P>,
         ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>,
     ) {
+        let _span = ProfScope::enter(match &msg {
+            VermeMsg::Lookup { .. } | VermeMsg::HopAck { .. } | VermeMsg::Reply { .. } => {
+                Scope::ChordLookupRelay
+            }
+            _ => Scope::ChordStabilize,
+        });
         match msg {
             VermeMsg::Lookup { lid, key, cert, purpose, piggyback, hops } => {
                 self.handle_lookup(from, lid, key, cert, purpose, piggyback, hops, ctx);
@@ -1451,6 +1457,12 @@ impl<P: Payload> Node for VermeNode<P> {
     }
 
     fn on_timer(&mut self, timer: VermeTimer, ctx: &mut Ctx<'_, VermeMsg<P>, VermeTimer>) {
+        let _span = ProfScope::enter(match &timer {
+            VermeTimer::HopTimeout { .. }
+            | VermeTimer::LookupDeadline { .. }
+            | VermeTimer::RelayGc { .. } => Scope::ChordLookupRelay,
+            _ => Scope::ChordStabilize,
+        });
         match timer {
             VermeTimer::Stabilize => {
                 // Each periodic round is its own causal span; without this

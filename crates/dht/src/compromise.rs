@@ -18,7 +18,7 @@ use rand::Rng;
 use verme_chord::Id;
 use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
 use verme_crypto::{Certificate, SignedStatement};
-use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
+use verme_sim::{Addr, Ctx, Node, ProfScope, Scope, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
@@ -876,6 +876,19 @@ impl Node for CompromiseVerDiNode {
     }
 
     fn on_message(&mut self, from: Addr, msg: CompMsg, ctx: &mut CCtx<'_>) {
+        // Overlay traffic gets no span here: the nested overlay handler
+        // enters its own chord.* scopes.
+        let _span = match &msg {
+            CompMsg::Overlay(_) => None,
+            CompMsg::Fetch { .. }
+            | CompMsg::Store { .. }
+            | CompMsg::Replicate { .. }
+            | CompMsg::CrossCopy { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            CompMsg::RepairProbe { .. }
+            | CompMsg::RepairNeed { .. }
+            | CompMsg::RepairPull { .. } => Some(ProfScope::enter(Scope::DhtRepair)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match msg {
             CompMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
@@ -1108,6 +1121,14 @@ impl Node for CompromiseVerDiNode {
     }
 
     fn on_timer(&mut self, timer: CompTimer, ctx: &mut CCtx<'_>) {
+        let _span = match &timer {
+            CompTimer::Overlay(_) => None,
+            CompTimer::DataStabilize | CompTimer::Repair | CompTimer::RepairKick => {
+                Some(ProfScope::enter(Scope::DhtRepair))
+            }
+            CompTimer::ServeFetch { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match timer {
             CompTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));

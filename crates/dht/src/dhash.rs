@@ -13,7 +13,7 @@ use bytes::Bytes;
 use rand::Rng;
 
 use verme_chord::{ChordMsg, ChordNode, ChordTimer, Id};
-use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
+use verme_sim::{Addr, Ctx, Node, ProfScope, Scope, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
@@ -572,6 +572,18 @@ impl Node for DhashNode {
     }
 
     fn on_message(&mut self, from: Addr, msg: DhashMsg, ctx: &mut DCtx<'_>) {
+        // Overlay traffic gets no span here: the nested overlay handler
+        // enters its own chord.* scopes.
+        let _span = match &msg {
+            DhashMsg::Overlay(_) => None,
+            DhashMsg::Fetch { .. } | DhashMsg::Store { .. } | DhashMsg::Replicate { .. } => {
+                Some(ProfScope::enter(Scope::DhtServe))
+            }
+            DhashMsg::RepairProbe { .. }
+            | DhashMsg::RepairNeed { .. }
+            | DhashMsg::RepairPull { .. } => Some(ProfScope::enter(Scope::DhtRepair)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match msg {
             DhashMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
@@ -698,6 +710,14 @@ impl Node for DhashNode {
     }
 
     fn on_timer(&mut self, timer: DhashTimer, ctx: &mut DCtx<'_>) {
+        let _span = match &timer {
+            DhashTimer::Overlay(_) => None,
+            DhashTimer::DataStabilize | DhashTimer::Repair | DhashTimer::RepairKick => {
+                Some(ProfScope::enter(Scope::DhtRepair))
+            }
+            DhashTimer::ServeFetch { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match timer {
             DhashTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));

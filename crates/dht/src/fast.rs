@@ -18,7 +18,7 @@ use rand::Rng;
 
 use verme_chord::Id;
 use verme_core::{VermeAnswer, VermeMsg, VermeNode, VermeTimer};
-use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
+use verme_sim::{Addr, Ctx, Node, ProfScope, Scope, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{block_key, verify_block, BlockStore};
@@ -784,6 +784,19 @@ impl Node for FastVerDiNode {
     }
 
     fn on_message(&mut self, from: Addr, msg: FastMsg, ctx: &mut FCtx<'_>) {
+        // Overlay traffic gets no span here: the nested overlay handler
+        // enters its own chord.* scopes.
+        let _span = match &msg {
+            FastMsg::Overlay(_) => None,
+            FastMsg::Fetch { .. }
+            | FastMsg::Store { .. }
+            | FastMsg::Replicate { .. }
+            | FastMsg::CrossCopy { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            FastMsg::RepairProbe { .. }
+            | FastMsg::RepairNeed { .. }
+            | FastMsg::RepairPull { .. } => Some(ProfScope::enter(Scope::DhtRepair)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match msg {
             FastMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
@@ -953,6 +966,14 @@ impl Node for FastVerDiNode {
     }
 
     fn on_timer(&mut self, timer: FastTimer, ctx: &mut FCtx<'_>) {
+        let _span = match &timer {
+            FastTimer::Overlay(_) => None,
+            FastTimer::DataStabilize | FastTimer::Repair | FastTimer::RepairKick => {
+                Some(ProfScope::enter(Scope::DhtRepair))
+            }
+            FastTimer::ServeFetch { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match timer {
             FastTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));

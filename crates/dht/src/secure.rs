@@ -20,7 +20,7 @@ use rand::Rng;
 
 use verme_chord::Id;
 use verme_core::{Payload, VermeMsg, VermeNode, VermeTimer};
-use verme_sim::{Addr, Ctx, Node, SimDuration, Wire};
+use verme_sim::{Addr, Ctx, Node, ProfScope, Scope, SimDuration, Wire};
 
 use crate::api::{keys, DhtConfig, DhtNode, OpKind, OpOutcome, OpTable};
 use crate::block::{verify_block, BlockStore};
@@ -766,6 +766,15 @@ impl Node for SecureVerDiNode {
     }
 
     fn on_message(&mut self, from: Addr, msg: SecureMsg, ctx: &mut SCtx<'_>) {
+        // Overlay traffic gets no span here: the nested overlay handler
+        // enters its own chord.* scopes.
+        let _span = match &msg {
+            SecureMsg::Overlay(_) => None,
+            SecureMsg::Replicate { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            SecureMsg::RepairProbe { .. }
+            | SecureMsg::RepairNeed { .. }
+            | SecureMsg::RepairPull { .. } => Some(ProfScope::enter(Scope::DhtRepair)),
+        };
         match msg {
             SecureMsg::Overlay(m) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_message(from, m, ictx));
@@ -832,6 +841,14 @@ impl Node for SecureVerDiNode {
     }
 
     fn on_timer(&mut self, timer: SecureTimer, ctx: &mut SCtx<'_>) {
+        let _span = match &timer {
+            SecureTimer::Overlay(_) => None,
+            SecureTimer::DataStabilize | SecureTimer::Repair | SecureTimer::RepairKick => {
+                Some(ProfScope::enter(Scope::DhtRepair))
+            }
+            SecureTimer::ServeGet { .. } => Some(ProfScope::enter(Scope::DhtServe)),
+            _ => Some(ProfScope::enter(Scope::DhtOp)),
+        };
         match timer {
             SecureTimer::Overlay(t) => {
                 self.with_overlay(ctx, |overlay, ictx| overlay.on_timer(t, ictx));

@@ -15,6 +15,10 @@
 //!   entries) with NDJSON/CSV exporters.
 //! * [`json`] — the dependency-free JSON value/writer/parser underneath
 //!   (the vendored `serde` shim has no `serde_json`).
+//! * [`perfetto`] — Chrome-trace-event export (span-profiler spans on a
+//!   host-time track, flight-recorder events on a virtual-time track,
+//!   loadable at <https://ui.perfetto.dev>) and folded-stack output for
+//!   flamegraph tooling.
 //! * [`window`] — retention-bounded ring-buffer time series and
 //!   log-bucketed streaming histograms for live sampling.
 //! * [`detect`] — threshold / rate-of-change / EWMA detector rules and the
@@ -53,6 +57,7 @@ pub mod invariant;
 pub mod json;
 pub mod monitor;
 pub mod path;
+pub mod perfetto;
 pub mod ring;
 pub mod window;
 
@@ -66,6 +71,7 @@ pub use invariant::{
 pub use json::{parse, Json, JsonError};
 pub use monitor::Monitor;
 pub use path::{HopRecord, LookupPath, PathCollector};
+pub use perfetto::{chrome_trace, folded_stacks};
 pub use window::{RingSeries, StreamingHistogram};
 
 // Re-exported so harnesses can depend on `verme-obs` alone for tracing.

@@ -1,0 +1,241 @@
+//! Chrome-trace-event export (Perfetto-loadable) and folded-stack output
+//! for the span profiler.
+//!
+//! Two timelines share one trace file, on separate "process" tracks:
+//!
+//! * **pid 1 — host time**: the span profiler's raw span log
+//!   ([`SpanProfile::spans`]), rendered as complete (`"ph":"X"`) events
+//!   with microsecond timestamps relative to profiler enable. Only
+//!   present when the session was started with
+//!   `span_profiler_enable_logged`.
+//! * **pid 2 — virtual time**: flight-recorder [`TraceEvent`]s, rendered
+//!   as instant (`"ph":"i"`) events at their simulated timestamps.
+//!
+//! Everything goes through the hand-rolled [`Json`] value (the vendored
+//! serde shim has no `serde_json`). Load the output at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! The folded-stack format (`frame;frame;frame value`, one line per stack
+//! path) feeds flamegraph tooling directly; the value is exclusive
+//! (self) wall time in microseconds.
+
+use verme_sim::profile::SpanProfile;
+use verme_sim::trace::{TraceEvent, TraceKind};
+
+use crate::json::Json;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Process/thread-naming metadata events for the two tracks.
+fn track_metadata() -> Vec<Json> {
+    let meta = |pid: u64, name: &str| {
+        obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(pid as u128)),
+            ("tid", Json::UInt(0)),
+            ("args", obj(vec![("name", Json::Str(name.into()))])),
+        ])
+    };
+    vec![meta(1, "host time (span profiler)"), meta(2, "virtual time (flight recorder)")]
+}
+
+/// Renders the span profiler's raw span log as complete events on the
+/// host-time track (pid 1). Returns one `"ph":"X"` object per retained
+/// span; empty if the profiling session kept no log.
+pub fn spans_to_chrome_events(profile: &SpanProfile) -> Vec<Json> {
+    profile
+        .spans
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("name", Json::Str(profile.nodes[s.node].scope.name().into())),
+                ("cat", Json::Str(profile.nodes[s.node].scope.subsystem().into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", Json::Float(s.start.as_secs_f64() * 1e6)),
+                ("dur", Json::Float(s.dur.as_secs_f64() * 1e6)),
+                ("pid", Json::UInt(1)),
+                ("tid", Json::UInt(0)),
+                ("args", obj(vec![("path", Json::Str(profile.path_name(s.node)))])),
+            ])
+        })
+        .collect()
+}
+
+fn trace_kind_label(kind: &TraceKind) -> String {
+    match kind {
+        TraceKind::Spawn { .. } => "spawn".into(),
+        TraceKind::Kill { .. } => "kill".into(),
+        TraceKind::Send { .. } => "send".into(),
+        TraceKind::Deliver { .. } => "deliver".into(),
+        TraceKind::Drop { .. } => "drop".into(),
+        TraceKind::Proto { event, .. } => {
+            use verme_sim::trace::ProtoEvent as P;
+            match event {
+                P::LookupStart { kind, .. } => format!("lookup_start:{kind}"),
+                P::LookupHop { .. } => "lookup_hop".into(),
+                P::LookupEnd { ok, .. } => {
+                    format!("lookup_end:{}", if *ok { "ok" } else { "fail" })
+                }
+                P::Reroute { .. } => "reroute".into(),
+                P::OpStart { kind, .. } => format!("op_start:{kind}"),
+                P::OpRetry { .. } => "op_retry".into(),
+                P::OpEnd { ok, .. } => format!("op_end:{}", if *ok { "ok" } else { "fail" }),
+                P::Note { label, .. } => (*label).into(),
+            }
+        }
+    }
+}
+
+/// Renders flight-recorder events as instant events on the virtual-time
+/// track (pid 2), timestamped in simulated microseconds. The full NDJSON
+/// encoding of each event rides along in `args.event`.
+pub fn trace_events_to_chrome_events(events: &[TraceEvent]) -> Vec<Json> {
+    events
+        .iter()
+        .map(|ev| {
+            let mut args = vec![("event", crate::export::event_to_json(ev))];
+            if let Some(c) = ev.cause {
+                args.push(("cause", Json::UInt(c as u128)));
+            }
+            obj(vec![
+                ("name", Json::Str(trace_kind_label(&ev.kind))),
+                ("cat", Json::Str("trace".into())),
+                ("ph", Json::Str("i".into())),
+                ("s", Json::Str("t".into())),
+                ("ts", Json::Float(ev.at.as_secs_f64() * 1e6)),
+                ("pid", Json::UInt(2)),
+                ("tid", Json::UInt(0)),
+                ("args", obj(args)),
+            ])
+        })
+        .collect()
+}
+
+/// Builds the complete Chrome-trace document: track metadata, profiler
+/// spans (host time) and flight-recorder events (virtual time). Either
+/// input may be empty; the result is always loadable.
+pub fn chrome_trace(profile: &SpanProfile, events: &[TraceEvent]) -> Json {
+    let mut all = track_metadata();
+    all.extend(spans_to_chrome_events(profile));
+    all.extend(trace_events_to_chrome_events(events));
+    obj(vec![("traceEvents", Json::Arr(all)), ("displayTimeUnit", Json::Str("ms".into()))])
+}
+
+/// Folded-stack output for flamegraph tooling: one
+/// `frame;frame;frame value` line per stack path, value = exclusive wall
+/// time in integer microseconds. Paths with zero exclusive time are
+/// skipped; lines are sorted for stable diffs.
+pub fn folded_stacks(profile: &SpanProfile) -> String {
+    let mut lines: Vec<String> = profile
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !n.self_wall.is_zero())
+        .map(|(i, n)| format!("{} {}", profile.path_name(i), n.self_wall.as_micros()))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::profile::{
+        span_profiler_disable, span_profiler_enable_logged, ProfScope, Scope,
+    };
+    use verme_sim::trace::ProtoEvent;
+    use verme_sim::{Addr, SimDuration, SimTime};
+
+    fn sample_profile() -> SpanProfile {
+        span_profiler_enable_logged(64);
+        {
+            let _run = ProfScope::enter(Scope::WormRun);
+            let _scan = ProfScope::enter(Scope::WormPropagate);
+            std::hint::black_box(vec![0u8; 32]);
+        }
+        span_profiler_disable().expect("enabled above")
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_both_tracks() {
+        let profile = sample_profile();
+        let events = vec![TraceEvent {
+            at: SimTime::ZERO + SimDuration::from_secs(3),
+            cause: Some(7),
+            kind: TraceKind::Proto {
+                node: Addr::from_raw(1),
+                event: ProtoEvent::Note { label: "worm.infected", value: 1 },
+            },
+        }];
+        let doc = chrome_trace(&profile, &events);
+        // Round-trips through the writer and parser.
+        let parsed = crate::json::parse(&doc.to_json()).expect("writer emits valid JSON");
+        let evs = parsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+        // Metadata for both tracks plus at least one span and one instant.
+        assert!(evs.len() >= 4, "expected metadata + spans + instants, got {}", evs.len());
+        let phases: Vec<&str> =
+            evs.iter().filter_map(|e| e.get("ph").and_then(Json::as_str)).collect();
+        assert!(phases.contains(&"M"), "missing track metadata");
+        assert!(phases.contains(&"X"), "missing profiler spans");
+        assert!(phases.contains(&"i"), "missing flight-recorder instants");
+        // The instant sits on the virtual-time track at 3 s = 3e6 µs.
+        let instant = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("instant event");
+        assert_eq!(instant.get("pid").and_then(Json::as_u64), Some(2));
+        let ts = instant.get("ts").and_then(Json::as_f64).unwrap();
+        assert!((ts - 3e6).abs() < 1.0, "virtual ts off: {ts}");
+        assert_eq!(instant.get("name").and_then(Json::as_str), Some("worm.infected"));
+        // Spans carry the full path and land on the host track.
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span event");
+        assert_eq!(span.get("pid").and_then(Json::as_u64), Some(1));
+        let path =
+            span.get("args").and_then(|a| a.get("path")).and_then(Json::as_str).expect("path arg");
+        assert!(path.starts_with("worm.run"), "unexpected path {path}");
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_still_loadable() {
+        let doc = chrome_trace(&SpanProfile::default(), &[]);
+        let parsed = crate::json::parse(&doc.to_json()).unwrap();
+        let evs = parsed.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(evs.len(), 2, "only the two track-metadata events");
+    }
+
+    #[test]
+    fn folded_stacks_have_full_paths_and_positive_values() {
+        let profile = sample_profile();
+        let folded = folded_stacks(&profile);
+        assert!(folded.ends_with('\n'));
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(
+            lines.iter().any(|l| l.starts_with("worm.run;worm.propagate ")),
+            "missing nested path in:\n{folded}"
+        );
+        for line in &lines {
+            let (_, value) = line.rsplit_once(' ').expect("space-separated value");
+            let _: u128 = value.parse().expect("integer microseconds");
+        }
+        // Deterministically ordered.
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn folded_stacks_of_empty_profile_is_empty() {
+        assert_eq!(folded_stacks(&SpanProfile::default()), "");
+    }
+}

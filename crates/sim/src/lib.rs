@@ -16,9 +16,11 @@
 //! * [`rng`] — reproducible random-number streams derived from one seed.
 //! * [`metrics`] — counters, histograms and time series used by every
 //!   experiment harness.
-//! * [`profile`] — the event-loop profiler: per-event-type dispatch counts,
-//!   wall-clock timing and queue-depth telemetry for the runtime's hot
-//!   loop, zero-cost when disabled.
+//! * [`profile`] — host-side profilers: the [`EventProfile`] event-loop
+//!   profiler (per-event-type dispatch counts, wall timing, queue depth)
+//!   and the scoped span profiler ([`ProfScope`] guards over a fixed
+//!   [`Scope`] taxonomy) attributing wall clock and allocations to
+//!   protocol planes; both zero-cost when disabled.
 //! * [`runtime`] — the node runtime: protocol state machines implementing
 //!   [`Node`] exchange messages through a [`LatencyModel`], with churn
 //!   (spawn/kill), timers, and byte accounting.
@@ -62,7 +64,11 @@ pub use config::InvalidConfig;
 pub use event::EventQueue;
 pub use fault::{BurstImpact, Fault, FaultHooks, FaultPlan, FaultReport, FaultRunner};
 pub use metrics::{Counter, Histogram, MetricDesc, MetricKind, MetricsSink, Summary, TimeSeries};
-pub use profile::{EventClass, EventProfile};
+pub use profile::{
+    span_profiler_disable, span_profiler_enable, span_profiler_enable_logged,
+    span_profiler_enabled, AllocStats, EventClass, EventProfile, ProfScope, Scope, SpanEvent,
+    SpanNode, SpanProfile,
+};
 pub use rng::SeedSource;
 pub use runtime::{
     Addr, AssertorVerdict, Ctx, HostId, LatencyModel, NetStats, Node, Runtime, SampleView, Sampler,

@@ -17,7 +17,9 @@
 //! to an unprofiled one. When disabled (the default) the runtime pays one
 //! branch per event and nothing else.
 
-use std::time::Duration;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use crate::metrics::{MetricDesc, MetricsSink};
 
@@ -148,6 +150,485 @@ pub mod keys {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scoped span profiler: per-subsystem wall-clock attribution.
+// ---------------------------------------------------------------------------
+//
+// Where `EventProfile` classifies time by *event kind* (deliver / timer /
+// dead letter), the span profiler classifies it by *protocol plane*: a fixed
+// `Subsystem × Op` taxonomy ([`Scope`]) with RAII guards ([`ProfScope`])
+// threaded through the runtime dispatch and each plane's handlers. Scopes
+// nest (chord dispatch around a dht repair around an obs sample), and the
+// profiler keeps one aggregate per unique *stack path*, which is exactly
+// the shape flamegraph tooling wants.
+//
+// The engine is thread-local so protocol crates (`verme-chord`,
+// `verme-dht`, `verme-worm`) can enter scopes without any profiler handle
+// being threaded through their `Node` APIs. The same rules as
+// `EventProfile` apply: the profiler reads only the host clock, never the
+// simulation RNG or any node state, so a profiled run is byte-identical in
+// simulation output to an unprofiled one. When disabled (the default),
+// `ProfScope::enter` is one thread-local boolean load and branch.
+
+/// The fixed `Subsystem × Op` span taxonomy.
+///
+/// Keep this small and stable: every variant is a named row in the
+/// attribution table and a frame name in the folded-stack export. Adding a
+/// variant means updating [`Scope::ALL`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Runtime message dispatch to a live node.
+    SimDeliver,
+    /// Runtime timer dispatch.
+    SimTimer,
+    /// Runtime drop of a message to a dead node.
+    SimDeadLetter,
+    /// Chord/Verme ring maintenance (stabilize, finger refresh, pings).
+    ChordStabilize,
+    /// Chord/Verme lookup handling and relaying.
+    ChordLookupRelay,
+    /// DHT block repair and data stabilization.
+    DhtRepair,
+    /// DHT serving: fetch handling, cache and coalescing.
+    DhtServe,
+    /// DHT client-op state machines (get/put attempts, retries, deadlines).
+    DhtOp,
+    /// Worm-scenario topology construction (target lists, static rings).
+    WormBuild,
+    /// Worm outbreak event loop (the `WormSim` engine).
+    WormRun,
+    /// Worm scan/infection/activation handling.
+    WormPropagate,
+    /// Worm alert flooding (guardian and structural containment).
+    WormAlert,
+    /// Observability work: monitor sampling, gauge recording, tracing.
+    ObsRecord,
+    /// Experiment-harness overhead (scenario staging, aggregation).
+    BenchHarness,
+}
+
+impl Scope {
+    /// Every scope, in taxonomy order. `Scope as usize` indexes this.
+    pub const ALL: &'static [Scope] = &[
+        Scope::SimDeliver,
+        Scope::SimTimer,
+        Scope::SimDeadLetter,
+        Scope::ChordStabilize,
+        Scope::ChordLookupRelay,
+        Scope::DhtRepair,
+        Scope::DhtServe,
+        Scope::DhtOp,
+        Scope::WormBuild,
+        Scope::WormRun,
+        Scope::WormPropagate,
+        Scope::WormAlert,
+        Scope::ObsRecord,
+        Scope::BenchHarness,
+    ];
+
+    /// The number of scopes in the taxonomy.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The canonical `subsystem.op` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::SimDeliver => "sim.deliver",
+            Scope::SimTimer => "sim.timer",
+            Scope::SimDeadLetter => "sim.dead_letter",
+            Scope::ChordStabilize => "chord.stabilize",
+            Scope::ChordLookupRelay => "chord.lookup_relay",
+            Scope::DhtRepair => "dht.repair",
+            Scope::DhtServe => "dht.serve",
+            Scope::DhtOp => "dht.op",
+            Scope::WormBuild => "worm.build",
+            Scope::WormRun => "worm.run",
+            Scope::WormPropagate => "worm.propagate",
+            Scope::WormAlert => "worm.alert",
+            Scope::ObsRecord => "obs.record",
+            Scope::BenchHarness => "bench.harness",
+        }
+    }
+
+    /// The subsystem half of the name (`"chord"` for `chord.stabilize`).
+    pub fn subsystem(self) -> &'static str {
+        let name = self.name();
+        &name[..name.find('.').unwrap_or(name.len())]
+    }
+
+    fn index(self) -> usize {
+        // Declaration order matches `ALL` order by construction.
+        self as usize
+    }
+}
+
+/// Aggregate for one unique stack path (a node in the span tree).
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Parent node index in [`SpanProfile::nodes`], `None` for roots.
+    pub parent: Option<usize>,
+    /// The scope this path ends in.
+    pub scope: Scope,
+    /// Times a `ProfScope` for this path was entered.
+    pub calls: u64,
+    /// Wall time with this path on top of or inside the stack.
+    pub total: Duration,
+    /// Wall time with this path exactly on top (total minus children).
+    pub self_wall: Duration,
+}
+
+/// One raw span, retained only when logging is enabled
+/// (see [`span_profiler_enable_logged`]). Powers the Chrome-trace export.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanEvent {
+    /// Index into [`SpanProfile::nodes`] for the full stack path.
+    pub node: usize,
+    /// Host-clock offset from profiler enable to span entry.
+    pub start: Duration,
+    /// Span duration (entry to drop).
+    pub dur: Duration,
+}
+
+/// Per-scope allocation totals, populated only under the `prof-alloc`
+/// feature (empty otherwise). The final slot semantics are documented on
+/// [`SpanProfile::alloc_by_scope`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllocStats {
+    /// Bytes requested from the global allocator.
+    pub bytes: u64,
+    /// Number of allocation calls.
+    pub allocs: u64,
+}
+
+/// Snapshot of a finished span-profiling session, returned by
+/// [`span_profiler_disable`].
+#[derive(Clone, Debug, Default)]
+pub struct SpanProfile {
+    /// The span tree: one aggregate per unique stack path, parents before
+    /// children (parents always have a smaller index).
+    pub nodes: Vec<SpanNode>,
+    /// Raw span log (empty unless logging was enabled).
+    pub spans: Vec<SpanEvent>,
+    /// Spans not retained because the log cap was hit.
+    pub dropped_spans: u64,
+    /// Per-scope allocation totals, indexed by `Scope::ALL` order, with
+    /// one extra final slot for unscoped allocations. Empty when the
+    /// `prof-alloc` feature is off or the counting allocator is not
+    /// installed.
+    pub alloc_by_scope: Vec<AllocStats>,
+}
+
+impl SpanProfile {
+    /// The `;`-joined stack path for a node, e.g.
+    /// `"worm.run;worm.propagate"` — the folded-stack frame syntax.
+    pub fn path_name(&self, node: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(node);
+        while let Some(i) = cur {
+            parts.push(self.nodes[i].scope.name());
+            cur = self.nodes[i].parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Wall time attributed to named scopes: the sum of root-span totals.
+    /// Compare against an externally measured wall clock to compute the
+    /// unattributed remainder.
+    pub fn attributed_total(&self) -> Duration {
+        self.nodes.iter().filter(|n| n.parent.is_none()).map(|n| n.total).sum()
+    }
+
+    /// Per-scope rollup across all stack paths, in `Scope::ALL` order,
+    /// scopes with zero calls omitted. `total` sums every path ending in
+    /// the scope; `self_wall` is exclusive time.
+    pub fn scope_totals(&self) -> Vec<(Scope, SpanNode)> {
+        let mut agg: Vec<Option<SpanNode>> = vec![None; Scope::COUNT];
+        for n in &self.nodes {
+            let slot = agg[n.scope.index()].get_or_insert(SpanNode {
+                parent: None,
+                scope: n.scope,
+                calls: 0,
+                total: Duration::ZERO,
+                self_wall: Duration::ZERO,
+            });
+            slot.calls += n.calls;
+            slot.total += n.total;
+            slot.self_wall += n.self_wall;
+        }
+        Scope::ALL.iter().filter_map(|&s| agg[s.index()].clone().map(|n| (s, n))).collect()
+    }
+}
+
+struct Frame {
+    node: usize,
+    started: Instant,
+    child_wall: Duration,
+}
+
+#[derive(Default)]
+struct SpanEngine {
+    epoch: Option<Instant>,
+    stack: Vec<Frame>,
+    nodes: Vec<SpanNode>,
+    // (parent node or usize::MAX for root, scope index) -> node index.
+    lookup: HashMap<(usize, usize), usize>,
+    log: Option<Vec<SpanEvent>>,
+    log_cap: usize,
+    dropped_spans: u64,
+}
+
+impl SpanEngine {
+    fn reset(&mut self, log_cap: Option<usize>) {
+        self.epoch = Some(Instant::now());
+        self.stack.clear();
+        self.nodes.clear();
+        self.lookup.clear();
+        self.log = log_cap.map(|c| Vec::with_capacity(c.min(4096)));
+        self.log_cap = log_cap.unwrap_or(0);
+        self.dropped_spans = 0;
+    }
+
+    fn push(&mut self, scope: Scope) {
+        let parent = self.stack.last().map(|f| f.node);
+        let key = (parent.unwrap_or(usize::MAX), scope.index());
+        let node = match self.lookup.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.nodes.len();
+                self.nodes.push(SpanNode {
+                    parent,
+                    scope,
+                    calls: 0,
+                    total: Duration::ZERO,
+                    self_wall: Duration::ZERO,
+                });
+                self.lookup.insert(key, i);
+                i
+            }
+        };
+        self.nodes[node].calls += 1;
+        self.stack.push(Frame { node, started: Instant::now(), child_wall: Duration::ZERO });
+        #[cfg(feature = "prof-alloc")]
+        alloc_track::set_current(scope.index());
+    }
+
+    fn pop(&mut self) {
+        // A guard that outlived its session (disable then drop) pops
+        // against an empty or reset stack; absorb it silently.
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let elapsed = frame.started.elapsed();
+        let n = &mut self.nodes[frame.node];
+        n.total += elapsed;
+        n.self_wall += elapsed.saturating_sub(frame.child_wall);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_wall += elapsed;
+        }
+        if let Some(log) = &mut self.log {
+            if log.len() < self.log_cap {
+                let start = frame.started - self.epoch.expect("epoch set while enabled");
+                log.push(SpanEvent { node: frame.node, start, dur: elapsed });
+            } else {
+                self.dropped_spans += 1;
+            }
+        }
+        #[cfg(feature = "prof-alloc")]
+        alloc_track::set_current(
+            self.stack.last().map_or(usize::MAX, |f| self.nodes[f.node].scope.index()),
+        );
+    }
+
+    fn take(&mut self) -> SpanProfile {
+        // Close any still-open frames so their time is not lost; the stack
+        // is normally empty here (guards are scoped), but a caller holding
+        // a guard across disable should still get a coherent tree.
+        while !self.stack.is_empty() {
+            self.pop();
+        }
+        self.epoch = None;
+        SpanProfile {
+            nodes: std::mem::take(&mut self.nodes),
+            spans: self.log.take().unwrap_or_default(),
+            dropped_spans: std::mem::take(&mut self.dropped_spans),
+            alloc_by_scope: alloc_snapshot(),
+        }
+    }
+}
+
+#[cfg(feature = "prof-alloc")]
+fn alloc_snapshot() -> Vec<AllocStats> {
+    alloc_track::snapshot()
+}
+
+#[cfg(not(feature = "prof-alloc"))]
+fn alloc_snapshot() -> Vec<AllocStats> {
+    Vec::new()
+}
+
+thread_local! {
+    static SPAN_ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SPAN_ENGINE: RefCell<SpanEngine> = RefCell::new(SpanEngine::default());
+}
+
+/// Enables the span profiler on this thread, resetting any previous
+/// session. Aggregates only (no raw span log).
+pub fn span_profiler_enable() {
+    SPAN_ENGINE.with(|e| e.borrow_mut().reset(None));
+    SPAN_ENABLED.with(|f| f.set(true));
+    #[cfg(feature = "prof-alloc")]
+    alloc_track::reset();
+}
+
+/// Enables the span profiler with a raw span log capped at `cap` entries
+/// (for the Chrome-trace export). Spans beyond the cap are counted in
+/// [`SpanProfile::dropped_spans`] but still aggregated.
+pub fn span_profiler_enable_logged(cap: usize) {
+    SPAN_ENGINE.with(|e| e.borrow_mut().reset(Some(cap)));
+    SPAN_ENABLED.with(|f| f.set(true));
+    #[cfg(feature = "prof-alloc")]
+    alloc_track::reset();
+}
+
+/// Disables the span profiler and returns the accumulated profile, or
+/// `None` if it was not enabled on this thread.
+pub fn span_profiler_disable() -> Option<SpanProfile> {
+    if !SPAN_ENABLED.with(|f| f.replace(false)) {
+        return None;
+    }
+    #[cfg(feature = "prof-alloc")]
+    alloc_track::set_current(usize::MAX);
+    Some(SPAN_ENGINE.with(|e| e.borrow_mut().take()))
+}
+
+/// Whether the span profiler is enabled on this thread.
+pub fn span_profiler_enabled() -> bool {
+    SPAN_ENABLED.with(|f| f.get())
+}
+
+/// RAII guard for one profiled scope. Construct with [`ProfScope::enter`]
+/// at the top of the code region to attribute; the span closes when the
+/// guard drops. Costs one thread-local boolean branch when the profiler
+/// is off.
+#[must_use = "a ProfScope measures until dropped; binding it to _ closes it immediately"]
+pub struct ProfScope {
+    active: bool,
+}
+
+impl ProfScope {
+    /// Opens a span for `scope` if the profiler is enabled on this thread.
+    #[inline]
+    pub fn enter(scope: Scope) -> ProfScope {
+        if !SPAN_ENABLED.with(|f| f.get()) {
+            return ProfScope { active: false };
+        }
+        SPAN_ENGINE.with(|e| e.borrow_mut().push(scope));
+        ProfScope { active: true }
+    }
+}
+
+impl Drop for ProfScope {
+    fn drop(&mut self) {
+        if self.active {
+            SPAN_ENGINE.with(|e| e.borrow_mut().pop());
+        }
+    }
+}
+
+/// Allocation accounting for the span profiler (`prof-alloc` feature).
+///
+/// [`CountingAlloc`] wraps the system allocator and charges every
+/// allocation to the scope active at the call site. Harness binaries opt
+/// in with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: verme_sim::profile::alloc_track::CountingAlloc =
+///     verme_sim::profile::alloc_track::CountingAlloc;
+/// ```
+///
+/// The counters are global atomics (the allocator cannot allocate, and
+/// thread-local storage is unsafe to touch during TLS teardown), so under
+/// multi-threaded use attribution is approximate: the "current scope" is
+/// whichever thread set it last. Every simulation in this workspace is
+/// single-threaded, where attribution is exact.
+#[cfg(feature = "prof-alloc")]
+pub mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    use super::{AllocStats, Scope};
+
+    // One slot per scope plus a trailing slot for unscoped allocations.
+    const SLOTS: usize = Scope::COUNT + 1;
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(SLOTS - 1);
+    static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static BYTES: [AtomicU64; SLOTS] = [ZERO; SLOTS];
+    static ALLOCS: [AtomicU64; SLOTS] = [ZERO; SLOTS];
+
+    /// System-allocator wrapper that attributes bytes/allocs to the
+    /// active profiler scope.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers all allocation to `System`; the bookkeeping is
+    // lock-free atomics and never allocates or panics.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            INSTALLED.store(1, Ordering::Relaxed);
+            let slot = CURRENT.load(Ordering::Relaxed).min(SLOTS - 1);
+            BYTES[slot].fetch_add(layout.size() as u64, Ordering::Relaxed);
+            ALLOCS[slot].fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            INSTALLED.store(1, Ordering::Relaxed);
+            let slot = CURRENT.load(Ordering::Relaxed).min(SLOTS - 1);
+            let grown = new_size.saturating_sub(layout.size());
+            BYTES[slot].fetch_add(grown as u64, Ordering::Relaxed);
+            ALLOCS[slot].fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Sets the scope charged for subsequent allocations
+    /// (`usize::MAX` = unscoped). Called by the span engine.
+    pub(crate) fn set_current(scope_idx: usize) {
+        CURRENT.store(scope_idx.min(SLOTS - 1), Ordering::Relaxed);
+    }
+
+    /// Zeroes all counters (called on profiler enable).
+    pub(crate) fn reset() {
+        for i in 0..SLOTS {
+            BYTES[i].store(0, Ordering::Relaxed);
+            ALLOCS[i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Current per-scope totals (`Scope::ALL` order plus the trailing
+    /// unscoped slot), or empty if [`CountingAlloc`] is not installed as
+    /// the global allocator.
+    pub(crate) fn snapshot() -> Vec<AllocStats> {
+        if INSTALLED.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        (0..SLOTS)
+            .map(|i| AllocStats {
+                bytes: BYTES[i].load(Ordering::Relaxed),
+                allocs: ALLOCS[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +669,90 @@ mod tests {
         assert_eq!(p.total_events(), 0);
         assert_eq!(p.queue_depth_mean(), 0.0);
         assert_eq!(p.total_wall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn scope_indices_match_all_order() {
+        for (i, &s) in Scope::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "Scope::ALL out of declaration order at {s:?}");
+            assert!(s.name().contains('.'), "scope name {:?} is not subsystem.op", s.name());
+            assert_eq!(s.subsystem(), &s.name()[..s.name().find('.').unwrap()]);
+        }
+        assert_eq!(Scope::COUNT, Scope::ALL.len());
+    }
+
+    #[test]
+    fn span_profiler_builds_a_path_tree_with_self_time() {
+        span_profiler_enable();
+        assert!(span_profiler_enabled());
+        {
+            let _run = ProfScope::enter(Scope::WormRun);
+            for _ in 0..3 {
+                let _scan = ProfScope::enter(Scope::WormPropagate);
+                std::hint::black_box(vec![0u8; 64]);
+            }
+            let _obs = ProfScope::enter(Scope::ObsRecord);
+        }
+        let p = span_profiler_disable().expect("was enabled");
+        assert!(!span_profiler_enabled());
+        assert_eq!(p.nodes.len(), 3, "three unique stack paths");
+        let run = p.nodes.iter().position(|n| n.scope == Scope::WormRun).unwrap();
+        let scan = p.nodes.iter().position(|n| n.scope == Scope::WormPropagate).unwrap();
+        assert_eq!(p.nodes[run].parent, None);
+        assert_eq!(p.nodes[scan].parent, Some(run));
+        assert_eq!(p.nodes[run].calls, 1);
+        assert_eq!(p.nodes[scan].calls, 3);
+        assert_eq!(p.path_name(scan), "worm.run;worm.propagate");
+        // Exclusive time never exceeds inclusive time, and the root's
+        // total covers its children.
+        for n in &p.nodes {
+            assert!(n.self_wall <= n.total);
+        }
+        assert!(p.nodes[run].total >= p.nodes[scan].total);
+        assert_eq!(p.attributed_total(), p.nodes[run].total);
+        let totals = p.scope_totals();
+        assert_eq!(totals.len(), 3);
+        assert!(totals.iter().any(|(s, n)| *s == Scope::WormPropagate && n.calls == 3));
+    }
+
+    #[test]
+    fn span_profiler_disable_without_enable_is_none() {
+        assert!(span_profiler_disable().is_none());
+        // A guard entered while disabled is inert.
+        let g = ProfScope::enter(Scope::DhtRepair);
+        drop(g);
+        assert!(span_profiler_disable().is_none());
+    }
+
+    #[test]
+    fn span_log_caps_and_counts_drops() {
+        span_profiler_enable_logged(2);
+        for _ in 0..5 {
+            let _s = ProfScope::enter(Scope::DhtServe);
+        }
+        let p = span_profiler_disable().unwrap();
+        assert_eq!(p.spans.len(), 2);
+        assert_eq!(p.dropped_spans, 3);
+        // Aggregates still see every span despite the log cap.
+        assert_eq!(p.nodes[0].calls, 5);
+        for s in &p.spans {
+            assert_eq!(p.nodes[s.node].scope, Scope::DhtServe);
+        }
+    }
+
+    #[test]
+    fn open_guard_at_disable_is_closed_into_the_tree() {
+        span_profiler_enable();
+        let guard = ProfScope::enter(Scope::ChordStabilize);
+        let p = span_profiler_disable().unwrap();
+        assert_eq!(p.nodes.len(), 1);
+        assert_eq!(p.nodes[0].calls, 1);
+        // The guard outlived the session; dropping it now is a no-op for
+        // the next session.
+        span_profiler_enable();
+        drop(guard);
+        let p2 = span_profiler_disable().unwrap();
+        // The stale pop is absorbed without corrupting the fresh tree.
+        assert!(p2.nodes.len() <= 1, "stale guard must not invent paths");
     }
 }

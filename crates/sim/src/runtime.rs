@@ -531,6 +531,7 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         let Some(mut hook) = self.assertor.take() else {
             return;
         };
+        let _span = crate::profile::ProfScope::enter(crate::profile::Scope::ObsRecord);
         let verdict = {
             let view = SampleView {
                 now: self.now,
@@ -559,6 +560,7 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         let Some(mut slot) = self.sampler.take() else {
             return;
         };
+        let _span = crate::profile::ProfScope::enter(crate::profile::Scope::ObsRecord);
         while slot.next <= t {
             if self.now < slot.next {
                 self.now = slot.next;
@@ -783,17 +785,21 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
         let class = match ev {
             RtEvent::Deliver { from, to, msg, cause } => {
                 if self.nodes.contains_key(&to) {
+                    let _span = crate::profile::ProfScope::enter(crate::profile::Scope::SimDeliver);
                     self.stats.messages_delivered += 1;
                     self.trace(cause, TraceKind::Deliver { from, to });
                     self.with_ctx_caused(to, cause, |node, ctx| node.on_message(from, msg, ctx));
                     EventClass::Deliver
                 } else {
+                    let _span =
+                        crate::profile::ProfScope::enter(crate::profile::Scope::SimDeadLetter);
                     self.stats.messages_dropped += 1;
                     self.trace(cause, TraceKind::Drop { to });
                     EventClass::DeadLetter
                 }
             }
             RtEvent::Timer { node, timer, cause } => {
+                let _span = crate::profile::ProfScope::enter(crate::profile::Scope::SimTimer);
                 if self.nodes.contains_key(&node) {
                     self.with_ctx_caused(node, cause, |n, ctx| n.on_timer(timer, ctx));
                 }

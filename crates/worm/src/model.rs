@@ -17,7 +17,7 @@ use rand::Rng;
 
 use verme_obs::monitor::Monitor;
 use verme_sim::trace::{CauseId, FlightRecorder, ProtoEvent, TraceEvent, TraceKind};
-use verme_sim::{Addr, EventQueue, SeedSource, SimDuration, SimTime, TimeSeries};
+use verme_sim::{Addr, EventQueue, ProfScope, Scope, SeedSource, SimDuration, SimTime, TimeSeries};
 
 /// Worm timing parameters. Defaults are the paper's (§7.3, after Staniford et al.):
 /// 100 scans/machine/second, 100 ms infection time, 1 s activation delay.
@@ -368,6 +368,7 @@ impl WormSim {
             Some(s) => (s.mon.clone(), s.interval, s.next),
             None => return,
         };
+        let _span = ProfScope::enter(Scope::ObsRecord);
         while next <= t {
             if self.now < next {
                 self.now = next;
@@ -518,6 +519,7 @@ impl WormSim {
     /// Monitor sample points due by `deadline` fire in timestamp order
     /// with the outbreak's own events (samples precede same-time events).
     pub fn run_until(&mut self, deadline: SimTime) {
+        let _span = ProfScope::enter(Scope::WormRun);
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
@@ -537,6 +539,7 @@ impl WormSim {
 
     /// Runs until no events remain (the outbreak has burnt out).
     pub fn run_to_quiescence(&mut self) {
+        let _span = ProfScope::enter(Scope::WormRun);
         while let Some(t) = self.queue.peek_time() {
             if self.monitor.is_some() {
                 self.fire_samples_until(t);
@@ -556,8 +559,12 @@ impl WormSim {
         };
         self.now = t;
         match ev {
-            Ev::Scan { node } => self.do_scan(node),
+            Ev::Scan { node } => {
+                let _span = ProfScope::enter(Scope::WormPropagate);
+                self.do_scan(node)
+            }
             Ev::InfectDone { attacker, victim } => {
+                let _span = ProfScope::enter(Scope::WormPropagate);
                 if self.states[victim as usize] == WormState::NotInfected {
                     self.cause_of[victim as usize] = self.cause_of[attacker as usize];
                     self.mark_infected(victim);
@@ -576,12 +583,16 @@ impl WormSim {
                     .schedule(self.now + self.params.scan_interval(), Ev::Scan { node: attacker });
             }
             Ev::Activate { node } => {
+                let _span = ProfScope::enter(Scope::WormPropagate);
                 if self.states[node as usize] == WormState::Inactive {
                     self.note(node, "worm.activated");
                     self.begin_scanning(node);
                 }
             }
-            Ev::Alert { node } => self.do_alert(node),
+            Ev::Alert { node } => {
+                let _span = ProfScope::enter(Scope::WormAlert);
+                self.do_alert(node)
+            }
         }
         true
     }

@@ -28,7 +28,7 @@ use rand::Rng;
 use verme_chord::{Id, NodeHandle, StaticRing};
 use verme_core::{SectionLayout, VermeStaticRing};
 use verme_crypto::NodeType;
-use verme_sim::{Addr, SeedSource, SimDuration, SimTime, TimeSeries};
+use verme_sim::{Addr, ProfScope, Scope, SeedSource, SimDuration, SimTime, TimeSeries};
 
 use verme_obs::Monitor;
 use verme_sim::FlightRecorder;
@@ -294,6 +294,7 @@ fn verme_sections(ring: &VermeStaticRing, nodes: usize) -> Vec<u32> {
 /// Builds the Chord population: target lists from real routing state and
 /// a random 50% vulnerable map.
 fn build_chord_view(cfg: &ScenarioConfig) -> (Vec<Vec<u32>>, Vec<bool>) {
+    let _span = ProfScope::enter(Scope::WormBuild);
     let src = SeedSource::new(cfg.seed);
     let mut rng = src.stream("chord-ids");
     let mut ids: Vec<Id> = Vec::with_capacity(cfg.nodes);
@@ -335,6 +336,7 @@ fn build_chord_view(cfg: &ScenarioConfig) -> (Vec<Vec<u32>>, Vec<bool>) {
 /// Builds the Verme population: the vulnerable machines are exactly the
 /// type-A nodes (one shared platform, 50% of the population).
 fn build_verme_view(cfg: &ScenarioConfig) -> (VermeStaticRing, Vec<Vec<u32>>, Vec<bool>) {
+    let _span = ProfScope::enter(Scope::WormBuild);
     let layout = SectionLayout::with_sections(cfg.sections, 2);
     let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
     let n = cfg.nodes;
@@ -382,6 +384,7 @@ fn result_from(sim: WormSim, vulnerable: usize, nodes: usize) -> ScenarioResult 
 /// way (`successor(id + 2^i)`). Long fingers then land in *same-type*
 /// sections, and the worm crosses islands freely.
 fn run_verme_ablated(cfg: &ScenarioConfig, inst: &Instrumentation) -> ScenarioResult {
+    let build_span = ProfScope::enter(Scope::WormBuild);
     let layout = SectionLayout::with_sections(cfg.sections, 2);
     let ring = VermeStaticRing::generate(layout, cfg.nodes, cfg.seed);
     let n = cfg.nodes;
@@ -408,6 +411,7 @@ fn run_verme_ablated(cfg: &ScenarioConfig, inst: &Instrumentation) -> ScenarioRe
         targets.push(list);
     }
     let vulnerable: Vec<bool> = (0..n).map(|i| ring.type_of_index(i) == NodeType::A).collect();
+    drop(build_span);
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
     let mut sim = instrument(
         WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
@@ -453,6 +457,7 @@ fn run_swarm(cfg: &ScenarioConfig, type_aware: bool, inst: &Instrumentation) -> 
     let types: Vec<NodeType> =
         (0..n).map(|i| if i % 2 == 0 { NodeType::A } else { NodeType::B }).collect();
     let island_size = (n as u128 / cfg.sections).max(2) as usize;
+    let build_span = ProfScope::enter(Scope::WormBuild);
     let assignment = if type_aware {
         let tcfg = TrackerConfig {
             island_size,
@@ -463,6 +468,7 @@ fn run_swarm(cfg: &ScenarioConfig, type_aware: bool, inst: &Instrumentation) -> 
     } else {
         assign_random(&types, 2 * cfg.num_successors, cfg.seed)
     };
+    drop(build_span);
     let vulnerable: Vec<bool> = types.iter().map(|&t| t == NodeType::A).collect();
     let vuln_count = vulnerable.iter().filter(|&&v| v).count();
     let mut rng = SeedSource::new(cfg.seed).stream("seed-node");
@@ -640,6 +646,7 @@ fn run_compromise(
     // impersonator in its routing state (its "reverse" neighbors), times
     // the per-node operation rate.
     let mut clients: Vec<(u32, f64)> = Vec::new(); // (client, weight)
+    let build_span = ProfScope::enter(Scope::WormBuild);
     for (x, list) in targets.iter().enumerate() {
         if x == imp {
             continue;
@@ -661,6 +668,7 @@ fn run_compromise(
         }
     }
     let lambda: f64 = node_lookup_rate * clients.iter().map(|&(_, w)| w).sum::<f64>();
+    drop(build_span);
 
     let mut sim = instrument(
         WormSim::new(targets, vulnerable, cfg.params.clone(), cfg.seed),
