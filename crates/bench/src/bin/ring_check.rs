@@ -54,6 +54,9 @@ fn proof_params(variant: Variant, slots: usize, max_fails: usize) -> ModelParams
         guard_redundancy: true,
         finger_oracle: true,
         max_fails,
+        // Graceful departures are part of the proof since the chaos PR:
+        // every reachable interleaving now includes Leave events too.
+        allow_leaves: true,
         max_states: 40_000_000,
         check_convergence: true,
     }
@@ -210,6 +213,7 @@ fn main() {
                 guard_redundancy: false,
                 finger_oracle: false,
                 max_fails: 4,
+                allow_leaves: false,
                 max_states: 1,
                 check_convergence: false,
             };

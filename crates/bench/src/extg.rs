@@ -227,6 +227,7 @@ fn run_dhash_cell(
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, burst_size, cell_seed)
@@ -274,6 +275,7 @@ fn run_fast_cell(
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, burst_size, cell_seed)

@@ -285,6 +285,7 @@ fn run_dhash_cell(
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed)
@@ -325,6 +326,7 @@ fn run_fast_cell(params: &ExtIParams, churn_rate: f64, arm: RepairArm, cell_seed
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
 
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed)

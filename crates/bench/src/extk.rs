@@ -348,6 +348,7 @@ fn run_dhash_cell(params: &ExtKParams, fraction: f64, cell_seed: u64) -> ExtKCel
                     .set_behaviour(Box::new(Byzantine::new(cfg)));
             }
         }),
+        restart: Box::new(|_, _, _, _, _| None),
     };
     drive_cell(rt, addrs, adversaries, hooks, params, cell_seed)
 }
@@ -387,6 +388,7 @@ where
                     .set_behaviour(Box::new(Byzantine::new(cfg)));
             }
         }),
+        restart: Box::new(|_, _, _, _, _| None),
     };
     drive_cell(rt, addrs, adversaries, hooks, params, cell_seed)
 }

@@ -321,6 +321,7 @@ fn run_chord_cell(
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed, |n| n.ring_stance())
 }
@@ -384,6 +385,7 @@ fn run_verme_cell(
             })
         }),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
     drive_cell(rt, addrs, hooks, params, churn_rate, cell_seed, |n| n.ring_stance())
 }

@@ -42,6 +42,7 @@ pub mod exti;
 pub mod extk;
 pub mod extl;
 pub mod extm;
+pub mod exto;
 pub mod fig5;
 pub mod fig67;
 pub mod fig8;

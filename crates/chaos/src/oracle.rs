@@ -1,0 +1,92 @@
+//! Oracle verdicts: what a trial is judged against.
+//!
+//! Each oracle is a *safety* specification: it must never flag a correct
+//! protocol under any schedule the envelope can generate, because the
+//! explorer treats any finding as a bug to shrink. Liveness-flavoured
+//! checks are therefore phrased as state-machine obligations ("every
+//! issued lookup produces an outcome") rather than success guarantees
+//! ("every lookup finds its key"), which arbitrary fault schedules can
+//! legitimately defeat.
+//!
+//! Findings carry deterministic details derived only from simulator
+//! state, so replaying a trial reproduces the identical [`OracleReport`].
+
+/// One oracle complaint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which oracle fired (a stable kebab-case name).
+    pub oracle: &'static str,
+    /// Deterministic description of what it saw.
+    pub detail: String,
+}
+
+/// The verdict of one trial: empty means every oracle passed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Every complaint raised, in oracle-evaluation order.
+    pub findings: Vec<Finding>,
+}
+
+impl OracleReport {
+    /// True when no oracle fired.
+    pub fn pass(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Records a finding.
+    pub fn flag(&mut self, oracle: &'static str, detail: String) {
+        self.findings.push(Finding { oracle, detail });
+    }
+
+    /// The distinct oracle names that fired, in first-seen order.
+    pub fn oracles(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for f in &self.findings {
+            if !out.contains(&f.oracle) {
+                out.push(f.oracle);
+            }
+        }
+        out
+    }
+}
+
+/// The continuous ring-invariant oracle's name.
+pub const RING_INVARIANT: &str = "ring-invariant";
+/// The end-of-run ring snapshot oracle's name.
+pub const RING_END: &str = "ring-end";
+/// The lookup state-machine liveness oracle's name.
+pub const LOOKUP_LIVENESS: &str = "lookup-liveness";
+/// The routing agreement oracle's name (two issuers, same key, different
+/// owners — the signature of a partitioned ring).
+pub const ROUTING_AGREEMENT: &str = "routing-agreement";
+/// The durability census oracle's name.
+pub const DURABILITY: &str = "durability";
+/// Raised when a schedule fails plan validation instead of panicking, so
+/// hand-edited repro files fail loudly but deterministically.
+pub const INVALID_SCHEDULE: &str = "invalid-schedule";
+
+/// Maps an oracle name back to its canonical `&'static str`, or `None`
+/// for names no oracle owns (used by the repro parser to reject files
+/// claiming verdicts this build cannot produce).
+pub fn intern(name: &str) -> Option<&'static str> {
+    [RING_INVARIANT, RING_END, LOOKUP_LIVENESS, ROUTING_AGREEMENT, DURABILITY, INVALID_SCHEDULE]
+        .into_iter()
+        .find(|&k| k == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_dedups_oracle_names() {
+        let mut r = OracleReport::default();
+        assert!(r.pass());
+        r.flag(RING_INVARIANT, "7 violations".into());
+        r.flag(RING_END, "DisorderedRing".into());
+        r.flag(RING_INVARIANT, "again".into());
+        assert!(!r.pass());
+        assert_eq!(r.oracles(), vec![RING_INVARIANT, RING_END]);
+        assert_eq!(r.findings.len(), 3);
+    }
+}

@@ -69,6 +69,11 @@ pub struct ModelParams {
     pub finger_oracle: bool,
     /// Maximum fail events along any execution (counted as dead slots).
     pub max_fails: usize,
+    /// Also enumerate graceful departures ([`ModelEvent::Leave`]): the
+    /// leaver atomically hands its lists to its farewell recipients, then
+    /// dies. Departures count against `max_fails` (dead is dead for the
+    /// state-space bound). Off preserves the PR-8 state spaces exactly.
+    pub allow_leaves: bool,
     /// Hard cap on distinct canonical states before bailing out.
     pub max_states: usize,
     /// Also check eventual convergence from every reachable state.
@@ -125,6 +130,10 @@ pub enum ModelEvent {
     JoinFinish(u8, u8),
     /// Node `.0` fails.
     Fail(u8),
+    /// Node `.0` departs gracefully: one atomic farewell round (the wire
+    /// `Leaving` exchange collapsed into a single step), then the node is
+    /// gone. Only enumerated when [`ModelParams::allow_leaves`] is set.
+    Leave(u8),
     /// Node `.0` runs one full stabilization round.
     Stabilize(u8),
 }
@@ -510,6 +519,86 @@ impl ModelState {
         self.nodes[i as usize] = MNode { status: Status::Dead, ..MNode::unborn() };
     }
 
+    /// Leave guard: only an active (joined) node sends farewells, some
+    /// other live node must remain, and departures share the `max_fails`
+    /// dead-slot budget. No redundancy guard — the atomic handoff is
+    /// what a graceful departure substitutes for it.
+    fn may_leave(&self, i: u8, params: &ModelParams) -> bool {
+        params.allow_leaves
+            && self.nodes[i as usize].status == Status::Active
+            && self.dead_count() < params.max_fails
+            && self.actives().len() > 1
+    }
+
+    /// One atomic graceful departure: the wire `on_shutdown` farewell
+    /// (`Leaving { successors, predecessor(s) }` to the predecessor side
+    /// and the first successor) and both `handle_leaving` executions
+    /// collapsed into a single step, then the leaver is dead.
+    fn leave(&mut self, i: u8, params: &ModelParams) {
+        let leaver = self.nodes[i as usize].clone();
+        let recipients: Vec<u8> = {
+            let pred_side = match params.variant {
+                Variant::Chord => leaver.pred,
+                Variant::Section => leaver.preds.first().copied(),
+            };
+            let succ_side = leaver.succs.first().copied();
+            let mut v: Vec<u8> = pred_side.into_iter().chain(succ_side).collect();
+            v.dedup();
+            v
+        };
+        self.fail(i);
+        for r in recipients {
+            // A farewell to a dead or unborn neighbor is a dead letter.
+            if !self.active(r) {
+                continue;
+            }
+            // handle_leaving: mark the leaver dead in the recipient's own
+            // pointers first…
+            let node = &mut self.nodes[r as usize];
+            node.succs.retain(|&x| x != i);
+            node.preds.retain(|&x| x != i);
+            if node.pred == Some(i) {
+                node.pred = None;
+            }
+            // …then integrate the advertised lists (the wire side uses the
+            // rank-sorted `NeighborList::integrate` in both modes here).
+            match params.variant {
+                Variant::Chord => {
+                    let mut cands = self.nodes[r as usize].succs.clone();
+                    cands.extend(leaver.succs.iter().copied().filter(|&x| x != i));
+                    self.nodes[r as usize].succs = self.sort_cw(r, &cands, params.list_len);
+                    if !self.nodes[r as usize].succs.is_empty() {
+                        self.nodes[r as usize].seeded = true;
+                    }
+                    // The advertised predecessor rides along as a notify.
+                    if let Some(c) = leaver.pred {
+                        if c != r && c != i {
+                            self.notify(r, c, params);
+                        }
+                    }
+                }
+                Variant::Section => {
+                    // Direction-appropriate handoff, mirroring the wire
+                    // fix: the leaver's successors are strictly inside the
+                    // forward arc from either recipient, its predecessors
+                    // strictly behind — cross-integrating instead lets a
+                    // behind-entry head a freshly emptied successor list
+                    // and later resolve into a backwards (multi-lap) ring
+                    // edge, a DisorderedRing the checker catches.
+                    let mut s_cands = self.nodes[r as usize].succs.clone();
+                    s_cands.extend(leaver.succs.iter().copied().filter(|&x| x != i && x != r));
+                    self.nodes[r as usize].succs = self.sort_cw(r, &s_cands, params.list_len);
+                    let mut p_cands = self.nodes[r as usize].preds.clone();
+                    p_cands.extend(leaver.preds.iter().copied().filter(|&x| x != i && x != r));
+                    self.nodes[r as usize].preds = self.sort_ccw(r, &p_cands, params.list_len);
+                    if !self.nodes[r as usize].succs.is_empty() {
+                        self.nodes[r as usize].seeded = true;
+                    }
+                }
+            }
+        }
+    }
+
     /// Every enabled transition from this state.
     pub fn transitions(&self, params: &ModelParams) -> Vec<(ModelEvent, ModelState)> {
         let mut out = Vec::new();
@@ -541,6 +630,11 @@ impl ModelState {
                         let mut st = self.clone();
                         st.fail(i);
                         out.push((ModelEvent::Fail(i), st));
+                    }
+                    if self.may_leave(i, params) {
+                        let mut st = self.clone();
+                        st.leave(i, params);
+                        out.push((ModelEvent::Leave(i), st));
                     }
                 }
                 _ => {}
@@ -581,6 +675,12 @@ impl ModelState {
                     && self.may_fail(i, params)
                 {
                     self.fail(i);
+                    return true;
+                }
+            }
+            ModelEvent::Leave(i) => {
+                if valid(i) && self.may_leave(i, params) {
+                    self.leave(i, params);
                     return true;
                 }
             }
@@ -808,6 +908,7 @@ mod tests {
             guard_redundancy: true,
             finger_oracle: true,
             max_fails: 4,
+            allow_leaves: false,
             max_states: 200_000,
             check_convergence: false,
         }
@@ -890,6 +991,70 @@ mod tests {
         let out = explore(&p);
         assert!(!out.truncated);
         assert_eq!(out.violation_states, 0, "{:?}", out.samples);
+    }
+
+    #[test]
+    fn corrected_small_ring_is_safe_with_leaves() {
+        for variant in [Variant::Chord, Variant::Section] {
+            let p =
+                ModelParams { allow_leaves: true, ..params(variant, MaintenanceMode::Corrected) };
+            let out = explore(&p);
+            assert!(!out.truncated);
+            assert_eq!(out.violation_states, 0, "{variant:?}: {:?}", out.samples);
+        }
+    }
+
+    #[test]
+    fn leave_hands_lists_over_and_dies() {
+        let p = ModelParams {
+            allow_leaves: true,
+            ..params(Variant::Chord, MaintenanceMode::Corrected)
+        };
+        let mut st = ModelState::ideal(&p, &[0, 1, 2, 3]);
+        assert!(st.apply(ModelEvent::Leave(1), &p), "leave must be enabled on an ideal ring");
+        assert_eq!(st.nodes[1].status, Status::Dead);
+        // Node 0 (the leaver's predecessor) learned 1's successors and no
+        // longer points at 1.
+        assert!(!st.nodes[0].succs.contains(&1));
+        assert_eq!(st.nodes[0].succs.first(), Some(&2), "handoff skipped the ring ahead");
+        // Node 2 (the leaver's successor) adopted the advertised
+        // predecessor 0 via the notify that rides the farewell.
+        assert_eq!(st.nodes[2].pred, Some(0));
+        assert!(st.check().ok(), "{:?}", st.check().violations);
+        assert!(st.converges(&p).is_ok(), "{:?}", st.converges(&p));
+    }
+
+    #[test]
+    fn leave_is_guarded() {
+        let p = ModelParams {
+            allow_leaves: true,
+            ..params(Variant::Chord, MaintenanceMode::Corrected)
+        };
+        // A singleton may not leave (the ring would be empty)…
+        let mut st = ModelState::initial(&p);
+        assert!(!st.apply(ModelEvent::Leave(0), &p));
+        // …a joining node sends no farewell…
+        st.nodes[1].status = Status::Joining;
+        assert!(!st.apply(ModelEvent::Leave(1), &p));
+        // …and with leaves disabled the event is never enabled.
+        let p_off = ModelParams { allow_leaves: false, ..p.clone() };
+        let mut ideal = ModelState::ideal(&p_off, &[0, 1, 2, 3]);
+        assert!(!ideal.apply(ModelEvent::Leave(1), &p_off));
+        assert!(
+            ideal.transitions(&p_off).iter().all(|(ev, _)| !matches!(ev, ModelEvent::Leave(_))),
+            "leaves-off must preserve the PR-8 transition set"
+        );
+    }
+
+    #[test]
+    fn leaves_off_state_space_matches_pr8() {
+        // The allow_leaves=false enumeration must be exactly the old one.
+        let p_off = params(Variant::Chord, MaintenanceMode::Corrected);
+        let p_on = ModelParams { allow_leaves: true, ..p_off.clone() };
+        let off = explore(&p_off);
+        let on = explore(&p_on);
+        assert!(on.states >= off.states, "leaves can only add reachable states");
+        assert_eq!(on.violation_states, 0, "{:?}", on.samples);
     }
 
     #[test]

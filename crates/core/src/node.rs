@@ -1291,6 +1291,14 @@ impl<P: Payload> VermeNode<P> {
     /// A neighbor announced a graceful departure: splice it out and absorb
     /// the neighbor lists it handed over, instead of waiting for the next
     /// stabilization round to time out on it.
+    ///
+    /// The handoff is direction-appropriate: the leaver's successors feed
+    /// only our successor list and its predecessors only our predecessor
+    /// list. The 6-slot model checker found that cross-integrating (each
+    /// handle into both lists) lets a predecessor of the leaver land at
+    /// the head of its first predecessor's freshly emptied successor
+    /// list, and a later failure then resolves that entry into a
+    /// backwards ring edge — a transient `DisorderedRing` snapshot.
     fn handle_leaving(
         &mut self,
         node: NodeHandle,
@@ -1298,13 +1306,14 @@ impl<P: Payload> VermeNode<P> {
         predecessors: Vec<NodeHandle>,
     ) {
         self.mark_dead(node.addr);
-        for h in successors.into_iter().chain(predecessors) {
-            if h.addr != self.me.addr {
-                let s = self.successors.integrate(h);
-                let p = self.predecessors.integrate(h);
-                if s || p {
-                    self.neighbor_epoch += 1;
-                }
+        for h in successors {
+            if h.addr != self.me.addr && self.successors.integrate(h) {
+                self.neighbor_epoch += 1;
+            }
+        }
+        for h in predecessors {
+            if h.addr != self.me.addr && self.predecessors.integrate(h) {
+                self.neighbor_epoch += 1;
             }
         }
         self.note_seeded();

@@ -1,0 +1,69 @@
+//! Chaos-search observability.
+//!
+//! The `verme-chaos` explorer counts its work under the keys in this
+//! module. They exist only when an exploration actually runs — a plain
+//! simulation with no chaos plane active materializes none of them,
+//! preserving the workspace's byte-identical-when-off guarantee. As with
+//! the ring keys, the definitions live in the consumer crate: the chaos
+//! crate produces verdicts, this module names, registers, and alerts on
+//! them.
+
+use verme_sim::MetricDesc;
+
+use crate::detect::Rule;
+use crate::monitor::Monitor;
+
+/// Trials executed by the explorer (counter).
+pub const TRIALS: &str = "chaos.trials";
+
+/// Trials whose oracle set raised at least one finding (counter). Any
+/// non-zero value on the corrected protocol is a bug.
+pub const VIOLATIONS: &str = "chaos.violations";
+
+/// Accepted ddmin reductions while shrinking discoveries (counter).
+pub const SHRINK_STEPS: &str = "chaos.shrink_steps";
+
+/// Entries remaining in each shrunk repro schedule (histogram). The
+/// shrinker's value proposition in one number: generated schedules carry
+/// up to six entries, minimal witnesses usually one or two.
+pub const SHRUNK_ENTRIES: &str = "chaos.shrunk_entries";
+
+/// Registry descriptors for the explorer's metrics.
+pub fn descriptors() -> &'static [MetricDesc] {
+    const DESCS: &[MetricDesc] = &[
+        MetricDesc::counter(TRIALS, "trials", "chaos trials executed"),
+        MetricDesc::counter(VIOLATIONS, "trials", "chaos trials with oracle findings"),
+        MetricDesc::counter(SHRINK_STEPS, "reductions", "accepted ddmin reductions"),
+        MetricDesc::histogram(SHRUNK_ENTRIES, "entries", "schedule entries per shrunk repro"),
+    ];
+    DESCS
+}
+
+/// Arms `monitor` with the chaos rule: any trial with a finding raises a
+/// typed alert. Feed the monitor the run's cumulative `chaos.violations`
+/// counter from a sampler.
+pub fn arm_monitor(monitor: &Monitor) {
+    monitor.add_rule(VIOLATIONS, Rule::Threshold { min: 1.0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verme_sim::SimTime;
+
+    #[test]
+    fn descriptors_cover_every_key() {
+        let names: Vec<&str> = descriptors().iter().map(|d| d.name).collect();
+        assert_eq!(names, vec![TRIALS, VIOLATIONS, SHRINK_STEPS, SHRUNK_ENTRIES]);
+    }
+
+    #[test]
+    fn armed_monitor_alerts_on_first_violation() {
+        let mon = Monitor::new(16);
+        arm_monitor(&mon);
+        mon.observe(VIOLATIONS, SimTime::ZERO, 0.0, None);
+        assert!(mon.alerts().is_empty());
+        mon.observe(VIOLATIONS, SimTime::ZERO, 1.0, None);
+        assert_eq!(mon.alerts().len(), 1);
+    }
+}

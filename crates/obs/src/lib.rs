@@ -51,6 +51,7 @@
 //! assert_eq!(stats.events, 0); // nothing ran in this doc example
 //! ```
 
+pub mod chaos;
 pub mod detect;
 pub mod export;
 pub mod invariant;

@@ -62,6 +62,10 @@ pub mod keys {
     pub const BURST_KILL: &str = "fault.burst_kill";
     /// Counter: nodes flipped to a Byzantine routing behaviour.
     pub const BYZANTINE: &str = "fault.byzantine";
+    /// Counter: nodes crashed by a [`Fault::Restart`](super::Fault::Restart).
+    pub const RESTART: &str = "fault.restart";
+    /// Counter: restarted nodes that rejoined under the same identifier.
+    pub const RESTART_REJOIN: &str = "fault.restart_rejoin";
     /// Histogram: milliseconds from the end of a kill burst until the
     /// `ring_converged` hook first reported true.
     pub const RECONVERGE_MS: &str = "fault.reconverge_ms";
@@ -75,10 +79,41 @@ pub mod keys {
             MetricDesc::counter(LEAVE_GRACEFUL, "nodes", "churn departures executed gracefully"),
             MetricDesc::counter(BURST_KILL, "nodes", "nodes killed by correlated bursts"),
             MetricDesc::counter(BYZANTINE, "nodes", "nodes flipped to Byzantine behaviour"),
+            MetricDesc::counter(RESTART, "nodes", "nodes crashed by a scripted restart"),
+            MetricDesc::counter(RESTART_REJOIN, "nodes", "restarted nodes rejoined, same id"),
             MetricDesc::histogram(RECONVERGE_MS, "ms", "kill-burst end to ring reconvergence"),
         ];
         DESCS
     }
+}
+
+/// What a node remembers when it comes back from a [`Fault::Restart`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Recovery {
+    /// The node rejoins with nothing but its identifier — routing state,
+    /// stored blocks and pending operations are all gone, as after a disk
+    /// wipe. The overlay must treat it as a brand-new joiner that happens
+    /// to own an old id (the PR-8 rejoin path).
+    Amnesia,
+    /// The node rejoins with a checkpoint of its pre-crash state (routing
+    /// pointers, stored blocks), as after a reboot with an intact disk.
+    /// The state may be stale — neighbors moved on while it was down — so
+    /// repair and stabilization must reconcile it (the PR-5
+    /// hinted-handoff/read-repair paths).
+    Persisted,
+}
+
+/// Which half of a restart the [`RestartHook`] is being asked to perform.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RestartPhase {
+    /// Called while the victim is still alive, just before the crash: the
+    /// binding should snapshot whatever [`Recovery::Persisted`] is allowed
+    /// to keep. The return value is ignored.
+    Checkpoint,
+    /// Called when the downtime elapses: the binding should respawn the
+    /// *same identifier* (on the victim's original host) and return the new
+    /// address, or `None` if rejoining is impossible right now.
+    Rejoin,
 }
 
 /// One scripted adverse condition inside a [`FaultPlan`].
@@ -149,6 +184,49 @@ pub enum Fault {
         selector: String,
         /// Protocol-interpreted attack script.
         attack: String,
+    },
+    /// Message-duplication burst: every message sent during the window is,
+    /// with probability `rate`, delivered a second time (the extra copy
+    /// landing between 1× and 2× the original's delay). Exercises
+    /// idempotence of handlers — retries, repair pushes and farewell
+    /// messages all arrive twice under this window.
+    Duplicate {
+        /// When the duplication window opens.
+        at: SimTime,
+        /// How long duplication lasts.
+        duration: SimDuration,
+        /// Per-message duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bounded delivery reordering: every message sent during the window
+    /// is, with probability `rate`, delayed by an extra uniform draw from
+    /// `(0, window]` — so later sends can overtake it by up to `window`.
+    /// FIFO-per-link assumptions (e.g. "my notify arrives before my next
+    /// stabilize") break under this fault.
+    Reorder {
+        /// When the reordering window opens.
+        at: SimTime,
+        /// How long reordering lasts.
+        duration: SimDuration,
+        /// Per-message reorder probability in `[0, 1]`.
+        rate: f64,
+        /// Upper bound on the extra jitter a reordered message receives.
+        window: SimDuration,
+    },
+    /// Crash-then-rejoin of the *same identifier*: every node matched by
+    /// `selector` crashes at `at` and rejoins `down_for` later on its
+    /// original host, with [`Recovery`] deciding what it remembers. Unlike
+    /// [`Fault::Churn`] rejoins (fresh identifiers), a restart makes the
+    /// overlay re-admit an id it may still carry dead pointers for.
+    Restart {
+        /// When the victims crash.
+        at: SimTime,
+        /// How long each victim stays down before rejoining.
+        down_for: SimDuration,
+        /// Protocol-interpreted victim filter, e.g. `"frac:0.1"`.
+        selector: String,
+        /// What the victims remember when they come back.
+        recovery: Recovery,
     },
     /// Cuts the network in two: messages between `side` hosts and the rest
     /// are dropped for `duration`, then connectivity is restored.
@@ -258,6 +336,30 @@ impl FaultPlan {
                         return err("latency-spike duration must be non-zero".into());
                     }
                 }
+                Fault::Duplicate { rate, duration, .. } => {
+                    if !(0.0..=1.0).contains(rate) {
+                        return err(format!("duplication rate must be in [0, 1]: {rate}"));
+                    }
+                    if duration.is_zero() {
+                        return err("duplication-window duration must be non-zero".into());
+                    }
+                }
+                Fault::Reorder { rate, duration, window, .. } => {
+                    if !(0.0..=1.0).contains(rate) {
+                        return err(format!("reorder rate must be in [0, 1]: {rate}"));
+                    }
+                    if duration.is_zero() {
+                        return err("reorder-window duration must be non-zero".into());
+                    }
+                    if window.is_zero() {
+                        return err("reorder jitter window must be non-zero".into());
+                    }
+                }
+                Fault::Restart { selector, .. } => {
+                    if selector.is_empty() {
+                        return err("restart selector must be non-empty".into());
+                    }
+                }
                 Fault::Byzantine { selector, attack, .. } => {
                     if selector.is_empty() {
                         return err("byzantine selector must be non-empty".into());
@@ -294,6 +396,13 @@ pub type ConvergencePredicate<N, L> = Box<dyn FnMut(&Runtime<N, L>) -> bool>;
 /// listed nodes. Must be deterministic given the same runtime state,
 /// attack, and address order.
 pub type CorruptHook<N, L> = Box<dyn FnMut(&mut Runtime<N, L>, &str, &[Addr])>;
+/// Performs one phase of a [`Fault::Restart`] for one victim: at
+/// [`RestartPhase::Checkpoint`] snapshot what [`Recovery::Persisted`] may
+/// keep (return value ignored); at [`RestartPhase::Rejoin`] respawn the
+/// *same identifier* and return the new address, or `None` if rejoining is
+/// impossible. The runner itself performs the crash between the phases.
+pub type RestartHook<N, L> =
+    Box<dyn FnMut(&mut Runtime<N, L>, &mut StdRng, Addr, Recovery, RestartPhase) -> Option<Addr>>;
 
 /// Protocol bindings the [`FaultRunner`] calls back into.
 ///
@@ -309,6 +418,8 @@ pub struct FaultHooks<N: Node, L: LatencyModel> {
     pub ring_converged: ConvergencePredicate<N, L>,
     /// How to turn selected nodes Byzantine ([`Fault::Byzantine`]).
     pub corrupt: CorruptHook<N, L>,
+    /// How to checkpoint and re-admit a node across a [`Fault::Restart`].
+    pub restart: RestartHook<N, L>,
 }
 
 impl<N: Node, L: LatencyModel> FaultHooks<N, L> {
@@ -321,6 +432,7 @@ impl<N: Node, L: LatencyModel> FaultHooks<N, L> {
             select_victims: Box::new(|_, _, _| Vec::new()),
             ring_converged: Box::new(|_| true),
             corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(|_, _, _, _, _| None),
         }
     }
 }
@@ -358,8 +470,56 @@ pub struct FaultReport {
     pub joins: u64,
     /// Nodes flipped Byzantine by [`Fault::Byzantine`] entries.
     pub byzantine: u64,
+    /// Nodes crashed by [`Fault::Restart`] entries.
+    pub restarts: u64,
+    /// Restarted nodes successfully re-admitted under the same identifier.
+    pub restart_rejoins: u64,
     /// One entry per executed [`Fault::KillBurst`], in execution order.
     pub bursts: Vec<BurstImpact>,
+}
+
+/// Overlapping-window bookkeeping for one runtime knob (loss rate, latency
+/// factor, …). The effective value is the *most recently opened* window
+/// still active, falling back to the baseline captured when the first
+/// window opened. Restoring by token — rather than each window snapshotting
+/// "previous" at start — keeps overlapping windows from clobbering the
+/// baseline: with windows A then B overlapping, A's end leaves B's value in
+/// force and B's end restores the true baseline, regardless of end order.
+struct WindowStack<V> {
+    /// `(token, value)` per still-open window, in open order.
+    active: Vec<(u64, V)>,
+    /// The knob's value before the first active window opened.
+    baseline: Option<V>,
+    next_token: u64,
+}
+
+impl<V: Copy> WindowStack<V> {
+    fn new() -> Self {
+        WindowStack { active: Vec::new(), baseline: None, next_token: 0 }
+    }
+
+    /// Opens a window imposing `value`; `current` is captured as the
+    /// baseline if no window is active. Returns the window's token.
+    fn open(&mut self, current: V, value: V) -> u64 {
+        if self.active.is_empty() {
+            self.baseline = Some(current);
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.active.push((token, value));
+        token
+    }
+
+    /// Closes the window named by `token` and returns the value now in
+    /// force: the most recently opened window still active, or the baseline
+    /// once all windows have closed.
+    fn close(&mut self, token: u64) -> V {
+        self.active.retain(|&(t, _)| t != token);
+        match self.active.last() {
+            Some(&(_, v)) => v,
+            None => self.baseline.take().expect("window closed with no baseline captured"),
+        }
+    }
 }
 
 /// The runner's private agenda entries.
@@ -377,12 +537,24 @@ enum Action {
     BurstSettle { burst_idx: usize, window_end: SimTime, deadline: SimTime },
     /// Raise the loss rate; schedules its own restore.
     LossStart { fault_idx: usize },
-    /// Restore the loss rate captured when the burst began.
-    LossEnd { previous: f64 },
+    /// Close loss window `token`, restoring what the stack says is next.
+    LossEnd { token: u64 },
     /// Raise the latency factor; schedules its own restore.
     LatencyStart { fault_idx: usize },
-    /// Restore the latency factor captured when the spike began.
-    LatencyEnd { previous: f64 },
+    /// Close latency window `token`, restoring what the stack says is next.
+    LatencyEnd { token: u64 },
+    /// Raise the duplication rate; schedules its own restore.
+    DupStart { fault_idx: usize },
+    /// Close duplication window `token`.
+    DupEnd { token: u64 },
+    /// Raise the reordering knobs; schedules its own restore.
+    ReorderStart { fault_idx: usize },
+    /// Close reorder window `token`.
+    ReorderEnd { token: u64 },
+    /// Checkpoint and crash the victims of restart `fault_idx`.
+    RestartStart { fault_idx: usize },
+    /// Re-admit one restarted victim under its old identifier.
+    RestartRejoin { addr: Addr, recovery: Recovery },
     /// Install the partition.
     PartitionStart { fault_idx: usize },
     /// Heal the partition.
@@ -418,6 +590,11 @@ pub struct FaultRunner<N: Node, L: LatencyModel> {
     min_population: usize,
     /// Flight recorder snapshotted into each burst's [`BurstImpact::events`].
     recorder: Option<FlightRecorder>,
+    /// Overlapping-window bookkeeping, one stack per runtime knob.
+    loss_windows: WindowStack<f64>,
+    latency_windows: WindowStack<f64>,
+    dup_windows: WindowStack<f64>,
+    reorder_windows: WindowStack<(f64, SimDuration)>,
 }
 
 impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
@@ -452,6 +629,15 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 Fault::LatencySpike { at, .. } => {
                     agenda.schedule(at, Action::LatencyStart { fault_idx });
                 }
+                Fault::Duplicate { at, .. } => {
+                    agenda.schedule(at, Action::DupStart { fault_idx });
+                }
+                Fault::Reorder { at, .. } => {
+                    agenda.schedule(at, Action::ReorderStart { fault_idx });
+                }
+                Fault::Restart { at, .. } => {
+                    agenda.schedule(at, Action::RestartStart { fault_idx });
+                }
                 Fault::Partition { at, .. } => {
                     agenda.schedule(at, Action::PartitionStart { fault_idx });
                 }
@@ -472,6 +658,10 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
             converge_timeout: SimDuration::from_mins(5),
             min_population: 4,
             recorder: None,
+            loss_windows: WindowStack::new(),
+            latency_windows: WindowStack::new(),
+            dup_windows: WindowStack::new(),
+            reorder_windows: WindowStack::new(),
         })
     }
 
@@ -565,21 +755,63 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 let Fault::LossBurst { duration, rate, .. } = self.plan.faults()[fault_idx] else {
                     unreachable!("loss action for non-loss fault");
                 };
-                let previous = rt.loss_rate();
+                let token = self.loss_windows.open(rt.loss_rate(), rate);
                 rt.set_loss_rate(rate);
-                self.agenda.schedule(rt.now() + duration, Action::LossEnd { previous });
+                self.agenda.schedule(rt.now() + duration, Action::LossEnd { token });
             }
-            Action::LossEnd { previous } => rt.set_loss_rate(previous),
+            Action::LossEnd { token } => {
+                let rate = self.loss_windows.close(token);
+                rt.set_loss_rate(rate);
+            }
             Action::LatencyStart { fault_idx } => {
                 let Fault::LatencySpike { duration, factor, .. } = self.plan.faults()[fault_idx]
                 else {
                     unreachable!("latency action for non-latency fault");
                 };
-                let previous = rt.latency_factor();
+                let token = self.latency_windows.open(rt.latency_factor(), factor);
                 rt.set_latency_factor(factor);
-                self.agenda.schedule(rt.now() + duration, Action::LatencyEnd { previous });
+                self.agenda.schedule(rt.now() + duration, Action::LatencyEnd { token });
             }
-            Action::LatencyEnd { previous } => rt.set_latency_factor(previous),
+            Action::LatencyEnd { token } => {
+                let factor = self.latency_windows.close(token);
+                rt.set_latency_factor(factor);
+            }
+            Action::DupStart { fault_idx } => {
+                let Fault::Duplicate { duration, rate, .. } = self.plan.faults()[fault_idx] else {
+                    unreachable!("duplication action for non-duplication fault");
+                };
+                let token = self.dup_windows.open(rt.dup_rate(), rate);
+                rt.set_dup_rate(rate);
+                self.agenda.schedule(rt.now() + duration, Action::DupEnd { token });
+            }
+            Action::DupEnd { token } => {
+                let rate = self.dup_windows.close(token);
+                rt.set_dup_rate(rate);
+            }
+            Action::ReorderStart { fault_idx } => {
+                let Fault::Reorder { duration, rate, window, .. } = self.plan.faults()[fault_idx]
+                else {
+                    unreachable!("reorder action for non-reorder fault");
+                };
+                let current = (rt.reorder_rate(), rt.reorder_window());
+                let token = self.reorder_windows.open(current, (rate, window));
+                rt.set_reorder(rate, window);
+                self.agenda.schedule(rt.now() + duration, Action::ReorderEnd { token });
+            }
+            Action::ReorderEnd { token } => {
+                let (rate, window) = self.reorder_windows.close(token);
+                rt.set_reorder(rate, window);
+            }
+            Action::RestartStart { fault_idx } => self.restart_start(rt, fault_idx),
+            Action::RestartRejoin { addr, recovery } => {
+                if let Some(new_addr) =
+                    (self.hooks.restart)(rt, &mut self.rng, addr, recovery, RestartPhase::Rejoin)
+                {
+                    self.population.push(new_addr);
+                    self.report.restart_rejoins += 1;
+                    rt.metrics_mut().count(keys::RESTART_REJOIN, 1);
+                }
+            }
             Action::PartitionStart { fault_idx } => {
                 let Fault::Partition { duration, ref side, .. } = self.plan.faults()[fault_idx]
                 else {
@@ -680,6 +912,31 @@ impl<N: Node, L: LatencyModel> FaultRunner<N, L> {
                 deadline: window_end + self.converge_timeout,
             },
         );
+    }
+
+    fn restart_start(&mut self, rt: &mut Runtime<N, L>, fault_idx: usize) {
+        let Fault::Restart { down_for, ref selector, recovery, .. } =
+            self.plan.faults()[fault_idx].clone()
+        else {
+            unreachable!("restart action for non-restart fault");
+        };
+        self.prune_dead(rt);
+        let victims = (self.hooks.select_victims)(rt, selector, &self.population);
+        for addr in victims {
+            // A victim may already be dead (killed by an overlapping fault
+            // or an external scenario between selection and now, or the
+            // selector may name dead addresses outright): skip it safely —
+            // no checkpoint, no crash, no rejoin.
+            if !rt.is_alive(addr) {
+                continue;
+            }
+            (self.hooks.restart)(rt, &mut self.rng, addr, recovery, RestartPhase::Checkpoint);
+            rt.kill(addr);
+            self.population.retain(|&a| a != addr);
+            self.report.restarts += 1;
+            rt.metrics_mut().count(keys::RESTART, 1);
+            self.agenda.schedule(rt.now() + down_for, Action::RestartRejoin { addr, recovery });
+        }
     }
 
     fn burst_settle(
@@ -857,6 +1114,7 @@ mod tests {
             select_victims: Box::new(|_, _, _| Vec::new()),
             ring_converged: Box::new(|_| true),
             corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(|_, _, _, _, _| None),
         };
         let mut runner =
             FaultRunner::new(plan, hooks, SeedSource::new(7), addrs).expect("valid plan");
@@ -888,6 +1146,7 @@ mod tests {
             // Healed once the population is back under ping load for a bit.
             ring_converged: Box::new(|rt| rt.now() >= secs(20)),
             corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(|_, _, _, _, _| None),
         };
         let mut runner =
             FaultRunner::new(plan, hooks, SeedSource::new(11), addrs).expect("valid plan");
@@ -923,6 +1182,7 @@ mod tests {
             }),
             ring_converged: Box::new(|rt| rt.now() >= secs(10)),
             corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(|_, _, _, _, _| None),
         };
         let mut runner = FaultRunner::new(plan, hooks, SeedSource::new(5), addrs)
             .expect("valid plan")
@@ -970,6 +1230,223 @@ mod tests {
         runner.run_until(&mut rt, secs(30));
         assert!(!rt.is_partitioned(), "partition healed");
         assert!(rt.stats().partition_dropped > 0, "cross-partition traffic was dropped");
+    }
+
+    #[test]
+    fn overlapping_windows_restore_the_baseline_not_each_other() {
+        // Regression: window A (0.9, 5–15 s) and window B (0.5, 10–20 s)
+        // overlap. The old "restore whatever I saw at start" scheme had
+        // A's end restore the baseline while B was still open, and B's end
+        // then re-impose A's 0.9 forever. The stack restores in any order:
+        // A's end leaves B in force, B's end restores the baseline.
+        let (mut rt, addrs) = build(6, 3);
+        rt.set_loss_rate(0.01);
+        let plan = FaultPlan::new()
+            .with(Fault::LossBurst { at: secs(5), duration: SimDuration::from_secs(10), rate: 0.9 })
+            .with(Fault::LossBurst {
+                at: secs(10),
+                duration: SimDuration::from_secs(10),
+                rate: 0.5,
+            });
+        let mut runner = FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(3), addrs)
+            .expect("valid plan");
+        runner.run_until(&mut rt, secs(7));
+        assert_eq!(rt.loss_rate(), 0.9, "window A in force");
+        runner.run_until(&mut rt, secs(12));
+        assert_eq!(rt.loss_rate(), 0.5, "window B opened second, wins");
+        runner.run_until(&mut rt, secs(17));
+        assert_eq!(rt.loss_rate(), 0.5, "A's end must not clobber B");
+        runner.run_until(&mut rt, secs(25));
+        assert_eq!(rt.loss_rate(), 0.01, "B's end restores the true baseline");
+    }
+
+    #[test]
+    fn nested_latency_windows_unwind_in_any_order() {
+        // Outer spike (×10, 5–25 s) fully contains inner spike (×3,
+        // 10–15 s): the inner end must fall back to the outer's factor,
+        // and the outer end to the baseline.
+        let (mut rt, addrs) = build(6, 9);
+        let plan = FaultPlan::new()
+            .with(Fault::LatencySpike {
+                at: secs(5),
+                duration: SimDuration::from_secs(20),
+                factor: 10.0,
+            })
+            .with(Fault::LatencySpike {
+                at: secs(10),
+                duration: SimDuration::from_secs(5),
+                factor: 3.0,
+            });
+        let mut runner = FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(9), addrs)
+            .expect("valid plan");
+        runner.run_until(&mut rt, secs(12));
+        assert_eq!(rt.latency_factor(), 3.0);
+        runner.run_until(&mut rt, secs(18));
+        assert_eq!(rt.latency_factor(), 10.0, "inner end falls back to the outer window");
+        runner.run_until(&mut rt, secs(30));
+        assert_eq!(rt.latency_factor(), 1.0, "outer end restores nominal latency");
+    }
+
+    #[test]
+    fn duplicate_window_injects_extra_deliveries_and_restores() {
+        let (mut rt, addrs) = build(8, 21);
+        let plan = FaultPlan::new().with(Fault::Duplicate {
+            at: secs(5),
+            duration: SimDuration::from_secs(20),
+            rate: 1.0,
+        });
+        let mut runner = FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(21), addrs)
+            .expect("valid plan");
+        runner.run_until(&mut rt, secs(10));
+        assert_eq!(rt.dup_rate(), 1.0);
+        runner.run_until(&mut rt, secs(40));
+        assert_eq!(rt.dup_rate(), 0.0, "duplication restored after the window");
+        let stats = rt.stats();
+        assert!(stats.messages_duplicated > 0, "rate-1.0 window duplicated nothing");
+        assert!(
+            stats.messages_delivered > stats.messages_sent,
+            "duplicates should inflate deliveries past sends"
+        );
+    }
+
+    #[test]
+    fn reorder_window_jitters_deliveries_and_restores() {
+        let (mut rt, addrs) = build(8, 23);
+        let plan = FaultPlan::new().with(Fault::Reorder {
+            at: secs(5),
+            duration: SimDuration::from_secs(20),
+            rate: 1.0,
+            window: SimDuration::from_secs(2),
+        });
+        let mut runner = FaultRunner::new(plan, FaultHooks::inert(), SeedSource::new(23), addrs)
+            .expect("valid plan");
+        runner.run_until(&mut rt, secs(10));
+        assert_eq!(rt.reorder_rate(), 1.0);
+        assert_eq!(rt.reorder_window(), SimDuration::from_secs(2));
+        runner.run_until(&mut rt, secs(40));
+        assert_eq!(rt.reorder_rate(), 0.0, "reordering restored after the window");
+        assert!(rt.stats().messages_reordered > 0, "rate-1.0 window reordered nothing");
+    }
+
+    #[test]
+    fn restart_crashes_then_rejoins_via_the_hook() {
+        let (mut rt, addrs) = build(8, 31);
+        let first = addrs[0];
+        let plan = FaultPlan::new().with(Fault::Restart {
+            at: secs(10),
+            down_for: SimDuration::from_secs(5),
+            selector: "first:1".into(),
+            recovery: Recovery::Persisted,
+        });
+        // The binding records each phase so the test can assert ordering.
+        let phases = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let phases_hook = phases.clone();
+        let hooks: FaultHooks<PingNode, UniformLatency> = FaultHooks {
+            join: Box::new(|_, _| None),
+            select_victims: Box::new(|_, sel, pop| {
+                let n: usize = sel.strip_prefix("first:").expect("selector").parse().unwrap();
+                pop.iter().copied().take(n).collect()
+            }),
+            ring_converged: Box::new(|_| true),
+            corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(move |rt, _rng, addr, recovery, phase| {
+                phases_hook.borrow_mut().push((addr, recovery, phase));
+                match phase {
+                    RestartPhase::Checkpoint => None,
+                    RestartPhase::Rejoin => {
+                        let host = rt.host_of(addr).expect("victim had a host");
+                        Some(rt.spawn(host, PingNode { peers: Vec::new(), shutdowns_sent: 0 }))
+                    }
+                }
+            }),
+        };
+        let mut runner =
+            FaultRunner::new(plan, hooks, SeedSource::new(31), addrs).expect("valid plan");
+        runner.run_until(&mut rt, secs(12));
+        assert!(!rt.is_alive(first), "victim crashed at 10 s");
+        assert_eq!(rt.num_alive(), 7);
+        runner.run_until(&mut rt, secs(20));
+        assert_eq!(rt.num_alive(), 8, "victim rejoined after 5 s down");
+        let report = runner.into_report();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.restart_rejoins, 1);
+        assert_eq!(rt.metrics().counter(keys::RESTART), 1);
+        assert_eq!(rt.metrics().counter(keys::RESTART_REJOIN), 1);
+        let recorded = phases.borrow();
+        assert_eq!(
+            *recorded,
+            vec![
+                (first, Recovery::Persisted, RestartPhase::Checkpoint),
+                (first, Recovery::Persisted, RestartPhase::Rejoin),
+            ],
+            "checkpoint fires before the crash, rejoin after the downtime"
+        );
+    }
+
+    #[test]
+    fn restart_of_an_already_dead_node_is_a_safe_noop() {
+        let (mut rt, addrs) = build(8, 37);
+        let doomed = addrs[0];
+        let plan = FaultPlan::new().with(Fault::Restart {
+            at: secs(10),
+            down_for: SimDuration::from_secs(5),
+            selector: "dead-one".into(),
+            recovery: Recovery::Amnesia,
+        });
+        let hooks: FaultHooks<PingNode, UniformLatency> = FaultHooks {
+            join: Box::new(|_, _| None),
+            // Deliberately returns the dead address, bypassing the runner's
+            // own population pruning: the runner must still skip it.
+            select_victims: Box::new(move |_, _, _| vec![doomed]),
+            ring_converged: Box::new(|_| true),
+            corrupt: Box::new(|_, _, _| {}),
+            restart: Box::new(|_, _, _, _, _| panic!("hook must not fire for a dead victim")),
+        };
+        let mut runner =
+            FaultRunner::new(plan, hooks, SeedSource::new(37), addrs).expect("valid plan");
+        rt.kill(doomed);
+        runner.run_until(&mut rt, secs(30));
+        let report = runner.into_report();
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.restart_rejoins, 0);
+        assert_eq!(rt.metrics().counter(keys::RESTART), 0);
+        assert_eq!(rt.num_alive(), 7, "nothing else was touched");
+    }
+
+    #[test]
+    fn zero_duration_windows_are_rejected_up_front() {
+        let cases = [
+            FaultPlan::new().with(Fault::LossBurst {
+                at: secs(1),
+                duration: SimDuration::ZERO,
+                rate: 0.5,
+            }),
+            FaultPlan::new().with(Fault::LatencySpike {
+                at: secs(1),
+                duration: SimDuration::ZERO,
+                factor: 2.0,
+            }),
+            FaultPlan::new().with(Fault::Duplicate {
+                at: secs(1),
+                duration: SimDuration::ZERO,
+                rate: 0.5,
+            }),
+            FaultPlan::new().with(Fault::Reorder {
+                at: secs(1),
+                duration: SimDuration::ZERO,
+                rate: 0.5,
+                window: SimDuration::from_secs(1),
+            }),
+            FaultPlan::new().with(Fault::Reorder {
+                at: secs(1),
+                duration: SimDuration::from_secs(1),
+                rate: 0.5,
+                window: SimDuration::ZERO,
+            }),
+        ];
+        for (i, plan) in cases.iter().enumerate() {
+            assert!(plan.validate().is_err(), "zero-duration case {i} must fail validation");
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ pub trait LatencyModel {
 /// any real-world time passes while they execute.
 pub trait Node: Sized {
     /// Message type exchanged between nodes of this protocol.
-    type Msg: Wire;
+    ///
+    /// `Clone` lets the network inject duplicate deliveries during a
+    /// [`Fault::Duplicate`](crate::fault::Fault::Duplicate) window; with
+    /// duplication off the clone path is never taken.
+    type Msg: Wire + Clone;
     /// Timer token type; delivered back verbatim when a timer fires.
     type Timer;
 
@@ -268,6 +272,12 @@ pub struct NetStats {
     pub messages_dropped: u64,
     /// Messages dropped because they crossed an active network partition.
     pub partition_dropped: u64,
+    /// Extra copies injected by message duplication
+    /// ([`Fault::Duplicate`](crate::fault::Fault::Duplicate) windows; not
+    /// counted in `messages_sent`).
+    pub messages_duplicated: u64,
+    /// Messages given extra reordering jitter by an active reorder window.
+    pub messages_reordered: u64,
 }
 
 enum RtEvent<M, T> {
@@ -428,6 +438,9 @@ pub struct Runtime<N: Node, L = Box<dyn LatencyModel>> {
     next_cause: CauseId,
     loss_rate: f64,
     latency_factor: f64,
+    dup_rate: f64,
+    reorder_rate: f64,
+    reorder_window: SimDuration,
     partition: Option<HashSet<HostId>>,
     tracer: Option<Tracer>,
     sampler: Option<SamplerSlot<N>>,
@@ -452,6 +465,9 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             next_cause: 1,
             loss_rate: 0.0,
             latency_factor: 1.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_window: SimDuration::ZERO,
             partition: None,
             tracer: None,
             sampler: None,
@@ -631,6 +647,52 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
     /// The current latency multiplier.
     pub fn latency_factor(&self) -> f64 {
         self.latency_factor
+    }
+
+    /// Sets an i.i.d. message-duplication probability: each message that
+    /// survives loss and partition filtering is delivered a second time
+    /// with that probability, the extra copy landing between 1× and 2× the
+    /// original's delay. `0.0` (the default) draws no randomness at all,
+    /// so duplication-off runs are byte-identical to pre-knob builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_dup_rate(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "duplication rate must be in [0,1]");
+        self.dup_rate = rate;
+    }
+
+    /// The current i.i.d. message-duplication probability.
+    pub fn dup_rate(&self) -> f64 {
+        self.dup_rate
+    }
+
+    /// Sets bounded delivery reordering: each message is, with probability
+    /// `rate`, delayed by an extra uniform draw from `(0, window]`, letting
+    /// later sends overtake it by up to `window`. A `rate` of `0.0` (the
+    /// default) draws no randomness, keeping reorder-off runs
+    /// byte-identical to pre-knob builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`, or if `rate` is positive with
+    /// a zero `window`.
+    pub fn set_reorder(&mut self, rate: f64, window: SimDuration) {
+        assert!((0.0..=1.0).contains(&rate), "reorder rate must be in [0,1]");
+        assert!(rate == 0.0 || !window.is_zero(), "reorder window must be non-zero");
+        self.reorder_rate = rate;
+        self.reorder_window = window;
+    }
+
+    /// The current reordering probability.
+    pub fn reorder_rate(&self) -> f64 {
+        self.reorder_rate
+    }
+
+    /// The current reordering jitter bound.
+    pub fn reorder_window(&self) -> SimDuration {
+        self.reorder_window
     }
 
     /// Installs (or clears) a network partition: messages between a host
@@ -901,6 +963,22 @@ impl<N: Node, L: LatencyModel> Runtime<N, L> {
             let mut delay = self.latency.delay(from_host, to_host, bytes);
             if self.latency_factor != 1.0 {
                 delay = delay.mul_f64(self.latency_factor);
+            }
+            if self.reorder_rate > 0.0 && self.rng.gen::<f64>() < self.reorder_rate {
+                // Bounded reordering: extra jitter in (0, window], so later
+                // sends can overtake this one by at most the window.
+                delay += self.reorder_window.mul_f64(self.rng.gen::<f64>());
+                self.stats.messages_reordered += 1;
+            }
+            if self.dup_rate > 0.0 && self.rng.gen::<f64>() < self.dup_rate {
+                // The duplicate took the "long path": it lands between 1×
+                // and 2× the original's delay, after the original.
+                let dup_delay = delay.mul_f64(1.0 + self.rng.gen::<f64>());
+                self.stats.messages_duplicated += 1;
+                self.queue.schedule(
+                    self.now + dup_delay,
+                    RtEvent::Deliver { from: addr, to, msg: msg.clone(), cause },
+                );
             }
             self.queue.schedule(self.now + delay, RtEvent::Deliver { from: addr, to, msg, cause });
         }

@@ -126,6 +126,7 @@ fn run(seed: u64) -> (FaultReport, String) {
         }),
         ring_converged: Box::new(|rt| rt.now() >= secs(30)),
         corrupt: Box::new(|_, _, _| {}),
+        restart: Box::new(|_, _, _, _, _| None),
     };
 
     let mut runner =

@@ -161,6 +161,7 @@ proptest! {
             mode: MaintenanceMode::Corrected,
             guard_redundancy: true,
             finger_oracle: true,
+            allow_leaves: false,
             max_fails: slots - 1,
             max_states: 1,
             check_convergence: false,
@@ -197,6 +198,7 @@ proptest! {
             mode: MaintenanceMode::Corrected,
             guard_redundancy: false,
             finger_oracle: false,
+            allow_leaves: false,
             max_fails: slots - 1,
             max_states: 1,
             check_convergence: false,
